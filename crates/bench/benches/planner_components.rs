@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the planner's components: the
+//! horizontal DP (reference vs the monotonic O(nK) variant), the
+//! Kuhn–Munkres LAP solver, the contention-mitigation pass, end-to-end
+//! planning and simulated execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use h2p_contention::ContentionClass;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+use hetero2pipe::planner::Planner;
+use hetero2pipe::workload::random_models;
+use hetero2pipe::{lap, mitigation, partition};
+
+fn bench_horizontal_dp(c: &mut Criterion) {
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).expect("planner");
+    let procs = soc.processors_by_power();
+    let mut group = c.benchmark_group("horizontal_dp");
+    for id in [ModelId::Vgg16, ModelId::Bert, ModelId::YoloV4] {
+        let graph = id.graph();
+        let ctx = planner
+            .estimator()
+            .context(&graph, &procs, vec![1, 2, 3]); // CPU_B, GPU, CPU_S
+        let cost = planner.estimator().cost();
+        let n = graph.len();
+        group.bench_with_input(BenchmarkId::new("reference", id.name()), &n, |b, &n| {
+            b.iter(|| {
+                partition::min_max_partition(n, 3, |a, i, j| ctx.stage_cost(cost, a, i, j))
+                    .expect("feasible")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fast", id.name()), &n, |b, &n| {
+            b.iter(|| {
+                partition::min_max_partition_fast(n, 3, |a, i, j| {
+                    ctx.stage_cost(cost, a, i, j)
+                })
+                .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kuhn_munkres");
+    for n in [8usize, 32, 64] {
+        // Deterministic pseudo-random cost matrix.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64
+        };
+        let cost: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
+            b.iter(|| lap::solve(cost).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mitigation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention_mitigation");
+    for m in [16usize, 64, 128] {
+        let classes: Vec<ContentionClass> = (0..m)
+            .map(|i| {
+                if i % 3 == 0 {
+                    ContentionClass::High
+                } else {
+                    ContentionClass::Low
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &classes, |b, cls| {
+            b.iter(|| mitigation::mitigate(cls, 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).expect("planner");
+    let models = random_models(7, 8);
+    let graphs: Vec<_> = models.iter().map(|m| m.graph()).collect();
+    c.bench_function("plan_8_requests", |b| {
+        b.iter(|| planner.plan(&graphs).expect("plan"))
+    });
+    let planned = planner.plan(&graphs).expect("plan");
+    c.bench_function("simulate_8_requests", |b| {
+        b.iter(|| planned.execute(&soc).expect("exec"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_horizontal_dp,
+    bench_hungarian,
+    bench_mitigation,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Extension experiment (beyond the paper's figures): the effect of
+//! numerical precision on pipeline performance.
+//!
+//! The paper quotes FP16 CPU figures and the NPU's native low-precision
+//! units but evaluates everything at one precision. Here the same
+//! workload is planned and executed at FP32 / FP16 / INT8 on the Kirin
+//! 990: reduced precision both accelerates compute and shrinks the very
+//! memory traffic that causes co-execution slowdown — so the contention
+//! problem itself shrinks with the datatype.
+
+use h2p_bench::{mean, print_table};
+use h2p_models::cost::Precision;
+use h2p_models::graph::ModelGraph;
+use h2p_simulator::SocSpec;
+use hetero2pipe::planner::{Planner, PlannerConfig};
+use hetero2pipe::workload::random_combinations;
+
+fn main() {
+    let soc = SocSpec::kirin_990();
+    let sets = random_combinations(20_250_705, 25, 6, 10);
+
+    let mut rows = Vec::new();
+    for (name, precision) in [
+        ("FP32", Precision::Fp32),
+        ("FP16", Precision::Fp16),
+        ("INT8", Precision::Int8),
+    ] {
+        let cfg = PlannerConfig {
+            precision,
+            ..PlannerConfig::default()
+        };
+        let planner = Planner::with_config(&soc, cfg).expect("planner");
+        let mut latency = Vec::new();
+        let mut slowdown = Vec::new();
+        for set in &sets {
+            let graphs: Vec<ModelGraph> = set.iter().map(|m| m.graph()).collect();
+            let r = planner
+                .plan(&graphs)
+                .expect("plan")
+                .execute(&soc)
+                .expect("exec");
+            latency.push(r.makespan_ms);
+            slowdown.push(r.mean_slowdown);
+        }
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.0}", mean(&latency)),
+            format!("{:.1}%", mean(&slowdown) * 100.0),
+        ]);
+    }
+    print_table(
+        "Extension — precision sweep, Hetero2Pipe on Kirin 990 (25 combos)",
+        &["Precision", "mean latency (ms)", "mean co-exec slowdown"],
+        &rows,
+    );
+    println!(
+        "\nLower precision cuts latency through faster MACs AND lighter bus\ntraffic — the interference the planner mitigates is itself datatype-\ndependent."
+    );
+}

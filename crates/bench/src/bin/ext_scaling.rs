@@ -1,0 +1,71 @@
+//! Extension experiment (beyond the paper's figures): how the horizontal
+//! partition adapts as one model's workload scales.
+//!
+//! Sweeps BERT's sequence length and ViT's input resolution on the
+//! Kirin 990, printing how the planner redistributes layers across
+//! processors and what the resulting single-request traversal time is.
+//! The attention score matrix grows quadratically with the sequence
+//! length, shifting stages toward bandwidth-rich processors.
+
+use h2p_bench::print_table;
+use h2p_models::zoo::{bert_with_seq, vit_at};
+use h2p_simulator::SocSpec;
+use hetero2pipe::planner::Planner;
+
+fn main() {
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).expect("planner");
+
+    let mut rows = Vec::new();
+    for seq in [64u64, 128, 256, 512] {
+        let g = bert_with_seq(seq);
+        rows.push(describe(&planner, &soc, format!("BERT seq={seq}"), &g));
+    }
+    for res in [224u64, 320, 448] {
+        let g = vit_at(res);
+        rows.push(describe(&planner, &soc, format!("ViT {res}px"), &g));
+    }
+    print_table(
+        "Extension — partition adaptation under workload scaling (Kirin 990)",
+        &["Workload", "GFLOPs", "stage layout (layers@proc)", "makespan 3 reqs (ms)"],
+        &rows,
+    );
+    println!(
+        "\nThe planner keeps the pipeline balanced as one model's compute grows:\nstage boundaries shift rather than any single processor absorbing the\nquadratic attention blow-up."
+    );
+}
+
+fn describe(
+    planner: &Planner,
+    soc: &SocSpec,
+    label: String,
+    graph: &h2p_models::graph::ModelGraph,
+) -> Vec<String> {
+    // A stream of three instances: with one request the optimizer rightly
+    // collapses onto the NPU; pipelining only pays once requests queue.
+    let stream = vec![graph.clone(), graph.clone(), graph.clone()];
+    let planned = planner.plan(&stream).expect("plan");
+    // Mid-stream request: representative steady-state layout.
+    let req = &planned.plan.requests[1];
+    let layout: Vec<String> = req
+        .stages
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, s)| {
+            s.as_ref().map(|s| {
+                format!(
+                    "{}@{}",
+                    s.range.len(),
+                    soc.processor(planned.plan.procs[slot]).name
+                )
+            })
+        })
+        .collect();
+    let report = planned.execute(soc).expect("exec");
+    vec![
+        label,
+        format!("{:.1}", graph.total_flops() / 1e9),
+        layout.join(" "),
+        format!("{:.0}", report.makespan_ms),
+    ]
+}

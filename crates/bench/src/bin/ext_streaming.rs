@@ -1,0 +1,92 @@
+//! Extension experiment (beyond the paper's figures): response-time
+//! behaviour under streaming Poisson arrivals.
+//!
+//! The paper evaluates batch workloads (all requests queued at time 0).
+//! Its complexity analysis, however, explicitly anticipates an online
+//! deployment where "the planner should be scheduled more frequently".
+//! This experiment sweeps the offered load (mean inter-arrival gap) and
+//! reports p50/p95 response times for the windowed online planner vs the
+//! serial CPU baseline, exposing the saturation point of each.
+//!
+//! Arguments: `--requests N` (default 40), `--seed S`.
+
+use h2p_bench::{arg_usize, print_table};
+use h2p_models::graph::ModelGraph;
+use h2p_simulator::SocSpec;
+use hetero2pipe::executor::{percentile, response_times};
+use hetero2pipe::online::OnlinePlanner;
+use hetero2pipe::planner::Planner;
+use hetero2pipe::workload::{poisson_arrivals, random_models};
+
+fn main() {
+    let n = arg_usize("--requests", 40);
+    let seed = arg_usize("--seed", 20_250_705) as u64;
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).expect("planner");
+    let models = random_models(seed, n);
+    let requests: Vec<ModelGraph> = models.iter().map(|m| m.graph()).collect();
+
+    let mut rows = Vec::new();
+    for gap_ms in [50.0, 100.0, 200.0, 400.0, 800.0] {
+        let arrivals = poisson_arrivals(seed ^ 0x57, n, gap_ms);
+        // Online Hetero2Pipe, window 8.
+        let online = OnlinePlanner::new(planner.clone(), 8);
+        let planned = online.plan(&requests).expect("plan");
+        let h2p = planned
+            .execute_with_arrivals(&soc, &arrivals)
+            .expect("exec");
+        let h2p_resp = response_times(&h2p, &arrivals);
+        // Serial CPU-Big baseline with the same arrivals: one task per
+        // request, FIFO on CPU_B, released at arrival.
+        let serial = serial_with_arrivals(&soc, &requests, &arrivals);
+        rows.push(vec![
+            format!("{gap_ms:.0}"),
+            format!("{:.0}", percentile(&h2p_resp, 50.0)),
+            format!("{:.0}", percentile(&h2p_resp, 95.0)),
+            format!("{:.0}", percentile(&serial, 50.0)),
+            format!("{:.0}", percentile(&serial, 95.0)),
+        ]);
+    }
+    print_table(
+        &format!("Extension — streaming response times, Kirin 990 ({n} Poisson requests)"),
+        &[
+            "mean gap (ms)",
+            "H2P p50",
+            "H2P p95",
+            "Serial p50",
+            "Serial p95",
+        ],
+        &rows,
+    );
+    println!(
+        "\nAt tight gaps the serial CPU queue saturates (response times explode with\nqueue depth) while the pipeline's higher service rate keeps percentiles\nbounded; at sparse arrivals both converge to solo latency."
+    );
+}
+
+/// Serial CPU-Big execution with request release times; returns
+/// per-request response times.
+fn serial_with_arrivals(soc: &SocSpec, requests: &[ModelGraph], arrivals: &[f64]) -> Vec<f64> {
+    use h2p_models::cost::CostModel;
+    use h2p_models::graph::LayerRange;
+    use h2p_simulator::engine::{Simulation, TaskSpec};
+    let big = soc.processor_by_name("CPU_B").expect("CPU_B");
+    let cost = CostModel::new(soc);
+    let mut sim = Simulation::new(soc.clone());
+    for (i, g) in requests.iter().enumerate() {
+        let whole = LayerRange::new(0, g.len() - 1);
+        let ms = cost
+            .slice_latency_ms(g, whole, big)
+            .expect("CPU supports everything");
+        sim.add_task(
+            TaskSpec::new(format!("{}#{i}", g.name()), big, ms)
+                .release(arrivals.get(i).copied().unwrap_or(0.0)),
+        );
+    }
+    let trace = sim.run().expect("runs");
+    (0..requests.len())
+        .map(|i| {
+            trace.span(i).map_or(0.0, |s| s.end_ms)
+                - arrivals.get(i).copied().unwrap_or(0.0)
+        })
+        .collect()
+}

@@ -1,0 +1,41 @@
+//! Fig. 1 / Fig. 11 — processing latency of every model on every
+//! processor of the Kirin 990, at thermal steady state.
+//!
+//! Expected shape (paper): the NPU is fastest by an order of magnitude
+//! where operators are supported; the Big CPU cluster is generally on par
+//! with the OpenCL GPU; the Small cluster degrades heavily; YOLOv4 and
+//! BERT report errors on the NPU due to unsupported operators.
+
+use h2p_bench::print_table;
+use h2p_models::cost::CostModel;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+
+fn main() {
+    let soc = SocSpec::kirin_990();
+    let cost = CostModel::new(&soc);
+    let procs = ["CPU_B", "GPU", "CPU_S", "NPU"];
+    let rows: Vec<Vec<String>> = ModelId::ALL
+        .iter()
+        .map(|id| {
+            let g = id.graph();
+            let mut row = vec![id.name().to_owned()];
+            for p in procs {
+                let pid = soc.processor_by_name(p).expect("kirin processor");
+                row.push(match cost.model_latency_ms(&g, pid) {
+                    Some(ms) => format!("{ms:.1}"),
+                    None => "ERR (unsupported op)".to_owned(),
+                });
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 1 / Fig. 11 — solo inference latency (ms) on Kirin 990",
+        &["Model", "CPU_B", "GPU", "CPU_S", "NPU"],
+        &rows,
+    );
+    println!(
+        "\nShape checks: NPU << CPU_B ~ GPU << CPU_S; NPU errors for YOLOv4 and BERT."
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 2(b) — per-model resource demands (simulated perf events) ranked
+//! by contention intensity (Eq. 1).
+//!
+//! Expected shape: SqueezeNet and GoogLeNet rank near the top despite
+//! tiny FLOPs (Observation 3); big-MatMul models (VGG/AlexNet FC tails,
+//! BERT attention) also rank high (Observation 2); the regression's
+//! predicted intensity tracks the ground-truth ranking.
+
+use h2p_bench::print_table;
+use h2p_contention::counters::{ground_truth_intensity, measure};
+use h2p_contention::IntensityModel;
+use h2p_models::cost::CostModel;
+use h2p_models::graph::ModelGraph;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+
+fn main() {
+    let soc = SocSpec::kirin_990();
+    let cost = CostModel::new(&soc);
+    let big = soc.processor_by_name("CPU_B").expect("kirin CPU_B");
+    let zoo: Vec<ModelGraph> = ModelId::ALL.iter().map(|m| m.graph()).collect();
+    let model = IntensityModel::train_default(&cost, &zoo, big).expect("regression trains");
+    let loo = IntensityModel::cross_validate(&cost, &zoo, big, IntensityModel::DEFAULT_ALPHA)
+        .expect("cross-validation runs");
+
+    let mut rows: Vec<(f64, Vec<String>)> = ModelId::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let g = id.graph();
+            let pmu = measure(&cost, &g, big);
+            let truth = ground_truth_intensity(&cost, &g, big);
+            let pred = model.predict(&cost, &g, big);
+            let class = if model.classify_intensity(pred).is_high() {
+                "H"
+            } else {
+                "L"
+            };
+            (
+                truth,
+                vec![
+                    id.name().to_owned(),
+                    format!("{:.2}", pmu.ipc),
+                    format!("{:.3}", pmu.cache_miss_rate),
+                    format!("{:.3}", pmu.backend_stall),
+                    format!("{truth:.3}"),
+                    format!("{pred:.3}"),
+                    format!("{:.3}", loo[i].1),
+                    class.to_owned(),
+                ],
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let table: Vec<Vec<String>> = rows.into_iter().map(|(_, r)| r).collect();
+    print_table(
+        "Fig. 2(b) — perf events ranked by contention intensity (CPU_B, Kirin 990)",
+        &[
+            "Model",
+            "IPC",
+            "CacheMiss",
+            "BackendStall",
+            "Intensity (truth)",
+            "Intensity (Eq.1)",
+            "LOO held-out",
+            "Class",
+        ],
+        &table,
+    );
+    println!(
+        "\nRidge weights W = {:?} (features: IPC, miss rate, backend stall, bias); threshold {:.3}.",
+        model
+            .regression()
+            .weights()
+            .iter()
+            .map(|w| (w * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>(),
+        model.threshold()
+    );
+}

@@ -1,0 +1,104 @@
+//! Fig. 7 — overall latency and throughput of all schemes over random
+//! model combinations on the three evaluation SoCs, plus the Band vs
+//! Hetero²Pipe solution scatter.
+//!
+//! Expected shape (paper): Hetero²Pipe is ~4.2× faster than vanilla MNN
+//! on average (up to ~8.8× on Kirin 990 thanks to the NPU), ~2× faster
+//! than Pipe-it, ~1.3× faster than its own No-C/T ablation, and ~5%
+//! ahead of Band with lower variance.
+//!
+//! Arguments: `--combos N` (default 100), `--seed S` (default 20250705).
+
+use h2p_baselines::Scheme;
+use h2p_bench::{arg_usize, mean, median, print_table, stddev};
+use h2p_models::graph::ModelGraph;
+use h2p_simulator::SocSpec;
+use hetero2pipe::workload::random_combinations;
+
+fn main() {
+    let combos = arg_usize("--combos", 100);
+    let seed = arg_usize("--seed", 20_250_705) as u64;
+    let sets = random_combinations(seed, combos, 6, 12);
+
+    for soc in SocSpec::evaluation_platforms() {
+        let mut latency: Vec<Vec<f64>> = vec![Vec::new(); Scheme::ALL.len()];
+        let mut throughput: Vec<Vec<f64>> = vec![Vec::new(); Scheme::ALL.len()];
+        for set in &sets {
+            let graphs: Vec<ModelGraph> = set.iter().map(|m| m.graph()).collect();
+            for (si, scheme) in Scheme::ALL.iter().enumerate() {
+                let r = scheme
+                    .run(&soc, &graphs)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", scheme.name(), soc.name));
+                latency[si].push(r.makespan_ms);
+                throughput[si].push(r.throughput_per_sec);
+            }
+        }
+        let mnn_mean = mean(&latency[0]);
+        let rows: Vec<Vec<String>> = Scheme::ALL
+            .iter()
+            .enumerate()
+            .map(|(si, scheme)| {
+                vec![
+                    scheme.name().to_owned(),
+                    format!("{:.0}", mean(&latency[si])),
+                    format!("{:.0}", median(&latency[si])),
+                    format!("{:.2}", mean(&throughput[si])),
+                    format!("{:.2}x", mnn_mean / mean(&latency[si])),
+                    format!("{:.0}", stddev(&latency[si])),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Fig. 7 — {} ({} random combinations, seed {seed})",
+                soc.name, combos
+            ),
+            &[
+                "Scheme",
+                "Lat mean (ms)",
+                "Lat median",
+                "Thput (/s)",
+                "Speedup vs MNN",
+                "Lat stddev",
+            ],
+            &rows,
+        );
+
+        // Band vs Hetero2Pipe scatter on a 30% subset.
+        let band_idx = Scheme::ALL
+            .iter()
+            .position(|s| *s == Scheme::Band)
+            .expect("Band in scheme list");
+        let h2p_idx = Scheme::ALL
+            .iter()
+            .position(|s| *s == Scheme::Hetero2Pipe)
+            .expect("H2P in scheme list");
+        let subset = (combos / 10 * 3).max(1);
+        let mut scatter = Vec::new();
+        for i in 0..subset.min(combos) {
+            scatter.push(vec![
+                format!("{i}"),
+                format!("{:.0}", latency[band_idx][i]),
+                format!("{:.0}", latency[h2p_idx][i]),
+                format!(
+                    "{:+.1}%",
+                    (latency[band_idx][i] / latency[h2p_idx][i] - 1.0) * 100.0
+                ),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 7 scatter — Band vs Hetero2Pipe, {} (30% subset)", soc.name),
+            &["Combo", "Band (ms)", "H2P (ms)", "Band/H2P-1"],
+            &scatter,
+        );
+        let band_mean = mean(&latency[band_idx]);
+        let h2p_mean = mean(&latency[h2p_idx]);
+        println!(
+            "\n{}: H2P vs Band mean gain {:+.1}%; stddev Band {:.0} vs H2P {:.0}.",
+            soc.name,
+            (band_mean / h2p_mean - 1.0) * 100.0,
+            stddev(&latency[band_idx]),
+            stddev(&latency[h2p_idx]),
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Fig. 8 — ablation of the vertical optimization.
+//!
+//! (a) Hetero²Pipe vs exhaustive search, simulated annealing and the
+//!     No-C/T variant over random model combinations (combination sizes
+//!     kept small enough for the factorial exhaustive search).
+//! (b) Progressive component removal: full planner, no contention
+//!     mitigation, no tail optimization, neither.
+//!
+//! Expected shape: Hetero²Pipe lands within a few percent of the
+//! exhaustive optimum (paper: ~4%), beats simulated annealing, and each
+//! removed component costs latency.
+//!
+//! Arguments: `--combos N` (default 100), `--seed S`.
+
+use h2p_baselines::{annealing, exhaustive, Scheme};
+use h2p_bench::{arg_usize, mean, print_table};
+use h2p_models::graph::ModelGraph;
+use h2p_simulator::SocSpec;
+use hetero2pipe::planner::{Planner, PlannerConfig};
+use hetero2pipe::workload::random_combinations;
+
+fn main() {
+    let combos = arg_usize("--combos", 100);
+    let seed = arg_usize("--seed", 20_250_705) as u64;
+    let soc = SocSpec::kirin_990();
+    let sets = random_combinations(seed, combos, 4, 6);
+
+    // ---- (a) search-strategy comparison ----
+    let mut h2p = Vec::new();
+    let mut noct = Vec::new();
+    let mut exact = Vec::new();
+    let mut sa = Vec::new();
+    for set in &sets {
+        let graphs: Vec<ModelGraph> = set.iter().map(|m| m.graph()).collect();
+        h2p.push(Scheme::Hetero2Pipe.run(&soc, &graphs).expect("h2p").makespan_ms);
+        noct.push(Scheme::NoCt.run(&soc, &graphs).expect("noct").makespan_ms);
+        // The exhaustive search scores candidates with the same
+        // contention-aware cost model the planner uses (measuring every
+        // permutation on-device would be infeasible for the paper too),
+        // then the winner's latency is measured.
+        exact.push(
+            exhaustive::run_with(&soc, &graphs, 5_000, exhaustive::Evaluation::Estimate)
+                .expect("exhaustive")
+                .report
+                .makespan_ms,
+        );
+        sa.push(
+            annealing::run(&soc, &graphs, seed ^ 0xA5A5, annealing::AnnealingParams::default())
+                .expect("sa")
+                .report
+                .makespan_ms,
+        );
+    }
+    // Sorted ascending by H2P latency, as in the paper's x-axis.
+    let mut idx: Vec<usize> = (0..sets.len()).collect();
+    idx.sort_by(|&a, &b| h2p[a].total_cmp(&h2p[b]));
+    let rows: Vec<Vec<String>> = idx
+        .iter()
+        .step_by((sets.len() / 20).max(1)) // print ~20 representative rows
+        .map(|&i| {
+            vec![
+                format!("{i}"),
+                format!("{:.0}", exact[i]),
+                format!("{:.0}", h2p[i]),
+                format!("{:.0}", sa[i]),
+                format!("{:.0}", noct[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 8(a) — vertical optimization, Kirin 990 ({combos} combos, sorted)"),
+        &["Combo", "Exhaustive", "Hetero2Pipe", "SimAnneal", "No C/T"],
+        &rows,
+    );
+    let gap = (mean(&h2p) / mean(&exact) - 1.0) * 100.0;
+    println!(
+        "\nMeans (ms): exhaustive {:.0}, H2P {:.0} ({gap:+.1}% from optimum; paper ~4%), SA {:.0}, No C/T {:.0}.",
+        mean(&exact),
+        mean(&h2p),
+        mean(&sa),
+        mean(&noct),
+    );
+
+    // ---- (b) component removal ----
+    let variants: [(&str, PlannerConfig); 4] = [
+        ("Full Hetero2Pipe", PlannerConfig::default()),
+        (
+            "- contention mitigation",
+            PlannerConfig {
+                contention_mitigation: false,
+                ..PlannerConfig::default()
+            },
+        ),
+        (
+            "- tail optimization",
+            PlannerConfig {
+                tail_optimization: false,
+                ..PlannerConfig::default()
+            },
+        ),
+        ("- both (No C/T)", PlannerConfig::no_ct()),
+    ];
+    // Component removal is measured on full-size combinations (the
+    // exhaustive-feasible sets above are too short for the mitigation
+    // window to matter).
+    let sets_b = random_combinations(seed ^ 0x8B, combos, 6, 12);
+    let mut rows_b = Vec::new();
+    for (name, cfg) in variants {
+        let planner = Planner::with_config(&soc, cfg).expect("planner");
+        let lats: Vec<f64> = sets_b
+            .iter()
+            .map(|set| {
+                let graphs: Vec<ModelGraph> = set.iter().map(|m| m.graph()).collect();
+                planner
+                    .plan(&graphs)
+                    .expect("plan")
+                    .execute(&soc)
+                    .expect("exec")
+                    .makespan_ms
+            })
+            .collect();
+        rows_b.push(vec![name.to_owned(), format!("{:.0}", mean(&lats))]);
+    }
+    print_table(
+        "Fig. 8(b) — average latency by component removal",
+        &["Variant", "Mean latency (ms)"],
+        &rows_b,
+    );
+}

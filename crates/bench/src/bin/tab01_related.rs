@@ -1,0 +1,46 @@
+//! Table I — qualitative comparison of on-device inference systems.
+//!
+//! A static reproduction of the paper's related-work matrix; there is
+//! nothing to measure, but the harness regenerates every table for
+//! completeness.
+
+use h2p_bench::print_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = [
+        ["Pipe-it", "CPU", "yes", "no", "yes", "no", "Local Search"],
+        ["MASA", "CPU", "yes", "yes", "no", "no", "BinPacking"],
+        ["EdgePipe", "CPU", "yes", "no", "yes", "no", "DP"],
+        ["Gillis", "CPU", "yes", "no", "yes", "no", "DP"],
+        ["uLayer", "CPU, GPU", "no", "no", "no", "no", "DP"],
+        ["PICO", "CPU", "yes", "no", "yes", "no", "DP"],
+        ["DART", "CPU, GPU", "yes", "no", "no", "no", "DP"],
+        ["BlasNet", "CPU, GPU", "yes", "no", "no", "no", "DARTS"],
+        ["Band", "CPU, GPU, NPU", "yes", "yes", "no", "no", "Greedy"],
+        [
+            "Hetero2Pipe (ours)",
+            "CPU, GPU, NPU",
+            "yes",
+            "yes",
+            "yes",
+            "yes",
+            "DP+Work Stealing",
+        ],
+    ]
+    .iter()
+    .map(|r| r.iter().map(|s| s.to_string()).collect())
+    .collect();
+    print_table(
+        "Table I — state-of-the-art methods for on-device inference",
+        &[
+            "Related Work",
+            "Processors",
+            "multi-DNN",
+            "DNN Hetero.",
+            "Pipeline",
+            "Contention",
+            "Algorithm",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,37 @@
+//! Inventory of the model zoo: parameters, FLOPs, layer counts, NPU
+//! supportability and memory tiers — the "Inference Models" paragraph of
+//! the paper's setup section, as a table.
+
+use h2p_bench::print_table;
+use h2p_models::zoo::ModelId;
+
+fn main() {
+    let rows: Vec<Vec<String>> = ModelId::ALL
+        .iter()
+        .map(|id| {
+            let g = id.graph();
+            vec![
+                id.name().to_owned(),
+                format!("{}", g.len()),
+                format!("{:.1}M", g.weight_bytes() as f64 / 4.0 / 1e6),
+                format!("{:.1}", g.weight_bytes() as f64 / (1024.0 * 1024.0)),
+                format!("{:.2}", g.total_flops() / 1e9),
+                if g.fully_npu_supported() { "yes" } else { "no (fallback)" }.to_owned(),
+                format!("{:?}", id.memory_tier()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Model zoo — the ten evaluation networks",
+        &[
+            "Model",
+            "Layers",
+            "Params",
+            "Size (MB)",
+            "GFLOPs",
+            "NPU",
+            "Tier",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,191 @@
+//! Synthetic Performance Monitor Unit (PMU) counters.
+//!
+//! The paper reads three perf events while a model runs solo on the CPU
+//! Big cluster and uses them as regression features (Sec. III, Fig. 2b):
+//!
+//! 1. **IPC** — high values mean the core rarely waits on memory;
+//! 2. **Cache-miss rate** — poor locality and L2-spilling tensors;
+//! 3. **Stalled-cycles-backend** — fraction of cycles waiting on
+//!    resources.
+//!
+//! Real counters are unavailable in this reproduction, so we derive them
+//! from each layer's roofline decomposition: the compute-bound fraction of
+//! a layer's time raises IPC, while spilled traffic and poor locality
+//! raise miss rate and backend stalls. This preserves the property the
+//! paper's regression depends on: memory-bound structure — not FLOPs or
+//! model size — predicts contention, making SqueezeNet/GoogLeNet rank
+//! high (Observation 3) and big-MatMul models rank high (Observation 2).
+
+use serde::{Deserialize, Serialize};
+
+use h2p_models::cost::CostModel;
+use h2p_models::graph::ModelGraph;
+use h2p_simulator::processor::ProcessorId;
+
+/// One model's synthetic perf-event sample, the feature vector
+/// `X = {x1, x2, x3}` of the paper's Eq. (1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PmuSample {
+    /// Instructions per cycle (higher = more compute-bound).
+    pub ipc: f64,
+    /// Cache-miss rate in `[0, 1]`.
+    pub cache_miss_rate: f64,
+    /// Fraction of cycles stalled in the backend, in `[0, 1]`.
+    pub backend_stall: f64,
+}
+
+impl PmuSample {
+    /// The feature vector (with the paper's ordering) plus a bias term.
+    pub fn features(&self) -> [f64; 4] {
+        [self.ipc, self.cache_miss_rate, self.backend_stall, 1.0]
+    }
+}
+
+/// Peak IPC of a mobile big core on perfectly cache-resident code.
+const IPC_MAX: f64 = 3.2;
+
+/// Measures the synthetic PMU sample of running `graph` solo on
+/// `proc` (the paper instruments the CPU Big cluster).
+///
+/// Each layer contributes in proportion to its share of the model's total
+/// latency; a layer's miss rate grows with `1 - locality` and with how far
+/// its working set spills past the L2, and its stall fraction tracks the
+/// memory-bound share of its roofline time.
+///
+/// # Panics
+///
+/// Panics if the model cannot run on `proc` (contains unsupported
+/// operators there); measure on a CPU, which supports everything.
+pub fn measure(cost: &CostModel, graph: &ModelGraph, proc: ProcessorId) -> PmuSample {
+    let spec = cost.soc().processor(proc);
+    let l2_bytes = (spec.l2_kib as f64) * 1024.0;
+    let mut total_ms = 0.0;
+    let mut ipc_acc = 0.0;
+    let mut miss_acc = 0.0;
+    let mut stall_acc = 0.0;
+    for layer in graph.layers() {
+        let c = cost
+            .layer_cost(layer, proc)
+            .expect("PMU measurement requires a processor supporting all operators");
+        let ms = c.latency_ms;
+        // Memory-bound share of this layer's time.
+        let mem_ms = c.traffic_bytes / (spec.mem_bandwidth_gbps * 1e6);
+        let mem_frac = (mem_ms / ms.max(1e-12)).clamp(0.0, 1.0);
+        // Cache miss rate: locality losses plus L2 spill depth.
+        let spill = (layer.working_set_bytes as f64 / l2_bytes).max(1.0);
+        let spill_term = (spill.ln() / 8.0).clamp(0.0, 0.5);
+        let miss = (0.03 + 0.45 * (1.0 - layer.locality) + spill_term).clamp(0.0, 0.95);
+        let ipc = IPC_MAX * (1.0 - mem_frac).max(0.08);
+        let stall = (0.08 + 0.75 * mem_frac).clamp(0.0, 0.95);
+        total_ms += ms;
+        ipc_acc += ipc * ms;
+        miss_acc += miss * ms;
+        stall_acc += stall * ms;
+    }
+    let t = total_ms.max(1e-12);
+    PmuSample {
+        ipc: ipc_acc / t,
+        cache_miss_rate: miss_acc / t,
+        backend_stall: stall_acc / t,
+    }
+}
+
+/// The ground-truth contention intensity used to *train* the regression:
+/// the model's average DRAM bandwidth demand on `proc`, normalized so a
+/// demand of [`REFERENCE_BANDWIDTH_GBPS`] maps to intensity 1.0. This is
+/// the quantity the simulator's interference model consumes.
+pub fn ground_truth_intensity(cost: &CostModel, graph: &ModelGraph, proc: ProcessorId) -> f64 {
+    use h2p_models::graph::LayerRange;
+    let whole = LayerRange::new(0, graph.len() - 1);
+    let bw = cost
+        .slice_bandwidth_gbps(graph, whole, proc)
+        .expect("intensity requires a processor supporting all operators");
+    bw / REFERENCE_BANDWIDTH_GBPS
+}
+
+/// Bandwidth demand corresponding to contention intensity 1.0 — roughly
+/// the per-client share of a mobile bus under load (the paper notes the
+/// effective shared-bus bandwidth sits well below 20 GB/s; a client
+/// sustaining ~4 GB/s already degrades its peers noticeably).
+pub const REFERENCE_BANDWIDTH_GBPS: f64 = 4.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2p_models::zoo::ModelId;
+    use h2p_simulator::SocSpec;
+
+    fn setup() -> (CostModel, ProcessorId) {
+        let soc = SocSpec::kirin_990();
+        let big = soc.processor_by_name("CPU_B").unwrap();
+        (CostModel::new(&soc), big)
+    }
+
+    #[test]
+    fn counters_are_in_valid_ranges() {
+        let (cost, big) = setup();
+        for id in ModelId::ALL {
+            let s = measure(&cost, &id.graph(), big);
+            assert!(s.ipc > 0.0 && s.ipc <= IPC_MAX, "{id}: ipc={}", s.ipc);
+            assert!((0.0..=0.95).contains(&s.cache_miss_rate), "{id}");
+            assert!((0.0..=0.95).contains(&s.backend_stall), "{id}");
+        }
+    }
+
+    #[test]
+    fn squeezenet_misses_more_than_resnet() {
+        // Observation 3: the fire-module structure yields high miss rates
+        // despite tiny FLOPs.
+        let (cost, big) = setup();
+        let sq = measure(&cost, &ModelId::SqueezeNet.graph(), big);
+        let rn = measure(&cost, &ModelId::ResNet50.graph(), big);
+        assert!(
+            sq.cache_miss_rate > rn.cache_miss_rate,
+            "SqueezeNet {} vs ResNet50 {}",
+            sq.cache_miss_rate,
+            rn.cache_miss_rate
+        );
+    }
+
+    #[test]
+    fn stalls_track_intensity() {
+        // Models with more backend stalls should demand more bandwidth:
+        // the regression's learnability depends on this correlation.
+        let (cost, big) = setup();
+        let mut pairs: Vec<(f64, f64)> = ModelId::ALL
+            .iter()
+            .map(|id| {
+                let g = id.graph();
+                (
+                    measure(&cost, &g, big).backend_stall,
+                    ground_truth_intensity(&cost, &g, big),
+                )
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Spearman-ish check: top-3 stalls have higher mean intensity than
+        // bottom-3.
+        let lo: f64 = pairs[..3].iter().map(|p| p.1).sum::<f64>() / 3.0;
+        let hi: f64 = pairs[pairs.len() - 3..].iter().map(|p| p.1).sum::<f64>() / 3.0;
+        assert!(hi > lo, "stalls must correlate with intensity: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn intensity_is_positive_and_bounded() {
+        let (cost, big) = setup();
+        for id in ModelId::ALL {
+            let y = ground_truth_intensity(&cost, &id.graph(), big);
+            assert!(y > 0.0 && y < 3.0, "{id}: intensity={y}");
+        }
+    }
+
+    #[test]
+    fn features_include_bias() {
+        let s = PmuSample {
+            ipc: 2.0,
+            cache_miss_rate: 0.3,
+            backend_stall: 0.4,
+        };
+        assert_eq!(s.features(), [2.0, 0.3, 0.4, 1.0]);
+    }
+}

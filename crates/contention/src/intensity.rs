@@ -1,0 +1,337 @@
+//! End-to-end contention-intensity estimation and high/low
+//! classification.
+//!
+//! The planner's mitigation step (Sec. V-B) only needs each request
+//! classified as high (ℍ) or low (𝕃) contention. [`IntensityModel`]
+//! trains the ridge regression once on the zoo's solo-execution PMU
+//! samples (avoiding the combinatorial cost of profiling every
+//! co-execution pair — the point of Observation 1), then predicts
+//! intensity for any incoming model and classifies it against a
+//! percentile threshold.
+
+use serde::{Deserialize, Serialize};
+
+use h2p_models::cost::CostModel;
+use h2p_models::graph::ModelGraph;
+use h2p_simulator::processor::ProcessorId;
+
+use crate::counters::{ground_truth_intensity, measure, PmuSample};
+use crate::ridge::{FitError, RidgeRegression};
+
+/// High/low contention class of one inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContentionClass {
+    /// ℍ — the request interferes heavily with co-runners.
+    High,
+    /// 𝕃 — the request is benign.
+    Low,
+}
+
+impl ContentionClass {
+    /// Whether this is the high class.
+    pub fn is_high(self) -> bool {
+        self == ContentionClass::High
+    }
+}
+
+/// A trained contention-intensity estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntensityModel {
+    regression: RidgeRegression,
+    threshold: f64,
+}
+
+impl IntensityModel {
+    /// Default ridge regularization (the paper's α).
+    pub const DEFAULT_ALPHA: f64 = 0.1;
+
+    /// Default percentile used to split requests into ℍ/𝕃: the top 40%
+    /// of intensities are "high".
+    pub const DEFAULT_HIGH_PERCENTILE: f64 = 0.6;
+
+    /// Trains on the given profiling set: for each model, the PMU sample
+    /// on `proc` is the feature vector and the measured solo bandwidth
+    /// demand is the regression target. The ℍ/𝕃 threshold is set at
+    /// `high_percentile` of the training intensities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] if the profiling set is empty or degenerate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high_percentile` is outside `[0, 1]` or a profiling
+    /// model cannot run on `proc`.
+    pub fn train(
+        cost: &CostModel,
+        profiling_set: &[ModelGraph],
+        proc: ProcessorId,
+        alpha: f64,
+        high_percentile: f64,
+    ) -> Result<Self, FitError> {
+        assert!(
+            (0.0..=1.0).contains(&high_percentile),
+            "percentile must be in [0, 1]"
+        );
+        let mut x = Vec::with_capacity(profiling_set.len());
+        let mut y = Vec::with_capacity(profiling_set.len());
+        for graph in profiling_set {
+            x.push(measure(cost, graph, proc).features().to_vec());
+            y.push(ground_truth_intensity(cost, graph, proc));
+        }
+        let regression = RidgeRegression::fit(&x, &y, alpha)?;
+        let mut sorted = y.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((sorted.len() as f64 - 1.0) * high_percentile).round() as usize;
+        let threshold = sorted[idx.min(sorted.len() - 1)];
+        Ok(IntensityModel {
+            regression,
+            threshold,
+        })
+    }
+
+    /// Trains with the default α and percentile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] if the profiling set is empty or degenerate.
+    pub fn train_default(
+        cost: &CostModel,
+        profiling_set: &[ModelGraph],
+        proc: ProcessorId,
+    ) -> Result<Self, FitError> {
+        Self::train(
+            cost,
+            profiling_set,
+            proc,
+            Self::DEFAULT_ALPHA,
+            Self::DEFAULT_HIGH_PERCENTILE,
+        )
+    }
+
+    /// Predicted contention intensity from a raw PMU sample.
+    pub fn predict_sample(&self, sample: &PmuSample) -> f64 {
+        self.regression.predict(&sample.features()).max(0.0)
+    }
+
+    /// Predicted contention intensity of a model (measures its synthetic
+    /// PMU sample on `proc`, then applies the regression).
+    pub fn predict(&self, cost: &CostModel, graph: &ModelGraph, proc: ProcessorId) -> f64 {
+        self.predict_sample(&measure(cost, graph, proc))
+    }
+
+    /// The ℍ/𝕃 decision threshold on intensity.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Classifies an intensity value.
+    pub fn classify_intensity(&self, intensity: f64) -> ContentionClass {
+        if intensity > self.threshold {
+            ContentionClass::High
+        } else {
+            ContentionClass::Low
+        }
+    }
+
+    /// Classifies a model end to end.
+    pub fn classify(
+        &self,
+        cost: &CostModel,
+        graph: &ModelGraph,
+        proc: ProcessorId,
+    ) -> ContentionClass {
+        self.classify_intensity(self.predict(cost, graph, proc))
+    }
+
+    /// The underlying regression (fitted weights for Eq. 1).
+    pub fn regression(&self) -> &RidgeRegression {
+        &self.regression
+    }
+
+    /// Leave-one-out cross-validation over a profiling set: for each
+    /// model, trains on the remaining models and predicts the held-out
+    /// one. Returns `(ground_truth, held_out_prediction)` pairs in set
+    /// order — the paper's claim that the regression generalizes to "new
+    /// inference requests" without co-execution profiling, made testable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] if any fold fails to fit (set too small or
+    /// degenerate).
+    pub fn cross_validate(
+        cost: &CostModel,
+        profiling_set: &[ModelGraph],
+        proc: ProcessorId,
+        alpha: f64,
+    ) -> Result<Vec<(f64, f64)>, FitError> {
+        if profiling_set.len() < 3 {
+            return Err(FitError::Empty);
+        }
+        let samples: Vec<(Vec<f64>, f64)> = profiling_set
+            .iter()
+            .map(|g| {
+                (
+                    measure(cost, g, proc).features().to_vec(),
+                    ground_truth_intensity(cost, g, proc),
+                )
+            })
+            .collect();
+        let mut out = Vec::with_capacity(samples.len());
+        for held in 0..samples.len() {
+            let x: Vec<Vec<f64>> = samples
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != held)
+                .map(|(_, s)| s.0.clone())
+                .collect();
+            let y: Vec<f64> = samples
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != held)
+                .map(|(_, s)| s.1)
+                .collect();
+            let fold = RidgeRegression::fit(&x, &y, alpha)?;
+            out.push((samples[held].1, fold.predict(&samples[held].0).max(0.0)));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2p_models::zoo::ModelId;
+    use h2p_simulator::SocSpec;
+
+    fn trained() -> (CostModel, ProcessorId, IntensityModel) {
+        let soc = SocSpec::kirin_990();
+        let big = soc.processor_by_name("CPU_B").unwrap();
+        let cost = CostModel::new(&soc);
+        let zoo: Vec<ModelGraph> = ModelId::ALL.iter().map(|m| m.graph()).collect();
+        let model = IntensityModel::train_default(&cost, &zoo, big).unwrap();
+        (cost, big, model)
+    }
+
+    #[test]
+    fn regression_fits_the_zoo_reasonably() {
+        let (cost, big, model) = trained();
+        // In-sample predictions should track ground truth within 50%
+        // relative error on average — the paper only needs a ranking.
+        let mut rel_err = 0.0;
+        for id in ModelId::ALL {
+            let g = id.graph();
+            let truth = ground_truth_intensity(&cost, &g, big);
+            let pred = model.predict(&cost, &g, big);
+            rel_err += ((pred - truth) / truth).abs();
+        }
+        rel_err /= ModelId::ALL.len() as f64;
+        assert!(rel_err < 0.5, "mean relative error {rel_err}");
+    }
+
+    #[test]
+    fn both_classes_are_populated() {
+        let (cost, big, model) = trained();
+        let mut high = 0;
+        let mut low = 0;
+        for id in ModelId::ALL {
+            match model.classify(&cost, &id.graph(), big) {
+                ContentionClass::High => high += 1,
+                ContentionClass::Low => low += 1,
+            }
+        }
+        assert!(high >= 2, "got {high} high");
+        assert!(low >= 2, "got {low} low");
+    }
+
+    #[test]
+    fn squeezenet_is_high_contention_despite_its_size() {
+        // Observation 3's headline outlier.
+        let (cost, big, model) = trained();
+        assert_eq!(
+            model.classify(&cost, &ModelId::SqueezeNet.graph(), big),
+            ContentionClass::High
+        );
+    }
+
+    #[test]
+    fn prediction_is_never_negative() {
+        let (_, _, model) = trained();
+        let silly = PmuSample {
+            ipc: 3.2,
+            cache_miss_rate: 0.0,
+            backend_stall: 0.0,
+        };
+        assert!(model.predict_sample(&silly) >= 0.0);
+    }
+
+    #[test]
+    fn classify_intensity_respects_threshold() {
+        let (_, _, model) = trained();
+        let t = model.threshold();
+        assert_eq!(model.classify_intensity(t), ContentionClass::Low);
+        assert_eq!(
+            model.classify_intensity(t + 1e-6),
+            ContentionClass::High
+        );
+    }
+
+    #[test]
+    fn training_on_empty_set_fails() {
+        let soc = SocSpec::kirin_990();
+        let big = soc.processor_by_name("CPU_B").unwrap();
+        let cost = CostModel::new(&soc);
+        assert!(IntensityModel::train_default(&cost, &[], big).is_err());
+    }
+
+    #[test]
+    fn cross_validation_generalizes_to_held_out_models() {
+        let soc = SocSpec::kirin_990();
+        let big = soc.processor_by_name("CPU_B").unwrap();
+        let cost = CostModel::new(&soc);
+        let zoo: Vec<ModelGraph> = ModelId::ALL.iter().map(|m| m.graph()).collect();
+        let folds = IntensityModel::cross_validate(
+            &cost,
+            &zoo,
+            big,
+            IntensityModel::DEFAULT_ALPHA,
+        )
+        .unwrap();
+        assert_eq!(folds.len(), zoo.len());
+        // Held-out predictions rank the models usefully: a model in the
+        // top-3 true intensities should never be predicted into the
+        // bottom-3, and the mean relative error stays bounded.
+        let mean_rel: f64 = folds
+            .iter()
+            .map(|&(t, p)| ((p - t) / t).abs())
+            .sum::<f64>()
+            / folds.len() as f64;
+        assert!(mean_rel < 1.0, "mean held-out relative error {mean_rel:.2}");
+        let rank = |xs: Vec<f64>| {
+            let mut idx: Vec<usize> = (0..xs.len()).collect();
+            idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+            let mut r = vec![0usize; xs.len()];
+            for (pos, &i) in idx.iter().enumerate() {
+                r[i] = pos;
+            }
+            r
+        };
+        let tr = rank(folds.iter().map(|f| f.0).collect());
+        let pr = rank(folds.iter().map(|f| f.1).collect());
+        let n = folds.len();
+        for i in 0..n {
+            if tr[i] >= n - 3 {
+                assert!(pr[i] >= 3, "top-true model {i} predicted near bottom");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_validation_needs_at_least_three_models() {
+        let soc = SocSpec::kirin_990();
+        let big = soc.processor_by_name("CPU_B").unwrap();
+        let cost = CostModel::new(&soc);
+        let two: Vec<ModelGraph> = vec![ModelId::Bert.graph(), ModelId::Vit.graph()];
+        assert!(IntensityModel::cross_validate(&cost, &two, big, 0.1).is_err());
+    }
+}

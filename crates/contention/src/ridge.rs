@@ -1,0 +1,204 @@
+//! Ridge regression — the paper's Eq. (1):
+//!
+//! ```text
+//! W = argmin_w ½‖XW − Y‖² + ½α‖W‖²  =  (XᵀX + αI)⁻¹ XᵀY
+//! ```
+//!
+//! solved in closed form via the normal equations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::Matrix;
+
+/// Errors from fitting a ridge regression.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FitError {
+    /// No training samples were provided.
+    Empty,
+    /// Feature vectors have inconsistent lengths, or `y` does not match.
+    ShapeMismatch {
+        /// Expected feature length.
+        expected: usize,
+        /// Offending length.
+        got: usize,
+    },
+    /// The regularized normal matrix was singular (alpha too small for a
+    /// degenerate design matrix).
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::Empty => write!(f, "no training samples"),
+            FitError::ShapeMismatch { expected, got } => {
+                write!(f, "inconsistent sample shape: expected {expected}, got {got}")
+            }
+            FitError::Singular => write!(f, "normal matrix is singular; increase alpha"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted ridge-regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeRegression {
+    weights: Vec<f64>,
+    alpha: f64,
+}
+
+impl RidgeRegression {
+    /// Fits `W = (XᵀX + αI)⁻¹ XᵀY` on feature rows `x` and targets `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] on empty input, ragged shapes or a singular
+    /// regularized normal matrix.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], alpha: f64) -> Result<Self, FitError> {
+        if x.is_empty() || y.is_empty() {
+            return Err(FitError::Empty);
+        }
+        let d = x[0].len();
+        if d == 0 {
+            return Err(FitError::ShapeMismatch { expected: 1, got: 0 });
+        }
+        for row in x {
+            if row.len() != d {
+                return Err(FitError::ShapeMismatch {
+                    expected: d,
+                    got: row.len(),
+                });
+            }
+        }
+        if y.len() != x.len() {
+            return Err(FitError::ShapeMismatch {
+                expected: x.len(),
+                got: y.len(),
+            });
+        }
+        let xm = Matrix::from_rows(x);
+        let xt = xm.transpose();
+        let mut normal = xt.matmul(&xm);
+        normal.add_diagonal(alpha);
+        let rhs = xt.matvec(y);
+        let weights = normal.solve(&rhs).ok_or(FitError::Singular)?;
+        Ok(RidgeRegression { weights, alpha })
+    }
+
+    /// The fitted weight vector `W`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The regularization strength the model was fitted with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training dimension.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature dimension mismatch"
+        );
+        features
+            .iter()
+            .zip(&self.weights)
+            .map(|(f, w)| f * w)
+            .sum()
+    }
+
+    /// Mean squared prediction error over a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch or the set is empty.
+    pub fn mse(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "sample count mismatch");
+        assert!(!x.is_empty(), "mse of empty set");
+        x.iter()
+            .zip(y)
+            .map(|(row, &t)| {
+                let e = self.predict(row) - t;
+                e * e
+            })
+            .sum::<f64>()
+            / x.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 2a + 3b + 1 with bias column.
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let a = i as f64;
+                let b = (i * i % 7) as f64;
+                vec![a, b, 1.0]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 3.0 * r[1] + 1.0).collect();
+        let model = RidgeRegression::fit(&x, &y, 1e-8).unwrap();
+        assert!((model.weights()[0] - 2.0).abs() < 1e-3);
+        assert!((model.weights()[1] - 3.0).abs() < 1e-3);
+        assert!(model.mse(&x, &y) < 1e-6);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 5.0 * r[0]).collect();
+        let loose = RidgeRegression::fit(&x, &y, 1e-6).unwrap();
+        let tight = RidgeRegression::fit(&x, &y, 1e3).unwrap();
+        assert!(tight.weights()[0].abs() < loose.weights()[0].abs());
+    }
+
+    #[test]
+    fn degenerate_design_needs_alpha() {
+        // Two identical columns: singular without regularization.
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        assert_eq!(
+            RidgeRegression::fit(&x, &y, 0.0).unwrap_err(),
+            FitError::Singular
+        );
+        assert!(RidgeRegression::fit(&x, &y, 0.1).is_ok());
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert_eq!(
+            RidgeRegression::fit(&[], &[], 1.0).unwrap_err(),
+            FitError::Empty
+        );
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            RidgeRegression::fit(&ragged, &[1.0, 2.0], 1.0),
+            Err(FitError::ShapeMismatch { .. })
+        ));
+        let x = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            RidgeRegression::fit(&x, &[1.0], 1.0),
+            Err(FitError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn predict_validates_dimension() {
+        let x = vec![vec![1.0, 1.0]];
+        let model = RidgeRegression::fit(&x, &[1.0], 0.1).unwrap();
+        model.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for the Hetero²Pipe planner.
+
+use std::fmt;
+
+use h2p_contention::ridge::FitError;
+use h2p_simulator::SimError;
+
+/// Errors produced while planning or executing a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The request set was empty.
+    EmptyRequestSet,
+    /// The SoC has no big CPU cluster to profile PMU counters on.
+    NoCpu,
+    /// The contention-intensity regression could not be trained.
+    Training(FitError),
+    /// No feasible stage assignment exists for a model on the available
+    /// processors (should not happen while a CPU is present, since CPUs
+    /// support every operator).
+    NoFeasiblePipeline {
+        /// Name of the model that could not be placed.
+        model: String,
+    },
+    /// Lowering the plan onto the simulator failed.
+    Simulation(SimError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::EmptyRequestSet => write!(f, "request set is empty"),
+            PlanError::NoCpu => write!(f, "SoC has no big CPU cluster for PMU profiling"),
+            PlanError::Training(e) => write!(f, "intensity regression failed: {e}"),
+            PlanError::NoFeasiblePipeline { model } => {
+                write!(f, "no feasible pipeline for model {model}")
+            }
+            PlanError::Simulation(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Training(e) => Some(e),
+            PlanError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FitError> for PlanError {
+    fn from(e: FitError) -> Self {
+        PlanError::Training(e)
+    }
+}
+
+impl From<SimError> for PlanError {
+    fn from(e: SimError) -> Self {
+        PlanError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PlanError::NoFeasiblePipeline {
+            model: "BERT".to_owned(),
+        };
+        assert!(e.to_string().contains("BERT"));
+        assert!(PlanError::EmptyRequestSet.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        use std::error::Error;
+        let e: PlanError = FitError::Empty.into();
+        assert!(e.source().is_some());
+        let s: PlanError = SimError::CyclicDependency { stuck: 1 }.into();
+        assert!(s.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlanError>();
+    }
+}

@@ -1,0 +1,521 @@
+//! Planner-side estimation: cost tables, contention classification and
+//! stage-plan construction.
+//!
+//! The planner never sees the simulator's ground truth. It works from the
+//! same information the paper's planner has on real hardware: solo
+//! execution profiles (`T_e`), copy costs (`T_c`) and the regression-based
+//! contention-intensity estimate of Sec. III. [`Estimator`] bundles those;
+//! [`RequestContext`] caches per-request cost tables so partitioning and
+//! work stealing can re-evaluate stage times in O(1) per query.
+
+use h2p_contention::{ContentionClass, IntensityModel};
+use h2p_models::cost::{CostModel, CostTable};
+use h2p_models::graph::{LayerRange, ModelGraph};
+use h2p_models::zoo::ModelId;
+use h2p_simulator::processor::{ProcessorId, ProcessorKind};
+use h2p_simulator::soc::SocSpec;
+
+use crate::error::PlanError;
+use crate::plan::{StagePlan, StageRun};
+
+/// Bundles the cost model and the trained contention-intensity model.
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    cost: CostModel,
+    intensity: IntensityModel,
+    pmu_proc: ProcessorId,
+}
+
+impl Estimator {
+    /// Creates an estimator for `soc`, training the intensity regression
+    /// on the full model zoo profiled on the CPU Big cluster (the paper's
+    /// PMU vantage point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::NoCpu`] if the SoC lacks a big CPU cluster, or
+    /// [`PlanError::Training`] if the regression cannot be fitted.
+    pub fn new(soc: &SocSpec) -> Result<Self, PlanError> {
+        Self::with_precision(soc, h2p_models::cost::Precision::Fp32)
+    }
+
+    /// Creates an estimator evaluating execution at the given numerical
+    /// precision, trained on the built-in zoo.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Estimator::new`].
+    pub fn with_precision(
+        soc: &SocSpec,
+        precision: h2p_models::cost::Precision,
+    ) -> Result<Self, PlanError> {
+        let zoo: Vec<ModelGraph> = ModelId::ALL.iter().map(|m| m.graph()).collect();
+        let pmu_proc = soc
+            .processor_by_kind(ProcessorKind::CpuBig)
+            .ok_or(PlanError::NoCpu)?;
+        let cost = CostModel::with_precision(soc, precision);
+        let intensity = IntensityModel::train_default(&cost, &zoo, pmu_proc)
+            .map_err(PlanError::Training)?;
+        Ok(Estimator {
+            cost,
+            intensity,
+            pmu_proc,
+        })
+    }
+
+    /// Creates an estimator trained on a custom profiling set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::NoCpu`] if the SoC lacks a big CPU cluster, or
+    /// [`PlanError::Training`] if the regression cannot be fitted.
+    pub fn with_profiling_set(
+        soc: &SocSpec,
+        profiling_set: &[ModelGraph],
+    ) -> Result<Self, PlanError> {
+        let pmu_proc = soc
+            .processor_by_kind(ProcessorKind::CpuBig)
+            .ok_or(PlanError::NoCpu)?;
+        let cost = CostModel::new(soc);
+        let intensity = IntensityModel::train_default(&cost, profiling_set, pmu_proc)
+            .map_err(PlanError::Training)?;
+        Ok(Estimator {
+            cost,
+            intensity,
+            pmu_proc,
+        })
+    }
+
+    /// The underlying cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The trained intensity model.
+    pub fn intensity_model(&self) -> &IntensityModel {
+        &self.intensity
+    }
+
+    /// Predicted contention intensity of a model (regression output).
+    pub fn predict_intensity(&self, graph: &ModelGraph) -> f64 {
+        self.intensity.predict(&self.cost, graph, self.pmu_proc)
+    }
+
+    /// ℍ/𝕃 classification of a model.
+    pub fn classify(&self, graph: &ModelGraph) -> ContentionClass {
+        self.intensity.classify(&self.cost, graph, self.pmu_proc)
+    }
+
+    /// Builds the per-request context for `graph` on the given active
+    /// slots of the pipeline's processor list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_slots` is empty or not strictly ascending.
+    pub fn context(
+        &self,
+        graph: &ModelGraph,
+        pipeline_procs: &[ProcessorId],
+        active_slots: Vec<usize>,
+    ) -> RequestContext {
+        assert!(!active_slots.is_empty(), "a request needs at least one slot");
+        assert!(
+            active_slots.windows(2).all(|w| w[0] < w[1]),
+            "active slots must be strictly ascending"
+        );
+        let procs: Vec<ProcessorId> = active_slots.iter().map(|&s| pipeline_procs[s]).collect();
+        let table = self.cost.table(graph, &procs);
+        let npu_fallback = procs
+            .iter()
+            .position(|&p| self.cost.soc().processor(p).kind == ProcessorKind::Npu)
+            .map(|stage| NpuFallback::build(&self.cost, graph, procs[stage], self.pmu_proc, stage));
+        RequestContext {
+            graph: graph.clone(),
+            active_slots,
+            procs,
+            table,
+            npu_fallback,
+        }
+    }
+}
+
+/// Operator-fallback cost arrays for the NPU stage (Sec. IV: unsupported
+/// operators inside an NPU slice are forwarded to the CPU Big cluster,
+/// paying a tensor copy at every supportability transition).
+#[derive(Debug, Clone)]
+struct NpuFallback {
+    /// Which active stage is the NPU stage.
+    stage: usize,
+    npu: ProcessorId,
+    fallback: ProcessorId,
+    /// `lat_prefix[i]` = Σ effective latency of layers `0..i`, each on
+    /// the NPU if supported, otherwise on the fallback CPU.
+    lat_prefix: Vec<f64>,
+    /// `copy_prefix[k]` = Σ transition-copy cost over boundaries `< k`;
+    /// boundary `l` (between layers `l` and `l+1`) costs a copy iff the
+    /// two layers run on different processors.
+    copy_prefix: Vec<f64>,
+    supported: Vec<bool>,
+}
+
+impl NpuFallback {
+    fn build(
+        cost: &CostModel,
+        graph: &ModelGraph,
+        npu: ProcessorId,
+        fallback: ProcessorId,
+        stage: usize,
+    ) -> Self {
+        let n = graph.len();
+        let supported: Vec<bool> = graph.layers().iter().map(|l| l.op.npu_supported()).collect();
+        let mut lat_prefix = Vec::with_capacity(n + 1);
+        lat_prefix.push(0.0);
+        for i in 0..n {
+            let proc = if supported[i] { npu } else { fallback };
+            let ms = cost
+                .layer_latency_for(graph, i, proc)
+                .expect("fallback CPU supports every operator");
+            lat_prefix.push(lat_prefix[i] + ms);
+        }
+        let mut copy_prefix = Vec::with_capacity(n);
+        copy_prefix.push(0.0);
+        for l in 0..n.saturating_sub(1) {
+            let c = if supported[l] != supported[l + 1] {
+                let (from, to) = if supported[l] {
+                    (npu, fallback)
+                } else {
+                    (fallback, npu)
+                };
+                cost.copy_ms(graph.boundary_bytes(l), from, to)
+            } else {
+                0.0
+            };
+            copy_prefix.push(copy_prefix[l] + c);
+        }
+        NpuFallback {
+            stage,
+            npu,
+            fallback,
+            lat_prefix,
+            copy_prefix,
+            supported,
+        }
+    }
+
+    /// Effective execution time of layers `[i, j]` on the NPU stage,
+    /// including fallback detours and transition copies.
+    fn slice_ms(&self, i: usize, j: usize) -> f64 {
+        self.lat_prefix[j + 1] - self.lat_prefix[i] + self.copy_prefix[j] - self.copy_prefix[i]
+    }
+
+    /// The homogeneous runs of slice `[i, j]` with per-run times (entry
+    /// copies folded into the run that receives the tensor).
+    fn runs(&self, i: usize, j: usize) -> Vec<StageRun> {
+        let mut runs = Vec::new();
+        let mut start = i;
+        for l in i..=j {
+            let boundary = l == j || self.supported[l] != self.supported[l + 1];
+            if !boundary {
+                continue;
+            }
+            let entry_copy = if start > i {
+                self.copy_prefix[start] - self.copy_prefix[start - 1]
+            } else {
+                0.0
+            };
+            runs.push(StageRun {
+                range: LayerRange::new(start, l),
+                proc: if self.supported[start] {
+                    self.npu
+                } else {
+                    self.fallback
+                },
+                ms: self.lat_prefix[l + 1] - self.lat_prefix[start] + entry_copy,
+            });
+            start = l + 1;
+        }
+        runs
+    }
+}
+
+/// Cached per-request planning state: the model, its active slots within
+/// the pipeline, and a prefix-sum cost table over those slots' processors.
+#[derive(Debug, Clone)]
+pub struct RequestContext {
+    /// The model being planned.
+    pub graph: ModelGraph,
+    /// Indices into the pipeline's processor slots this request uses,
+    /// strictly ascending.
+    pub active_slots: Vec<usize>,
+    /// The processors of the active slots, in order.
+    pub procs: Vec<ProcessorId>,
+    table: CostTable,
+    npu_fallback: Option<NpuFallback>,
+}
+
+impl RequestContext {
+    /// Number of active stages.
+    pub fn stage_count(&self) -> usize {
+        self.active_slots.len()
+    }
+
+    /// Number of layers of the model.
+    pub fn layer_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Stage cost `T(a, i, j)` for active stage `a` running layers
+    /// `[i, j]`: solo execution plus the input-copy cost from the previous
+    /// active stage's processor (Eq. 2's `T_e + T_c`). On the NPU stage,
+    /// unsupported layers fall back to the CPU Big cluster with transition
+    /// copies instead of making the stage infeasible. `None` if any layer
+    /// is unsupported on a non-NPU stage's processor or the range is
+    /// invalid.
+    pub fn stage_cost(&self, cost: &CostModel, a: usize, i: usize, j: usize) -> Option<f64> {
+        if i > j || j >= self.graph.len() {
+            return None;
+        }
+        let exec = match &self.npu_fallback {
+            Some(fb) if fb.stage == a => fb.slice_ms(i, j),
+            _ => self.table.slice_ms(a, i, j)?,
+        };
+        Some(exec + self.copy_in_ms(cost, a, i))
+    }
+
+    /// The input-copy cost of active stage `a` when its slice starts at
+    /// layer `i`.
+    pub fn copy_in_ms(&self, cost: &CostModel, a: usize, i: usize) -> f64 {
+        if a == 0 {
+            return 0.0;
+        }
+        let bytes = if i == 0 {
+            self.graph.input_bytes()
+        } else {
+            self.table.boundary_bytes(i - 1)
+        };
+        cost.copy_ms(bytes, self.procs[a - 1], self.procs[a])
+    }
+
+    /// Builds the full slot-indexed stage vector (length `total_slots`)
+    /// from split points over the active stages. Returns `None` if any
+    /// stage is infeasible.
+    pub fn build_stages(
+        &self,
+        cost: &CostModel,
+        splits: &[usize],
+        total_slots: usize,
+    ) -> Option<Vec<Option<StagePlan>>> {
+        debug_assert_eq!(splits.len() + 1, self.stage_count());
+        let n = self.graph.len();
+        let mut stages: Vec<Option<StagePlan>> = vec![None; total_slots];
+        let mut prev = 0usize;
+        for (a, &end) in splits.iter().chain(std::iter::once(&n)).enumerate() {
+            if end <= prev || end > n {
+                return None;
+            }
+            let range = LayerRange::new(prev, end - 1);
+            let proc = self.procs[a];
+            let is_fallback_stage = matches!(&self.npu_fallback, Some(fb) if fb.stage == a);
+            let (exec_ms, runs) = if is_fallback_stage {
+                let fb = self.npu_fallback.as_ref().expect("matched above");
+                let runs = fb.runs(prev, end - 1);
+                // A single homogeneous NPU run needs no lowering detail.
+                let runs = if runs.len() == 1 && runs[0].proc == proc {
+                    Vec::new()
+                } else {
+                    runs
+                };
+                (fb.slice_ms(prev, end - 1), runs)
+            } else {
+                (self.table.slice_ms(a, prev, end - 1)?, Vec::new())
+            };
+            let copy_in_ms = self.copy_in_ms(cost, a, prev);
+            let bandwidth_gbps = if runs.is_empty() {
+                self.cost_slice_bandwidth(cost, range, proc).unwrap_or(0.0)
+            } else {
+                // Mixed-processor stage: aggregate traffic over the runs.
+                let traffic: f64 = runs
+                    .iter()
+                    .map(|r| {
+                        cost.slice_traffic_bytes(&self.graph, r.range, r.proc)
+                            .unwrap_or(0.0)
+                    })
+                    .sum();
+                if exec_ms > 0.0 {
+                    traffic / (exec_ms * 1e6)
+                } else {
+                    0.0
+                }
+            };
+            let intensity = bandwidth_gbps / h2p_contention::counters::REFERENCE_BANDWIDTH_GBPS;
+            let raw_footprint = self.graph.slice_weight_bytes(range)
+                + self.graph.slice_input_bytes(range)
+                + self.graph.boundary_bytes(range.last);
+            let footprint_bytes = (raw_footprint as f64 * cost.footprint_scale()) as u64;
+            stages[self.active_slots[a]] = Some(StagePlan {
+                range,
+                proc,
+                exec_ms,
+                copy_in_ms,
+                intensity,
+                bandwidth_gbps,
+                footprint_bytes,
+                runs,
+            });
+            prev = end;
+        }
+        Some(stages)
+    }
+
+    fn cost_slice_bandwidth(
+        &self,
+        cost: &CostModel,
+        range: LayerRange,
+        proc: ProcessorId,
+    ) -> Option<f64> {
+        cost.slice_bandwidth_gbps(&self.graph, range, proc)
+    }
+
+    /// Recovers the active-stage split points from a slot-indexed stage
+    /// vector previously produced by [`RequestContext::build_stages`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage vector does not cover the model contiguously
+    /// over this context's active slots.
+    pub fn splits_of(&self, stages: &[Option<StagePlan>]) -> Vec<usize> {
+        let mut splits = Vec::with_capacity(self.stage_count() - 1);
+        for (a, &slot) in self.active_slots.iter().enumerate() {
+            let stage = stages[slot]
+                .as_ref()
+                .expect("stage vector must populate every active slot");
+            if a + 1 < self.active_slots.len() {
+                splits.push(stage.range.last + 1);
+            }
+        }
+        splits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SocSpec, Estimator) {
+        let soc = SocSpec::kirin_990();
+        let est = Estimator::new(&soc).expect("kirin trains");
+        (soc, est)
+    }
+
+    #[test]
+    fn context_stage_cost_matches_cost_model() {
+        let (soc, est) = setup();
+        let g = ModelId::ResNet50.graph();
+        let procs = soc.processors_by_power();
+        let ctx = est.context(&g, &procs, vec![0, 1, 2, 3]);
+        // Stage 0 (NPU), full model prefix.
+        let direct = est
+            .cost()
+            .slice_latency_ms(&g, LayerRange::new(0, 4), procs[0])
+            .unwrap();
+        let via_ctx = ctx.stage_cost(est.cost(), 0, 0, 4).unwrap();
+        assert!((direct - via_ctx).abs() < 1e-9, "stage 0 has no copy-in");
+        // Stage 1 includes a copy-in.
+        let exec = est
+            .cost()
+            .slice_latency_ms(&g, LayerRange::new(5, 8), procs[1])
+            .unwrap();
+        let with_copy = ctx.stage_cost(est.cost(), 1, 5, 8).unwrap();
+        assert!(with_copy > exec, "copy-in must be added");
+    }
+
+    #[test]
+    fn build_stages_round_trips_splits() {
+        let (soc, est) = setup();
+        let g = ModelId::GoogLeNet.graph();
+        let procs = soc.processors_by_power();
+        let ctx = est.context(&g, &procs, vec![0, 2, 3]);
+        let splits = vec![5, 11];
+        let stages = ctx.build_stages(est.cost(), &splits, procs.len()).unwrap();
+        assert_eq!(stages.len(), procs.len());
+        assert!(stages[1].is_none(), "slot 1 inactive");
+        assert_eq!(ctx.splits_of(&stages), splits);
+        // Ranges tile the model.
+        assert_eq!(stages[0].as_ref().unwrap().range, LayerRange::new(0, 4));
+        assert_eq!(stages[2].as_ref().unwrap().range, LayerRange::new(5, 10));
+        assert_eq!(
+            stages[3].as_ref().unwrap().range,
+            LayerRange::new(11, g.len() - 1)
+        );
+    }
+
+    #[test]
+    fn npu_stage_with_unsupported_prefix_uses_operator_fallback() {
+        let (soc, est) = setup();
+        let g = ModelId::Bert.graph(); // embedding unsupported on NPU
+        let procs = soc.processors_by_power();
+        let ctx = est.context(&g, &procs, vec![0, 1]);
+        // Slot 0 is the NPU and takes the embedding layer: the stage is
+        // feasible via operator fallback to the CPU Big cluster.
+        let stages = ctx
+            .build_stages(est.cost(), &[3], procs.len())
+            .expect("fallback makes the NPU stage feasible");
+        let npu_stage = stages[0].as_ref().expect("NPU slot populated");
+        assert!(!npu_stage.runs.is_empty(), "stage must carry its lowering");
+        let cpu_b = soc.processor_by_name("CPU_B").unwrap();
+        assert_eq!(npu_stage.runs[0].proc, cpu_b, "embedding runs on CPU_B");
+        let npu = soc.processor_by_name("NPU").unwrap();
+        assert_eq!(npu_stage.runs[1].proc, npu, "encoder prefix runs on NPU");
+        // Fallback stage time exceeds the pure-NPU time of the supported
+        // part (CPU detour + transition copy). Stage 0 covers layers 0..2.
+        let supported_only = est
+            .cost()
+            .slice_latency_ms(&g, LayerRange::new(1, 2), npu)
+            .unwrap();
+        assert!(npu_stage.exec_ms > supported_only);
+    }
+
+    #[test]
+    fn non_npu_stages_still_reject_unsupported_ranges() {
+        let (soc, est) = setup();
+        let g = ModelId::Bert.graph();
+        let procs = soc.processors_by_power();
+        // Context over NPU-only (single stage) on a model whose first
+        // layer is unsupported: feasible via fallback...
+        let ctx = est.context(&g, &procs, vec![0]);
+        assert!(ctx.build_stages(est.cost(), &[], procs.len()).is_some());
+        // ...and the cost accounts for the CPU detour.
+        let fb = ctx.stage_cost(est.cost(), 0, 0, g.len() - 1).unwrap();
+        let cpu_b = soc.processor_by_name("CPU_B").unwrap();
+        let pure_cpu = est.cost().model_latency_ms(&g, cpu_b).unwrap();
+        assert!(fb < pure_cpu, "mostly-NPU execution beats pure CPU");
+    }
+
+    #[test]
+    fn classification_is_consistent_with_intensity_model() {
+        let (_, est) = setup();
+        let g = ModelId::SqueezeNet.graph();
+        let i = est.predict_intensity(&g);
+        let c = est.classify(&g);
+        assert_eq!(
+            c,
+            est.intensity_model().classify_intensity(i),
+            "classify must agree with predict"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_slots_panic() {
+        let (soc, est) = setup();
+        let g = ModelId::AlexNet.graph();
+        let procs = soc.processors_by_power();
+        est.context(&g, &procs, vec![2, 1]);
+    }
+
+    #[test]
+    fn snapdragon_without_npu_still_trains() {
+        let soc = SocSpec::snapdragon_778g();
+        assert!(Estimator::new(&soc).is_ok());
+    }
+}

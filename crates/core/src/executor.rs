@@ -1,0 +1,392 @@
+//! Lowering pipeline plans onto the SoC simulator and collecting
+//! execution reports.
+//!
+//! Each planned stage becomes one simulator task pinned to its processor,
+//! with a dependency on the same request's previous stage. Tasks are
+//! submitted in `(position, slot)` order, so each processor's FIFO queue
+//! naturally enforces the staggered pipeline: the request at position
+//! `r` uses slot `k` only after position `r−1` has left it. Interference,
+//! throttling, memory pressure and copy costs then play out dynamically
+//! in the engine — the plan's estimates are *not* fed back in, so a bad
+//! plan genuinely executes badly.
+
+use std::collections::HashSet;
+
+use h2p_simulator::engine::{Simulation, TaskId, TaskSpec};
+use h2p_simulator::soc::SocSpec;
+use h2p_simulator::timeline::Trace;
+
+use crate::error::PlanError;
+use crate::plan::PipelinePlan;
+use crate::planner::PlannedPipeline;
+
+/// Effective bandwidth for staging weights into a processor's address
+/// space (map/unmap + memcpy through the unified memory), GB/s.
+pub const WEIGHT_STAGING_GBPS: f64 = 2.0;
+
+/// First-touch weight-staging cost: the first time a given model slice
+/// lands on a given processor, its parameters must be copied/paged into
+/// that backend's buffers. Subsequent executions of the *same placement*
+/// reuse the resident session — which is precisely why the paper argues
+/// static pipeline plans beat Band's fallback-driven dynamic switching
+/// ("constant new memory allocation and data transfer").
+pub fn staging_ms(seen: &mut HashSet<(String, usize, usize, usize)>, key: (String, usize, usize, usize), bytes: u64) -> f64 {
+    if seen.insert(key) {
+        bytes as f64 / (WEIGHT_STAGING_GBPS * 1e6)
+    } else {
+        0.0
+    }
+}
+
+/// Measured outcome of executing a plan on the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// The full simulator trace.
+    pub trace: Trace,
+    /// End-to-end makespan in milliseconds.
+    pub makespan_ms: f64,
+    /// Completed inferences per second (`#models / latency`, the paper's
+    /// throughput metric).
+    pub throughput_per_sec: f64,
+    /// Completion time of each request, indexed by *original* request id.
+    pub request_latency_ms: Vec<f64>,
+    /// Total measured processor idle time between spans (the realized
+    /// pipeline bubbles).
+    pub measured_bubble_ms: f64,
+    /// Mean co-execution slowdown across all stage executions.
+    pub mean_slowdown: f64,
+}
+
+use crate::plan::sensitivity;
+
+/// Executes `plan` on a fresh simulation of `soc`.
+///
+/// # Errors
+///
+/// Returns [`PlanError::Simulation`] if the lowered task graph is invalid
+/// (cannot happen for plans produced by [`crate::planner::Planner`]).
+pub fn execute(plan: &PipelinePlan, soc: &SocSpec) -> Result<ExecutionReport, PlanError> {
+    execute_with_arrivals(plan, soc, &[])
+}
+
+/// Executes `plan` with per-request arrival times: request `i` (by
+/// *original* submission index) may not start before `arrivals[i]` ms.
+/// Requests beyond `arrivals.len()` are available immediately — pass an
+/// empty slice for the batch (all-at-time-zero) semantics of
+/// [`execute`]. Use [`response_times`] to turn the report's completion
+/// times into arrival-relative response times.
+///
+/// # Errors
+///
+/// Returns [`PlanError::Simulation`] if the lowered task graph is
+/// invalid.
+pub fn execute_with_arrivals(
+    plan: &PipelinePlan,
+    soc: &SocSpec,
+    arrivals: &[f64],
+) -> Result<ExecutionReport, PlanError> {
+    let mut sim = Simulation::new(soc.clone());
+    let request_count = plan
+        .requests
+        .iter()
+        .map(|r| r.request + 1)
+        .max()
+        .unwrap_or(0);
+    let mut final_task: Vec<Option<TaskId>> = vec![None; request_count];
+
+    let mut seen: HashSet<(String, usize, usize, usize)> = HashSet::new();
+    for req in &plan.requests {
+        let mut prev: Option<TaskId> = None;
+        let arrival = arrivals.get(req.request).copied().unwrap_or(0.0);
+        for (slot, stage) in req.stages.iter().enumerate() {
+            let Some(stage) = stage else { continue };
+            let release = if prev.is_none() { arrival } else { 0.0 };
+            let upload = staging_ms(
+                &mut seen,
+                (
+                    req.model.clone(),
+                    stage.proc.index(),
+                    stage.range.first,
+                    stage.range.last,
+                ),
+                stage.footprint_bytes,
+            );
+            if stage.runs.is_empty() {
+                // Homogeneous stage: one task.
+                let mut spec = TaskSpec::new(
+                    format!("{}#{}@s{}", req.model, req.request, slot),
+                    stage.proc,
+                    stage.total_ms() + upload,
+                )
+                .intensity(stage.intensity)
+                .sensitivity(sensitivity(stage.intensity))
+                .bandwidth(stage.bandwidth_gbps)
+                .footprint(stage.footprint_bytes)
+                .release(release);
+                if let Some(p) = prev {
+                    spec = spec.after(p);
+                }
+                prev = Some(sim.add_task(spec));
+            } else {
+                // Operator-fallback stage: one chained task per run, so
+                // the fallback CPU genuinely gets occupied (and contended)
+                // while the NPU waits — Band's fallback weakness.
+                for (ri, run) in stage.runs.iter().enumerate() {
+                    let ms = run.ms + if ri == 0 { stage.copy_in_ms + upload } else { 0.0 };
+                    let mut spec = TaskSpec::new(
+                        format!("{}#{}@s{}r{}", req.model, req.request, slot, ri),
+                        run.proc,
+                        ms,
+                    )
+                    .intensity(stage.intensity)
+                    .sensitivity(sensitivity(stage.intensity))
+                    .bandwidth(stage.bandwidth_gbps)
+                    .footprint(if ri == 0 { stage.footprint_bytes } else { 0 })
+                    .release(if ri == 0 { release } else { 0.0 });
+                    if let Some(p) = prev {
+                        spec = spec.after(p);
+                    }
+                    prev = Some(sim.add_task(spec));
+                }
+            }
+        }
+        final_task[req.request] = prev;
+    }
+
+    let trace = sim.run().map_err(PlanError::Simulation)?;
+    let makespan_ms = trace.makespan_ms();
+    let request_latency_ms: Vec<f64> = final_task
+        .iter()
+        .map(|t| {
+            t.and_then(|id| trace.span(id.index()).map(|s| s.end_ms))
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let executed = plan.requests.len() as f64;
+    let throughput_per_sec = if makespan_ms > 0.0 {
+        executed * 1000.0 / makespan_ms
+    } else {
+        0.0
+    };
+    let mean_slowdown = if trace.spans.is_empty() {
+        0.0
+    } else {
+        trace.spans.iter().map(|s| s.slowdown()).sum::<f64>() / trace.spans.len() as f64
+    };
+    let measured_bubble_ms = trace.idle_bubble_ms();
+    Ok(ExecutionReport {
+        trace,
+        makespan_ms,
+        throughput_per_sec,
+        request_latency_ms,
+        measured_bubble_ms,
+        mean_slowdown,
+    })
+}
+
+/// Arrival-relative response times: completion − arrival per request.
+/// Requests without an arrival entry are treated as arriving at 0.
+pub fn response_times(report: &ExecutionReport, arrivals: &[f64]) -> Vec<f64> {
+    report
+        .request_latency_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &done)| (done - arrivals.get(i).copied().unwrap_or(0.0)).max(0.0))
+        .collect()
+}
+
+/// The `p`-th percentile (0–100, nearest-rank) of a sample.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * (s.len() as f64 - 1.0)).round() as usize;
+    s[rank.min(s.len() - 1)]
+}
+
+impl PlannedPipeline {
+    /// Convenience: executes this planned pipeline on `soc`.
+    ///
+    /// # Errors
+    ///
+    /// See [`execute`].
+    pub fn execute(&self, soc: &SocSpec) -> Result<ExecutionReport, PlanError> {
+        execute(&self.plan, soc)
+    }
+
+    /// Convenience: executes with per-request arrival times.
+    ///
+    /// # Errors
+    ///
+    /// See [`execute_with_arrivals`].
+    pub fn execute_with_arrivals(
+        &self,
+        soc: &SocSpec,
+        arrivals: &[f64],
+    ) -> Result<ExecutionReport, PlanError> {
+        execute_with_arrivals(&self.plan, soc, arrivals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use h2p_models::zoo::ModelId;
+
+    fn run(ids: &[ModelId]) -> ExecutionReport {
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let planned = planner.plan_models(ids).unwrap();
+        planned.execute(&soc).unwrap()
+    }
+
+    #[test]
+    fn single_model_executes_to_completion() {
+        let r = run(&[ModelId::ResNet50]);
+        assert!(r.makespan_ms > 0.0);
+        assert_eq!(r.request_latency_ms.len(), 1);
+        assert!(r.request_latency_ms[0] > 0.0);
+        assert!(r.throughput_per_sec > 0.0);
+    }
+
+    #[test]
+    fn all_requests_complete_in_multi_model_runs() {
+        let ids = [
+            ModelId::Vgg16,
+            ModelId::SqueezeNet,
+            ModelId::Bert,
+            ModelId::MobileNetV2,
+        ];
+        let r = run(&ids);
+        assert_eq!(r.request_latency_ms.len(), ids.len());
+        for (i, &lat) in r.request_latency_ms.iter().enumerate() {
+            assert!(lat > 0.0, "request {i} never completed");
+            assert!(lat <= r.makespan_ms + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_adding_latencies() {
+        // The pipeline overlaps stages, so the makespan must be well under
+        // the sum of the requests' individual traversal latencies run
+        // back-to-back... unless interference dominates; use a mix with an
+        // NPU-friendly majority.
+        let ids = [
+            ModelId::ResNet50,
+            ModelId::MobileNetV2,
+            ModelId::GoogLeNet,
+            ModelId::AlexNet,
+        ];
+        let r = run(&ids);
+        let sum: f64 = r.request_latency_ms.iter().sum();
+        assert!(
+            r.makespan_ms < sum,
+            "pipeline overlap: makespan {} vs serial-ish sum {}",
+            r.makespan_ms,
+            sum
+        );
+    }
+
+    #[test]
+    fn request_latencies_are_monotone_in_position() {
+        let ids = [ModelId::MobileNetV2, ModelId::MobileNetV2, ModelId::MobileNetV2];
+        let r = run(&ids);
+        // Identical models in a FIFO pipeline finish in order.
+        let mut latencies = r.request_latency_ms.clone();
+        let sorted = {
+            let mut s = latencies.clone();
+            s.sort_by(f64::total_cmp);
+            s
+        };
+        latencies.sort_by(f64::total_cmp);
+        assert_eq!(latencies, sorted);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let ids = [ModelId::Bert, ModelId::SqueezeNet, ModelId::Vit];
+        let a = run(&ids);
+        let b = run(&ids);
+        assert_eq!(a.trace.spans, b.trace.spans);
+    }
+
+    #[test]
+    fn sensitivity_grows_with_intensity_but_saturates() {
+        assert!(sensitivity(0.0) < sensitivity(1.0));
+        assert_eq!(sensitivity(2.0), sensitivity(5.0));
+    }
+
+    #[test]
+    fn arrivals_delay_and_response_times_subtract() {
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let planned = planner
+            .plan_models(&[ModelId::MobileNetV2, ModelId::SqueezeNet])
+            .unwrap();
+        let arrivals = [0.0, 500.0];
+        let r = planned.execute_with_arrivals(&soc, &arrivals).unwrap();
+        // Request 1 cannot finish before its arrival.
+        assert!(r.request_latency_ms[1] > 500.0);
+        let resp = response_times(&r, &arrivals);
+        assert!((resp[1] - (r.request_latency_ms[1] - 500.0)).abs() < 1e-9);
+        // A spaced-out stream has higher makespan than the batch run.
+        let batch = planned.execute(&soc).unwrap();
+        assert!(r.makespan_ms >= batch.makespan_ms);
+    }
+
+    #[test]
+    fn repeat_placements_skip_weight_staging() {
+        // Two identical requests: the second run of each stage placement
+        // reuses resident weights, so its stage spans are shorter.
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let planned = planner
+            .plan_models(&[ModelId::ResNet50, ModelId::ResNet50])
+            .unwrap();
+        let r = planned.execute(&soc).unwrap();
+        // Group spans per (slot) for the two requests and compare the
+        // first occurrence against the second on the same processor with
+        // the same label suffix.
+        let first: Vec<_> = r
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.label.contains("#0@"))
+            .collect();
+        let second: Vec<_> = r
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.label.contains("#1@"))
+            .collect();
+        let sum = |v: &[&h2p_simulator::timeline::Span]| -> f64 {
+            v.iter().map(|s| s.solo_ms).sum()
+        };
+        assert!(
+            sum(&second) < sum(&first),
+            "second instance must skip staging: {} vs {}",
+            sum(&second),
+            sum(&first)
+        );
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 50.0);
+    }
+}

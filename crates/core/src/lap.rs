@@ -1,0 +1,279 @@
+//! Linear Assignment Problem solver: the Kuhn–Munkres ("Hungarian")
+//! algorithm in its O(n³) shortest-augmenting-path form.
+//!
+//! The contention-mitigation step (Sec. V-B, Eq. 9–10) relocates
+//! low-contention requests into slots between high-contention requests at
+//! minimum total displacement cost — a classic LAP. Infeasible pairings
+//! carry cost `f64::INFINITY` and are never selected; if no feasible
+//! perfect assignment exists the solver reports it.
+
+/// A solved assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `row_to_col[r]` = column assigned to row `r`.
+    pub row_to_col: Vec<usize>,
+    /// Total cost of the assignment.
+    pub total_cost: f64,
+}
+
+/// Solves the rectangular LAP `min Σ c[r][assign(r)]` with every row
+/// assigned to a distinct column. Requires `rows ≤ cols`; entries may be
+/// `f64::INFINITY` to forbid a pairing.
+///
+/// Returns `None` if the matrix is empty, ragged, has `rows > cols`, or
+/// no feasible (finite-cost) perfect assignment exists.
+///
+/// ```
+/// use hetero2pipe::lap::solve;
+///
+/// let cost = vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]];
+/// let a = solve(&cost).expect("feasible");
+/// assert_eq!(a.total_cost, 5.0);
+/// assert_eq!(a.row_to_col, vec![1, 0, 2]);
+/// ```
+pub fn solve(cost: &[Vec<f64>]) -> Option<Assignment> {
+    let n = cost.len();
+    if n == 0 {
+        return None;
+    }
+    let m = cost[0].len();
+    if m < n || cost.iter().any(|row| row.len() != m) {
+        return None;
+    }
+    if cost
+        .iter()
+        .flatten()
+        .any(|&c| c.is_nan() || c < 0.0 && c.is_finite() && c < -1e-12)
+    {
+        return None;
+    }
+
+    // Shortest-augmenting-path Hungarian with potentials, 1-indexed
+    // internal arrays per the classic formulation.
+    const INF: f64 = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    // way[j] = previous column on the augmenting path to column j.
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j (0 = none)
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        let mut way = vec![0usize; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            if !delta.is_finite() {
+                // No augmenting path with finite cost: infeasible.
+                return None;
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    if row_to_col.iter().any(|&c| c == usize::MAX) {
+        return None;
+    }
+    let total_cost: f64 = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r][c])
+        .sum();
+    if !total_cost.is_finite() {
+        return None;
+    }
+    Some(Assignment {
+        row_to_col,
+        total_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimal assignment for cross-checking.
+    fn brute_force(cost: &[Vec<f64>]) -> Option<f64> {
+        let n = cost.len();
+        let m = cost[0].len();
+        let mut cols: Vec<usize> = (0..m).collect();
+        let mut best: Option<f64> = None;
+        fn permute(
+            cols: &mut Vec<usize>,
+            k: usize,
+            n: usize,
+            cost: &[Vec<f64>],
+            best: &mut Option<f64>,
+        ) {
+            if k == n {
+                let total: f64 = (0..n).map(|r| cost[r][cols[r]]).sum();
+                if total.is_finite() && best.map_or(true, |b| total < b) {
+                    *best = Some(total);
+                }
+                return;
+            }
+            for i in k..cols.len() {
+                cols.swap(k, i);
+                permute(cols, k + 1, n, cost, best);
+                cols.swap(k, i);
+            }
+        }
+        permute(&mut cols, 0, n, cost, &mut best);
+        best
+    }
+
+    #[test]
+    fn solves_textbook_square_case() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = solve(&cost).unwrap();
+        assert_eq!(a.total_cost, 5.0);
+        assert_eq!(a.row_to_col, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn rectangular_assignment_picks_best_columns() {
+        let cost = vec![vec![10.0, 1.0, 10.0, 10.0], vec![1.0, 10.0, 10.0, 10.0]];
+        let a = solve(&cost).unwrap();
+        assert_eq!(a.total_cost, 2.0);
+        assert_eq!(a.row_to_col, vec![1, 0]);
+    }
+
+    #[test]
+    fn infinity_blocks_pairings() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![inf, 1.0], vec![inf, 2.0]];
+        // Both rows need column 1: infeasible.
+        assert!(solve(&cost).is_none());
+        let cost2 = vec![vec![inf, 1.0], vec![2.0, inf]];
+        let a = solve(&cost2).unwrap();
+        assert_eq!(a.row_to_col, vec![1, 0]);
+        assert_eq!(a.total_cost, 3.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_dense_matrices() {
+        // Deterministic pseudo-random matrices.
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) % 1000) as f64 / 10.0
+        };
+        for n in 1..=5 {
+            for m in n..=6 {
+                let cost: Vec<Vec<f64>> =
+                    (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
+                let a = solve(&cost).expect("feasible dense matrix");
+                let bf = brute_force(&cost).unwrap();
+                assert!(
+                    (a.total_cost - bf).abs() < 1e-9,
+                    "n={n} m={m}: got {} expected {bf}",
+                    a.total_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_sparse_infinities() {
+        let inf = f64::INFINITY;
+        let mut seed = 999u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for _ in 0..50 {
+            let n = 3 + (next() % 3) as usize;
+            let m = n + (next() % 3) as usize;
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    (0..m)
+                        .map(|_| {
+                            if next() % 4 == 0 {
+                                inf
+                            } else {
+                                (next() % 100) as f64
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let ours = solve(&cost).map(|a| a.total_cost);
+            let brute = brute_force(&cost);
+            match (ours, brute) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{cost:?}"),
+                (None, None) => {}
+                other => panic!("feasibility mismatch {other:?} for {cost:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_ragged_inputs_are_rejected() {
+        assert!(solve(&[]).is_none());
+        assert!(solve(&[vec![1.0, 2.0], vec![1.0]]).is_none());
+        // More rows than columns.
+        assert!(solve(&[vec![1.0], vec![2.0]]).is_none());
+    }
+
+    #[test]
+    fn assignment_columns_are_distinct() {
+        let cost = vec![
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+        ];
+        let a = solve(&cost).unwrap();
+        let mut cols = a.row_to_col.clone();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), 3);
+    }
+}

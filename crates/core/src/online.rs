@@ -1,0 +1,179 @@
+//! Windowed online planning for streaming request arrival.
+//!
+//! The paper's complexity analysis ends with an operational note: the
+//! planner's cost is governed by the number of queued requests `|M|`, so
+//! "in case of more inference requests, the planner should be scheduled
+//! more frequently to avoid enlarged search space". [`OnlinePlanner`]
+//! realizes that deployment mode: requests are planned in fixed-size
+//! windows as they arrive — mitigation re-ordering and work stealing are
+//! scoped to a window, bounding per-invocation planning latency while the
+//! pipeline keeps streaming.
+
+use h2p_models::graph::ModelGraph;
+
+use crate::error::PlanError;
+use crate::plan::PipelinePlan;
+use crate::planner::{PlannedPipeline, Planner};
+
+/// A planner invoked once per arrival window.
+#[derive(Debug, Clone)]
+pub struct OnlinePlanner {
+    planner: Planner,
+    window: usize,
+}
+
+impl OnlinePlanner {
+    /// Wraps `planner` with a re-planning window of `window` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(planner: Planner, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        OnlinePlanner { planner, window }
+    }
+
+    /// The wrapped planner.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The re-planning window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Plans the request stream window by window and concatenates the
+    /// per-window plans into one executable pipeline plan. Request
+    /// indices refer to the *global* submission order; re-ordering by
+    /// contention mitigation never crosses a window boundary (a request
+    /// is never delayed behind requests that arrived a full window later).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if any window fails to plan.
+    pub fn plan(&self, requests: &[ModelGraph]) -> Result<PlannedPipeline, PlanError> {
+        if requests.is_empty() {
+            return Err(PlanError::EmptyRequestSet);
+        }
+        let mut combined: Option<PlannedPipeline> = None;
+        let mut tail_merges = 0usize;
+        for (w, chunk) in requests.chunks(self.window).enumerate() {
+            let offset = w * self.window;
+            let mut planned = self.planner.plan(chunk)?;
+            for req in &mut planned.plan.requests {
+                req.request += offset;
+            }
+            tail_merges += planned.tail_merges;
+            match &mut combined {
+                None => combined = Some(planned),
+                Some(acc) => {
+                    acc.plan.requests.extend(planned.plan.requests);
+                    acc.contexts.extend(planned.contexts);
+                }
+            }
+        }
+        let mut out = combined.expect("non-empty input produced windows");
+        out.tail_merges = tail_merges;
+        // Window-local passes already ran; the combined plan keeps them.
+        out.mitigation = None;
+        out.steal = None;
+        Ok(out)
+    }
+
+    /// Plans and returns only the [`PipelinePlan`] (convenience).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if any window fails to plan.
+    pub fn plan_pipeline(&self, requests: &[ModelGraph]) -> Result<PipelinePlan, PlanError> {
+        Ok(self.plan(requests)?.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2p_models::zoo::ModelId;
+    use h2p_simulator::SocSpec;
+
+    fn graphs(ids: &[ModelId]) -> Vec<ModelGraph> {
+        ids.iter().map(|m| m.graph()).collect()
+    }
+
+    fn stream() -> Vec<ModelGraph> {
+        graphs(&[
+            ModelId::ResNet50,
+            ModelId::SqueezeNet,
+            ModelId::Bert,
+            ModelId::MobileNetV2,
+            ModelId::Vgg16,
+            ModelId::GoogLeNet,
+            ModelId::Vit,
+            ModelId::AlexNet,
+        ])
+    }
+
+    #[test]
+    fn giant_window_matches_offline_planning() {
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let online = OnlinePlanner::new(planner.clone(), 100);
+        let reqs = stream();
+        let offline = planner.plan(&reqs).unwrap();
+        let windowed = online.plan(&reqs).unwrap();
+        assert_eq!(offline.plan, windowed.plan);
+    }
+
+    #[test]
+    fn windows_bound_reordering_distance() {
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let online = OnlinePlanner::new(planner, 3);
+        let reqs = stream();
+        let planned = online.plan(&reqs).unwrap();
+        // Every request stays within its window of 3.
+        for (pos, req) in planned.plan.requests.iter().enumerate() {
+            assert_eq!(pos / 3, req.request / 3, "request {} at pos {pos}", req.request);
+        }
+        // All requests present exactly once.
+        let mut seen: Vec<usize> = planned.plan.requests.iter().map(|r| r.request).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..reqs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn windowed_plans_execute_and_stay_competitive() {
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let reqs = stream();
+        let offline = planner.plan(&reqs).unwrap().execute(&soc).unwrap();
+        let online = OnlinePlanner::new(planner, 4)
+            .plan(&reqs)
+            .unwrap()
+            .execute(&soc)
+            .unwrap();
+        assert_eq!(online.request_latency_ms.len(), reqs.len());
+        // Windowing costs something but stays within 2x of offline.
+        assert!(
+            online.makespan_ms < 2.0 * offline.makespan_ms,
+            "online {:.0} vs offline {:.0}",
+            online.makespan_ms,
+            offline.makespan_ms
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_rejected() {
+        let soc = SocSpec::kirin_990();
+        let online = OnlinePlanner::new(Planner::new(&soc).unwrap(), 4);
+        assert_eq!(online.plan(&[]).unwrap_err(), PlanError::EmptyRequestSet);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let soc = SocSpec::kirin_990();
+        OnlinePlanner::new(Planner::new(&soc).unwrap(), 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! The two-step Hetero²Pipe planner (Sec. V).
+//!
+//! [`Planner::plan`] performs, in order:
+//!
+//! 1. **Horizontal partitioning (P1)** — for every request, enumerate the
+//!    feasible ordered subsets of the SoC's power-ranked processors (the
+//!    NPU slot is skipped automatically for models with unsupported
+//!    operators — the fallback path), run the dynamic program of
+//!    Algorithm 1 on each, and keep the minimum-makespan partition.
+//! 2. **Contention mitigation (Algorithm 2)** — classify requests into
+//!    ℍ/𝕃 with the ridge-regression intensity model and re-order the
+//!    sequence so ℍ requests sit at least `K` apart, solving the
+//!    relocation LAP with Kuhn–Munkres.
+//! 3. **Vertical alignment (Algorithm 3)** — work stealing towards each
+//!    contention window's critical path, plus tail-bubble collapse.
+//!
+//! Steps 2 and 3 can be disabled individually through
+//! [`PlannerConfig`] — that is exactly the paper's "No C/T" ablation
+//! baseline.
+
+use h2p_models::graph::ModelGraph;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::soc::SocSpec;
+
+use crate::error::PlanError;
+use crate::estimate::{Estimator, RequestContext};
+use crate::mitigation::{self, MitigationOutcome};
+use crate::partition::min_max_partition;
+use crate::plan::{PipelinePlan, RequestPlan};
+use crate::worksteal::{self, StealReport};
+
+/// Feature switches and limits for the planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Enable the Algorithm-2 re-ordering pass.
+    pub contention_mitigation: bool,
+    /// Enable Algorithm-3 work stealing.
+    pub work_stealing: bool,
+    /// Enable the tail-bubble local search.
+    pub tail_optimization: bool,
+    /// Maximum pipeline depth (number of processor slots used).
+    pub max_depth: usize,
+    /// Numerical precision the deployment executes at.
+    pub precision: h2p_models::cost::Precision,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            contention_mitigation: true,
+            work_stealing: true,
+            tail_optimization: true,
+            max_depth: 4,
+            precision: h2p_models::cost::Precision::Fp32,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// The paper's "No C/T" ablation: contention mitigation and tail
+    /// optimization disabled (work stealing stays on).
+    pub fn no_ct() -> Self {
+        PlannerConfig {
+            contention_mitigation: false,
+            tail_optimization: false,
+            ..PlannerConfig::default()
+        }
+    }
+}
+
+/// A fully planned pipeline, ready for execution.
+#[derive(Debug, Clone)]
+pub struct PlannedPipeline {
+    /// The plan: processor slots and ordered request stage assignments.
+    pub plan: PipelinePlan,
+    /// Per-request planning contexts, indexed by *original* request index.
+    pub contexts: Vec<RequestContext>,
+    /// Outcome of the mitigation pass, if it ran.
+    pub mitigation: Option<MitigationOutcome>,
+    /// Outcome of the work-stealing pass, if it ran.
+    pub steal: Option<StealReport>,
+    /// Number of tail requests collapsed onto a single processor.
+    pub tail_merges: usize,
+}
+
+/// The Hetero²Pipe planner bound to one SoC.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    soc: SocSpec,
+    estimator: Estimator,
+    config: PlannerConfig,
+}
+
+impl Planner {
+    /// Creates a planner with the default configuration, training the
+    /// contention-intensity model on the built-in zoo.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the SoC lacks a big CPU cluster or the
+    /// intensity regression cannot be trained.
+    pub fn new(soc: &SocSpec) -> Result<Self, PlanError> {
+        Self::with_config(soc, PlannerConfig::default())
+    }
+
+    /// Creates a planner with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Planner::new`].
+    pub fn with_config(soc: &SocSpec, config: PlannerConfig) -> Result<Self, PlanError> {
+        Ok(Planner {
+            soc: soc.clone(),
+            estimator: Estimator::with_precision(soc, config.precision)?,
+            config,
+        })
+    }
+
+    /// The SoC this planner targets.
+    pub fn soc(&self) -> &SocSpec {
+        &self.soc
+    }
+
+    /// The planner's estimator (cost + intensity models).
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// The pipeline's processor slots: power-ranked, truncated to
+    /// `max_depth`.
+    pub fn pipeline_procs(&self) -> Vec<h2p_simulator::ProcessorId> {
+        let mut procs = self.soc.processors_by_power();
+        procs.truncate(self.config.max_depth.max(1));
+        procs
+    }
+
+    /// Horizontal step only: the best feasible partition of one request
+    /// over the pipeline slots, trying every ordered processor subset and
+    /// keeping the minimum makespan (P1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::NoFeasiblePipeline`] if the model cannot be
+    /// placed at all.
+    pub fn plan_request(
+        &self,
+        graph: &ModelGraph,
+    ) -> Result<(RequestContext, Vec<usize>, f64), PlanError> {
+        let procs = self.pipeline_procs();
+        let k_slots = procs.len();
+        let cost = self.estimator.cost();
+        let mut best: Option<(RequestContext, Vec<usize>, f64)> = None;
+        for mask in 1u32..(1 << k_slots) {
+            let slots: Vec<usize> = (0..k_slots).filter(|&s| mask & (1 << s) != 0).collect();
+            if slots.len() > graph.len() {
+                continue;
+            }
+            let ctx = self.estimator.context(graph, &procs, slots);
+            let stages = ctx.stage_count();
+            let Some(p) = min_max_partition(graph.len(), stages, |a, i, j| {
+                ctx.stage_cost(cost, a, i, j)
+            }) else {
+                continue;
+            };
+            if best
+                .as_ref()
+                .map_or(true, |(_, _, ms)| p.makespan_ms + 1e-12 < *ms)
+            {
+                best = Some((ctx, p.splits, p.makespan_ms));
+            }
+        }
+        best.ok_or_else(|| PlanError::NoFeasiblePipeline {
+            model: graph.name().to_owned(),
+        })
+    }
+
+    /// Runs the full two-step planning pipeline over `requests`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::EmptyRequestSet`] for an empty input and
+    /// [`PlanError::NoFeasiblePipeline`] if any model cannot be placed.
+    pub fn plan(&self, requests: &[ModelGraph]) -> Result<PlannedPipeline, PlanError> {
+        if requests.is_empty() {
+            return Err(PlanError::EmptyRequestSet);
+        }
+        let procs = self.pipeline_procs();
+        let k = procs.len();
+        let cost = self.estimator.cost();
+
+        // Step 1: horizontal partitioning, independently per request.
+        let mut contexts: Vec<RequestContext> = Vec::with_capacity(requests.len());
+        let mut plans: Vec<RequestPlan> = Vec::with_capacity(requests.len());
+        for (idx, graph) in requests.iter().enumerate() {
+            let (ctx, splits, _) = self.plan_request(graph)?;
+            let stages = ctx
+                .build_stages(cost, &splits, k)
+                .ok_or_else(|| PlanError::NoFeasiblePipeline {
+                    model: graph.name().to_owned(),
+                })?;
+            plans.push(RequestPlan {
+                request: idx,
+                model: graph.name().to_owned(),
+                stages,
+                intensity: self.estimator.predict_intensity(graph),
+                class: self.estimator.classify(graph),
+            });
+            contexts.push(ctx);
+        }
+
+        // Steps 2+3: contention mitigation over the request order, then
+        // vertical alignment. Both the mitigated and the original order
+        // are assembled and the better estimated makespan wins — the
+        // re-ordering is a heuristic, so the planner checks it paid off.
+        let assemble = |ordered: Vec<RequestPlan>,
+                        base_ctxs: &[RequestContext]|
+         -> (PipelinePlan, Vec<RequestContext>, Option<StealReport>, usize) {
+            let mut ctxs = base_ctxs.to_vec();
+            let mut plan = PipelinePlan {
+                procs: procs.clone(),
+                requests: ordered,
+            };
+            let steal = if self.config.work_stealing {
+                Some(worksteal::align_by_stealing(&mut plan, &ctxs, cost))
+            } else {
+                None
+            };
+            let tail = if self.config.tail_optimization {
+                worksteal::optimize_tail(&mut plan, &mut ctxs, &self.estimator)
+            } else {
+                0
+            };
+            (plan, ctxs, steal, tail)
+        };
+
+        let soc = self.estimator.cost().soc().clone();
+        let mut mitigation = None;
+        let mut best = assemble(plans.clone(), &contexts);
+        let mut best_est = best.0.estimated_makespan_contention_ms(&soc);
+        if self.config.contention_mitigation && plans.len() > 1 {
+            // Candidate orders, all evaluated with the contention-aware
+            // estimate after the full vertical passes: the Algorithm-2
+            // mitigation order, plus two cheap deterministic heuristics
+            // (longest-total-first, and a heavy/light interleave that
+            // spreads both load and contention).
+            let classes: Vec<_> = plans.iter().map(|p| p.class).collect();
+            let outcome = mitigation::mitigate(&classes, k);
+            let mut by_time: Vec<usize> = (0..plans.len()).collect();
+            by_time.sort_by(|&a, &b| {
+                plans[b]
+                    .total_ms()
+                    .total_cmp(&plans[a].total_ms())
+                    .then(a.cmp(&b))
+            });
+            let mut interleave = Vec::with_capacity(plans.len());
+            let (mut lo, mut hi) = (0usize, by_time.len());
+            while lo < hi {
+                interleave.push(by_time[lo]);
+                lo += 1;
+                if lo < hi {
+                    hi -= 1;
+                    interleave.push(by_time[hi]);
+                }
+            }
+            let candidates: [(Option<&mitigation::MitigationOutcome>, Vec<usize>); 3] = [
+                (Some(&outcome), outcome.order.clone()),
+                (None, by_time),
+                (None, interleave),
+            ];
+            for (mit, order) in candidates {
+                let reordered: Vec<RequestPlan> =
+                    order.iter().map(|&orig_pos| plans[orig_pos].clone()).collect();
+                let candidate = assemble(reordered, &contexts);
+                let est = candidate.0.estimated_makespan_contention_ms(&soc);
+                // Hysteresis: a re-ordering must beat the incumbent's
+                // estimate by a clear margin before it is adopted — the
+                // estimate ranks orders well but not perfectly, and
+                // arrival order is the natural default.
+                if est < best_est * 0.97 {
+                    best_est = est;
+                    best = candidate;
+                    mitigation = mit.cloned();
+                }
+            }
+        }
+        let (plan, contexts, steal, tail_merges) = best;
+
+        Ok(PlannedPipeline {
+            plan,
+            contexts,
+            mitigation,
+            steal,
+            tail_merges,
+        })
+    }
+
+    /// Convenience wrapper planning zoo models by id.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Planner::plan`].
+    pub fn plan_models(&self, ids: &[ModelId]) -> Result<PlannedPipeline, PlanError> {
+        let graphs: Vec<ModelGraph> = ids.iter().map(|m| m.graph()).collect();
+        self.plan(&graphs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kirin_planner() -> Planner {
+        Planner::new(&SocSpec::kirin_990()).expect("kirin planner")
+    }
+
+    #[test]
+    fn empty_request_set_is_rejected() {
+        let p = kirin_planner();
+        assert_eq!(p.plan(&[]).unwrap_err(), PlanError::EmptyRequestSet);
+    }
+
+    #[test]
+    fn single_request_plans_and_tiles_all_layers() {
+        let p = kirin_planner();
+        let out = p.plan_models(&[ModelId::ResNet50]).unwrap();
+        assert_eq!(out.plan.requests.len(), 1);
+        let req = &out.plan.requests[0];
+        let n = out.contexts[0].layer_count();
+        let covered: usize = req.stages.iter().flatten().map(|s| s.range.len()).sum();
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn bert_reaches_the_npu_through_operator_fallback() {
+        let p = kirin_planner();
+        let out = p.plan_models(&[ModelId::Bert]).unwrap();
+        let req = &out.plan.requests[0];
+        // Slot 0 is the NPU on Kirin 990 — BERT's embedding is
+        // NPU-unsupported, but operator fallback lets the encoder body
+        // still run there (the paper's sub-model forwarding), so a good
+        // plan uses the NPU rather than abandoning it.
+        let npu_stage = req.stages[0].as_ref().expect("NPU slot used");
+        if npu_stage.range.first == 0 {
+            assert!(
+                !npu_stage.runs.is_empty(),
+                "a slice containing the embedding must carry fallback runs"
+            );
+        }
+    }
+
+    #[test]
+    fn yolov4_is_placeable_despite_unsupported_ops() {
+        let p = kirin_planner();
+        let out = p.plan_models(&[ModelId::YoloV4]).unwrap();
+        assert_eq!(out.plan.requests.len(), 1);
+    }
+
+    #[test]
+    fn multi_request_plan_preserves_all_requests() {
+        let p = kirin_planner();
+        let ids = [
+            ModelId::Vgg16,
+            ModelId::SqueezeNet,
+            ModelId::Bert,
+            ModelId::MobileNetV2,
+            ModelId::ResNet50,
+            ModelId::GoogLeNet,
+        ];
+        let out = p.plan_models(&ids).unwrap();
+        assert_eq!(out.plan.requests.len(), ids.len());
+        let mut originals: Vec<usize> = out.plan.requests.iter().map(|r| r.request).collect();
+        originals.sort_unstable();
+        assert_eq!(originals, (0..ids.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mitigation_spreads_high_contention_requests() {
+        let p = kirin_planner();
+        // Several high-contention models in a row.
+        let ids = [
+            ModelId::SqueezeNet,
+            ModelId::GoogLeNet,
+            ModelId::Vgg16,
+            ModelId::ResNet50,
+            ModelId::MobileNetV2,
+            ModelId::Vit,
+            ModelId::InceptionV4,
+            ModelId::AlexNet,
+        ];
+        let out = p.plan_models(&ids).unwrap();
+        if let Some(m) = &out.mitigation {
+            if m.resolved {
+                let classes: Vec<_> = out.plan.requests.iter().map(|r| r.class).collect();
+                assert!(!crate::mitigation::has_conflict(&classes, out.plan.depth()));
+            }
+        }
+    }
+
+    #[test]
+    fn no_ct_config_skips_mitigation_and_tail() {
+        let p = Planner::with_config(&SocSpec::kirin_990(), PlannerConfig::no_ct()).unwrap();
+        let out = p
+            .plan_models(&[ModelId::SqueezeNet, ModelId::GoogLeNet, ModelId::Vgg16])
+            .unwrap();
+        assert!(out.mitigation.is_none());
+        assert_eq!(out.tail_merges, 0);
+        assert!(out.steal.is_some(), "work stealing stays on in No C/T");
+    }
+
+    #[test]
+    fn planning_works_without_an_npu() {
+        let p = Planner::new(&SocSpec::snapdragon_870()).unwrap();
+        let out = p
+            .plan_models(&[ModelId::Bert, ModelId::ResNet50, ModelId::SqueezeNet])
+            .unwrap();
+        assert_eq!(out.plan.depth(), 3, "CPU_B + GPU + CPU_S");
+        assert_eq!(out.plan.requests.len(), 3);
+    }
+
+    #[test]
+    fn max_depth_limits_slots() {
+        let cfg = PlannerConfig {
+            max_depth: 2,
+            ..PlannerConfig::default()
+        };
+        let p = Planner::with_config(&SocSpec::kirin_990(), cfg).unwrap();
+        let out = p.plan_models(&[ModelId::ResNet50]).unwrap();
+        assert_eq!(out.plan.depth(), 2);
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let p = kirin_planner();
+        let ids = [ModelId::Bert, ModelId::SqueezeNet, ModelId::Vit];
+        let a = p.plan_models(&ids).unwrap();
+        let b = p.plan_models(&ids).unwrap();
+        assert_eq!(a.plan, b.plan);
+    }
+}

@@ -1,0 +1,137 @@
+//! Human-readable rendering of plans and execution reports.
+//!
+//! The CLI, examples and experiment binaries all need the same summary
+//! views; this module centralizes them as `Display` wrappers so the
+//! formatting is tested once.
+//!
+//! ```
+//! use hetero2pipe::planner::Planner;
+//! use hetero2pipe::report::PlanSummary;
+//! use h2p_models::zoo::ModelId;
+//! use h2p_simulator::SocSpec;
+//!
+//! # fn main() -> Result<(), hetero2pipe::error::PlanError> {
+//! let soc = SocSpec::kirin_990();
+//! let planner = Planner::new(&soc)?;
+//! let planned = planner.plan_models(&[ModelId::ResNet50, ModelId::SqueezeNet])?;
+//! let text = PlanSummary::new(&planned.plan, &soc).to_string();
+//! assert!(text.contains("ResNet50"));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use h2p_simulator::soc::SocSpec;
+
+use crate::executor::ExecutionReport;
+use crate::plan::PipelinePlan;
+
+/// Displayable summary of a pipeline plan: one line per request with its
+/// stage layout, plus plan-level estimates.
+#[derive(Debug, Clone)]
+pub struct PlanSummary<'a> {
+    plan: &'a PipelinePlan,
+    soc: &'a SocSpec,
+}
+
+impl<'a> PlanSummary<'a> {
+    /// Wraps a plan for display against its SoC.
+    pub fn new(plan: &'a PipelinePlan, soc: &'a SocSpec) -> Self {
+        PlanSummary { plan, soc }
+    }
+}
+
+impl fmt::Display for PlanSummary<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline depth {} | est. makespan {:.1} ms | planned bubbles {:.1} ms | peak footprint {:.0} MB",
+            self.plan.depth(),
+            self.plan.estimated_makespan_ms(),
+            self.plan.total_bubble_ms(),
+            self.plan.peak_footprint_bytes() as f64 / (1024.0 * 1024.0),
+        )?;
+        for (pos, req) in self.plan.requests.iter().enumerate() {
+            write!(f, "  #{pos:<3}{:<14}{:>4?}", req.model, req.class)?;
+            for (slot, stage) in req.stages.iter().enumerate() {
+                if let Some(s) = stage {
+                    write!(
+                        f,
+                        "  {}:{}={:.1}ms",
+                        self.soc.processor(self.plan.procs[slot]).name,
+                        s.range,
+                        s.total_ms()
+                    )?;
+                    if !s.runs.is_empty() {
+                        write!(f, "({} fallback runs)", s.runs.len())?;
+                    }
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Displayable summary of an execution report.
+#[derive(Debug, Clone)]
+pub struct ReportSummary<'a> {
+    report: &'a ExecutionReport,
+}
+
+impl<'a> ReportSummary<'a> {
+    /// Wraps an execution report for display.
+    pub fn new(report: &'a ExecutionReport) -> Self {
+        ReportSummary { report }
+    }
+}
+
+impl fmt::Display for ReportSummary<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "latency {:.1} ms | throughput {:.2} inf/s | bubbles {:.1} ms | mean co-exec slowdown {:.1}%",
+            self.report.makespan_ms,
+            self.report.throughput_per_sec,
+            self.report.measured_bubble_ms,
+            self.report.mean_slowdown * 100.0,
+        )?;
+        for (i, &lat) in self.report.request_latency_ms.iter().enumerate() {
+            writeln!(f, "  request {i}: done at {lat:.1} ms")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use h2p_models::zoo::ModelId;
+
+    #[test]
+    fn plan_summary_lists_every_request_and_stage() {
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let planned = planner
+            .plan_models(&[ModelId::Bert, ModelId::MobileNetV2])
+            .unwrap();
+        let text = PlanSummary::new(&planned.plan, &soc).to_string();
+        assert!(text.contains("BERT"));
+        assert!(text.contains("MobileNetV2"));
+        assert!(text.contains("est. makespan"));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn report_summary_contains_headline_metrics() {
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let planned = planner.plan_models(&[ModelId::ResNet50]).unwrap();
+        let report = planned.execute(&soc).unwrap();
+        let text = ReportSummary::new(&report).to_string();
+        assert!(text.contains("latency"));
+        assert!(text.contains("request 0"));
+    }
+}

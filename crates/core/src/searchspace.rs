@@ -1,0 +1,222 @@
+//! Search-space accounting (Appendix A, Eq. 12–14).
+//!
+//! The appendix motivates the two-step decomposition by counting the raw
+//! search space: the number of feasible processor pipelines on a typical
+//! SoC and, for each model, the number of distinct split-point choices.
+//! The paper quotes 449 feasible pipelines for an 8-core CPU + GPU + NPU
+//! and over 3.6 B split points for a 28-layer MobileNetV2. Eq. (12)'s
+//! published form contains typos (e.g. `P_b^min = max(1, P' + C + C_b)`
+//! cannot be a lower bound), so this module implements a clean,
+//! documented enumeration of the same space; the bench binary reports
+//! both our count and the paper's quoted numbers.
+
+/// Binomial coefficient as `f64` (exact for the small arguments used
+/// here); 0 when `k > n`.
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Number of ways to run `groups` pipeline stages on a CPU cluster of
+/// `cores` in-order cores: each stage gets a non-empty contiguous run of
+/// cores and every core is used, i.e. compositions `C(cores−1, groups−1)`.
+/// One way to use zero groups (the cluster sits out).
+pub fn cluster_partitions(cores: u64, groups: u64) -> f64 {
+    if groups == 0 {
+        1.0
+    } else if groups > cores {
+        0.0
+    } else {
+        binomial(cores - 1, groups - 1)
+    }
+}
+
+/// Description of the processor inventory for search-space counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inventory {
+    /// Big CPU cores.
+    pub big_cores: u64,
+    /// Small CPU cores.
+    pub small_cores: u64,
+    /// Whether a GPU is present (indivisible single stage).
+    pub has_gpu: bool,
+    /// Whether an NPU is present (indivisible single stage).
+    pub has_npu: bool,
+}
+
+impl Inventory {
+    /// The paper's example device: 8-core CPU (4 big + 4 small), GPU, NPU.
+    pub fn paper_example() -> Self {
+        Inventory {
+            big_cores: 4,
+            small_cores: 4,
+            has_gpu: true,
+            has_npu: true,
+        }
+    }
+}
+
+/// Number of feasible pipelines with exactly `stages` stages: choose how
+/// many stages run on the big cluster (`p_b`), how many on the small
+/// cluster (`p_s`), and whether the GPU/NPU participate, with
+/// `p_b + p_s + gpu + npu = stages`.
+pub fn pipelines_with_stages(inv: Inventory, stages: u64) -> f64 {
+    let mut total = 0.0;
+    let gpu_options: &[u64] = if inv.has_gpu { &[0, 1] } else { &[0] };
+    let npu_options: &[u64] = if inv.has_npu { &[0, 1] } else { &[0] };
+    for &g in gpu_options {
+        for &n in npu_options {
+            if g + n > stages {
+                continue;
+            }
+            let cpu_stages = stages - g - n;
+            for p_b in 0..=cpu_stages.min(inv.big_cores) {
+                let p_s = cpu_stages - p_b;
+                if p_s > inv.small_cores {
+                    continue;
+                }
+                total += cluster_partitions(inv.big_cores, p_b)
+                    * cluster_partitions(inv.small_cores, p_s);
+            }
+        }
+    }
+    total
+}
+
+/// Total feasible pipelines with stage counts in `[min_stages,
+/// max_stages]` (the paper uses `P` between 2 and `C + 2 = 10`).
+pub fn count_pipelines(inv: Inventory, min_stages: u64, max_stages: u64) -> f64 {
+    (min_stages..=max_stages)
+        .map(|p| pipelines_with_stages(inv, p))
+        .sum()
+}
+
+/// Total split-point choices for one `n_layers` model (Eq. 14): for each
+/// stage count `P`, `C(n−1, P−1)` layer splits times the number of
+/// `P`-stage pipelines.
+pub fn count_split_points(
+    inv: Inventory,
+    n_layers: u64,
+    min_stages: u64,
+    max_stages: u64,
+) -> f64 {
+    (min_stages..=max_stages)
+        .map(|p| binomial(n_layers - 1, p - 1) * pipelines_with_stages(inv, p))
+        .sum()
+}
+
+/// Split-point count using the paper's own accounting for the "over 3.6 B
+/// for MobileNetV2" example: the paper multiplies the *total* pipeline
+/// count (its 449; our enumeration yields 319) by the total split-choice
+/// count `Σ_P C(n−1, P−1)` — 449 × 8.19 M ≈ 3.68 B reproduces the quoted
+/// figure exactly, confirming this reading of Eq. (14).
+pub fn count_split_points_paper_style(
+    inv: Inventory,
+    n_layers: u64,
+    min_stages: u64,
+    max_stages: u64,
+) -> f64 {
+    let pipelines = count_pipelines(inv, min_stages, max_stages);
+    let splits: f64 = (min_stages..=max_stages)
+        .map(|p| binomial(n_layers - 1, p - 1))
+        .sum();
+    pipelines * splits
+}
+
+/// Joint search-space size for a multi-model request set: the product of
+/// each model's split-point count (Eq. 14's outer product). Returned as
+/// `f64` because it overflows integers immediately.
+pub fn joint_search_space(inv: Inventory, layer_counts: &[u64], min_stages: u64, max_stages: u64) -> f64 {
+    layer_counts
+        .iter()
+        .map(|&n| count_split_points(inv, n, min_stages, max_stages))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_matches_pascal() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(27, 0), 1.0);
+        assert_eq!(binomial(3, 5), 0.0);
+        assert_eq!(binomial(27, 9), 4686825.0);
+    }
+
+    #[test]
+    fn cluster_partitions_are_compositions() {
+        // 4 cores into 2 contiguous groups: 3 ways (1+3, 2+2, 3+1).
+        assert_eq!(cluster_partitions(4, 2), 3.0);
+        assert_eq!(cluster_partitions(4, 0), 1.0);
+        assert_eq!(cluster_partitions(4, 5), 0.0);
+        assert_eq!(cluster_partitions(4, 4), 1.0);
+    }
+
+    #[test]
+    fn paper_example_pipeline_count_is_in_the_hundreds() {
+        // The paper quotes 449 for this device; Eq. (12) as printed has
+        // typos, so our clean enumeration lands in the same regime but not
+        // on the same number — documented in EXPERIMENTS.md.
+        let c = count_pipelines(Inventory::paper_example(), 2, 10);
+        assert!(
+            (200.0..700.0).contains(&c),
+            "expected hundreds of pipelines, got {c}"
+        );
+    }
+
+    #[test]
+    fn mobilenet_split_space_is_billions() {
+        // Paper: over 3.6 B split points for MobileNetV2's 28 layers,
+        // under the paper's total×total accounting.
+        let s = count_split_points_paper_style(Inventory::paper_example(), 28, 2, 10);
+        assert!(s > 1e9, "got {s}");
+        assert!(s < 1e12, "got {s}");
+        // The per-stage-consistent count is smaller but still huge.
+        let strict = count_split_points(Inventory::paper_example(), 28, 2, 10);
+        assert!(strict > 1e7, "got {strict}");
+        assert!(strict < s);
+    }
+
+    #[test]
+    fn joint_space_grows_exponentially() {
+        let inv = Inventory::paper_example();
+        let one = joint_search_space(inv, &[28], 2, 10);
+        let three = joint_search_space(inv, &[28, 21, 61], 2, 10);
+        assert!(three > one * 1e9, "multi-model space explodes: {three}");
+    }
+
+    #[test]
+    fn no_accelerators_means_cpu_only_pipelines() {
+        let inv = Inventory {
+            big_cores: 4,
+            small_cores: 4,
+            has_gpu: false,
+            has_npu: false,
+        };
+        // Exactly the CPU compositions with 2..=8 stages.
+        let expected: f64 = (2..=8u64)
+            .map(|stages| {
+                (0..=stages)
+                    .map(|pb| cluster_partitions(4, pb) * cluster_partitions(4, stages - pb))
+                    .sum::<f64>()
+            })
+            .sum();
+        assert_eq!(count_pipelines(inv, 2, 8), expected);
+    }
+
+    #[test]
+    fn stage_counts_outside_inventory_are_zero() {
+        let inv = Inventory::paper_example();
+        assert_eq!(pipelines_with_stages(inv, 11), 0.0);
+        assert!(pipelines_with_stages(inv, 10) > 0.0, "4+4+1+1 exists");
+    }
+}

@@ -1,0 +1,144 @@
+//! Seeded random workload generation for the evaluation harness.
+//!
+//! The paper's Fig. 7/8 experiments sample "100 random model combinations"
+//! from the ten-network zoo. All generators here take explicit seeds so
+//! every experiment is reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use h2p_models::zoo::ModelId;
+
+/// A random sequence of `len` models drawn uniformly from the zoo.
+pub fn random_models(seed: u64, len: usize) -> Vec<ModelId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| ModelId::ALL[rng.gen_range(0..ModelId::ALL.len())])
+        .collect()
+}
+
+/// `count` random model combinations with lengths drawn uniformly from
+/// `min_len..=max_len`, as used for the Fig. 7 and Fig. 8 sample sets.
+///
+/// # Panics
+///
+/// Panics if `min_len == 0` or `min_len > max_len`.
+pub fn random_combinations(
+    seed: u64,
+    count: usize,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<Vec<ModelId>> {
+    assert!(min_len > 0 && min_len <= max_len, "invalid length range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let len = rng.gen_range(min_len..=max_len);
+            (0..len)
+                .map(|_| ModelId::ALL[rng.gen_range(0..ModelId::ALL.len())])
+                .collect()
+        })
+        .collect()
+}
+
+/// Poisson arrival times: `n` arrivals with exponentially distributed
+/// inter-arrival gaps of mean `mean_interarrival_ms`, starting at 0.
+///
+/// # Panics
+///
+/// Panics if `mean_interarrival_ms` is not positive.
+pub fn poisson_arrivals(seed: u64, n: usize, mean_interarrival_ms: f64) -> Vec<f64> {
+    assert!(
+        mean_interarrival_ms > 0.0,
+        "mean inter-arrival must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|i| {
+            if i > 0 {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                t += -mean_interarrival_ms * u.ln();
+            }
+            t
+        })
+        .collect()
+}
+
+/// A bursty stream of lightweight requests punctuated by heavy models —
+/// the Appendix-D batching scenario (continuous MobileNetV2/SqueezeNet
+/// classification alongside heavyweight requests).
+pub fn lightweight_burst_stream(seed: u64, bursts: usize, burst_len: usize) -> Vec<ModelId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let light = [ModelId::MobileNetV2, ModelId::SqueezeNet];
+    let heavy = [ModelId::Bert, ModelId::Vit, ModelId::YoloV4];
+    let mut out = Vec::new();
+    for _ in 0..bursts {
+        let l = light[rng.gen_range(0..light.len())];
+        out.extend(std::iter::repeat(l).take(burst_len));
+        out.push(heavy[rng.gen_range(0..heavy.len())]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        assert_eq!(random_models(42, 20), random_models(42, 20));
+        assert_ne!(random_models(42, 20), random_models(43, 20));
+        assert_eq!(
+            random_combinations(7, 10, 3, 8),
+            random_combinations(7, 10, 3, 8)
+        );
+    }
+
+    #[test]
+    fn combinations_respect_length_bounds() {
+        for combo in random_combinations(1, 50, 3, 8) {
+            assert!((3..=8).contains(&combo.len()));
+        }
+    }
+
+    #[test]
+    fn all_models_appear_eventually() {
+        let seq = random_models(5, 500);
+        for id in ModelId::ALL {
+            assert!(seq.contains(&id), "{id} missing from a 500-draw sample");
+        }
+    }
+
+    #[test]
+    fn burst_stream_alternates_light_runs_and_heavies() {
+        let s = lightweight_burst_stream(9, 4, 6);
+        assert_eq!(s.len(), 4 * 7);
+        let heavies = s.iter().filter(|m| !m.is_lightweight()).count();
+        assert_eq!(heavies, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length range")]
+    fn bad_length_range_panics() {
+        random_combinations(1, 1, 5, 2);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_start_at_zero() {
+        let a = poisson_arrivals(3, 50, 100.0);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a[0], 0.0);
+        assert!(a.windows(2).all(|w| w[1] >= w[0]));
+        // The mean gap approaches the requested mean.
+        let mean_gap = a.last().unwrap() / 49.0;
+        assert!((50.0..200.0).contains(&mean_gap), "got {mean_gap}");
+        assert_eq!(a, poisson_arrivals(3, 50, 100.0), "seeded determinism");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interarrival_panics() {
+        poisson_arrivals(1, 3, 0.0);
+    }
+}

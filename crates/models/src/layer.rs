@@ -1,0 +1,232 @@
+//! Layer descriptions: operator kinds, tensor sizes, FLOPs and locality.
+
+use serde::{Deserialize, Serialize};
+
+/// The operator class of a layer.
+///
+/// Operator kind determines per-processor efficiency in the cost model and
+/// NPU supportability: the paper's Fig. 1 reports inference *errors* on
+/// the NPU for YOLOv4 and BERT because they contain operators outside the
+/// NPU's limited set, forcing operator fallback to the CPU/GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum OpKind {
+    /// Dense convolution.
+    Conv,
+    /// Depthwise-separable convolution (MobileNet-style).
+    DwConv,
+    /// Fully connected layer (the high-cache-miss layers of Observation 2).
+    Fc,
+    /// General matrix multiplication (transformer projections / FFN).
+    MatMul,
+    /// Multi-head self-attention (QKᵀV core).
+    Attention,
+    /// Layer normalization.
+    LayerNorm,
+    /// Pooling (max/avg/global).
+    Pool,
+    /// Channel concatenation (inception/fire merge points).
+    Concat,
+    /// Elementwise add (residual connections).
+    Eltwise,
+    /// Softmax.
+    Softmax,
+    /// Token/positional embedding lookup (BERT); not NPU-supported.
+    Embedding,
+    /// Mish activation (YOLOv4); not NPU-supported.
+    Mish,
+    /// Nearest-neighbour upsampling (YOLO neck); not NPU-supported.
+    Upsample,
+}
+
+impl OpKind {
+    /// Whether the NPU supports this operator. Modeled after the paper's
+    /// setup: the DaVinci NPU covers the common CNN/transformer compute
+    /// operators but not embedding lookups, Mish activations or the
+    /// YOLO-style upsampling route layers.
+    pub fn npu_supported(self) -> bool {
+        !matches!(self, OpKind::Embedding | OpKind::Mish | OpKind::Upsample)
+    }
+
+    /// Short label used in layer names and debug output.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Conv => "conv",
+            OpKind::DwConv => "dwconv",
+            OpKind::Fc => "fc",
+            OpKind::MatMul => "matmul",
+            OpKind::Attention => "attn",
+            OpKind::LayerNorm => "ln",
+            OpKind::Pool => "pool",
+            OpKind::Concat => "concat",
+            OpKind::Eltwise => "eltwise",
+            OpKind::Softmax => "softmax",
+            OpKind::Embedding => "embed",
+            OpKind::Mish => "mish",
+            OpKind::Upsample => "upsample",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One layer (or fused block) of a model's linearized execution chain.
+///
+/// Branchy structures (inception modules, fire modules, residual blocks,
+/// transformer encoder sub-layers) are represented as fused composite
+/// layers carrying their aggregate FLOPs and tensor traffic — matching the
+/// paper's coarse-grained slicing, which never splits inside such blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Unique-within-model layer name, e.g. `"conv3_2"`.
+    pub name: String,
+    /// Dominant operator kind of the layer.
+    pub op: OpKind,
+    /// Floating-point operations for one inference at batch 1.
+    pub flops: f64,
+    /// Input activation size in bytes.
+    pub input_bytes: u64,
+    /// Output activation size in bytes (what a pipeline split at this
+    /// boundary must copy to the next processor).
+    pub output_bytes: u64,
+    /// Parameter bytes resident for this layer.
+    pub weight_bytes: u64,
+    /// Peak simultaneous tensor residency in bytes; compared against a
+    /// processor's L2 to decide whether traffic spills to DRAM.
+    pub working_set_bytes: u64,
+    /// Access locality in `(0, 1]`: 1.0 = perfectly streamed, lower values
+    /// multiply DRAM traffic. Branch-heavy modules with many small
+    /// tensors (fire/inception) have poor locality — the root cause of
+    /// Observation 3's "lightweight yet contention-heavy" models.
+    pub locality: f64,
+    /// Optional override for the bytes one execution actually touches,
+    /// when it differs from `input + output + weights` (e.g. an embedding
+    /// gather reads a few table rows, not the whole table).
+    pub touched_bytes_override: Option<u64>,
+}
+
+impl Layer {
+    /// Creates a layer with the given identity and cost numbers, default
+    /// locality 1.0 and a working set equal to the tensors touched.
+    pub fn new(
+        name: impl Into<String>,
+        op: OpKind,
+        flops: f64,
+        input_bytes: u64,
+        output_bytes: u64,
+        weight_bytes: u64,
+    ) -> Self {
+        Layer {
+            name: name.into(),
+            op,
+            flops,
+            input_bytes,
+            output_bytes,
+            weight_bytes,
+            working_set_bytes: input_bytes + output_bytes + weight_bytes,
+            locality: 1.0,
+            touched_bytes_override: None,
+        }
+    }
+
+    /// Sets the locality factor (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locality` is not in `(0, 1]`.
+    pub fn locality(mut self, locality: f64) -> Self {
+        assert!(
+            locality > 0.0 && locality <= 1.0,
+            "locality must be in (0, 1]"
+        );
+        self.locality = locality;
+        self
+    }
+
+    /// Overrides the working-set size (builder style).
+    pub fn working_set(mut self, bytes: u64) -> Self {
+        self.working_set_bytes = bytes;
+        self
+    }
+
+    /// Overrides the bytes touched per execution (builder style).
+    pub fn touched_bytes(mut self, bytes: u64) -> Self {
+        self.touched_bytes_override = Some(bytes);
+        self
+    }
+
+    /// Total bytes touched by one execution: input + output + weights,
+    /// unless overridden via [`Layer::touched_bytes`].
+    pub fn bytes_touched(&self) -> u64 {
+        self.touched_bytes_override
+            .unwrap_or(self.input_bytes + self.output_bytes + self.weight_bytes)
+    }
+
+    /// Arithmetic intensity in FLOPs per byte touched. Low values mark
+    /// memory-bound layers.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.bytes_touched();
+        if b == 0 {
+            f64::INFINITY
+        } else {
+            self.flops / b as f64
+        }
+    }
+}
+
+/// Bytes of an FP32 tensor with the given element count.
+pub fn f32_bytes(elements: u64) -> u64 {
+    elements * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn npu_support_matches_paper_fallback_story() {
+        // Plain CNN/transformer compute ops are supported...
+        for op in [
+            OpKind::Conv,
+            OpKind::DwConv,
+            OpKind::Fc,
+            OpKind::MatMul,
+            OpKind::Attention,
+            OpKind::LayerNorm,
+        ] {
+            assert!(op.npu_supported(), "{op} should be NPU-supported");
+        }
+        // ...the YOLOv4/BERT-specific ops are not.
+        for op in [OpKind::Embedding, OpKind::Mish, OpKind::Upsample] {
+            assert!(!op.npu_supported(), "{op} should not be NPU-supported");
+        }
+    }
+
+    #[test]
+    fn arithmetic_intensity_flags_memory_bound_layers() {
+        let conv = Layer::new("c", OpKind::Conv, 1e9, 1 << 20, 1 << 20, 1 << 18);
+        let fc = Layer::new("f", OpKind::Fc, 2e8, 4096, 16_384, 400 << 20);
+        assert!(conv.arithmetic_intensity() > fc.arithmetic_intensity());
+    }
+
+    #[test]
+    fn zero_byte_layer_has_infinite_intensity() {
+        let l = Layer::new("z", OpKind::Softmax, 1.0, 0, 0, 0);
+        assert!(l.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "locality")]
+    fn locality_out_of_range_is_rejected() {
+        let _ = Layer::new("c", OpKind::Conv, 1.0, 1, 1, 1).locality(1.5);
+    }
+
+    #[test]
+    fn f32_bytes_counts_four_per_element() {
+        assert_eq!(f32_bytes(256), 1024);
+    }
+}

@@ -1,0 +1,350 @@
+//! Layer constructors shared by the zoo's network definitions.
+//!
+//! All constructors compute FLOPs and tensor bytes analytically from the
+//! architectural dimensions, so each network's aggregate cost matches the
+//! published parameter counts and GFLOPs to within the fidelity the
+//! planner needs (relative shapes across models and processors).
+
+use crate::layer::{f32_bytes, Layer, OpKind};
+
+/// A dense convolution with "same" padding.
+///
+/// `h × w × cin` input, `k × k` kernel, `stride`, producing
+/// `(h/stride) × (w/stride) × cout`.
+pub(crate) fn conv(
+    name: &str,
+    h: u64,
+    w: u64,
+    cin: u64,
+    cout: u64,
+    k: u64,
+    stride: u64,
+) -> Layer {
+    let oh = h.div_ceil(stride);
+    let ow = w.div_ceil(stride);
+    let flops = 2.0 * (k * k * cin * cout * oh * ow) as f64;
+    Layer::new(
+        name,
+        OpKind::Conv,
+        flops,
+        f32_bytes(h * w * cin),
+        f32_bytes(oh * ow * cout),
+        f32_bytes(k * k * cin * cout + cout),
+    )
+    .locality(0.9)
+}
+
+/// A fully connected layer `cin → cout`. Large FC layers stream their
+/// entire weight matrix through the cache hierarchy, giving them the 2–4×
+/// higher cache-miss rates of Observation 2 — captured by the reduced
+/// locality and a working set equal to the weight matrix.
+pub(crate) fn fc(name: &str, cin: u64, cout: u64) -> Layer {
+    Layer::new(
+        name,
+        OpKind::Fc,
+        2.0 * (cin * cout) as f64,
+        f32_bytes(cin),
+        f32_bytes(cout),
+        f32_bytes(cin * cout + cout),
+    )
+    .locality(0.55)
+    .working_set(f32_bytes(cin * cout))
+}
+
+/// A pooling layer over `h × w × c` with window `k` and `stride`.
+pub(crate) fn pool(name: &str, h: u64, w: u64, c: u64, k: u64, stride: u64) -> Layer {
+    let oh = h.div_ceil(stride);
+    let ow = w.div_ceil(stride);
+    Layer::new(
+        name,
+        OpKind::Pool,
+        (k * k * oh * ow * c) as f64,
+        f32_bytes(h * w * c),
+        f32_bytes(oh * ow * c),
+        0,
+    )
+    .locality(0.85)
+}
+
+/// Global average pooling to a `c`-vector.
+pub(crate) fn global_pool(name: &str, h: u64, w: u64, c: u64) -> Layer {
+    Layer::new(
+        name,
+        OpKind::Pool,
+        (h * w * c) as f64,
+        f32_bytes(h * w * c),
+        f32_bytes(c),
+        0,
+    )
+    .locality(0.85)
+}
+
+/// A SqueezeNet fire module (squeeze 1×1 → expand 1×1 ‖ 3×3 → concat),
+/// fused. Fire modules juggle many small tensors with a concat merge,
+/// which destroys locality — these are exactly the Observation-3 outliers
+/// (SqueezeNet is 4.8 MB yet contention-heavy).
+pub(crate) fn fire(name: &str, h: u64, w: u64, cin: u64, squeeze: u64, expand: u64) -> Layer {
+    let sq_flops = 2.0 * (cin * squeeze * h * w) as f64;
+    let e1_flops = 2.0 * (squeeze * expand * h * w) as f64;
+    let e3_flops = 2.0 * (9 * squeeze * expand * h * w) as f64;
+    let cout = 2 * expand;
+    let weights = cin * squeeze + squeeze * expand + 9 * squeeze * expand + squeeze + cout;
+    // Intermediate squeeze/expand tensors inflate the working set well
+    // beyond input+output.
+    let ws = f32_bytes(h * w * (cin + squeeze + 2 * cout)) + f32_bytes(weights);
+    Layer::new(
+        name,
+        OpKind::Concat,
+        sq_flops + e1_flops + e3_flops,
+        f32_bytes(h * w * cin),
+        f32_bytes(h * w * cout),
+        f32_bytes(weights),
+    )
+    .locality(0.30)
+    .working_set(ws)
+}
+
+/// An inception module (1×1 ‖ 3×3 ‖ 5×5 ‖ pool-proj branches → concat),
+/// fused, with branch channel counts chosen as fractions of `cout`.
+pub(crate) fn inception(name: &str, h: u64, w: u64, cin: u64, cout: u64) -> Layer {
+    // Branch split roughly follows GoogLeNet's published ratios.
+    let c1 = cout / 4; // 1x1
+    let c3 = cout / 2; // 3x3 (with cin/2 reduce)
+    let c5 = cout / 8; // 5x5 (with cin/8 reduce)
+    let cp = cout - c1 - c3 - c5; // pool projection
+    let red3 = cin / 4;
+    let red5 = cin / 16;
+    let flops = 2.0
+        * ((cin * c1
+            + cin * red3
+            + 9 * red3 * c3
+            + cin * red5
+            + 25 * red5 * c5
+            + cin * cp)
+            * h
+            * w) as f64;
+    let weights =
+        cin * c1 + cin * red3 + 9 * red3 * c3 + cin * red5 + 25 * red5 * c5 + cin * cp + cout;
+    let ws = f32_bytes(h * w * (cin + cout + red3 + red5)) + f32_bytes(weights);
+    Layer::new(
+        name,
+        OpKind::Concat,
+        flops,
+        f32_bytes(h * w * cin),
+        f32_bytes(h * w * cout),
+        f32_bytes(weights),
+    )
+    .locality(0.32)
+    .working_set(ws)
+}
+
+/// A ResNet bottleneck block (1×1 reduce → 3×3 → 1×1 expand + residual),
+/// fused.
+pub(crate) fn bottleneck(
+    name: &str,
+    h: u64,
+    w: u64,
+    cin: u64,
+    mid: u64,
+    cout: u64,
+    stride: u64,
+) -> Layer {
+    let oh = h.div_ceil(stride);
+    let ow = w.div_ceil(stride);
+    let f1 = 2.0 * (cin * mid * oh * ow) as f64;
+    let f3 = 2.0 * (9 * mid * mid * oh * ow) as f64;
+    let f2 = 2.0 * (mid * cout * oh * ow) as f64;
+    let proj = if cin != cout || stride != 1 {
+        2.0 * (cin * cout * oh * ow) as f64
+    } else {
+        0.0
+    };
+    let weights = cin * mid + 9 * mid * mid + mid * cout + if cin != cout { cin * cout } else { 0 };
+    Layer::new(
+        name,
+        OpKind::Eltwise,
+        f1 + f3 + f2 + proj,
+        f32_bytes(h * w * cin),
+        f32_bytes(oh * ow * cout),
+        f32_bytes(weights),
+    )
+    .locality(0.75)
+}
+
+/// A MobileNetV2 inverted-residual block (1×1 expand → depthwise 3×3 →
+/// 1×1 project + residual), fused.
+pub(crate) fn inverted_residual(
+    name: &str,
+    h: u64,
+    w: u64,
+    cin: u64,
+    cout: u64,
+    expand: u64,
+    stride: u64,
+) -> Layer {
+    let mid = cin * expand;
+    let oh = h.div_ceil(stride);
+    let ow = w.div_ceil(stride);
+    let f_expand = 2.0 * (cin * mid * h * w) as f64;
+    let f_dw = 2.0 * (9 * mid * oh * ow) as f64;
+    let f_proj = 2.0 * (mid * cout * oh * ow) as f64;
+    let weights = cin * mid + 9 * mid + mid * cout;
+    Layer::new(
+        name,
+        OpKind::DwConv,
+        f_expand + f_dw + f_proj,
+        f32_bytes(h * w * cin),
+        f32_bytes(oh * ow * cout),
+        f32_bytes(weights),
+    )
+    .locality(0.55)
+    .working_set(f32_bytes(h * w * mid) + f32_bytes(weights))
+}
+
+/// A transformer multi-head self-attention sub-layer over `seq` tokens of
+/// width `d` (QKV projections + scaled dot-product + output projection).
+pub(crate) fn attention(name: &str, seq: u64, d: u64) -> Layer {
+    let proj = 4.0 * 2.0 * (seq * d * d) as f64; // Q,K,V,out projections
+    let scores = 2.0 * 2.0 * (seq * seq * d) as f64; // QKᵀ and AV
+    let weights = 4 * d * d + 4 * d;
+    // The paper singles out the 768×768 attention MatMuls as exceeding
+    // mobile L2 caches; the score matrix adds seq² residency.
+    let ws = f32_bytes(d * d) + f32_bytes(seq * seq) + f32_bytes(3 * seq * d);
+    Layer::new(
+        name,
+        OpKind::Attention,
+        proj + scores,
+        f32_bytes(seq * d),
+        f32_bytes(seq * d),
+        f32_bytes(weights),
+    )
+    .locality(0.6)
+    .working_set(ws)
+}
+
+/// A transformer feed-forward MatMul `seq × din → seq × dout`.
+pub(crate) fn ffn_matmul(name: &str, seq: u64, din: u64, dout: u64) -> Layer {
+    Layer::new(
+        name,
+        OpKind::MatMul,
+        2.0 * (seq * din * dout) as f64,
+        f32_bytes(seq * din),
+        f32_bytes(seq * dout),
+        f32_bytes(din * dout + dout),
+    )
+    .locality(0.65)
+    .working_set(f32_bytes(din * dout))
+}
+
+/// A layer-norm over `seq` tokens of width `d`.
+pub(crate) fn layer_norm(name: &str, seq: u64, d: u64) -> Layer {
+    Layer::new(
+        name,
+        OpKind::LayerNorm,
+        8.0 * (seq * d) as f64,
+        f32_bytes(seq * d),
+        f32_bytes(seq * d),
+        f32_bytes(2 * d),
+    )
+    .locality(0.9)
+}
+
+/// A token + position embedding lookup (BERT input). A gather touches
+/// only the looked-up rows (`2·seq·d` floats for token + position), not
+/// the whole table, but the random access pattern has poor locality and
+/// a working set far beyond any mobile L2. NPU-unsupported.
+pub(crate) fn embedding(name: &str, vocab: u64, seq: u64, d: u64) -> Layer {
+    Layer::new(
+        name,
+        OpKind::Embedding,
+        (seq * d) as f64,
+        f32_bytes(seq),
+        f32_bytes(seq * d),
+        f32_bytes(vocab * d),
+    )
+    .locality(0.3)
+    .working_set(f32_bytes(vocab * d / 8))
+    // The gather touches only the looked-up rows (token + position), not
+    // the whole table.
+    .touched_bytes(f32_bytes(2 * seq * d + seq * d) + f32_bytes(seq))
+}
+
+/// A Mish activation over `h × w × c` (YOLOv4 backbone), NPU-unsupported.
+pub(crate) fn mish(name: &str, h: u64, w: u64, c: u64) -> Layer {
+    Layer::new(
+        name,
+        OpKind::Mish,
+        6.0 * (h * w * c) as f64,
+        f32_bytes(h * w * c),
+        f32_bytes(h * w * c),
+        0,
+    )
+    .locality(0.95)
+}
+
+/// Nearest-neighbour 2× upsampling (YOLO neck), NPU-unsupported.
+pub(crate) fn upsample(name: &str, h: u64, w: u64, c: u64) -> Layer {
+    Layer::new(
+        name,
+        OpKind::Upsample,
+        (4 * h * w * c) as f64,
+        f32_bytes(h * w * c),
+        f32_bytes(4 * h * w * c),
+        0,
+    )
+    .locality(0.8)
+}
+
+/// A softmax over `n` logits.
+pub(crate) fn softmax(name: &str, n: u64) -> Layer {
+    Layer::new(
+        name,
+        OpKind::Softmax,
+        5.0 * n as f64,
+        f32_bytes(n),
+        f32_bytes(n),
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_flops_match_textbook_formula() {
+        // 3x3 conv, 224x224x3 -> 224x224x64: 2*9*3*64*224*224.
+        let l = conv("c", 224, 224, 3, 64, 3, 1);
+        assert_eq!(l.flops, 2.0 * 9.0 * 3.0 * 64.0 * 224.0 * 224.0);
+        assert_eq!(l.output_bytes, f32_bytes(224 * 224 * 64));
+    }
+
+    #[test]
+    fn stride_shrinks_output() {
+        let l = conv("c", 224, 224, 3, 64, 7, 2);
+        assert_eq!(l.output_bytes, f32_bytes(112 * 112 * 64));
+    }
+
+    #[test]
+    fn fire_module_has_poor_locality() {
+        let f = fire("fire2", 56, 56, 96, 16, 64);
+        assert!(f.locality < 0.5);
+        assert!(f.working_set_bytes > f.input_bytes + f.output_bytes);
+    }
+
+    #[test]
+    fn attention_flops_dominated_by_projections_at_short_seq() {
+        let a = attention("attn", 128, 768);
+        let proj = 8.0 * 128.0 * 768.0 * 768.0;
+        assert!(a.flops > proj);
+        assert!(a.flops < 1.5 * proj);
+    }
+
+    #[test]
+    fn fc_working_set_is_weight_matrix() {
+        let l = fc("fc6", 9216, 4096);
+        assert_eq!(l.working_set_bytes, f32_bytes(9216 * 4096));
+    }
+
+
+}

@@ -1,0 +1,185 @@
+//! Classic over-parameterized CNNs: AlexNet, VGG16, SqueezeNet,
+//! GoogLeNet and InceptionV4.
+
+use super::builders::*;
+use crate::graph::ModelGraph;
+use crate::layer::f32_bytes;
+
+/// AlexNet (Krizhevsky 2012): 5 conv + 3 FC, 227×227 input, ~61 M params.
+/// Its giant FC layers make it an Observation-2 contention source.
+pub fn alexnet() -> ModelGraph {
+    // Spatial dims follow the canonical valid-padding pipeline
+    // (227→55→27→13→6); conv2/4/5 use the original's two-group
+    // convolutions, modeled by halving the effective input channels.
+    let layers = vec![
+        conv("conv1", 220, 220, 3, 96, 11, 4),
+        pool("pool1", 54, 54, 96, 3, 2),
+        conv("conv2", 27, 27, 48, 256, 5, 1),
+        pool("pool2", 26, 26, 256, 3, 2),
+        conv("conv3", 13, 13, 256, 384, 3, 1),
+        conv("conv4", 13, 13, 192, 384, 3, 1),
+        conv("conv5", 13, 13, 192, 256, 3, 1),
+        pool("pool5", 12, 12, 256, 3, 2),
+        fc("fc6", 6 * 6 * 256, 4096),
+        fc("fc7", 4096, 4096),
+        fc("fc8", 4096, 1000),
+        softmax("prob", 1000),
+    ];
+    ModelGraph::new("AlexNet", f32_bytes(227 * 227 * 3), layers)
+}
+
+/// VGG16 (Simonyan 2014): 13 conv + 3 FC, ~138 M params, ~15.5 GFLOPs.
+pub fn vgg16() -> ModelGraph {
+    let layers = vec![
+        conv("conv1_1", 224, 224, 3, 64, 3, 1),
+        conv("conv1_2", 224, 224, 64, 64, 3, 1),
+        pool("pool1", 224, 224, 64, 2, 2),
+        conv("conv2_1", 112, 112, 64, 128, 3, 1),
+        conv("conv2_2", 112, 112, 128, 128, 3, 1),
+        pool("pool2", 112, 112, 128, 2, 2),
+        conv("conv3_1", 56, 56, 128, 256, 3, 1),
+        conv("conv3_2", 56, 56, 256, 256, 3, 1),
+        conv("conv3_3", 56, 56, 256, 256, 3, 1),
+        pool("pool3", 56, 56, 256, 2, 2),
+        conv("conv4_1", 28, 28, 256, 512, 3, 1),
+        conv("conv4_2", 28, 28, 512, 512, 3, 1),
+        conv("conv4_3", 28, 28, 512, 512, 3, 1),
+        pool("pool4", 28, 28, 512, 2, 2),
+        conv("conv5_1", 14, 14, 512, 512, 3, 1),
+        conv("conv5_2", 14, 14, 512, 512, 3, 1),
+        conv("conv5_3", 14, 14, 512, 512, 3, 1),
+        pool("pool5", 14, 14, 512, 2, 2),
+        fc("fc6", 7 * 7 * 512, 4096),
+        fc("fc7", 4096, 4096),
+        fc("fc8", 4096, 1000),
+        softmax("prob", 1000),
+    ];
+    ModelGraph::new("VGG16", f32_bytes(224 * 224 * 3), layers)
+}
+
+/// SqueezeNet 1.0 (Iandola 2016): conv + 8 fire modules, only ~1.2 M
+/// params (4.8 MB) — yet a high-contention outlier (Observation 3)
+/// because its fire modules have terrible locality.
+pub fn squeezenet() -> ModelGraph {
+    let layers = vec![
+        conv("conv1", 224, 224, 3, 96, 7, 2),
+        pool("pool1", 112, 112, 96, 3, 2),
+        fire("fire2", 56, 56, 96, 16, 64),
+        fire("fire3", 56, 56, 128, 16, 64),
+        fire("fire4", 56, 56, 128, 32, 128),
+        pool("pool4", 56, 56, 256, 3, 2),
+        fire("fire5", 28, 28, 256, 32, 128),
+        fire("fire6", 28, 28, 256, 48, 192),
+        fire("fire7", 28, 28, 384, 48, 192),
+        fire("fire8", 28, 28, 384, 64, 256),
+        pool("pool8", 28, 28, 512, 3, 2),
+        fire("fire9", 14, 14, 512, 64, 256),
+        conv("conv10", 14, 14, 512, 1000, 1, 1),
+        global_pool("pool10", 14, 14, 1000),
+        softmax("prob", 1000),
+    ];
+    ModelGraph::new("SqueezeNet", f32_bytes(224 * 224 * 3), layers)
+}
+
+/// GoogLeNet / InceptionV1 (Szegedy 2014): stem + 9 inception modules,
+/// ~7 M params (≈23 MB as shipped) — the other Observation-3 outlier.
+pub fn googlenet() -> ModelGraph {
+    let layers = vec![
+        conv("conv1", 224, 224, 3, 64, 7, 2),
+        pool("pool1", 112, 112, 64, 3, 2),
+        conv("conv2", 56, 56, 64, 192, 3, 1),
+        pool("pool2", 56, 56, 192, 3, 2),
+        inception("inc3a", 28, 28, 192, 256),
+        inception("inc3b", 28, 28, 256, 480),
+        pool("pool3", 28, 28, 480, 3, 2),
+        inception("inc4a", 14, 14, 480, 512),
+        inception("inc4b", 14, 14, 512, 512),
+        inception("inc4c", 14, 14, 512, 512),
+        inception("inc4d", 14, 14, 512, 528),
+        inception("inc4e", 14, 14, 528, 832),
+        pool("pool4", 14, 14, 832, 3, 2),
+        inception("inc5a", 7, 7, 832, 832),
+        inception("inc5b", 7, 7, 832, 1024),
+        global_pool("pool5", 7, 7, 1024),
+        fc("fc", 1024, 1000),
+        softmax("prob", 1000),
+    ];
+    ModelGraph::new("GoogLeNet", f32_bytes(224 * 224 * 3), layers)
+}
+
+/// InceptionV4 (Szegedy 2016): deeper stem + 14 inception blocks,
+/// ~43 M params, ~12 GFLOPs at 299×299.
+pub fn inceptionv4() -> ModelGraph {
+    let mut layers = vec![
+        conv("stem1", 299, 299, 3, 32, 3, 2),
+        conv("stem2", 150, 150, 32, 64, 3, 1),
+        pool("stem_pool", 150, 150, 64, 3, 2),
+        conv("stem3", 75, 75, 64, 192, 3, 1),
+        pool("stem_pool2", 75, 75, 192, 3, 2),
+    ];
+    for i in 0..4 {
+        layers.push(inception(&format!("incA{i}"), 38, 38, if i == 0 { 192 } else { 384 }, 384));
+    }
+    layers.push(pool("redA", 38, 38, 384, 3, 2));
+    for i in 0..7 {
+        layers.push(inception(&format!("incB{i}"), 19, 19, if i == 0 { 384 } else { 1024 }, 1024));
+    }
+    layers.push(pool("redB", 19, 19, 1024, 3, 2));
+    for i in 0..3 {
+        layers.push(inception(&format!("incC{i}"), 10, 10, if i == 0 { 1024 } else { 1536 }, 1536));
+    }
+    layers.push(global_pool("pool", 10, 10, 1536));
+    layers.push(fc("fc", 1536, 1000));
+    layers.push(softmax("prob", 1000));
+    ModelGraph::new("InceptionV4", f32_bytes(299 * 299 * 3), layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_has_61m_params() {
+        let p = alexnet().weight_bytes() / 4;
+        assert!((55_000_000..70_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn vgg16_has_138m_params_and_15gflops() {
+        let g = vgg16();
+        let p = g.weight_bytes() / 4;
+        assert!((130_000_000..145_000_000).contains(&p), "got {p}");
+        let gf = g.total_flops() / 1e9;
+        assert!((28.0..34.0).contains(&gf), "got {gf} GFLOPs (MACs×2)");
+    }
+
+    #[test]
+    fn squeezenet_is_under_6_megabytes() {
+        let mb = squeezenet().weight_bytes() as f64 / (1024.0 * 1024.0);
+        assert!(mb < 6.0, "SqueezeNet must stay tiny, got {mb} MB");
+    }
+
+    #[test]
+    fn googlenet_is_an_order_larger_than_squeezenet() {
+        let g = googlenet().weight_bytes();
+        let s = squeezenet().weight_bytes();
+        assert!(g > 3 * s);
+        let mb = g as f64 / (1024.0 * 1024.0);
+        assert!((15.0..40.0).contains(&mb), "got {mb} MB");
+    }
+
+    #[test]
+    fn inceptionv4_is_mid_sized() {
+        let g = inceptionv4();
+        let p = g.weight_bytes() / 4;
+        assert!((20_000_000..80_000_000).contains(&p), "got {p}");
+        assert!(g.len() > 15);
+    }
+
+    #[test]
+    fn all_classic_models_are_fully_npu_supported() {
+        for g in [alexnet(), vgg16(), squeezenet(), googlenet(), inceptionv4()] {
+            assert!(g.fully_npu_supported(), "{} should run on NPU", g.name());
+        }
+    }
+}

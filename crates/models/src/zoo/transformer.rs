@@ -1,0 +1,203 @@
+//! Transformer architectures: BERT-base and ViT-B/16.
+
+use super::builders::*;
+use crate::graph::ModelGraph;
+use crate::layer::f32_bytes;
+
+/// Sequence length used for BERT inference, matching typical mobile NLP
+/// workloads.
+pub const BERT_SEQ: u64 = 128;
+
+/// Token count for ViT-B/16 at 224×224 (14×14 patches + CLS).
+pub const VIT_TOKENS: u64 = 197;
+
+/// Appends one transformer encoder block (attention + LN + FFN + LN) for
+/// `seq` tokens of width `d` with FFN width `d_ffn`.
+fn encoder_block(layers: &mut Vec<crate::layer::Layer>, idx: usize, seq: u64, d: u64, d_ffn: u64) {
+    layers.push(attention(&format!("enc{idx}_attn"), seq, d));
+    layers.push(layer_norm(&format!("enc{idx}_ln1"), seq, d));
+    layers.push(ffn_matmul(&format!("enc{idx}_ffn1"), seq, d, d_ffn));
+    layers.push(ffn_matmul(&format!("enc{idx}_ffn2"), seq, d_ffn, d));
+    layers.push(layer_norm(&format!("enc{idx}_ln2"), seq, d));
+}
+
+/// BERT-base (Devlin 2018): embedding + 12 encoder blocks (768-dim
+/// attention, 3072-dim FFN) + pooler, ~110 M params. The embedding
+/// gather is NPU-unsupported, which is why the paper's Fig. 1 reports an
+/// NPU error for BERT.
+pub fn bert() -> ModelGraph {
+    bert_with_seq(BERT_SEQ)
+}
+
+/// BERT-base at an arbitrary sequence length (parameters unchanged;
+/// activations and FLOPs scale, the attention score matrix quadratically).
+///
+/// # Panics
+///
+/// Panics if `seq == 0`.
+pub fn bert_with_seq(seq: u64) -> ModelGraph {
+    assert!(seq > 0, "sequence length must be positive");
+    let (d, d_ffn) = (768u64, 3072u64);
+    let mut layers = vec![embedding("embeddings", 30_522, seq, d)];
+    for i in 0..12 {
+        encoder_block(&mut layers, i, seq, d, d_ffn);
+    }
+    // The pooler receives the full hidden state, extracts the CLS token
+    // and applies a d×d dense layer.
+    layers.push(
+        crate::layer::Layer::new(
+            "pooler",
+            crate::layer::OpKind::Fc,
+            2.0 * (d * d) as f64,
+            f32_bytes(seq * d),
+            f32_bytes(d),
+            f32_bytes(d * d + d),
+        )
+        .locality(0.55)
+        .working_set(f32_bytes(d * d)),
+    );
+    let name = if seq == BERT_SEQ {
+        "BERT".to_owned()
+    } else {
+        format!("BERT-seq{seq}")
+    };
+    ModelGraph::new(name, f32_bytes(seq), layers)
+}
+
+/// ViT-B/16 (Dosovitskiy 2020): conv patch embedding + 12 encoder blocks
+/// + classification head, ~86 M params, ~17.6 GFLOPs. Unlike BERT, the
+/// patch embedding is an ordinary convolution, so ViT runs fully on the
+/// NPU.
+pub fn vit() -> ModelGraph {
+    vit_at(224)
+}
+
+/// ViT-B/16 at an arbitrary square input resolution (must be a multiple
+/// of the 16-pixel patch size); token count grows quadratically with the
+/// side length.
+///
+/// # Panics
+///
+/// Panics if `resolution` is zero or not a multiple of 16.
+pub fn vit_at(resolution: u64) -> ModelGraph {
+    assert!(
+        resolution > 0 && resolution % 16 == 0,
+        "resolution must be a positive multiple of the 16-px patch size"
+    );
+    let patches = resolution / 16;
+    let seq = patches * patches + 1; // + CLS token
+    let (d, d_ffn) = (768u64, 3072u64);
+    let mut layers = vec![conv("patch_embed", resolution, resolution, 3, 768, 16, 16)];
+    for i in 0..12 {
+        encoder_block(&mut layers, i, seq, d, d_ffn);
+    }
+    layers.push(layer_norm("final_ln", seq, d));
+    // The classification head reads the full token sequence and projects
+    // the CLS token to the class logits.
+    layers.push(
+        crate::layer::Layer::new(
+            "head",
+            crate::layer::OpKind::Fc,
+            2.0 * (d * 1000) as f64,
+            f32_bytes(seq * d),
+            f32_bytes(1000),
+            f32_bytes(d * 1000 + 1000),
+        )
+        .locality(0.55)
+        .working_set(f32_bytes(d * 1000)),
+    );
+    layers.push(softmax("prob", 1000));
+    let name = if resolution == 224 {
+        "ViT".to_owned()
+    } else {
+        format!("ViT-{resolution}")
+    };
+    ModelGraph::new(name, f32_bytes(resolution * resolution * 3), layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_has_110m_params() {
+        let p = bert().weight_bytes() / 4;
+        assert!((95_000_000..125_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn vit_has_86m_params() {
+        let p = vit().weight_bytes() / 4;
+        assert!((75_000_000..95_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn bert_is_not_npu_supported_but_vit_is() {
+        assert!(!bert().fully_npu_supported(), "embedding breaks NPU");
+        assert!(vit().fully_npu_supported());
+    }
+
+    #[test]
+    fn bert_blocks_have_uniform_boundaries() {
+        // "the uniform intermediate dimensions of Transformers make model
+        // partition more straightforward" — all encoder-block outputs have
+        // identical size.
+        let g = bert();
+        let boundary_sizes: Vec<u64> = (1..g.len() - 1)
+            .filter(|&i| g.layers()[i].name.ends_with("ln2"))
+            .map(|i| g.boundary_bytes(i))
+            .collect();
+        assert!(boundary_sizes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn vit_is_much_larger_than_squeezenet() {
+        // Observation 3 quotes ViT as ~70× SqueezeNet's size.
+        let ratio =
+            vit().weight_bytes() as f64 / crate::zoo::classic::squeezenet().weight_bytes() as f64;
+        assert!(ratio > 40.0, "got ratio {ratio}");
+    }
+
+    #[test]
+    fn bert_seq_scaling_is_superlinear_in_attention() {
+        let short = bert_with_seq(128);
+        let long = bert_with_seq(512);
+        assert_eq!(short.weight_bytes(), long.weight_bytes(), "params fixed");
+        let ratio = long.total_flops() / short.total_flops();
+        assert!(
+            ratio > 4.0,
+            "4x tokens with quadratic attention must exceed 4x FLOPs, got {ratio:.2}"
+        );
+        assert_eq!(long.name(), "BERT-seq512");
+        assert_eq!(bert_with_seq(128).name(), "BERT");
+    }
+
+    #[test]
+    fn vit_resolution_scaling_grows_tokens_quadratically() {
+        let small = vit_at(224);
+        let big = vit_at(448);
+        assert_eq!(small.weight_bytes(), big.weight_bytes());
+        assert!(big.total_flops() > 3.9 * small.total_flops());
+        assert_eq!(big.name(), "ViT-448");
+    }
+
+    #[test]
+    #[should_panic(expected = "patch size")]
+    fn vit_rejects_unaligned_resolution() {
+        vit_at(225);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bert_rejects_zero_seq() {
+        bert_with_seq(0);
+    }
+
+    #[test]
+    fn transformer_flops_are_in_published_range() {
+        let vit_gf = vit().total_flops() / 1e9;
+        assert!((12.0..40.0).contains(&vit_gf), "got {vit_gf}");
+        let bert_gf = bert().total_flops() / 1e9;
+        assert!((15.0..35.0).contains(&bert_gf), "got {bert_gf}");
+    }
+}

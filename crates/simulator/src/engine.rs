@@ -1,0 +1,620 @@
+//! Rate-based discrete-event execution engine.
+//!
+//! Tasks are units of work pinned to one processor, with DAG dependencies.
+//! Each processor executes one task at a time, FIFO among ready tasks in
+//! submission order. A running task progresses at
+//!
+//! ```text
+//! rate = thermal_factor(p) · memory_factor / (1 + slowdown)
+//! ```
+//!
+//! where `slowdown` is recomputed from the current co-runner set at every
+//! start/finish event ([`crate::interference`]). This yields the
+//! time-varying, combination-dependent co-execution slowdown that the
+//! paper measures on real SoCs (Table II) while remaining fully
+//! deterministic: event order is resolved by `f64` time with stable
+//! task-id tie-breaking, and no randomness is involved.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::interference::slowdown_for;
+use crate::memory::MemoryState;
+use crate::processor::ProcessorId;
+use crate::soc::SocSpec;
+use crate::thermal::{ThermalSpec, ThermalState};
+use crate::timeline::{Span, Trace};
+
+/// Opaque handle to a submitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// The task's submission index (also its index in [`Trace::spans`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Description of one unit of work submitted to the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Human-readable label carried into the trace.
+    pub label: String,
+    /// Processor the task must run on.
+    pub processor: ProcessorId,
+    /// Execution time in milliseconds under solo, unthrottled execution.
+    pub solo_ms: f64,
+    /// Contention intensity this task emits onto the shared bus while
+    /// running (the paper's regression target; ~1.0 for a memory-bound
+    /// model, ~0 for a compute-bound one).
+    pub intensity: f64,
+    /// Susceptibility of this task to co-runners' contention.
+    pub sensitivity: f64,
+    /// Memory bandwidth demand in GB/s (drives the frequency governor).
+    pub bandwidth_gbps: f64,
+    /// Resident memory footprint in bytes while the task runs.
+    pub footprint_bytes: u64,
+    /// Tasks that must complete before this one may start.
+    pub deps: Vec<TaskId>,
+    /// Earliest wall-clock start in ms (request arrival time); the task
+    /// stays invisible to its processor's queue until then.
+    pub release_ms: f64,
+}
+
+impl TaskSpec {
+    /// Creates a task with neutral contention behaviour: zero emitted
+    /// intensity, unit sensitivity, no footprint and no dependencies.
+    pub fn new(label: impl Into<String>, processor: ProcessorId, solo_ms: f64) -> Self {
+        TaskSpec {
+            label: label.into(),
+            processor,
+            solo_ms,
+            intensity: 0.0,
+            sensitivity: 1.0,
+            bandwidth_gbps: 0.0,
+            footprint_bytes: 0,
+            deps: Vec::new(),
+            release_ms: 0.0,
+        }
+    }
+
+    /// Sets the emitted contention intensity (builder style).
+    pub fn intensity(mut self, intensity: f64) -> Self {
+        self.intensity = intensity;
+        self
+    }
+
+    /// Sets the contention sensitivity (builder style).
+    pub fn sensitivity(mut self, sensitivity: f64) -> Self {
+        self.sensitivity = sensitivity;
+        self
+    }
+
+    /// Sets the bandwidth demand in GB/s (builder style).
+    pub fn bandwidth(mut self, gbps: f64) -> Self {
+        self.bandwidth_gbps = gbps;
+        self
+    }
+
+    /// Sets the resident footprint in bytes (builder style).
+    pub fn footprint(mut self, bytes: u64) -> Self {
+        self.footprint_bytes = bytes;
+        self
+    }
+
+    /// Adds a dependency (builder style).
+    pub fn after(mut self, dep: TaskId) -> Self {
+        self.deps.push(dep);
+        self
+    }
+
+    /// Sets the arrival/release time in ms (builder style).
+    pub fn release(mut self, release_ms: f64) -> Self {
+        self.release_ms = release_ms;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    task: usize,
+    remaining_ms: f64,
+    start_ms: f64,
+}
+
+/// A simulation under construction: an SoC plus a task DAG.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    soc: SocSpec,
+    tasks: Vec<TaskSpec>,
+}
+
+impl Simulation {
+    /// Creates an empty simulation on the given SoC.
+    pub fn new(soc: SocSpec) -> Self {
+        Simulation {
+            soc,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// The SoC this simulation runs on.
+    pub fn soc(&self) -> &SocSpec {
+        &self.soc
+    }
+
+    /// Number of tasks submitted so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Submits a task and returns its handle. Validation of processor ids
+    /// and dependencies happens in [`Simulation::run`] so tasks can be
+    /// submitted in any order.
+    pub fn add_task(&mut self, spec: TaskSpec) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(spec);
+        id
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        let n_proc = self.soc.processors.len();
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.processor.index() >= n_proc {
+                return Err(SimError::UnknownProcessor {
+                    index: t.processor.index(),
+                    available: n_proc,
+                });
+            }
+            if !(t.solo_ms.is_finite() && t.solo_ms >= 0.0) {
+                return Err(SimError::InvalidDuration {
+                    task: i,
+                    solo_ms: t.solo_ms,
+                });
+            }
+            if !(t.release_ms.is_finite() && t.release_ms >= 0.0) {
+                return Err(SimError::InvalidDuration {
+                    task: i,
+                    solo_ms: t.release_ms,
+                });
+            }
+            for d in &t.deps {
+                if d.0 >= self.tasks.len() {
+                    return Err(SimError::UnknownDependency {
+                        task: i,
+                        dependency: d.0,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the simulation to completion and returns the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if a task references an unknown processor or
+    /// dependency, has an invalid duration, or the DAG contains a cycle.
+    pub fn run(self) -> Result<Trace, SimError> {
+        self.validate()?;
+        let n = self.tasks.len();
+        let n_proc = self.soc.processors.len();
+
+        let mut indegree = vec![0usize; n];
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            indegree[i] = t.deps.len();
+            for d in &t.deps {
+                successors[d.0].push(i);
+            }
+        }
+
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_proc];
+        // Tasks whose dependencies are met but whose release time has not
+        // arrived, kept sorted by (release, id) descending so the next
+        // release pops from the back.
+        let mut deferred: Vec<(f64, usize)> = Vec::new();
+        let defer_or_queue =
+            |i: usize,
+             time_ms: f64,
+             queues: &mut Vec<VecDeque<usize>>,
+             deferred: &mut Vec<(f64, usize)>,
+             tasks: &[TaskSpec]| {
+                if tasks[i].release_ms > time_ms {
+                    let key = (tasks[i].release_ms, i);
+                    let pos = deferred
+                        .binary_search_by(|&(r, id)| {
+                            (r, id)
+                                .partial_cmp(&key)
+                                .expect("finite releases")
+                                .reverse()
+                        })
+                        .unwrap_or_else(|p| p);
+                    deferred.insert(pos, (key.0, key.1));
+                } else {
+                    queues[tasks[i].processor.index()].push_back(i);
+                }
+            };
+        for i in 0..n {
+            if indegree[i] == 0 {
+                defer_or_queue(i, 0.0, &mut queues, &mut deferred, &self.tasks);
+            }
+        }
+
+        let mut running: Vec<Option<Running>> = vec![None; n_proc];
+        let mut memory = MemoryState::new(self.soc.memory.clone());
+        memory.sample(0.0);
+        let mut thermal: Vec<ThermalState> = self
+            .soc
+            .processors
+            .iter()
+            .map(|p| ThermalState::new(ThermalSpec::for_kind(p.kind), self.soc.thermal_mode))
+            .collect();
+
+        let mut spans: Vec<Option<Span>> = vec![None; n];
+        let mut time_ms = 0.0f64;
+        let mut completed = 0usize;
+        const EPS: f64 = 1e-9;
+
+        while completed < n {
+            // Start phase: fill idle processors from their FIFO queues.
+            for p in 0..n_proc {
+                if running[p].is_none() {
+                    if let Some(task) = queues[p].pop_front() {
+                        let spec = &self.tasks[task];
+                        memory.allocate(time_ms, spec.footprint_bytes, spec.bandwidth_gbps);
+                        running[p] = Some(Running {
+                            task,
+                            remaining_ms: spec.solo_ms,
+                            start_ms: time_ms,
+                        });
+                    }
+                }
+            }
+
+            let active: Vec<usize> = (0..n_proc).filter(|&p| running[p].is_some()).collect();
+            if active.is_empty() {
+                // Nothing running: either jump to the next release, or
+                // the remaining tasks form a dependency cycle.
+                if let Some(&(release, _)) = deferred.last() {
+                    time_ms = time_ms.max(release);
+                    while let Some(&(r, id)) = deferred.last() {
+                        if r <= time_ms {
+                            deferred.pop();
+                            queues[self.tasks[id].processor.index()].push_back(id);
+                        } else {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                return Err(SimError::CyclicDependency {
+                    stuck: n - completed,
+                });
+            }
+
+            // Rate phase: effective progress rate for every running task.
+            let mem_factor = memory.rate_factor();
+            let mut rates = vec![0.0f64; n_proc];
+            for &p in &active {
+                let r = running[p].as_ref().expect("active implies running");
+                let spec = &self.tasks[r.task];
+                let corunners = active.iter().filter(|&&q| q != p).map(|&q| {
+                    let other = running[q].as_ref().expect("active implies running");
+                    (
+                        &self.soc.processors[q],
+                        self.tasks[other.task].intensity,
+                    )
+                });
+                let slow = slowdown_for(
+                    &self.soc.coupling,
+                    &self.soc.processors[p],
+                    spec.sensitivity,
+                    corunners,
+                );
+                rates[p] = thermal[p].rate_factor() * mem_factor / (1.0 + slow);
+            }
+
+            // Advance phase: step to the earliest completion or release.
+            let completion_dt = active
+                .iter()
+                .map(|&p| {
+                    let r = running[p].as_ref().expect("active implies running");
+                    if rates[p] > 0.0 {
+                        r.remaining_ms / rates[p]
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .fold(f64::INFINITY, f64::min);
+            let release_dt = deferred
+                .last()
+                .map_or(f64::INFINITY, |&(r, _)| (r - time_ms).max(0.0));
+            let dt = completion_dt.min(release_dt);
+            debug_assert!(dt.is_finite(), "at least one task must make progress");
+            time_ms += dt;
+            // Release newly arrived tasks.
+            while let Some(&(r, id)) = deferred.last() {
+                if r <= time_ms + 1e-12 {
+                    deferred.pop();
+                    queues[self.tasks[id].processor.index()].push_back(id);
+                } else {
+                    break;
+                }
+            }
+            for p in 0..n_proc {
+                thermal[p].advance(dt, running[p].is_some());
+                if let Some(r) = running[p].as_mut() {
+                    r.remaining_ms = (r.remaining_ms - dt * rates[p]).max(0.0);
+                }
+            }
+
+            // Finish phase: retire completed tasks in processor order,
+            // then release successors in task-id order for determinism.
+            let mut newly_ready: Vec<usize> = Vec::new();
+            for p in 0..n_proc {
+                let done = matches!(&running[p], Some(r) if r.remaining_ms <= EPS);
+                if !done {
+                    continue;
+                }
+                let r = running[p].take().expect("checked above");
+                let spec = &self.tasks[r.task];
+                memory.release(time_ms, spec.footprint_bytes, spec.bandwidth_gbps);
+                spans[r.task] = Some(Span {
+                    task: r.task,
+                    label: spec.label.clone(),
+                    processor: spec.processor,
+                    start_ms: r.start_ms,
+                    end_ms: time_ms,
+                    solo_ms: spec.solo_ms,
+                });
+                completed += 1;
+                for &s in &successors[r.task] {
+                    indegree[s] -= 1;
+                    if indegree[s] == 0 {
+                        newly_ready.push(s);
+                    }
+                }
+            }
+            newly_ready.sort_unstable();
+            for s in newly_ready {
+                defer_or_queue(s, time_ms, &mut queues, &mut deferred, &self.tasks);
+            }
+        }
+
+        Ok(Trace {
+            spans: spans.into_iter().map(|s| s.expect("all completed")).collect(),
+            memory: memory.into_trace(),
+            processor_count: n_proc,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::ProcessorKind;
+
+    fn soc() -> SocSpec {
+        SocSpec::kirin_990()
+    }
+
+    fn id(soc: &SocSpec, kind: ProcessorKind) -> ProcessorId {
+        soc.processor_by_kind(kind).expect("preset has processor")
+    }
+
+    #[test]
+    fn single_task_takes_solo_time() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("solo", npu, 10.0));
+        let trace = sim.run().expect("runs");
+        // NPU never throttles at steady state, no co-runners.
+        assert!((trace.makespan_ms() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dependencies_serialize_execution() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let gpu = id(&soc, ProcessorKind::Gpu);
+        let mut sim = Simulation::new(soc);
+        let a = sim.add_task(TaskSpec::new("a", npu, 5.0));
+        sim.add_task(TaskSpec::new("b", gpu, 5.0).after(a));
+        let trace = sim.run().expect("runs");
+        let a_span = trace.span(0).expect("ran");
+        let b_span = trace.span(1).expect("ran");
+        assert!(b_span.start_ms >= a_span.end_ms);
+    }
+
+    #[test]
+    fn coexecution_slows_both_sides_symmetrically() {
+        let mut soc = soc();
+        soc.thermal_mode = crate::thermal::ThermalMode::Disabled;
+        let cpu = id(&soc, ProcessorKind::CpuBig);
+        let gpu = id(&soc, ProcessorKind::Gpu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("c", cpu, 100.0).intensity(1.0));
+        sim.add_task(TaskSpec::new("g", gpu, 100.0).intensity(1.0));
+        let trace = sim.run().expect("runs");
+        let sc = trace.span(0).expect("ran").slowdown();
+        let sg = trace.span(1).expect("ran").slowdown();
+        assert!(sc > 0.15, "CPU-GPU interference is strong, got {sc}");
+        // Observation 1: equal-priority co-execution suffers identical
+        // slowdown on both sides (same gamma, same intensities).
+        assert!((sc - sg).abs() < 1e-6, "slowdown must be symmetric");
+    }
+
+    #[test]
+    fn npu_corunner_barely_slows_cpu() {
+        let mut soc = soc();
+        soc.thermal_mode = crate::thermal::ThermalMode::Disabled;
+        let cpu = id(&soc, ProcessorKind::CpuBig);
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("c", cpu, 100.0).intensity(1.0));
+        sim.add_task(TaskSpec::new("n", npu, 100.0).intensity(1.0));
+        let trace = sim.run().expect("runs");
+        let sc = trace.span(0).expect("ran").slowdown();
+        assert!(sc < 0.06, "CPU-NPU interference is weak, got {sc}");
+    }
+
+    #[test]
+    fn fifo_order_is_respected_per_processor() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("first", npu, 3.0));
+        sim.add_task(TaskSpec::new("second", npu, 3.0));
+        let trace = sim.run().expect("runs");
+        assert!(trace.span(1).unwrap().start_ms >= trace.span(0).unwrap().end_ms);
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        // Forge a forward dependency to create a 2-cycle.
+        let mut a = TaskSpec::new("a", npu, 1.0);
+        a.deps.push(TaskId(1));
+        let a = sim.add_task(a);
+        sim.add_task(TaskSpec::new("b", npu, 1.0).after(a));
+        let err = sim.run().expect_err("cycle must be detected");
+        assert!(matches!(err, SimError::CyclicDependency { stuck: 2 }));
+    }
+
+    #[test]
+    fn unknown_processor_is_reported() {
+        let soc = soc();
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("x", ProcessorId(99), 1.0));
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::UnknownProcessor { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_duration_is_reported() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("x", npu, f64::NAN));
+        assert!(matches!(sim.run(), Err(SimError::InvalidDuration { .. })));
+    }
+
+    #[test]
+    fn zero_duration_tasks_complete() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        let a = sim.add_task(TaskSpec::new("zero", npu, 0.0));
+        sim.add_task(TaskSpec::new("next", npu, 1.0).after(a));
+        let trace = sim.run().expect("runs");
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.span(0).unwrap().duration_ms(), 0.0);
+    }
+
+    #[test]
+    fn determinism_same_input_same_trace() {
+        let build = || {
+            let soc = soc();
+            let cpu = id(&soc, ProcessorKind::CpuBig);
+            let gpu = id(&soc, ProcessorKind::Gpu);
+            let npu = id(&soc, ProcessorKind::Npu);
+            let mut sim = Simulation::new(soc);
+            let mut prev: Option<TaskId> = None;
+            for i in 0..30 {
+                let p = match i % 3 {
+                    0 => cpu,
+                    1 => gpu,
+                    _ => npu,
+                };
+                let mut t = TaskSpec::new(format!("t{i}"), p, 1.0 + (i % 7) as f64)
+                    .intensity(0.1 * (i % 5) as f64);
+                if i % 4 == 0 {
+                    if let Some(pv) = prev {
+                        t = t.after(pv);
+                    }
+                }
+                prev = Some(sim.add_task(t));
+            }
+            sim.run().expect("runs")
+        };
+        let t1 = build();
+        let t2 = build();
+        assert_eq!(t1.spans, t2.spans);
+    }
+
+    #[test]
+    fn release_times_delay_task_starts() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("late", npu, 5.0).release(100.0));
+        let trace = sim.run().expect("runs");
+        let s = trace.span(0).expect("ran");
+        assert!((s.start_ms - 100.0).abs() < 1e-9, "start {}", s.start_ms);
+        assert!((trace.makespan_ms() - 105.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn released_task_preempts_idle_wait() {
+        // A long task runs on the NPU; a task released mid-way on the
+        // idle GPU must start at its release time, not when the NPU task
+        // finishes.
+        let mut soc = soc();
+        soc.thermal_mode = crate::thermal::ThermalMode::Disabled;
+        let npu = id(&soc, ProcessorKind::Npu);
+        let gpu = id(&soc, ProcessorKind::Gpu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("long", npu, 100.0));
+        sim.add_task(TaskSpec::new("mid", gpu, 10.0).release(30.0));
+        let trace = sim.run().expect("runs");
+        let mid = trace.span(1).expect("ran");
+        assert!((mid.start_ms - 30.0).abs() < 1e-9, "start {}", mid.start_ms);
+    }
+
+    #[test]
+    fn releases_compose_with_dependencies() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        let a = sim.add_task(TaskSpec::new("a", npu, 10.0));
+        // Successor is both dependent on `a` (ends at 10) and released at
+        // 50: the later constraint governs.
+        sim.add_task(TaskSpec::new("b", npu, 5.0).after(a).release(50.0));
+        let trace = sim.run().expect("runs");
+        assert!((trace.span(1).unwrap().start_ms - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_release_is_reported() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("x", npu, 1.0).release(f64::NAN));
+        assert!(matches!(sim.run(), Err(SimError::InvalidDuration { .. })));
+    }
+
+    #[test]
+    fn memory_overcommit_slows_everything() {
+        let mut soc = soc();
+        soc.thermal_mode = crate::thermal::ThermalMode::Disabled;
+        let npu = id(&soc, ProcessorKind::Npu);
+        let cap = soc.memory.capacity_bytes;
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("huge", npu, 10.0).footprint(cap + 1));
+        let trace = sim.run().expect("runs");
+        assert!(
+            trace.span(0).unwrap().duration_ms() > 10.0 * 1.5,
+            "page faults must stretch execution"
+        );
+    }
+}

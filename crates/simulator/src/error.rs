@@ -1,0 +1,80 @@
+//! Error types for the SoC simulator.
+
+use std::fmt;
+
+/// Errors produced while constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A task referenced a processor id that does not exist on the SoC.
+    UnknownProcessor {
+        /// The offending processor index.
+        index: usize,
+        /// Number of processors on the SoC.
+        available: usize,
+    },
+    /// A task listed a dependency on a task id that was never registered.
+    UnknownDependency {
+        /// The task whose dependency list is invalid.
+        task: usize,
+        /// The missing dependency id.
+        dependency: usize,
+    },
+    /// The task graph contains a dependency cycle, so the simulation can
+    /// never drain.
+    CyclicDependency {
+        /// Number of tasks that could not be scheduled.
+        stuck: usize,
+    },
+    /// A task was given a non-finite or negative solo execution time.
+    InvalidDuration {
+        /// The task with the invalid duration.
+        task: usize,
+        /// The rejected value in milliseconds.
+        solo_ms: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownProcessor { index, available } => write!(
+                f,
+                "task references processor {index} but the SoC only has {available} processors"
+            ),
+            SimError::UnknownDependency { task, dependency } => write!(
+                f,
+                "task {task} depends on unregistered task {dependency}"
+            ),
+            SimError::CyclicDependency { stuck } => write!(
+                f,
+                "task graph contains a cycle: {stuck} tasks can never become ready"
+            ),
+            SimError::InvalidDuration { task, solo_ms } => write!(
+                f,
+                "task {task} has invalid solo execution time {solo_ms} ms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = SimError::CyclicDependency { stuck: 3 };
+        let msg = err.to_string();
+        assert!(msg.contains("cycle"));
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,345 @@
+//! SoC presets mirroring the paper's three evaluation platforms.
+//!
+//! * **Kirin 990** — 2×A76@2.86 + 2×A76@2.09 (Big), 4×A55@1.86 (Small),
+//!   16-core Mali-G76 GPU, DaVinci NPU.
+//! * **Snapdragon 778G** — 1×A78@2.40 + 3×A78@2.20 (Big), 4×A55@1.90
+//!   (Small), Adreno 642L GPU, no usable NPU path in the paper's setup.
+//! * **Snapdragon 870** — 1×A77@3.20 + 3×A77@2.42 (Big), 4×A55@1.80
+//!   (Small), Adreno 650 GPU, no NPU.
+//!
+//! Throughput numbers are calibrated so that the *relative* shapes of the
+//! paper hold: `NPU ≫ CPU_B ≥ GPU ≫ CPU_S` for compute-friendly kernels,
+//! the GPU pays a large per-kernel OpenCL dispatch overhead, and the
+//! shared-bus bandwidth sits below 20 GB/s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::interference::CouplingMatrix;
+use crate::memory::MemorySpec;
+use crate::processor::{ProcessorId, ProcessorKind, ProcessorSpec};
+use crate::thermal::ThermalMode;
+
+/// Full static description of a system-on-chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocSpec {
+    /// Marketing name, e.g. `"Kirin 990"`.
+    pub name: String,
+    /// Processor table; [`ProcessorId`]s index into it.
+    pub processors: Vec<ProcessorSpec>,
+    /// DRAM subsystem parameters.
+    pub memory: MemorySpec,
+    /// Co-execution coupling matrix.
+    pub coupling: CouplingMatrix,
+    /// Thermal treatment for simulations on this SoC.
+    pub thermal_mode: ThermalMode,
+}
+
+impl SocSpec {
+    /// Builds a SoC from parts.
+    pub fn new(name: impl Into<String>, processors: Vec<ProcessorSpec>) -> Self {
+        SocSpec {
+            name: name.into(),
+            processors,
+            memory: MemorySpec::mobile_default(),
+            coupling: CouplingMatrix::mobile_default(),
+            thermal_mode: ThermalMode::SteadyState,
+        }
+    }
+
+    /// The Kirin 990 preset (the only evaluation platform with an NPU).
+    pub fn kirin_990() -> Self {
+        SocSpec::new(
+            "Kirin 990",
+            vec![
+                ProcessorSpec {
+                    name: "CPU_B".to_owned(),
+                    kind: ProcessorKind::CpuBig,
+                    cores: 4,
+                    clock_ghz: 2.86,
+                    peak_gflops: 58.0,
+                    mem_bandwidth_gbps: 12.0,
+                    l2_kib: 512,
+                    kernel_overhead_ms: 0.010,
+                    cluster: None,
+                },
+                ProcessorSpec {
+                    name: "CPU_S".to_owned(),
+                    kind: ProcessorKind::CpuSmall,
+                    cores: 4,
+                    clock_ghz: 1.86,
+                    peak_gflops: 11.0,
+                    mem_bandwidth_gbps: 6.0,
+                    l2_kib: 256,
+                    kernel_overhead_ms: 0.012,
+                    cluster: None,
+                },
+                ProcessorSpec {
+                    name: "GPU".to_owned(),
+                    kind: ProcessorKind::Gpu,
+                    cores: 16,
+                    clock_ghz: 0.70,
+                    peak_gflops: 95.0,
+                    mem_bandwidth_gbps: 14.0,
+                    l2_kib: 1024,
+                    kernel_overhead_ms: 0.45,
+                    cluster: None,
+                },
+                ProcessorSpec {
+                    name: "NPU".to_owned(),
+                    kind: ProcessorKind::Npu,
+                    cores: 1,
+                    clock_ghz: 0.80,
+                    // Sustained FP32-equivalent throughput of the DaVinci
+                    // NPU: ~3-6x the big CPU cluster, matching the paper's
+                    // Fig. 1 gap rather than the INT8 marketing peak.
+                    peak_gflops: 200.0,
+                    mem_bandwidth_gbps: 18.0,
+                    l2_kib: 8192,
+                    kernel_overhead_ms: 0.12,
+                    cluster: None,
+                },
+            ],
+        )
+    }
+
+    /// The Snapdragon 778G preset (CPU Big/Small + Adreno 642L, no NPU).
+    pub fn snapdragon_778g() -> Self {
+        SocSpec::new(
+            "Snapdragon 778G",
+            vec![
+                ProcessorSpec {
+                    name: "CPU_B".to_owned(),
+                    kind: ProcessorKind::CpuBig,
+                    cores: 4,
+                    clock_ghz: 2.40,
+                    peak_gflops: 50.0,
+                    mem_bandwidth_gbps: 11.0,
+                    l2_kib: 512,
+                    kernel_overhead_ms: 0.010,
+                    cluster: None,
+                },
+                ProcessorSpec {
+                    name: "CPU_S".to_owned(),
+                    kind: ProcessorKind::CpuSmall,
+                    cores: 4,
+                    clock_ghz: 1.90,
+                    peak_gflops: 11.5,
+                    mem_bandwidth_gbps: 6.0,
+                    l2_kib: 256,
+                    kernel_overhead_ms: 0.012,
+                    cluster: None,
+                },
+                ProcessorSpec {
+                    name: "GPU".to_owned(),
+                    kind: ProcessorKind::Gpu,
+                    cores: 4,
+                    clock_ghz: 0.55,
+                    peak_gflops: 75.0,
+                    mem_bandwidth_gbps: 12.0,
+                    l2_kib: 1024,
+                    kernel_overhead_ms: 0.40,
+                    cluster: None,
+                },
+            ],
+        )
+    }
+
+    /// The Snapdragon 870 preset (fastest CPU of the three, Adreno 650).
+    pub fn snapdragon_870() -> Self {
+        SocSpec::new(
+            "Snapdragon 870",
+            vec![
+                ProcessorSpec {
+                    name: "CPU_B".to_owned(),
+                    kind: ProcessorKind::CpuBig,
+                    cores: 4,
+                    clock_ghz: 3.20,
+                    peak_gflops: 62.0,
+                    mem_bandwidth_gbps: 13.0,
+                    l2_kib: 512,
+                    kernel_overhead_ms: 0.009,
+                    cluster: None,
+                },
+                ProcessorSpec {
+                    name: "CPU_S".to_owned(),
+                    kind: ProcessorKind::CpuSmall,
+                    cores: 4,
+                    clock_ghz: 1.80,
+                    peak_gflops: 10.5,
+                    mem_bandwidth_gbps: 6.0,
+                    l2_kib: 256,
+                    kernel_overhead_ms: 0.012,
+                    cluster: None,
+                },
+                ProcessorSpec {
+                    name: "GPU".to_owned(),
+                    kind: ProcessorKind::Gpu,
+                    cores: 6,
+                    clock_ghz: 0.67,
+                    peak_gflops: 105.0,
+                    mem_bandwidth_gbps: 14.0,
+                    l2_kib: 1024,
+                    kernel_overhead_ms: 0.38,
+                    cluster: None,
+                },
+            ],
+        )
+    }
+
+    /// All three evaluation platforms, in the order of Fig. 7.
+    pub fn evaluation_platforms() -> Vec<SocSpec> {
+        vec![
+            SocSpec::snapdragon_778g(),
+            SocSpec::snapdragon_870(),
+            SocSpec::kirin_990(),
+        ]
+    }
+
+    /// A Kirin 990 variant whose Big and Small CPU clusters are split into
+    /// sub-partitions sharing a cluster tag, used to reproduce the
+    /// intra-cluster contention study of Fig. 10 (`BB-BB`, `SS-SS`,
+    /// `BBB-B`, `SSS-S` core splits).
+    ///
+    /// `big_split`/`small_split` give the core counts of the two
+    /// partitions of each cluster, e.g. `(2, 2)` for `BB-BB`.
+    pub fn kirin_990_split_clusters(big_split: (u32, u32), small_split: (u32, u32)) -> Self {
+        let base = SocSpec::kirin_990();
+        let big = base.processors[0].clone();
+        let small = base.processors[1].clone();
+        let mut processors = Vec::new();
+        for (i, &cores) in [big_split.0, big_split.1].iter().enumerate() {
+            let mut p = big.clone();
+            p.name = format!("CPU_B{i}");
+            p.cores = cores;
+            p.peak_gflops = big.peak_gflops * cores as f64 / big.cores as f64;
+            p.cluster = Some(0);
+            processors.push(p);
+        }
+        for (i, &cores) in [small_split.0, small_split.1].iter().enumerate() {
+            let mut p = small.clone();
+            p.name = format!("CPU_S{i}");
+            p.cores = cores;
+            p.peak_gflops = small.peak_gflops * cores as f64 / small.cores as f64;
+            p.cluster = Some(1);
+            processors.push(p);
+        }
+        processors.push(base.processors[2].clone());
+        processors.push(base.processors[3].clone());
+        let mut soc = SocSpec::new("Kirin 990 (split clusters)", processors);
+        soc.memory = base.memory;
+        soc.coupling = base.coupling;
+        soc
+    }
+
+    /// Looks up a processor id by its unique name.
+    pub fn processor_by_name(&self, name: &str) -> Option<ProcessorId> {
+        self.processors
+            .iter()
+            .position(|p| p.name == name)
+            .map(ProcessorId)
+    }
+
+    /// The first processor of the given kind, if the SoC has one.
+    pub fn processor_by_kind(&self, kind: ProcessorKind) -> Option<ProcessorId> {
+        self.processors
+            .iter()
+            .position(|p| p.kind == kind)
+            .map(ProcessorId)
+    }
+
+    /// The spec of processor `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this SoC.
+    pub fn processor(&self, id: ProcessorId) -> &ProcessorSpec {
+        &self.processors[id.0]
+    }
+
+    /// Processor ids ordered by descending processing power
+    /// (`NPU ≫ CPU_B ≥ GPU ≫ CPU_S`), the order in which the paper
+    /// arranges pipeline stages.
+    pub fn processors_by_power(&self) -> Vec<ProcessorId> {
+        let mut ids: Vec<ProcessorId> = (0..self.processors.len()).map(ProcessorId).collect();
+        ids.sort_by_key(|&id| (self.processor(id).power_rank(), id.0));
+        ids
+    }
+
+    /// Whether this SoC has an NPU.
+    pub fn has_npu(&self) -> bool {
+        self.processors
+            .iter()
+            .any(|p| p.kind == ProcessorKind::Npu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kirin_has_npu_snapdragons_do_not() {
+        assert!(SocSpec::kirin_990().has_npu());
+        assert!(!SocSpec::snapdragon_778g().has_npu());
+        assert!(!SocSpec::snapdragon_870().has_npu());
+    }
+
+    #[test]
+    fn power_order_is_npu_big_gpu_small() {
+        let soc = SocSpec::kirin_990();
+        let order: Vec<ProcessorKind> = soc
+            .processors_by_power()
+            .into_iter()
+            .map(|id| soc.processor(id).kind)
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ProcessorKind::Npu,
+                ProcessorKind::CpuBig,
+                ProcessorKind::Gpu,
+                ProcessorKind::CpuSmall
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name_and_kind_agree() {
+        let soc = SocSpec::snapdragon_870();
+        assert_eq!(
+            soc.processor_by_name("GPU"),
+            soc.processor_by_kind(ProcessorKind::Gpu)
+        );
+        assert_eq!(soc.processor_by_name("NPU"), None);
+    }
+
+    #[test]
+    fn split_cluster_preset_shares_tags_and_conserves_cores() {
+        let soc = SocSpec::kirin_990_split_clusters((2, 2), (3, 1));
+        let b0 = soc.processor(soc.processor_by_name("CPU_B0").unwrap());
+        let b1 = soc.processor(soc.processor_by_name("CPU_B1").unwrap());
+        assert_eq!(b0.cluster, b1.cluster);
+        assert_eq!(b0.cores + b1.cores, 4);
+        let s0 = soc.processor(soc.processor_by_name("CPU_S0").unwrap());
+        let s1 = soc.processor(soc.processor_by_name("CPU_S1").unwrap());
+        assert_eq!(s0.cores, 3);
+        assert_eq!(s1.cores, 1);
+        assert_ne!(b0.cluster, s0.cluster);
+        assert_eq!(soc.processors.len(), 6);
+    }
+
+    #[test]
+    fn evaluation_platforms_are_three() {
+        assert_eq!(SocSpec::evaluation_platforms().len(), 3);
+    }
+
+    #[test]
+    fn bandwidth_stays_below_20_gbps() {
+        // The paper notes mobile memory bandwidth is effectively < 20 GB/s.
+        for soc in SocSpec::evaluation_platforms() {
+            for p in &soc.processors {
+                assert!(p.mem_bandwidth_gbps < 20.0, "{} {}", soc.name, p.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Thermal model: heat accumulation and frequency throttling.
+//!
+//! Appendix B of the paper shows that under continuous inference the CPU
+//! exceeds 60 °C and throttles noticeably, while the GPU/NPU stay within
+//! a 50 °C envelope thanks to lower core frequencies. The paper runs all
+//! experiments at thermal steady state; the simulator therefore supports
+//! both a transient mode (for reproducing Fig. 11-style behaviour) and a
+//! steady-state mode in which throttle factors are fixed at their
+//! equilibrium values.
+
+use serde::{Deserialize, Serialize};
+
+use crate::processor::ProcessorKind;
+
+/// Thermal parameters for one processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalSpec {
+    /// Ambient / idle temperature in °C.
+    pub ambient_c: f64,
+    /// Heating rate while busy, in °C per millisecond of busy time.
+    pub heat_per_ms: f64,
+    /// Newton-cooling coefficient per millisecond towards ambient.
+    pub cool_coeff: f64,
+    /// Temperature above which the processor throttles, in °C.
+    pub throttle_c: f64,
+    /// Multiplicative rate factor applied while throttled.
+    pub throttle_factor: f64,
+}
+
+impl ThermalSpec {
+    /// Default parameters per processor kind, calibrated so that the CPU
+    /// clusters reach their throttle point under sustained load while the
+    /// GPU/NPU equilibrate below theirs (Appendix B).
+    pub fn for_kind(kind: ProcessorKind) -> Self {
+        match kind {
+            ProcessorKind::CpuBig => ThermalSpec {
+                ambient_c: 35.0,
+                heat_per_ms: 0.020,
+                cool_coeff: 0.0004,
+                throttle_c: 60.0,
+                throttle_factor: 0.80,
+            },
+            ProcessorKind::CpuSmall => ThermalSpec {
+                ambient_c: 35.0,
+                heat_per_ms: 0.012,
+                cool_coeff: 0.0004,
+                throttle_c: 60.0,
+                throttle_factor: 0.85,
+            },
+            ProcessorKind::Gpu => ThermalSpec {
+                ambient_c: 35.0,
+                heat_per_ms: 0.006,
+                cool_coeff: 0.0005,
+                throttle_c: 50.0,
+                throttle_factor: 0.90,
+            },
+            ProcessorKind::Npu => ThermalSpec {
+                ambient_c: 35.0,
+                heat_per_ms: 0.005,
+                cool_coeff: 0.0005,
+                throttle_c: 50.0,
+                throttle_factor: 0.92,
+            },
+        }
+    }
+
+    /// The steady-state temperature under 100% duty cycle:
+    /// `ambient + heat_per_ms / cool_coeff`.
+    pub fn steady_state_c(&self) -> f64 {
+        self.ambient_c + self.heat_per_ms / self.cool_coeff
+    }
+
+    /// Whether this processor throttles at thermal steady state under
+    /// continuous load.
+    pub fn throttles_at_steady_state(&self) -> bool {
+        self.steady_state_c() > self.throttle_c
+    }
+}
+
+/// How the engine treats temperature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ThermalMode {
+    /// Temperatures are ignored; no processor ever throttles.
+    Disabled,
+    /// Temperatures evolve during the run from ambient (transient ramp-up,
+    /// as in Fig. 11's continuous-inference experiment).
+    Transient,
+    /// The paper's evaluation condition: every processor is pinned at its
+    /// steady-state temperature, so throttle factors are constant.
+    #[default]
+    SteadyState,
+}
+
+/// Runtime thermal state of one processor.
+#[derive(Debug, Clone)]
+pub struct ThermalState {
+    spec: ThermalSpec,
+    mode: ThermalMode,
+    temp_c: f64,
+}
+
+impl ThermalState {
+    /// Creates the state for a processor with the given spec and mode.
+    pub fn new(spec: ThermalSpec, mode: ThermalMode) -> Self {
+        let temp_c = match mode {
+            ThermalMode::Disabled | ThermalMode::Transient => spec.ambient_c,
+            ThermalMode::SteadyState => spec.steady_state_c(),
+        };
+        ThermalState { spec, mode, temp_c }
+    }
+
+    /// Current temperature in °C.
+    pub fn temp_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Advances the temperature by `dt_ms`, with the processor busy or
+    /// idle. No-op in [`ThermalMode::Disabled`] and
+    /// [`ThermalMode::SteadyState`].
+    pub fn advance(&mut self, dt_ms: f64, busy: bool) {
+        if self.mode != ThermalMode::Transient {
+            return;
+        }
+        let heat = if busy { self.spec.heat_per_ms } else { 0.0 };
+        // Explicit Euler step of dT/dt = heat - cool*(T - ambient); the
+        // engine's event granularity keeps dt small relative to the time
+        // constants involved.
+        let d_temp = heat - self.spec.cool_coeff * (self.temp_c - self.spec.ambient_c);
+        self.temp_c = (self.temp_c + d_temp * dt_ms).max(self.spec.ambient_c);
+    }
+
+    /// Multiplicative progress-rate factor from the current temperature.
+    pub fn rate_factor(&self) -> f64 {
+        match self.mode {
+            ThermalMode::Disabled => 1.0,
+            _ => {
+                if self.temp_c > self.spec.throttle_c {
+                    self.spec.throttle_factor
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_throttles_at_steady_state_but_npu_does_not() {
+        assert!(ThermalSpec::for_kind(ProcessorKind::CpuBig).throttles_at_steady_state());
+        assert!(!ThermalSpec::for_kind(ProcessorKind::Npu).throttles_at_steady_state());
+        assert!(!ThermalSpec::for_kind(ProcessorKind::Gpu).throttles_at_steady_state());
+    }
+
+    #[test]
+    fn steady_state_mode_pins_temperature() {
+        let spec = ThermalSpec::for_kind(ProcessorKind::CpuBig);
+        let expected = spec.steady_state_c();
+        let mut st = ThermalState::new(spec, ThermalMode::SteadyState);
+        assert_eq!(st.temp_c(), expected);
+        st.advance(10_000.0, true);
+        assert_eq!(st.temp_c(), expected, "steady state never moves");
+        assert!(st.rate_factor() < 1.0, "hot CPU is throttled");
+    }
+
+    #[test]
+    fn transient_mode_heats_under_load_and_cools_when_idle() {
+        let spec = ThermalSpec::for_kind(ProcessorKind::CpuBig);
+        let mut st = ThermalState::new(spec.clone(), ThermalMode::Transient);
+        assert_eq!(st.rate_factor(), 1.0, "starts cold");
+        for _ in 0..2_000 {
+            st.advance(1.0, true);
+        }
+        let hot = st.temp_c();
+        assert!(hot > spec.ambient_c + 20.0, "sustained load heats up");
+        for _ in 0..20_000 {
+            st.advance(1.0, false);
+        }
+        assert!(st.temp_c() < hot, "idling cools down");
+    }
+
+    #[test]
+    fn disabled_mode_never_throttles() {
+        let spec = ThermalSpec::for_kind(ProcessorKind::CpuBig);
+        let mut st = ThermalState::new(spec, ThermalMode::Disabled);
+        st.advance(100_000.0, true);
+        assert_eq!(st.rate_factor(), 1.0);
+    }
+}

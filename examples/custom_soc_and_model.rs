@@ -1,0 +1,149 @@
+//! Bring your own hardware and your own network: builds a custom SoC
+//! (a hypothetical tablet chip with a beefy GPU and no NPU) and a custom
+//! DNN through the public APIs, then plans and executes it next to zoo
+//! models.
+//!
+//! ```text
+//! cargo run --release --example custom_soc_and_model
+//! ```
+
+use h2p_models::graph::ModelGraph;
+use h2p_models::layer::{f32_bytes, Layer, OpKind};
+use h2p_models::zoo::ModelId;
+use h2p_simulator::processor::{ProcessorKind, ProcessorSpec};
+use h2p_simulator::SocSpec;
+use hetero2pipe::planner::Planner;
+
+/// A small custom audio-visual fusion network: conv front-end, a
+/// transformer fusion block and an FC head.
+fn fusion_net() -> ModelGraph {
+    let d = 256u64;
+    let seq = 64u64;
+    let layers = vec![
+        Layer::new(
+            "conv_front",
+            OpKind::Conv,
+            2.0 * (9 * 32 * 64 * 56 * 56) as f64,
+            f32_bytes(56 * 56 * 32),
+            f32_bytes(56 * 56 * 64),
+            f32_bytes(9 * 32 * 64),
+        )
+        .locality(0.9),
+        Layer::new(
+            "proj",
+            OpKind::MatMul,
+            2.0 * (seq * 56 * d) as f64,
+            f32_bytes(56 * 56 * 64),
+            f32_bytes(seq * d),
+            f32_bytes(56 * d),
+        )
+        .locality(0.7),
+        Layer::new(
+            "fusion_attn",
+            OpKind::Attention,
+            (8 * seq * d * d + 4 * seq * seq * d) as f64,
+            f32_bytes(seq * d),
+            f32_bytes(seq * d),
+            f32_bytes(4 * d * d),
+        )
+        .locality(0.6),
+        Layer::new(
+            "fusion_ffn",
+            OpKind::MatMul,
+            2.0 * (seq * d * 4 * d) as f64,
+            f32_bytes(seq * d),
+            f32_bytes(seq * 4 * d),
+            f32_bytes(d * 4 * d),
+        )
+        .locality(0.65),
+        Layer::new(
+            "head",
+            OpKind::Fc,
+            2.0 * (4 * d * 32) as f64,
+            f32_bytes(4 * d),
+            f32_bytes(32),
+            f32_bytes(4 * d * 32),
+        )
+        .locality(0.55),
+    ];
+    ModelGraph::new("FusionNet", f32_bytes(56 * 56 * 32), layers)
+}
+
+/// A hypothetical tablet SoC: 4 big cores, 4 small cores, a large GPU.
+fn tablet_soc() -> SocSpec {
+    SocSpec::new(
+        "TabletChip X1",
+        vec![
+            ProcessorSpec {
+                name: "CPU_B".to_owned(),
+                kind: ProcessorKind::CpuBig,
+                cores: 4,
+                clock_ghz: 3.0,
+                peak_gflops: 70.0,
+                mem_bandwidth_gbps: 15.0,
+                l2_kib: 1024,
+                kernel_overhead_ms: 0.008,
+                cluster: None,
+            },
+            ProcessorSpec {
+                name: "CPU_S".to_owned(),
+                kind: ProcessorKind::CpuSmall,
+                cores: 4,
+                clock_ghz: 2.0,
+                peak_gflops: 14.0,
+                mem_bandwidth_gbps: 7.0,
+                l2_kib: 256,
+                kernel_overhead_ms: 0.012,
+                cluster: None,
+            },
+            ProcessorSpec {
+                name: "GPU".to_owned(),
+                kind: ProcessorKind::Gpu,
+                cores: 12,
+                clock_ghz: 0.9,
+                peak_gflops: 180.0,
+                mem_bandwidth_gbps: 18.0,
+                l2_kib: 2048,
+                kernel_overhead_ms: 0.30,
+                cluster: None,
+            },
+        ],
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = tablet_soc();
+    let planner = Planner::new(&soc)?;
+
+    let custom = fusion_net();
+    println!(
+        "custom model {}: {} layers, {:.2} GFLOPs, {:.1} MB",
+        custom.name(),
+        custom.len(),
+        custom.total_flops() / 1e9,
+        custom.weight_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    let requests = vec![
+        custom.clone(),
+        ModelId::MobileNetV2.graph(),
+        custom.clone(),
+        ModelId::ResNet50.graph(),
+    ];
+    let planned = planner.plan(&requests)?;
+    let report = planned.execute(&soc)?;
+    println!(
+        "on {}: latency {:.1} ms, throughput {:.2} inf/s",
+        soc.name, report.makespan_ms, report.throughput_per_sec
+    );
+    for (pos, req) in planned.plan.requests.iter().enumerate() {
+        println!(
+            "  #{pos} {:<12} {} stages, intensity {:.2} ({:?})",
+            req.model,
+            req.active_stage_count(),
+            req.intensity,
+            req.class
+        );
+    }
+    Ok(())
+}

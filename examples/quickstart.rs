@@ -1,0 +1,67 @@
+//! Quickstart: plan and execute a multi-DNN workload on a simulated
+//! Kirin 990 with the full Hetero²Pipe planner.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+use hetero2pipe::planner::Planner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a platform: the Kirin 990 preset has CPU Big/Small
+    //    clusters, a Mali-G76 GPU and the DaVinci NPU.
+    let soc = SocSpec::kirin_990();
+
+    // 2. Create the planner. This profiles the model zoo's synthetic PMU
+    //    counters and trains the contention-intensity regression (Eq. 1).
+    let planner = Planner::new(&soc)?;
+
+    // 3. Plan a stream of heterogeneous inference requests. YOLOv4 and
+    //    BERT contain NPU-unsupported operators and exercise the
+    //    operator-fallback path.
+    let planned = planner.plan_models(&[
+        ModelId::YoloV4,
+        ModelId::MobileNetV2,
+        ModelId::Bert,
+        ModelId::ResNet50,
+        ModelId::SqueezeNet,
+    ])?;
+
+    println!("pipeline depth: {} processors", planned.plan.depth());
+    println!(
+        "estimated makespan: {:.1} ms, planned bubbles: {:.1} ms",
+        planned.plan.estimated_makespan_ms(),
+        planned.plan.total_bubble_ms()
+    );
+    for (pos, req) in planned.plan.requests.iter().enumerate() {
+        let stages: Vec<String> = req
+            .stages
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, s)| {
+                s.as_ref().map(|s| {
+                    format!(
+                        "{}:{}={:.1}ms",
+                        soc.processor(planned.plan.procs[slot]).name,
+                        s.range,
+                        s.total_ms()
+                    )
+                })
+            })
+            .collect();
+        println!("  #{pos} {} [{:?}]: {}", req.model, req.class, stages.join(" -> "));
+    }
+
+    // 4. Execute on the discrete-event SoC simulator, where co-execution
+    //    slowdown, thermal throttling and memory pressure play out.
+    let report = planned.execute(&soc)?;
+    println!(
+        "\nmeasured: latency {:.1} ms, throughput {:.2} inf/s, mean co-exec slowdown {:.1}%",
+        report.makespan_ms,
+        report.throughput_per_sec,
+        report.mean_slowdown * 100.0
+    );
+    Ok(())
+}

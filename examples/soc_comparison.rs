@@ -1,0 +1,43 @@
+//! Runs one workload across all three evaluation SoCs and shows how the
+//! planner adapts: on the Kirin 990 the NPU takes the CNN bodies; on the
+//! Snapdragons (no NPU) the plan leans on the CPU Big/GPU pair.
+//!
+//! ```text
+//! cargo run --release --example soc_comparison
+//! ```
+
+use h2p_models::graph::ModelGraph;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+use hetero2pipe::planner::Planner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = [
+        ModelId::ResNet50,
+        ModelId::Bert,
+        ModelId::SqueezeNet,
+        ModelId::InceptionV4,
+        ModelId::MobileNetV2,
+        ModelId::Vit,
+    ];
+    let requests: Vec<ModelGraph> = workload.iter().map(|m| m.graph()).collect();
+
+    for soc in SocSpec::evaluation_platforms() {
+        let planner = Planner::new(&soc)?;
+        let planned = planner.plan(&requests)?;
+        let report = planned.execute(&soc)?;
+        println!(
+            "{:<16} depth {}  latency {:>7.1} ms  throughput {:>5.2} inf/s",
+            soc.name,
+            planned.plan.depth(),
+            report.makespan_ms,
+            report.throughput_per_sec
+        );
+        // Per-processor utilization over the run.
+        for (i, p) in soc.processors.iter().enumerate() {
+            let util = report.trace.utilization(h2p_simulator::ProcessorId(i));
+            println!("    {:<6} {:>5.1}% busy", p.name, util * 100.0);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper and stores the raw
+# output under experiments/. Used to populate EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p experiments
+
+COMBOS="${COMBOS:-100}"
+
+bins=(
+  zoo_summary
+  fig01_processor_latency
+  fig02a_queueing
+  fig02b_counters
+  tab01_related
+  tab02_slowdown
+  fig09_memory
+  fig10_intracluster
+  fig11_thermal
+  fig12_bubble_latency
+  fig13_batching
+  app_searchspace
+  ext_streaming
+  ext_energy
+  ext_precision
+  ext_scaling
+  ext_granularity
+)
+for b in "${bins[@]}"; do
+  echo "== running $b"
+  cargo run --release -q -p h2p-bench --bin "$b" >"experiments/$b.txt" 2>&1
+done
+
+echo "== running fig07_overall (--combos $COMBOS)"
+cargo run --release -q -p h2p-bench --bin fig07_overall -- --combos "$COMBOS" \
+  >"experiments/fig07_overall.txt" 2>&1
+
+echo "== running fig08_ablation (--combos $COMBOS)"
+cargo run --release -q -p h2p-bench --bin fig08_ablation -- --combos "$COMBOS" \
+  >"experiments/fig08_ablation.txt" 2>&1
+
+echo "done; outputs in experiments/"

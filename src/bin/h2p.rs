@@ -1,0 +1,176 @@
+//! `h2p` — command-line front end for the Hetero²Pipe reproduction.
+//!
+//! ```text
+//! h2p socs                               # list SoC presets
+//! h2p zoo                                # list zoo models
+//! h2p plan  --soc kirin990 bert yolov4   # print a pipeline plan
+//! h2p run   --soc sd870 --scheme band resnet50 vit squeezenet
+//! h2p gantt --soc kirin990 bert mobilenetv2 resnet50
+//! ```
+
+use h2p_baselines::Scheme;
+use h2p_models::graph::ModelGraph;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+use hetero2pipe::planner::Planner;
+use hetero2pipe::report::{PlanSummary, ReportSummary};
+
+fn parse_soc(name: &str) -> Option<SocSpec> {
+    match name.to_ascii_lowercase().replace(['-', '_', ' '], "").as_str() {
+        "kirin990" | "kirin" => Some(SocSpec::kirin_990()),
+        "sd778g" | "snapdragon778g" | "778g" => Some(SocSpec::snapdragon_778g()),
+        "sd870" | "snapdragon870" | "870" => Some(SocSpec::snapdragon_870()),
+        _ => None,
+    }
+}
+
+fn parse_model(name: &str) -> Option<ModelId> {
+    let n = name.to_ascii_lowercase().replace(['-', '_'], "");
+    ModelId::ALL
+        .into_iter()
+        .find(|m| m.name().to_ascii_lowercase().replace(['-', '_'], "") == n)
+        .or(match n.as_str() {
+            "yolo" | "yolov4" => Some(ModelId::YoloV4),
+            "mobilenet" | "mobilenetv2" => Some(ModelId::MobileNetV2),
+            "inception" | "inceptionv4" => Some(ModelId::InceptionV4),
+            "vgg" | "vgg16" => Some(ModelId::Vgg16),
+            _ => None,
+        })
+}
+
+fn parse_scheme(name: &str) -> Option<Scheme> {
+    match name.to_ascii_lowercase().as_str() {
+        "mnn" | "serial" => Some(Scheme::MnnSerial),
+        "pipeit" | "pipe-it" => Some(Scheme::PipeIt),
+        "band" => Some(Scheme::Band),
+        "dart" => Some(Scheme::Dart),
+        "noct" | "no-ct" => Some(Scheme::NoCt),
+        "h2p" | "hetero2pipe" => Some(Scheme::Hetero2Pipe),
+        _ => None,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    soc: SocSpec,
+    scheme: Scheme,
+    models: Vec<ModelId>,
+}
+
+fn parse_args(rest: &[String]) -> Args {
+    let mut soc = SocSpec::kirin_990();
+    let mut scheme = Scheme::Hetero2Pipe;
+    let mut models = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--soc" => {
+                i += 1;
+                soc = rest
+                    .get(i)
+                    .and_then(|s| parse_soc(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown soc");
+                        usage()
+                    });
+            }
+            "--scheme" => {
+                i += 1;
+                scheme = rest
+                    .get(i)
+                    .and_then(|s| parse_scheme(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown scheme");
+                        usage()
+                    });
+            }
+            m => match parse_model(m) {
+                Some(id) => models.push(id),
+                None => {
+                    eprintln!("unknown model: {m}");
+                    usage()
+                }
+            },
+        }
+        i += 1;
+    }
+    if models.is_empty() {
+        eprintln!("no models given");
+        usage()
+    }
+    Args { soc, scheme, models }
+}
+
+fn graphs(ids: &[ModelId]) -> Vec<ModelGraph> {
+    ids.iter().map(|m| m.graph()).collect()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    match cmd.as_str() {
+        "socs" => {
+            for soc in SocSpec::evaluation_platforms() {
+                let procs: Vec<String> = soc
+                    .processors
+                    .iter()
+                    .map(|p| format!("{} ({:.0} GFLOPS)", p.name, p.peak_gflops))
+                    .collect();
+                println!("{:<16} {}", soc.name, procs.join(", "));
+            }
+        }
+        "zoo" => {
+            for id in ModelId::ALL {
+                let g = id.graph();
+                println!(
+                    "{:<12} {:>3} layers  {:>7.1} MB  {:>6.2} GFLOPs  NPU: {}",
+                    id.name(),
+                    g.len(),
+                    g.weight_bytes() as f64 / (1024.0 * 1024.0),
+                    g.total_flops() / 1e9,
+                    if g.fully_npu_supported() { "yes" } else { "fallback" }
+                );
+            }
+        }
+        "plan" => {
+            let args = parse_args(&argv[1..]);
+            let planner = Planner::new(&args.soc).expect("planner");
+            let planned = planner.plan(&graphs(&args.models)).expect("plan");
+            println!("plan on {}:", args.soc.name);
+            print!("{}", PlanSummary::new(&planned.plan, &args.soc));
+        }
+        "run" => {
+            let args = parse_args(&argv[1..]);
+            let report = args
+                .scheme
+                .run(&args.soc, &graphs(&args.models))
+                .expect("run");
+            println!("{} on {}:", args.scheme.name(), args.soc.name);
+            print!("{}", ReportSummary::new(&report));
+        }
+        "gantt" => {
+            let args = parse_args(&argv[1..]);
+            let planner = Planner::new(&args.soc).expect("planner");
+            let planned = planner.plan(&graphs(&args.models)).expect("plan");
+            let report = planned.execute(&args.soc).expect("execute");
+            let names: Vec<&str> = args
+                .soc
+                .processors
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect();
+            print!("{}", report.trace.render_gantt(&names, 100));
+            println!(
+                "latency {:.1} ms, throughput {:.2} inf/s",
+                report.makespan_ms, report.throughput_per_sec
+            );
+        }
+        _ => usage(),
+    }
+}

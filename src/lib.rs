@@ -1,0 +1,6 @@
+//! Workspace-level glue for examples and integration tests.
+pub use h2p_baselines as baselines;
+pub use h2p_contention as contention;
+pub use h2p_models as models;
+pub use h2p_simulator as simulator;
+pub use hetero2pipe as core;

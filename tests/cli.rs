@@ -1,0 +1,75 @@
+//! Smoke tests for the `h2p` command-line front end, exercising the
+//! compiled binary end to end.
+
+use std::process::Command;
+
+fn h2p(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_h2p"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn socs_lists_all_three_platforms() {
+    let (stdout, _, ok) = h2p(&["socs"]);
+    assert!(ok);
+    for name in ["Kirin 990", "Snapdragon 778G", "Snapdragon 870"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+}
+
+#[test]
+fn zoo_lists_all_ten_models() {
+    let (stdout, _, ok) = h2p(&["zoo"]);
+    assert!(ok);
+    for name in ["AlexNet", "VGG16", "YOLOv4", "BERT", "ViT", "SqueezeNet"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    assert!(stdout.contains("fallback"), "NPU fallback column shown");
+}
+
+#[test]
+fn plan_prints_stage_layout() {
+    let (stdout, _, ok) = h2p(&["plan", "--soc", "kirin990", "bert", "resnet50"]);
+    assert!(ok);
+    assert!(stdout.contains("BERT"));
+    assert!(stdout.contains("ResNet50"));
+    assert!(stdout.contains("est. makespan"));
+}
+
+#[test]
+fn run_reports_latency_for_every_scheme() {
+    for scheme in ["mnn", "pipeit", "dart", "band", "noct", "h2p"] {
+        let (stdout, _, ok) = h2p(&["run", "--scheme", scheme, "resnet50", "squeezenet"]);
+        assert!(ok, "{scheme} failed");
+        assert!(stdout.contains("latency"), "{scheme}: {stdout}");
+    }
+}
+
+#[test]
+fn gantt_renders_one_row_per_processor() {
+    let (stdout, _, ok) = h2p(&["gantt", "--soc", "sd870", "resnet50", "vgg16"]);
+    assert!(ok);
+    for name in ["CPU_B", "CPU_S", "GPU"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+}
+
+#[test]
+fn unknown_inputs_exit_with_usage() {
+    let (_, stderr, ok) = h2p(&["run", "not-a-model"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"));
+    let (_, stderr, ok) = h2p(&["plan", "--soc", "exynos"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown soc"));
+    let (_, stderr, ok) = h2p(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}

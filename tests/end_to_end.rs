@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: planning and executing workloads end to
+//! end across every scheme and every evaluation SoC.
+
+use h2p_baselines::Scheme;
+use h2p_models::graph::ModelGraph;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+use hetero2pipe::planner::{Planner, PlannerConfig};
+use hetero2pipe::workload::random_combinations;
+
+fn graphs(ids: &[ModelId]) -> Vec<ModelGraph> {
+    ids.iter().map(|m| m.graph()).collect()
+}
+
+#[test]
+fn every_scheme_completes_on_every_platform() {
+    let reqs = graphs(&[
+        ModelId::ResNet50,
+        ModelId::Bert,
+        ModelId::SqueezeNet,
+        ModelId::YoloV4,
+        ModelId::MobileNetV2,
+    ]);
+    for soc in SocSpec::evaluation_platforms() {
+        for scheme in Scheme::ALL {
+            let r = scheme
+                .run(&soc, &reqs)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", scheme.name(), soc.name));
+            assert!(r.makespan_ms > 0.0);
+            assert_eq!(r.request_latency_ms.len(), reqs.len());
+            for (i, &lat) in r.request_latency_ms.iter().enumerate() {
+                assert!(
+                    lat > 0.0 && lat <= r.makespan_ms + 1e-6,
+                    "{} on {}: request {i} latency {lat} vs makespan {}",
+                    scheme.name(),
+                    soc.name,
+                    r.makespan_ms
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hetero2pipe_wins_on_average_over_random_combinations() {
+    // Fig. 7's headline in miniature: over a seeded sample of random
+    // combinations on the Kirin 990, Hetero2Pipe beats serial MNN by >2x
+    // on average and is at least competitive with (within 15% of) Band.
+    let soc = SocSpec::kirin_990();
+    let sets = random_combinations(99, 8, 6, 10);
+    let mut mnn = 0.0;
+    let mut band = 0.0;
+    let mut h2p = 0.0;
+    for set in &sets {
+        let reqs = graphs(set);
+        mnn += Scheme::MnnSerial.run(&soc, &reqs).unwrap().makespan_ms;
+        band += Scheme::Band.run(&soc, &reqs).unwrap().makespan_ms;
+        h2p += Scheme::Hetero2Pipe.run(&soc, &reqs).unwrap().makespan_ms;
+    }
+    assert!(mnn / h2p > 2.0, "H2P vs MNN speedup only {:.2}", mnn / h2p);
+    assert!(
+        h2p < band * 1.15,
+        "H2P ({h2p:.0}) must stay competitive with Band ({band:.0})"
+    );
+}
+
+#[test]
+fn full_planner_beats_no_ct_on_average() {
+    // Fig. 8(b): contention mitigation + tail optimization reduce latency.
+    let soc = SocSpec::kirin_990();
+    let sets = random_combinations(7, 8, 5, 9);
+    let full = Planner::new(&soc).unwrap();
+    let noct = Planner::with_config(&soc, PlannerConfig::no_ct()).unwrap();
+    let mut full_ms = 0.0;
+    let mut noct_ms = 0.0;
+    for set in &sets {
+        let reqs = graphs(set);
+        full_ms += full.plan(&reqs).unwrap().execute(&soc).unwrap().makespan_ms;
+        noct_ms += noct.plan(&reqs).unwrap().execute(&soc).unwrap().makespan_ms;
+    }
+    assert!(
+        full_ms < noct_ms,
+        "full {full_ms:.0} must beat No C/T {noct_ms:.0}"
+    );
+}
+
+#[test]
+fn plans_tile_every_model_and_execution_is_deterministic() {
+    let soc = SocSpec::snapdragon_870();
+    let planner = Planner::new(&soc).unwrap();
+    let reqs = graphs(&[ModelId::Vgg16, ModelId::Bert, ModelId::GoogLeNet, ModelId::Vit]);
+    let a = planner.plan(&reqs).unwrap();
+    let b = planner.plan(&reqs).unwrap();
+    assert_eq!(a.plan, b.plan, "planning is deterministic");
+    for req in &a.plan.requests {
+        let n = reqs[req.request].len();
+        let mut next = 0usize;
+        for stage in req.stages.iter().flatten() {
+            assert_eq!(stage.range.first, next, "{} stages must tile", req.model);
+            next = stage.range.last + 1;
+        }
+        assert_eq!(next, n, "{} must cover all layers", req.model);
+    }
+    let ra = a.execute(&soc).unwrap();
+    let rb = b.execute(&soc).unwrap();
+    assert_eq!(ra.trace.spans, rb.trace.spans, "execution is deterministic");
+}
+
+#[test]
+fn memory_constraint_is_respected_by_plans() {
+    // Constraint (6): the planner's plans keep concurrent footprints
+    // below physical memory for the standard workloads.
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).unwrap();
+    let reqs = graphs(&[ModelId::Bert, ModelId::Vit, ModelId::YoloV4]);
+    let planned = planner.plan(&reqs).unwrap();
+    assert!(planned.plan.peak_footprint_bytes() <= soc.memory.capacity_bytes);
+    // And the executed trace never reports paging.
+    let report = planned.execute(&soc).unwrap();
+    assert!(report
+        .trace
+        .memory
+        .iter()
+        .all(|s| s.available_bytes > 0 || s.allocated_bytes <= soc.memory.capacity_bytes));
+}
+
+#[test]
+fn estimates_track_measured_latency() {
+    // The planner's contention-aware estimate should predict measured
+    // latency within a reasonable band for planned pipelines.
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).unwrap();
+    for set in random_combinations(13, 6, 4, 8) {
+        let reqs = graphs(&set);
+        let planned = planner.plan(&reqs).unwrap();
+        let est = planned.plan.estimated_makespan_contention_ms(&soc);
+        let measured = planned.execute(&soc).unwrap().makespan_ms;
+        let err = (est - measured).abs() / measured;
+        assert!(
+            err < 0.40,
+            "estimate {est:.0} vs measured {measured:.0} ({:.0}% off) for {set:?}",
+            err * 100.0
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Property-based tests over the core algorithms and data structures:
+//! optimality of the partition DP, optimality of the Hungarian solver,
+//! permutation/resolution invariants of contention mitigation, plan
+//! tiling after the full planning pipeline, simulator determinism and
+//! batching conservation.
+
+use proptest::prelude::*;
+
+use h2p_contention::ContentionClass;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::engine::{Simulation, TaskSpec};
+use h2p_simulator::{ProcessorId, SocSpec};
+use hetero2pipe::{batching, lap, mitigation, partition};
+
+/// Builds a prefix-sum oracle from per-slot layer times.
+fn oracle(times: Vec<Vec<f64>>) -> impl Fn(usize, usize, usize) -> Option<f64> {
+    let prefix: Vec<Vec<f64>> = times
+        .iter()
+        .map(|row| {
+            let mut p = vec![0.0];
+            for &t in row {
+                p.push(p.last().unwrap() + t);
+            }
+            p
+        })
+        .collect();
+    move |slot, i, j| {
+        if slot >= prefix.len() || j >= prefix[slot].len() - 1 || i > j {
+            None
+        } else {
+            Some(prefix[slot][j + 1] - prefix[slot][i])
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The reference DP always matches brute-force enumeration on
+    /// arbitrary heterogeneous oracles; the fast balance-point variant is
+    /// exact on homogeneous oracles and never better than optimal (it
+    /// returns a real partition) on heterogeneous ones.
+    #[test]
+    fn partition_dp_is_optimal(
+        n in 2usize..10,
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let k = k.min(n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 100 + 1) as f64 / 10.0
+        };
+        let times: Vec<Vec<f64>> = (0..k).map(|_| (0..n).map(|_| next()).collect()).collect();
+        let homogeneous_row: Vec<f64> = (0..n).map(|_| next()).collect();
+        let homogeneous: Vec<Vec<f64>> = (0..k).map(|_| homogeneous_row.clone()).collect();
+        let c = oracle(times);
+        let ch = oracle(homogeneous);
+        let dp = partition::min_max_partition(n, k, &c).expect("feasible");
+        let fast = partition::min_max_partition_fast(n, k, &c).expect("feasible");
+        let brute = partition::min_max_partition_exhaustive(n, k, &c).expect("feasible");
+        prop_assert!((dp.makespan_ms - brute.makespan_ms).abs() < 1e-9);
+        // Heterogeneous: the fast variant is a feasible upper bound.
+        prop_assert!(fast.makespan_ms >= brute.makespan_ms - 1e-9);
+        // Homogeneous: it is exact.
+        let dph = partition::min_max_partition(n, k, &ch).expect("feasible");
+        let fasth = partition::min_max_partition_fast(n, k, &ch).expect("feasible");
+        prop_assert!((fasth.makespan_ms - dph.makespan_ms).abs() < 1e-9);
+        // Splits are strictly ascending and in range.
+        prop_assert!(dp.splits.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(dp.splits.iter().all(|&s| s > 0 && s < n));
+        // The reported makespan equals the max stage time.
+        let max_stage = dp.stage_ms.iter().copied().fold(0.0, f64::max);
+        prop_assert!((dp.makespan_ms - max_stage).abs() < 1e-12);
+    }
+
+    /// The Hungarian solver is optimal against permutation brute force
+    /// (including infeasible pairings) on small matrices.
+    #[test]
+    fn hungarian_is_optimal(
+        n in 1usize..5,
+        extra in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let m = n + extra;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state >> 33
+        };
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..m)
+                    .map(|_| {
+                        if next() % 5 == 0 {
+                            f64::INFINITY
+                        } else {
+                            (next() % 100) as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Brute force over all injections rows -> cols.
+        fn brute(cost: &[Vec<f64>], row: usize, used: &mut Vec<bool>) -> Option<f64> {
+            if row == cost.len() {
+                return Some(0.0);
+            }
+            let mut best: Option<f64> = None;
+            for c in 0..cost[0].len() {
+                if used[c] || !cost[row][c].is_finite() {
+                    continue;
+                }
+                used[c] = true;
+                if let Some(rest) = brute(cost, row + 1, used) {
+                    let total = cost[row][c] + rest;
+                    if best.map_or(true, |b| total < b) {
+                        best = Some(total);
+                    }
+                }
+                used[c] = false;
+            }
+            best
+        }
+        let expected = brute(&cost, 0, &mut vec![false; m]);
+        let got = lap::solve(&cost).map(|a| a.total_cost);
+        match (expected, got) {
+            (Some(e), Some(g)) => prop_assert!((e - g).abs() < 1e-9, "expected {e}, got {g}"),
+            (None, None) => {}
+            other => prop_assert!(false, "feasibility mismatch: {other:?}"),
+        }
+    }
+
+    /// Mitigation always returns a permutation; when it reports resolved,
+    /// no two ℍ requests sit closer than the window.
+    #[test]
+    fn mitigation_invariants(
+        classes in prop::collection::vec(prop::bool::ANY, 1..24),
+        window in 1usize..5,
+    ) {
+        let classes: Vec<ContentionClass> = classes
+            .into_iter()
+            .map(|b| if b { ContentionClass::High } else { ContentionClass::Low })
+            .collect();
+        let out = mitigation::mitigate(&classes, window);
+        let mut sorted = out.order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..classes.len()).collect::<Vec<_>>());
+        if out.resolved {
+            let after: Vec<ContentionClass> =
+                out.order.iter().map(|&i| classes[i]).collect();
+            prop_assert!(!mitigation::has_conflict(&after, window));
+        }
+        // Moves and cost are consistent: zero moves implies zero cost.
+        if out.moves == 0 {
+            prop_assert_eq!(out.displacement_cost, 0.0);
+        }
+    }
+
+    /// Mitigation never increases the number of *conflicting adjacent ℍ
+    /// pairs* (pairs closer than the window — exactly what Property 3
+    /// counts relocations against), whether or not it fully resolves;
+    /// and a resolved outcome has zero such pairs.
+    #[test]
+    fn mitigation_never_increases_conflicting_pairs(
+        classes in prop::collection::vec(prop::bool::ANY, 2..28),
+        window in 2usize..5,
+    ) {
+        let classes: Vec<ContentionClass> = classes
+            .into_iter()
+            .map(|b| if b { ContentionClass::High } else { ContentionClass::Low })
+            .collect();
+        let conflicts = |seq: &[ContentionClass]| -> usize {
+            let highs: Vec<usize> = seq
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_high())
+                .map(|(i, _)| i)
+                .collect();
+            highs.windows(2).filter(|w| w[1] - w[0] < window).count()
+        };
+        let before = conflicts(&classes);
+        let out = mitigation::mitigate(&classes, window);
+        let after_seq: Vec<ContentionClass> =
+            out.order.iter().map(|&i| classes[i]).collect();
+        let after = conflicts(&after_seq);
+        prop_assert!(
+            after <= before,
+            "conflicting pairs grew {before} -> {after} for {classes:?}"
+        );
+        if out.resolved {
+            prop_assert_eq!(after, 0);
+        }
+    }
+
+    /// The simulator is deterministic and conserves its memory ledger for
+    /// arbitrary task sets.
+    #[test]
+    fn simulator_determinism_and_ledger(
+        specs in prop::collection::vec(
+            (0usize..4, 1u64..500, 0u64..200_000_000u64, 0u32..3),
+            1..20,
+        ),
+    ) {
+        let build = || {
+            let mut soc = SocSpec::kirin_990();
+            soc.thermal_mode = h2p_simulator::thermal::ThermalMode::Disabled;
+            let mut sim = Simulation::new(soc);
+            let mut prev = None;
+            for (i, &(proc, ms, bytes, dep)) in specs.iter().enumerate() {
+                let mut t = TaskSpec::new(format!("t{i}"), ProcessorId(proc), ms as f64 / 10.0)
+                    .intensity((i % 5) as f64 / 5.0)
+                    .footprint(bytes);
+                if dep == 1 {
+                    if let Some(p) = prev {
+                        t = t.after(p);
+                    }
+                }
+                prev = Some(sim.add_task(t));
+            }
+            sim.run().expect("acyclic task set runs")
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(&a.spans, &b.spans);
+        // Ledger conservation: the final memory sample shows everything
+        // released.
+        let last = a.memory.last().expect("samples exist");
+        prop_assert_eq!(last.allocated_bytes, 0);
+        // Spans never overlap on a single processor.
+        for p in 0..4 {
+            let mut spans: Vec<_> = a
+                .spans
+                .iter()
+                .filter(|s| s.processor == ProcessorId(p))
+                .collect();
+            spans.sort_by(|x, y| x.start_ms.total_cmp(&y.start_ms));
+            for w in spans.windows(2) {
+                prop_assert!(w[1].start_ms >= w[0].end_ms - 1e-9);
+            }
+        }
+    }
+
+    /// Batching conserves requests and never reorders across groups.
+    #[test]
+    fn batching_conserves_requests(
+        picks in prop::collection::vec(0usize..10, 1..40),
+        max_batch in 1u32..9,
+    ) {
+        let ids: Vec<ModelId> = picks.iter().map(|&i| ModelId::ALL[i]).collect();
+        let groups = batching::coalesce(&ids, max_batch);
+        let total: u32 = groups.iter().map(|g| g.batch).sum();
+        prop_assert_eq!(total as usize, ids.len());
+        prop_assert!(groups.iter().all(|g| g.batch <= max_batch));
+        // Heavy models never batch.
+        prop_assert!(groups
+            .iter()
+            .all(|g| g.batch == 1 || g.model.is_lightweight()));
+        // Expanding groups in order reproduces the original sequence.
+        let expanded: Vec<ModelId> = groups
+            .iter()
+            .flat_map(|g| std::iter::repeat(g.model).take(g.batch as usize))
+            .collect();
+        prop_assert_eq!(expanded, ids);
+    }
+
+    /// Scaled batch graphs preserve layer count and weights while scaling
+    /// work linearly.
+    #[test]
+    fn batched_graph_scaling(model in 0usize..10, b in 1u32..17) {
+        let g = ModelId::ALL[model].graph();
+        let s = batching::batched_graph(&g, b);
+        prop_assert_eq!(s.len(), g.len());
+        prop_assert_eq!(s.weight_bytes(), g.weight_bytes());
+        let ratio = s.total_flops() / g.total_flops();
+        prop_assert!((ratio - b as f64).abs() < 1e-9);
+    }
+}
