@@ -78,14 +78,13 @@ pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, Pl
                 };
                 let start = avail[p.index()].max(ready);
                 let finish = start + copy + exec;
-                if best.as_ref().map_or(true, |b| finish < b.1 - 1e-12) {
+                if best.as_ref().is_none_or(|b| finish < b.1 - 1e-12) {
                     best = Some((p, finish, exec, copy));
                 }
             }
-            let (p, finish, exec, copy) =
-                best.ok_or_else(|| PlanError::NoFeasiblePipeline {
-                    model: graph.name().to_owned(),
-                })?;
+            let (p, finish, exec, copy) = best.ok_or_else(|| PlanError::NoFeasiblePipeline {
+                model: graph.name().to_owned(),
+            })?;
             avail[p.index()] = finish;
             ready = finish;
             let bw = cost.slice_bandwidth_gbps(graph, seg, p).unwrap_or(0.0);

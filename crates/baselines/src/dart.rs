@@ -45,11 +45,11 @@ pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, Pl
         let mut best_finish = f64::INFINITY;
         let mut best_ms = 0.0;
         for (w, &p) in workers.iter().enumerate() {
-            let ms = cost
-                .slice_latency_ms(graph, whole, p)
-                .ok_or_else(|| PlanError::NoFeasiblePipeline {
+            let ms = cost.slice_latency_ms(graph, whole, p).ok_or_else(|| {
+                PlanError::NoFeasiblePipeline {
                     model: graph.name().to_owned(),
-                })?;
+                }
+            })?;
             let finish = avail[w] + ms;
             if finish < best_finish {
                 best_finish = finish;
@@ -59,8 +59,7 @@ pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, Pl
         }
         avail[best] = best_finish;
         let p = workers[best];
-        let footprint =
-            (graph.footprint_bytes() as f64 * cost.footprint_scale()) as u64;
+        let footprint = (graph.footprint_bytes() as f64 * cost.footprint_scale()) as u64;
         let upload = hetero2pipe::executor::staging_ms(
             &mut seen,
             (graph.name().to_owned(), p.index(), 0, graph.len() - 1),
@@ -132,7 +131,10 @@ mod tests {
         let dart = run(&soc, &reqs).unwrap();
         let serial = crate::mnn_serial::run(&soc, &reqs).unwrap();
         let h2p = crate::Scheme::Hetero2Pipe.run(&soc, &reqs).unwrap();
-        assert!(dart.makespan_ms < serial.makespan_ms, "two workers beat one");
+        assert!(
+            dart.makespan_ms < serial.makespan_ms,
+            "two workers beat one"
+        );
         assert!(
             h2p.makespan_ms < dart.makespan_ms,
             "the NPU-aware pipeline must beat CPU/GPU data parallelism: {} vs {}",

@@ -149,7 +149,7 @@ pub fn run_with(
             break;
         }
         if c[i] < i {
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 order.swap(0, i);
             } else {
                 order.swap(c[i], i);

@@ -74,11 +74,7 @@ impl Scheme {
     /// # Errors
     ///
     /// Returns [`PlanError`] if planning or simulation fails.
-    pub fn run(
-        self,
-        soc: &SocSpec,
-        requests: &[ModelGraph],
-    ) -> Result<ExecutionReport, PlanError> {
+    pub fn run(self, soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, PlanError> {
         match self {
             Scheme::MnnSerial => mnn_serial::run(soc, requests),
             Scheme::PipeIt => pipe_it::run(soc, requests),

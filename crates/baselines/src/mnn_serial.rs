@@ -33,11 +33,11 @@ pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, Pl
     let mut seen = std::collections::HashSet::new();
     for (idx, graph) in requests.iter().enumerate() {
         let whole = LayerRange::new(0, graph.len() - 1);
-        let ms = cost
-            .slice_latency_ms(graph, whole, big)
-            .ok_or_else(|| PlanError::NoFeasiblePipeline {
+        let ms = cost.slice_latency_ms(graph, whole, big).ok_or_else(|| {
+            PlanError::NoFeasiblePipeline {
                 model: graph.name().to_owned(),
-            })?;
+            }
+        })?;
         let upload = hetero2pipe::executor::staging_ms(
             &mut seen,
             (graph.name().to_owned(), big.index(), 0, graph.len() - 1),
@@ -80,7 +80,10 @@ mod tests {
         let reqs: Vec<ModelGraph> = vec![ModelId::ResNet50.graph(); 3];
         let r = run(&soc, &reqs).unwrap();
         let l = &r.request_latency_ms;
-        assert!(l[0] < l[1] && l[1] < l[2], "latencies must accumulate: {l:?}");
+        assert!(
+            l[0] < l[1] && l[1] < l[2],
+            "latencies must accumulate: {l:?}"
+        );
         // Uniform models: equal spacing.
         let d1 = l[1] - l[0];
         let d2 = l[2] - l[1];

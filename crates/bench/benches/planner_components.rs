@@ -19,9 +19,7 @@ fn bench_horizontal_dp(c: &mut Criterion) {
     let mut group = c.benchmark_group("horizontal_dp");
     for id in [ModelId::Vgg16, ModelId::Bert, ModelId::YoloV4] {
         let graph = id.graph();
-        let ctx = planner
-            .estimator()
-            .context(&graph, &procs, vec![1, 2, 3]); // CPU_B, GPU, CPU_S
+        let ctx = planner.estimator().context(&graph, &procs, vec![1, 2, 3]); // CPU_B, GPU, CPU_S
         let cost = planner.estimator().cost();
         let n = graph.len();
         group.bench_with_input(BenchmarkId::new("reference", id.name()), &n, |b, &n| {
@@ -32,10 +30,8 @@ fn bench_horizontal_dp(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("fast", id.name()), &n, |b, &n| {
             b.iter(|| {
-                partition::min_max_partition_fast(n, 3, |a, i, j| {
-                    ctx.stage_cost(cost, a, i, j)
-                })
-                .expect("feasible")
+                partition::min_max_partition_fast(n, 3, |a, i, j| ctx.stage_cost(cost, a, i, j))
+                    .expect("feasible")
             })
         });
     }

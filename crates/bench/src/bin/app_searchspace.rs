@@ -17,7 +17,12 @@ use hetero2pipe::searchspace::{
 fn main() {
     let inv = Inventory::paper_example();
     let rows: Vec<Vec<String>> = (2u64..=10)
-        .map(|p| vec![format!("{p}"), format!("{:.0}", pipelines_with_stages(inv, p))])
+        .map(|p| {
+            vec![
+                format!("{p}"),
+                format!("{:.0}", pipelines_with_stages(inv, p)),
+            ]
+        })
         .collect();
     print_table(
         "Appendix A — feasible pipelines by stage count (4+4 CPU cores, GPU, NPU)",

@@ -15,8 +15,8 @@ use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::resnet50_unfused;
 use h2p_simulator::SocSpec;
 use hetero2pipe::executor;
-use hetero2pipe::plan::{PipelinePlan, RequestPlan};
 use hetero2pipe::partition::min_max_partition;
+use hetero2pipe::plan::{PipelinePlan, RequestPlan};
 use hetero2pipe::planner::Planner;
 
 /// Partitions `graph` over all four Kirin slots with split points
@@ -80,7 +80,9 @@ fn main() {
     let graph = resnet50_unfused();
     let copies = 6;
     let rows = vec![
-        study(&planner, &soc, &graph, copies, "layer-wise splits", &|_| true),
+        study(&planner, &soc, &graph, copies, "layer-wise splits", &|_| {
+            true
+        }),
         study(
             &planner,
             &soc,

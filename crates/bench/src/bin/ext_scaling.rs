@@ -27,7 +27,12 @@ fn main() {
     }
     print_table(
         "Extension — partition adaptation under workload scaling (Kirin 990)",
-        &["Workload", "GFLOPs", "stage layout (layers@proc)", "makespan 3 reqs (ms)"],
+        &[
+            "Workload",
+            "GFLOPs",
+            "stage layout (layers@proc)",
+            "makespan 3 reqs (ms)",
+        ],
         &rows,
     );
     println!(

@@ -84,9 +84,6 @@ fn serial_with_arrivals(soc: &SocSpec, requests: &[ModelGraph], arrivals: &[f64]
     }
     let trace = sim.run().expect("runs");
     (0..requests.len())
-        .map(|i| {
-            trace.span(i).map_or(0.0, |s| s.end_ms)
-                - arrivals.get(i).copied().unwrap_or(0.0)
-        })
+        .map(|i| trace.span(i).map_or(0.0, |s| s.end_ms) - arrivals.get(i).copied().unwrap_or(0.0))
         .collect()
 }

@@ -35,7 +35,5 @@ fn main() {
         &["Model", "CPU_B", "GPU", "CPU_S", "NPU"],
         &rows,
     );
-    println!(
-        "\nShape checks: NPU << CPU_B ~ GPU << CPU_S; NPU errors for YOLOv4 and BERT."
-    );
+    println!("\nShape checks: NPU << CPU_B ~ GPU << CPU_S; NPU errors for YOLOv4 and BERT.");
 }

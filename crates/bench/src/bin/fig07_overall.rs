@@ -75,19 +75,20 @@ fn main() {
             .expect("H2P in scheme list");
         let subset = (combos / 10 * 3).max(1);
         let mut scatter = Vec::new();
-        for i in 0..subset.min(combos) {
+        let pairs = latency[band_idx].iter().zip(latency[h2p_idx].iter());
+        for (i, (&band_ms, &h2p_ms)) in pairs.take(subset.min(combos)).enumerate() {
             scatter.push(vec![
                 format!("{i}"),
-                format!("{:.0}", latency[band_idx][i]),
-                format!("{:.0}", latency[h2p_idx][i]),
-                format!(
-                    "{:+.1}%",
-                    (latency[band_idx][i] / latency[h2p_idx][i] - 1.0) * 100.0
-                ),
+                format!("{band_ms:.0}"),
+                format!("{h2p_ms:.0}"),
+                format!("{:+.1}%", (band_ms / h2p_ms - 1.0) * 100.0),
             ]);
         }
         print_table(
-            &format!("Fig. 7 scatter — Band vs Hetero2Pipe, {} (30% subset)", soc.name),
+            &format!(
+                "Fig. 7 scatter — Band vs Hetero2Pipe, {} (30% subset)",
+                soc.name
+            ),
             &["Combo", "Band (ms)", "H2P (ms)", "Band/H2P-1"],
             &scatter,
         );

@@ -32,7 +32,12 @@ fn main() {
     let mut sa = Vec::new();
     for set in &sets {
         let graphs: Vec<ModelGraph> = set.iter().map(|m| m.graph()).collect();
-        h2p.push(Scheme::Hetero2Pipe.run(&soc, &graphs).expect("h2p").makespan_ms);
+        h2p.push(
+            Scheme::Hetero2Pipe
+                .run(&soc, &graphs)
+                .expect("h2p")
+                .makespan_ms,
+        );
         noct.push(Scheme::NoCt.run(&soc, &graphs).expect("noct").makespan_ms);
         // The exhaustive search scores candidates with the same
         // contention-aware cost model the planner uses (measuring every
@@ -45,10 +50,15 @@ fn main() {
                 .makespan_ms,
         );
         sa.push(
-            annealing::run(&soc, &graphs, seed ^ 0xA5A5, annealing::AnnealingParams::default())
-                .expect("sa")
-                .report
-                .makespan_ms,
+            annealing::run(
+                &soc,
+                &graphs,
+                seed ^ 0xA5A5,
+                annealing::AnnealingParams::default(),
+            )
+            .expect("sa")
+            .report
+            .makespan_ms,
         );
     }
     // Sorted ascending by H2P latency, as in the paper's x-axis.

@@ -42,15 +42,16 @@ fn run_tier(name: &str, soc: &SocSpec, models: &[ModelId], depth: usize) {
         .collect();
     print_table(
         &format!("Fig. 9 — {name} ({depth}-stage pipeline)"),
-        &["t (ms)", "mem freq (MHz)", "available (MB)", "allocated (MB)"],
+        &[
+            "t (ms)",
+            "mem freq (MHz)",
+            "available (MB)",
+            "allocated (MB)",
+        ],
         &rows,
     );
-    let min_avail = samples
-        .iter()
-        .map(|s| s.available_bytes)
-        .min()
-        .unwrap_or(0) as f64
-        / (1024.0 * 1024.0);
+    let min_avail =
+        samples.iter().map(|s| s.available_bytes).min().unwrap_or(0) as f64 / (1024.0 * 1024.0);
     let max_freq = samples.iter().map(|s| s.freq_mhz).max().unwrap_or(0);
     println!(
         "  capacity {cap:.0} MB, minimum available {min_avail:.0} MB, peak governor {max_freq} MHz, makespan {:.0} ms",
@@ -75,9 +76,18 @@ fn main() {
     run_tier(
         "light models (SqueezeNet, MobileNetV2, GoogLeNet)",
         &soc,
-        &[ModelId::SqueezeNet, ModelId::MobileNetV2, ModelId::GoogLeNet],
+        &[
+            ModelId::SqueezeNet,
+            ModelId::MobileNetV2,
+            ModelId::GoogLeNet,
+        ],
         3,
     );
     // Single-stage NPU-only reference: the governor should stay low.
-    run_tier("NPU-only reference (ResNet50)", &soc, &[ModelId::ResNet50], 1);
+    run_tier(
+        "NPU-only reference (ResNet50)",
+        &soc,
+        &[ModelId::ResNet50],
+        1,
+    );
 }

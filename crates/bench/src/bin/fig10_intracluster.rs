@@ -50,8 +50,17 @@ fn co_run(soc: &SocSpec, p0: &str, p1: &str) -> (f64, f64) {
     )
 }
 
+/// (label, big-cluster split, small-cluster split, partition 0, partition 1).
+type SplitCase = (
+    &'static str,
+    (u32, u32),
+    (u32, u32),
+    &'static str,
+    &'static str,
+);
+
 fn main() {
-    let cases: [(&str, (u32, u32), (u32, u32), &str, &str); 4] = [
+    let cases: [SplitCase; 4] = [
         ("BB-BB", (2, 2), (2, 2), "CPU_B0", "CPU_B1"),
         ("SS-SS", (2, 2), (2, 2), "CPU_S0", "CPU_S1"),
         ("BBB-B", (3, 1), (2, 2), "CPU_B0", "CPU_B1"),

@@ -69,7 +69,16 @@ fn main() {
         }
         print_table(
             &format!("Fig. 13 — {} batched latency (ms) by batch size", id.name()),
-            &["Processor", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32", "growth@8"],
+            &[
+                "Processor",
+                "b=1",
+                "b=2",
+                "b=4",
+                "b=8",
+                "b=16",
+                "b=32",
+                "growth@8",
+            ],
             &rows,
         );
     }

@@ -77,7 +77,10 @@ fn main() {
             .expect("CPU/GPU support everything")
     };
 
-    let pairs = [(ModelId::SqueezeNet, ModelId::Bert), (ModelId::Vit, ModelId::Bert)];
+    let pairs = [
+        (ModelId::SqueezeNet, ModelId::Bert),
+        (ModelId::Vit, ModelId::Bert),
+    ];
     let mut rows = Vec::new();
     for (a, b) in pairs {
         for (ma, pa, mb, pb, pa_name, pb_name) in [
@@ -101,7 +104,13 @@ fn main() {
                 format!("{:.2}%", (cb / sb - 1.0) * 100.0),
             ]);
         }
-        rows.push(vec!["-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+        rows.push(vec![
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
     }
     print_table(
         "Table II — solo vs co-execution time (ms) and slowdown, Kirin 990",

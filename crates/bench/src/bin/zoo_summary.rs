@@ -16,7 +16,12 @@ fn main() {
                 format!("{:.1}M", g.weight_bytes() as f64 / 4.0 / 1e6),
                 format!("{:.1}", g.weight_bytes() as f64 / (1024.0 * 1024.0)),
                 format!("{:.2}", g.total_flops() / 1e9),
-                if g.fully_npu_supported() { "yes" } else { "no (fallback)" }.to_owned(),
+                if g.fully_npu_supported() {
+                    "yes"
+                } else {
+                    "no (fallback)"
+                }
+                .to_owned(),
                 format!("{:?}", id.memory_tier()),
             ]
         })

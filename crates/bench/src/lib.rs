@@ -84,11 +84,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     let my = mean(ys);
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let sxy: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     if sxx <= 0.0 || syy <= 0.0 {
         return (0.0, my, 0.0);
     }

@@ -167,7 +167,10 @@ mod tests {
         // bottom-3.
         let lo: f64 = pairs[..3].iter().map(|p| p.1).sum::<f64>() / 3.0;
         let hi: f64 = pairs[pairs.len() - 3..].iter().map(|p| p.1).sum::<f64>() / 3.0;
-        assert!(hi > lo, "stalls must correlate with intensity: {lo} vs {hi}");
+        assert!(
+            hi > lo,
+            "stalls must correlate with intensity: {lo} vs {hi}"
+        );
     }
 
     #[test]

@@ -270,10 +270,7 @@ mod tests {
         let (_, _, model) = trained();
         let t = model.threshold();
         assert_eq!(model.classify_intensity(t), ContentionClass::Low);
-        assert_eq!(
-            model.classify_intensity(t + 1e-6),
-            ContentionClass::High
-        );
+        assert_eq!(model.classify_intensity(t + 1e-6), ContentionClass::High);
     }
 
     #[test]
@@ -290,22 +287,14 @@ mod tests {
         let big = soc.processor_by_name("CPU_B").unwrap();
         let cost = CostModel::new(&soc);
         let zoo: Vec<ModelGraph> = ModelId::ALL.iter().map(|m| m.graph()).collect();
-        let folds = IntensityModel::cross_validate(
-            &cost,
-            &zoo,
-            big,
-            IntensityModel::DEFAULT_ALPHA,
-        )
-        .unwrap();
+        let folds = IntensityModel::cross_validate(&cost, &zoo, big, IntensityModel::DEFAULT_ALPHA)
+            .unwrap();
         assert_eq!(folds.len(), zoo.len());
         // Held-out predictions rank the models usefully: a model in the
         // top-3 true intensities should never be predicted into the
         // bottom-3, and the mean relative error stays bounded.
-        let mean_rel: f64 = folds
-            .iter()
-            .map(|&(t, p)| ((p - t) / t).abs())
-            .sum::<f64>()
-            / folds.len() as f64;
+        let mean_rel: f64 =
+            folds.iter().map(|&(t, p)| ((p - t) / t).abs()).sum::<f64>() / folds.len() as f64;
         assert!(mean_rel < 1.0, "mean held-out relative error {mean_rel:.2}");
         let rank = |xs: Vec<f64>| {
             let mut idx: Vec<usize> = (0..xs.len()).collect();

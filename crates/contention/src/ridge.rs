@@ -33,7 +33,10 @@ impl std::fmt::Display for FitError {
         match self {
             FitError::Empty => write!(f, "no training samples"),
             FitError::ShapeMismatch { expected, got } => {
-                write!(f, "inconsistent sample shape: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "inconsistent sample shape: expected {expected}, got {got}"
+                )
             }
             FitError::Singular => write!(f, "normal matrix is singular; increase alpha"),
         }
@@ -62,7 +65,10 @@ impl RidgeRegression {
         }
         let d = x[0].len();
         if d == 0 {
-            return Err(FitError::ShapeMismatch { expected: 1, got: 0 });
+            return Err(FitError::ShapeMismatch {
+                expected: 1,
+                got: 0,
+            });
         }
         for row in x {
             if row.len() != d {
@@ -108,11 +114,7 @@ impl RidgeRegression {
             self.weights.len(),
             "feature dimension mismatch"
         );
-        features
-            .iter()
-            .zip(&self.weights)
-            .map(|(f, w)| f * w)
-            .sum()
+        features.iter().zip(&self.weights).map(|(f, w)| f * w).sum()
     }
 
     /// Mean squared prediction error over a labelled set.

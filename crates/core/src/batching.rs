@@ -39,7 +39,7 @@ pub fn batched_graph(graph: &ModelGraph, b: u32) -> ModelGraph {
         .iter()
         .map(|l| {
             let mut scaled = Layer::new(
-                format!("{}", l.name),
+                l.name.to_string(),
                 l.op,
                 l.flops * b as f64,
                 l.input_bytes * bf,
@@ -87,12 +87,13 @@ pub fn coalesce(ids: &[ModelId], max_batch: u32) -> Vec<BatchGroup> {
     let mut out: Vec<BatchGroup> = Vec::new();
     for &id in ids {
         match out.last_mut() {
-            Some(last)
-                if last.model == id && id.is_lightweight() && last.batch < max_batch =>
-            {
+            Some(last) if last.model == id && id.is_lightweight() && last.batch < max_batch => {
                 last.batch += 1;
             }
-            _ => out.push(BatchGroup { model: id, batch: 1 }),
+            _ => out.push(BatchGroup {
+                model: id,
+                batch: 1,
+            }),
         }
     }
     out
@@ -128,10 +129,22 @@ mod tests {
         assert_eq!(
             groups,
             vec![
-                BatchGroup { model: MobileNetV2, batch: 3 },
-                BatchGroup { model: Bert, batch: 1 },
-                BatchGroup { model: MobileNetV2, batch: 1 },
-                BatchGroup { model: SqueezeNet, batch: 2 },
+                BatchGroup {
+                    model: MobileNetV2,
+                    batch: 3
+                },
+                BatchGroup {
+                    model: Bert,
+                    batch: 1
+                },
+                BatchGroup {
+                    model: MobileNetV2,
+                    batch: 1
+                },
+                BatchGroup {
+                    model: SqueezeNet,
+                    batch: 2
+                },
             ]
         );
     }
@@ -170,9 +183,7 @@ mod tests {
         let gpu = soc.processor_by_name("GPU").unwrap();
         let g = ModelId::SqueezeNet.graph();
         let single = cost.model_latency_ms(&g, gpu).unwrap();
-        let batched = cost
-            .model_latency_ms(&batched_graph(&g, 8), gpu)
-            .unwrap();
+        let batched = cost.model_latency_ms(&batched_graph(&g, 8), gpu).unwrap();
         assert!(
             batched < 8.0 * single,
             "batch of 8 ({batched} ms) must beat 8 singles ({} ms)",

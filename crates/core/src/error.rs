@@ -22,6 +22,14 @@ pub enum PlanError {
         /// Name of the model that could not be placed.
         model: String,
     },
+    /// A request in the plan lowered to zero simulator tasks (every
+    /// stage slot empty), so it would silently report a latency of zero.
+    EmptyRequest {
+        /// Name of the model whose request had no stages.
+        model: String,
+        /// Original submission index of the request.
+        request: usize,
+    },
     /// Lowering the plan onto the simulator failed.
     Simulation(SimError),
 }
@@ -34,6 +42,12 @@ impl fmt::Display for PlanError {
             PlanError::Training(e) => write!(f, "intensity regression failed: {e}"),
             PlanError::NoFeasiblePipeline { model } => {
                 write!(f, "no feasible pipeline for model {model}")
+            }
+            PlanError::EmptyRequest { model, request } => {
+                write!(
+                    f,
+                    "request {request} of model {model} lowered to zero tasks"
+                )
             }
             PlanError::Simulation(e) => write!(f, "simulation failed: {e}"),
         }

@@ -54,8 +54,8 @@ impl Estimator {
             .processor_by_kind(ProcessorKind::CpuBig)
             .ok_or(PlanError::NoCpu)?;
         let cost = CostModel::with_precision(soc, precision);
-        let intensity = IntensityModel::train_default(&cost, &zoo, pmu_proc)
-            .map_err(PlanError::Training)?;
+        let intensity =
+            IntensityModel::train_default(&cost, &zoo, pmu_proc).map_err(PlanError::Training)?;
         Ok(Estimator {
             cost,
             intensity,
@@ -118,7 +118,10 @@ impl Estimator {
         pipeline_procs: &[ProcessorId],
         active_slots: Vec<usize>,
     ) -> RequestContext {
-        assert!(!active_slots.is_empty(), "a request needs at least one slot");
+        assert!(
+            !active_slots.is_empty(),
+            "a request needs at least one slot"
+        );
         assert!(
             active_slots.windows(2).all(|w| w[0] < w[1]),
             "active slots must be strictly ascending"
@@ -167,7 +170,11 @@ impl NpuFallback {
         stage: usize,
     ) -> Self {
         let n = graph.len();
-        let supported: Vec<bool> = graph.layers().iter().map(|l| l.op.npu_supported()).collect();
+        let supported: Vec<bool> = graph
+            .layers()
+            .iter()
+            .map(|l| l.op.npu_supported())
+            .collect();
         let mut lat_prefix = Vec::with_capacity(n + 1);
         lat_prefix.push(0.0);
         for i in 0..n {

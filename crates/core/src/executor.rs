@@ -12,7 +12,7 @@
 
 use std::collections::HashSet;
 
-use h2p_simulator::engine::{Simulation, TaskId, TaskSpec};
+use h2p_simulator::engine::{EngineEvent, Simulation, TaskId, TaskSpec};
 use h2p_simulator::soc::SocSpec;
 use h2p_simulator::timeline::Trace;
 
@@ -30,7 +30,11 @@ pub const WEIGHT_STAGING_GBPS: f64 = 2.0;
 /// reuse the resident session — which is precisely why the paper argues
 /// static pipeline plans beat Band's fallback-driven dynamic switching
 /// ("constant new memory allocation and data transfer").
-pub fn staging_ms(seen: &mut HashSet<(String, usize, usize, usize)>, key: (String, usize, usize, usize), bytes: u64) -> f64 {
+pub fn staging_ms(
+    seen: &mut HashSet<(String, usize, usize, usize)>,
+    key: (String, usize, usize, usize),
+    bytes: u64,
+) -> f64 {
     if seen.insert(key) {
         bytes as f64 / (WEIGHT_STAGING_GBPS * 1e6)
     } else {
@@ -76,6 +80,10 @@ pub fn execute(plan: &PipelinePlan, soc: &SocSpec) -> Result<ExecutionReport, Pl
 /// [`execute`]. Use [`response_times`] to turn the report's completion
 /// times into arrival-relative response times.
 ///
+/// In debug builds, the resulting trace is audited against the
+/// simulator's contracts ([`h2p_simulator::audit`]) and a violation
+/// panics — every integration test doubles as an audit test.
+///
 /// # Errors
 ///
 /// Returns [`PlanError::Simulation`] if the lowered task graph is
@@ -85,6 +93,98 @@ pub fn execute_with_arrivals(
     soc: &SocSpec,
     arrivals: &[f64],
 ) -> Result<ExecutionReport, PlanError> {
+    lower_with_arrivals(plan, soc, arrivals)?.execute()
+}
+
+/// A pipeline plan lowered onto a fresh [`Simulation`], ready to run.
+///
+/// Produced by [`lower`]/[`lower_with_arrivals`]. Splitting lowering
+/// from execution lets callers inspect the exact [`TaskSpec`]s a plan
+/// turns into — the `h2p trace` subcommand uses this to audit and
+/// event-log a run.
+#[derive(Debug, Clone)]
+pub struct LoweredPlan {
+    sim: Simulation,
+    final_task: Vec<Option<TaskId>>,
+    executed_requests: usize,
+}
+
+impl LoweredPlan {
+    /// The simulation holding the lowered task graph.
+    pub fn simulation(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Runs the simulation and assembles the execution report. In debug
+    /// builds the trace is audited first and violations panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Simulation`] if the task graph is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the trace fails its audit — that is a
+    /// simulator bug, never a planner input problem.
+    pub fn execute(self) -> Result<ExecutionReport, PlanError> {
+        let LoweredPlan {
+            sim,
+            final_task,
+            executed_requests,
+        } = self;
+        #[cfg(debug_assertions)]
+        let (audit_soc, audit_tasks) = (sim.soc().clone(), sim.tasks().to_vec());
+        let trace = sim.run().map_err(PlanError::Simulation)?;
+        #[cfg(debug_assertions)]
+        h2p_simulator::audit::assert_clean(&audit_soc, &audit_tasks, &trace);
+        Ok(assemble_report(trace, &final_task, executed_requests))
+    }
+
+    /// Runs the simulation and additionally returns the engine's
+    /// structured event log ([`EngineEvent`]s in simulation-time order).
+    /// No audit is performed — callers that want one (possibly after
+    /// corrupting the trace on purpose) run [`h2p_simulator::audit::audit`]
+    /// themselves against [`LoweredPlan::simulation`]'s task specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Simulation`] if the task graph is invalid.
+    pub fn execute_logged(self) -> Result<(ExecutionReport, Vec<EngineEvent>), PlanError> {
+        let LoweredPlan {
+            sim,
+            final_task,
+            executed_requests,
+        } = self;
+        let (trace, events) = sim.run_with_events().map_err(PlanError::Simulation)?;
+        Ok((
+            assemble_report(trace, &final_task, executed_requests),
+            events,
+        ))
+    }
+}
+
+/// Lowers `plan` onto a fresh simulation of `soc` without running it.
+///
+/// # Errors
+///
+/// Returns [`PlanError::EmptyRequest`] if a request lowers to zero
+/// tasks.
+pub fn lower(plan: &PipelinePlan, soc: &SocSpec) -> Result<LoweredPlan, PlanError> {
+    lower_with_arrivals(plan, soc, &[])
+}
+
+/// Lowers `plan` with per-request arrival times (see
+/// [`execute_with_arrivals`]) without running it.
+///
+/// # Errors
+///
+/// Returns [`PlanError::EmptyRequest`] if a request lowers to zero
+/// tasks.
+pub fn lower_with_arrivals(
+    plan: &PipelinePlan,
+    soc: &SocSpec,
+    arrivals: &[f64],
+) -> Result<LoweredPlan, PlanError> {
     let mut sim = Simulation::new(soc.clone());
     let request_count = plan
         .requests
@@ -132,7 +232,12 @@ pub fn execute_with_arrivals(
                 // the fallback CPU genuinely gets occupied (and contended)
                 // while the NPU waits — Band's fallback weakness.
                 for (ri, run) in stage.runs.iter().enumerate() {
-                    let ms = run.ms + if ri == 0 { stage.copy_in_ms + upload } else { 0.0 };
+                    let ms = run.ms
+                        + if ri == 0 {
+                            stage.copy_in_ms + upload
+                        } else {
+                            0.0
+                        };
                     let mut spec = TaskSpec::new(
                         format!("{}#{}@s{}r{}", req.model, req.request, slot, ri),
                         run.proc,
@@ -150,10 +255,30 @@ pub fn execute_with_arrivals(
                 }
             }
         }
+        // A request with no tasks would fall out of the latency map as a
+        // phantom 0 ms completion; refuse to execute such a plan.
+        if prev.is_none() {
+            return Err(PlanError::EmptyRequest {
+                model: req.model.clone(),
+                request: req.request,
+            });
+        }
         final_task[req.request] = prev;
     }
 
-    let trace = sim.run().map_err(PlanError::Simulation)?;
+    Ok(LoweredPlan {
+        sim,
+        final_task,
+        executed_requests: plan.requests.len(),
+    })
+}
+
+/// Builds the [`ExecutionReport`] from a finished trace.
+fn assemble_report(
+    trace: Trace,
+    final_task: &[Option<TaskId>],
+    executed_requests: usize,
+) -> ExecutionReport {
     let makespan_ms = trace.makespan_ms();
     let request_latency_ms: Vec<f64> = final_task
         .iter()
@@ -162,7 +287,7 @@ pub fn execute_with_arrivals(
                 .unwrap_or(0.0)
         })
         .collect();
-    let executed = plan.requests.len() as f64;
+    let executed = executed_requests as f64;
     let throughput_per_sec = if makespan_ms > 0.0 {
         executed * 1000.0 / makespan_ms
     } else {
@@ -174,14 +299,14 @@ pub fn execute_with_arrivals(
         trace.spans.iter().map(|s| s.slowdown()).sum::<f64>() / trace.spans.len() as f64
     };
     let measured_bubble_ms = trace.idle_bubble_ms();
-    Ok(ExecutionReport {
+    ExecutionReport {
         trace,
         makespan_ms,
         throughput_per_sec,
         request_latency_ms,
         measured_bubble_ms,
         mean_slowdown,
-    })
+    }
 }
 
 /// Arrival-relative response times: completion − arrival per request.
@@ -230,6 +355,16 @@ impl PlannedPipeline {
         arrivals: &[f64],
     ) -> Result<ExecutionReport, PlanError> {
         execute_with_arrivals(&self.plan, soc, arrivals)
+    }
+
+    /// Convenience: lowers this planned pipeline onto a simulation of
+    /// `soc` without running it.
+    ///
+    /// # Errors
+    ///
+    /// See [`lower`].
+    pub fn lower(&self, soc: &SocSpec) -> Result<LoweredPlan, PlanError> {
+        lower(&self.plan, soc)
     }
 }
 
@@ -295,7 +430,11 @@ mod tests {
 
     #[test]
     fn request_latencies_are_monotone_in_position() {
-        let ids = [ModelId::MobileNetV2, ModelId::MobileNetV2, ModelId::MobileNetV2];
+        let ids = [
+            ModelId::MobileNetV2,
+            ModelId::MobileNetV2,
+            ModelId::MobileNetV2,
+        ];
         let r = run(&ids);
         // Identical models in a FIFO pipeline finish in order.
         let mut latencies = r.request_latency_ms.clone();
@@ -314,6 +453,79 @@ mod tests {
         let a = run(&ids);
         let b = run(&ids);
         assert_eq!(a.trace.spans, b.trace.spans);
+    }
+
+    /// Regression: a request whose stage slots are all `None` used to
+    /// fall through lowering with no tasks and report a phantom latency
+    /// of 0 ms via `unwrap_or(0.0)` — breaking the `lat > 0` contract
+    /// every caller relies on. It must be rejected instead.
+    #[test]
+    fn all_none_request_is_rejected_not_zero_latency() {
+        use crate::plan::{PipelinePlan, RequestPlan};
+        use h2p_contention::ContentionClass;
+
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let planned = planner.plan_models(&[ModelId::MobileNetV2]).unwrap();
+        let mut plan: PipelinePlan = planned.plan.clone();
+        plan.requests.push(RequestPlan {
+            request: 1,
+            model: "phantom".to_owned(),
+            stages: vec![None; plan.procs.len()],
+            intensity: 0.0,
+            class: ContentionClass::Low,
+        });
+        let err = execute(&plan, &soc).expect_err("zero-task request must not execute");
+        match err {
+            PlanError::EmptyRequest { model, request } => {
+                assert_eq!(model, "phantom");
+                assert_eq!(request, 1);
+            }
+            other => panic!("expected EmptyRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logged_execution_matches_plain_execution() {
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let planned = planner
+            .plan_models(&[ModelId::MobileNetV2, ModelId::SqueezeNet])
+            .unwrap();
+        let plain = planned.execute(&soc).unwrap();
+        let (logged, events) = planned.lower(&soc).unwrap().execute_logged().unwrap();
+        assert_eq!(plain.trace.spans, logged.trace.spans);
+        assert!(!events.is_empty());
+        // One start and one finish event per span.
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, h2p_simulator::EngineEvent::Start { .. }))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, h2p_simulator::EngineEvent::Finish { .. }))
+            .count();
+        assert_eq!(starts, logged.trace.spans.len());
+        assert_eq!(finishes, logged.trace.spans.len());
+    }
+
+    #[test]
+    fn lowered_traces_audit_clean() {
+        // The debug-build gate inside `execute` checks this implicitly;
+        // check it explicitly so release test runs cover it too.
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let planned = planner
+            .plan_models(&[ModelId::ResNet50, ModelId::Bert, ModelId::MobileNetV2])
+            .unwrap();
+        let lowered = planned.lower(&soc).unwrap();
+        let tasks = lowered.simulation().tasks().to_vec();
+        let (report, _) = lowered.execute_logged().unwrap();
+        let audit = h2p_simulator::audit::audit(&soc, &tasks, &report.trace);
+        assert!(
+            audit.is_clean(),
+            "planned workload must audit clean:\n{audit}"
+        );
     }
 
     #[test]
@@ -365,9 +577,8 @@ mod tests {
             .iter()
             .filter(|s| s.label.contains("#1@"))
             .collect();
-        let sum = |v: &[&h2p_simulator::timeline::Span]| -> f64 {
-            v.iter().map(|s| s.solo_ms).sum()
-        };
+        let sum =
+            |v: &[&h2p_simulator::timeline::Span]| -> f64 { v.iter().map(|s| s.solo_ms).sum() };
         assert!(
             sum(&second) < sum(&first),
             "second instance must skip staging: {} vs {}",

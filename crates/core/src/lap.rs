@@ -40,11 +40,11 @@ pub fn solve(cost: &[Vec<f64>]) -> Option<Assignment> {
     if m < n || cost.iter().any(|row| row.len() != m) {
         return None;
     }
-    if cost
-        .iter()
-        .flatten()
-        .any(|&c| c.is_nan() || c < 0.0 && c.is_finite() && c < -1e-12)
-    {
+    // Reject NaN and any cost below the rounding tolerance. `-∞` must be
+    // caught here too: it satisfies `c < -1e-12` but is *not* finite, so
+    // any "negative and finite" phrasing would wave it through into the
+    // potential updates below, where it poisons every delta.
+    if cost.iter().flatten().any(|&c| c.is_nan() || c < -1e-12) {
         return None;
     }
 
@@ -115,7 +115,7 @@ pub fn solve(cost: &[Vec<f64>]) -> Option<Assignment> {
             row_to_col[p[j] - 1] = j - 1;
         }
     }
-    if row_to_col.iter().any(|&c| c == usize::MAX) {
+    if row_to_col.contains(&usize::MAX) {
         return None;
     }
     let total_cost: f64 = row_to_col
@@ -151,7 +151,7 @@ mod tests {
         ) {
             if k == n {
                 let total: f64 = (0..n).map(|r| cost[r][cols[r]]).sum();
-                if total.is_finite() && best.map_or(true, |b| total < b) {
+                if total.is_finite() && best.is_none_or(|b| total < b) {
                     *best = Some(total);
                 }
                 return;
@@ -203,7 +203,9 @@ mod tests {
         // Deterministic pseudo-random matrices.
         let mut seed = 12345u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) % 1000) as f64 / 10.0
         };
         for n in 1..=5 {
@@ -226,7 +228,9 @@ mod tests {
         let inf = f64::INFINITY;
         let mut seed = 999u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed >> 33
         };
         for _ in 0..50 {
@@ -261,6 +265,30 @@ mod tests {
         assert!(solve(&[vec![1.0, 2.0], vec![1.0]]).is_none());
         // More rows than columns.
         assert!(solve(&[vec![1.0], vec![2.0]]).is_none());
+    }
+
+    /// Regression: the entry validation used to phrase "negative" as
+    /// `c < 0.0 && c.is_finite() && c < -1e-12`, which `-∞` slips past
+    /// (it is negative but not finite). A `-∞` entry then acts as an
+    /// irresistible zero-cost pairing and corrupts the potentials.
+    #[test]
+    fn negative_infinity_entries_are_rejected() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, f64::NEG_INFINITY, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        assert!(solve(&cost).is_none());
+        // A whole row of -∞ must not read as "maximally attractive".
+        assert!(solve(&[vec![f64::NEG_INFINITY; 2], vec![1.0, 2.0]]).is_none());
+    }
+
+    #[test]
+    fn nan_and_negative_entries_are_rejected() {
+        assert!(solve(&[vec![f64::NAN, 1.0], vec![1.0, 2.0]]).is_none());
+        assert!(solve(&[vec![-1.0, 1.0], vec![1.0, 2.0]]).is_none());
+        // Tiny negative rounding noise is tolerated.
+        assert!(solve(&[vec![-1e-13, 1.0], vec![1.0, 2.0]]).is_some());
     }
 
     #[test]

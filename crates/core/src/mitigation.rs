@@ -62,7 +62,11 @@ pub fn has_conflict(classes: &[ContentionClass], window: usize) -> bool {
 /// temporal-overlap exposure the re-ordering minimizes.
 pub fn overlap_windows(classes: &[ContentionClass], window: usize) -> usize {
     if classes.len() < window {
-        return if high_positions(classes).len() >= 2 { 1 } else { 0 };
+        return if high_positions(classes).len() >= 2 {
+            1
+        } else {
+            0
+        };
     }
     (0..=classes.len() - window)
         .filter(|&start| {
@@ -123,8 +127,8 @@ pub fn mitigate(classes: &[ContentionClass], window: usize) -> MitigationOutcome
         // recreate a conflict there).
         let highs = high_positions(&cls);
         let mut candidates: Vec<usize> = Vec::new();
-        'cand: for p in 0..n {
-            if cls[p].is_high() || (p > u && p < v) {
+        'cand: for (p, c) in cls.iter().enumerate() {
+            if c.is_high() || (p > u && p < v) {
                 continue;
             }
             for w in highs.windows(2) {

@@ -134,7 +134,12 @@ mod tests {
         let planned = online.plan(&reqs).unwrap();
         // Every request stays within its window of 3.
         for (pos, req) in planned.plan.requests.iter().enumerate() {
-            assert_eq!(pos / 3, req.request / 3, "request {} at pos {pos}", req.request);
+            assert_eq!(
+                pos / 3,
+                req.request / 3,
+                "request {} at pos {pos}",
+                req.request
+            );
         }
         // All requests present exactly once.
         let mut seen: Vec<usize> = planned.plan.requests.iter().map(|r| r.request).collect();

@@ -80,8 +80,8 @@ where
     // s[j][kk] = best makespan for layers 0..=j on the first kk slots.
     let mut s = vec![vec![INF; k + 1]; n];
     let mut choice = vec![vec![0usize; k + 1]; n];
-    for j in 0..n {
-        s[j][1] = cost(0, 0, j).unwrap_or(INF);
+    for (j, row) in s.iter_mut().enumerate() {
+        row[1] = cost(0, 0, j).unwrap_or(INF);
     }
     for kk in 2..=k {
         for j in (kk - 1)..n {
@@ -143,8 +143,8 @@ where
     let get = |slot: usize, i: usize, j: usize| cost(slot, i, j).unwrap_or(INF);
     let mut s = vec![vec![INF; k + 1]; n];
     let mut choice = vec![vec![0usize; k + 1]; n];
-    for j in 0..n {
-        s[j][1] = get(0, 0, j);
+    for (j, row) in s.iter_mut().enumerate() {
+        row[1] = get(0, 0, j);
     }
     for kk in 2..=k {
         for j in (kk - 1)..n {
@@ -247,7 +247,7 @@ fn enumerate<F>(
 {
     if idx == k - 1 {
         if let Some(p) = finish(n, k, splits.clone(), cost) {
-            if best.as_ref().map_or(true, |b| p.makespan_ms < b.makespan_ms) {
+            if best.as_ref().is_none_or(|b| p.makespan_ms < b.makespan_ms) {
                 *best = Some(p);
             }
         }
@@ -337,7 +337,9 @@ mod tests {
         // slot prices slices identically (see the exactness caveat).
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            seed = seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             ((seed >> 33) % 100 + 1) as f64
         };
         for n in 2..14 {

@@ -114,11 +114,7 @@ impl RequestPlan {
     /// Sum of all planned stage times (the request's pipeline traversal
     /// work, excluding waiting).
     pub fn total_ms(&self) -> f64 {
-        self.stages
-            .iter()
-            .flatten()
-            .map(StagePlan::total_ms)
-            .sum()
+        self.stages.iter().flatten().map(StagePlan::total_ms).sum()
     }
 
     /// Number of slots the request actually occupies.
@@ -190,12 +186,7 @@ impl PipelinePlan {
     /// faithful planning objective.
     pub fn estimated_makespan_ms(&self) -> f64 {
         (0..self.column_count())
-            .map(|j| {
-                self.column_cells(j)
-                    .iter()
-                    .map(|c| c.2)
-                    .fold(0.0, f64::max)
-            })
+            .map(|j| self.column_cells(j).iter().map(|c| c.2).fold(0.0, f64::max))
             .sum()
     }
 
@@ -225,17 +216,16 @@ impl PipelinePlan {
                     stage.range.last,
                 );
                 let upload = if seen.insert(key) {
-                    stage.footprint_bytes as f64
-                        / (crate::executor::WEIGHT_STAGING_GBPS * 1e6)
+                    stage.footprint_bytes as f64 / (crate::executor::WEIGHT_STAGING_GBPS * 1e6)
                 } else {
                     0.0
                 };
                 // Expected co-runners: the other cells of this stage's
                 // column in the staggered schedule.
                 let cells = self.column_cells(pos + slot);
-                let corunners = cells.iter().filter(|&&(p2, s2, _)| {
-                    !(p2 == pos && s2 == slot)
-                });
+                let corunners = cells
+                    .iter()
+                    .filter(|&&(p2, s2, _)| !(p2 == pos && s2 == slot));
                 let slow = slowdown_for(
                     &soc.coupling,
                     soc.processor(stage.proc),

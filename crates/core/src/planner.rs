@@ -162,14 +162,14 @@ impl Planner {
             }
             let ctx = self.estimator.context(graph, &procs, slots);
             let stages = ctx.stage_count();
-            let Some(p) = min_max_partition(graph.len(), stages, |a, i, j| {
-                ctx.stage_cost(cost, a, i, j)
-            }) else {
+            let Some(p) =
+                min_max_partition(graph.len(), stages, |a, i, j| ctx.stage_cost(cost, a, i, j))
+            else {
                 continue;
             };
             if best
                 .as_ref()
-                .map_or(true, |(_, _, ms)| p.makespan_ms + 1e-12 < *ms)
+                .is_none_or(|(_, _, ms)| p.makespan_ms + 1e-12 < *ms)
             {
                 best = Some((ctx, p.splits, p.makespan_ms));
             }
@@ -198,11 +198,11 @@ impl Planner {
         let mut plans: Vec<RequestPlan> = Vec::with_capacity(requests.len());
         for (idx, graph) in requests.iter().enumerate() {
             let (ctx, splits, _) = self.plan_request(graph)?;
-            let stages = ctx
-                .build_stages(cost, &splits, k)
-                .ok_or_else(|| PlanError::NoFeasiblePipeline {
+            let stages = ctx.build_stages(cost, &splits, k).ok_or_else(|| {
+                PlanError::NoFeasiblePipeline {
                     model: graph.name().to_owned(),
-                })?;
+                }
+            })?;
             plans.push(RequestPlan {
                 request: idx,
                 model: graph.name().to_owned(),
@@ -219,7 +219,12 @@ impl Planner {
         // re-ordering is a heuristic, so the planner checks it paid off.
         let assemble = |ordered: Vec<RequestPlan>,
                         base_ctxs: &[RequestContext]|
-         -> (PipelinePlan, Vec<RequestContext>, Option<StealReport>, usize) {
+         -> (
+            PipelinePlan,
+            Vec<RequestContext>,
+            Option<StealReport>,
+            usize,
+        ) {
             let mut ctxs = base_ctxs.to_vec();
             let mut plan = PipelinePlan {
                 procs: procs.clone(),
@@ -273,8 +278,10 @@ impl Planner {
                 (None, interleave),
             ];
             for (mit, order) in candidates {
-                let reordered: Vec<RequestPlan> =
-                    order.iter().map(|&orig_pos| plans[orig_pos].clone()).collect();
+                let reordered: Vec<RequestPlan> = order
+                    .iter()
+                    .map(|&orig_pos| plans[orig_pos].clone())
+                    .collect();
                 let candidate = assemble(reordered, &contexts);
                 let est = candidate.0.estimated_makespan_contention_ms(&soc);
                 // Hysteresis: a re-ordering must beat the incumbent's

@@ -101,12 +101,7 @@ pub fn count_pipelines(inv: Inventory, min_stages: u64, max_stages: u64) -> f64 
 /// Total split-point choices for one `n_layers` model (Eq. 14): for each
 /// stage count `P`, `C(n−1, P−1)` layer splits times the number of
 /// `P`-stage pipelines.
-pub fn count_split_points(
-    inv: Inventory,
-    n_layers: u64,
-    min_stages: u64,
-    max_stages: u64,
-) -> f64 {
+pub fn count_split_points(inv: Inventory, n_layers: u64, min_stages: u64, max_stages: u64) -> f64 {
     (min_stages..=max_stages)
         .map(|p| binomial(n_layers - 1, p - 1) * pipelines_with_stages(inv, p))
         .sum()
@@ -133,7 +128,12 @@ pub fn count_split_points_paper_style(
 /// Joint search-space size for a multi-model request set: the product of
 /// each model's split-point count (Eq. 14's outer product). Returned as
 /// `f64` because it overflows integers immediately.
-pub fn joint_search_space(inv: Inventory, layer_counts: &[u64], min_stages: u64, max_stages: u64) -> f64 {
+pub fn joint_search_space(
+    inv: Inventory,
+    layer_counts: &[u64],
+    min_stages: u64,
+    max_stages: u64,
+) -> f64 {
     layer_counts
         .iter()
         .map(|&n| count_split_points(inv, n, min_stages, max_stages))

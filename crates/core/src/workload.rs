@@ -75,7 +75,7 @@ pub fn lightweight_burst_stream(seed: u64, bursts: usize, burst_len: usize) -> V
     let mut out = Vec::new();
     for _ in 0..bursts {
         let l = light[rng.gen_range(0..light.len())];
-        out.extend(std::iter::repeat(l).take(burst_len));
+        out.extend(std::iter::repeat_n(l, burst_len));
         out.push(heavy[rng.gen_range(0..heavy.len())]);
     }
     out

@@ -59,7 +59,7 @@ pub fn align_to_targets(
     }
     let mut splits = Vec::with_capacity(stages - 1);
     let mut i = 0usize;
-    for a in 0..stages - 1 {
+    for (a, &target) in targets.iter().enumerate().take(stages - 1) {
         let remaining = stages - 1 - a; // later stages each need ≥1 layer
         let j_max = n - 1 - remaining;
         let mut best: Option<(usize, f64)> = None;
@@ -67,11 +67,11 @@ pub fn align_to_targets(
         while j <= j_max {
             match ctx.stage_cost(cost, a, i, j) {
                 Some(c) => {
-                    let diff = (c - targets[a]).abs();
-                    if best.map_or(true, |(_, d)| diff < d) {
+                    let diff = (c - target).abs();
+                    if best.is_none_or(|(_, d)| diff < d) {
                         best = Some((j, diff));
                     }
-                    if c > targets[a] {
+                    if c > target {
                         break; // costs grow with j: no closer boundary ahead
                     }
                 }
@@ -118,8 +118,9 @@ pub fn align_by_stealing(
             break;
         };
         let critical_total = plan.requests[critical].total_ms();
-        let critical_stage_ms: Vec<f64> =
-            (0..k).map(|s| plan.requests[critical].stage_ms(s)).collect();
+        let critical_stage_ms: Vec<f64> = (0..k)
+            .map(|s| plan.requests[critical].stage_ms(s))
+            .collect();
 
         for pos in u..end {
             if pos == critical {
@@ -271,9 +272,7 @@ mod tests {
                 let n = ctx.layer_count();
                 let k = ctx.stage_count();
                 let cost = est.cost();
-                if let Some(p) =
-                    min_max_partition(n, k, |a, i, j| ctx.stage_cost(cost, a, i, j))
-                {
+                if let Some(p) = min_max_partition(n, k, |a, i, j| ctx.stage_cost(cost, a, i, j)) {
                     let stages = ctx
                         .build_stages(cost, &p.splits, procs.len())
                         .expect("partition is feasible");
@@ -291,14 +290,7 @@ mod tests {
             }
             assert!(placed, "{id} must be placeable");
         }
-        (
-            PipelinePlan {
-                procs,
-                requests,
-            },
-            ctxs,
-            est,
-        )
+        (PipelinePlan { procs, requests }, ctxs, est)
     }
 
     #[test]
@@ -373,12 +365,7 @@ mod tests {
         let _ = merges;
         for req in &plan.requests {
             let ctx = &ctxs[req.request];
-            assert_eq!(
-                req.active_stage_count(),
-                ctx.stage_count(),
-                "{}",
-                req.model
-            );
+            assert_eq!(req.active_stage_count(), ctx.stage_count(), "{}", req.model);
         }
     }
 

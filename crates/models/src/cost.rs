@@ -228,9 +228,8 @@ impl CostModel {
         let elem = self.precision.element_scale();
         // Smaller elements also shrink the working set, easing L2 spill.
         let ws = (layer.working_set_bytes as f64 * elem) as u64;
-        let traffic = layer.bytes_touched() as f64 * elem
-            * spill_factor(ws, spec.l2_kib)
-            / layer.locality;
+        let traffic =
+            layer.bytes_touched() as f64 * elem * spill_factor(ws, spec.l2_kib) / layer.locality;
         let mem_ms = traffic / (spec.mem_bandwidth_gbps * 1e6);
         let memory_bound = mem_ms > compute_ms;
         Some(LayerCost {
@@ -483,10 +482,10 @@ mod tests {
         let g = ModelId::GoogLeNet.graph();
         let procs: Vec<ProcessorId> = soc.processors_by_power();
         let table = cm.table(&g, &procs);
-        for slot in 0..procs.len() {
+        for (slot, &proc) in procs.iter().enumerate() {
             for i in 0..g.len() {
                 for j in i..g.len() {
-                    let direct = cm.slice_latency_ms(&g, LayerRange::new(i, j), procs[slot]);
+                    let direct = cm.slice_latency_ms(&g, LayerRange::new(i, j), proc);
                     let tabled = table.slice_ms(slot, i, j);
                     match (direct, tabled) {
                         (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
@@ -611,11 +610,11 @@ mod tests {
         let big = soc.processor_by_name("CPU_B").unwrap();
         let gpu = soc.processor_by_name("GPU").unwrap();
         let sq = ModelId::SqueezeNet.graph();
-        let ratio_sq = cm.model_latency_ms(&sq, gpu).unwrap()
-            / cm.model_latency_ms(&sq, big).unwrap();
+        let ratio_sq =
+            cm.model_latency_ms(&sq, gpu).unwrap() / cm.model_latency_ms(&sq, big).unwrap();
         let vg = ModelId::Vgg16.graph();
-        let ratio_vg = cm.model_latency_ms(&vg, gpu).unwrap()
-            / cm.model_latency_ms(&vg, big).unwrap();
+        let ratio_vg =
+            cm.model_latency_ms(&vg, gpu).unwrap() / cm.model_latency_ms(&vg, big).unwrap();
         assert!(ratio_sq > ratio_vg, "small models pay the OpenCL overhead");
     }
 }

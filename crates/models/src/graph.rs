@@ -179,7 +179,10 @@ impl ModelGraph {
         let mut problems = Vec::new();
         for (i, l) in self.layers.iter().enumerate() {
             if !l.flops.is_finite() || l.flops < 0.0 {
-                problems.push(format!("{}[{i}] {}: invalid flops {}", self.name, l.name, l.flops));
+                problems.push(format!(
+                    "{}[{i}] {}: invalid flops {}",
+                    self.name, l.name, l.flops
+                ));
             }
             let max_tensor = l.input_bytes.max(l.output_bytes);
             if l.working_set_bytes < max_tensor / 2 {
@@ -220,7 +223,10 @@ impl ModelGraph {
         let mut prev = 0usize;
         let mut out = Vec::with_capacity(splits.len() + 1);
         for &s in splits {
-            assert!(s > prev && s < n, "split points must be ascending in (0, n)");
+            assert!(
+                s > prev && s < n,
+                "split points must be ascending in (0, n)"
+            );
             out.push(LayerRange::new(prev, s - 1));
             prev = s;
         }
@@ -263,7 +269,10 @@ mod tests {
     fn npu_support_is_per_range() {
         let g = toy();
         assert!(g.npu_supported_range(LayerRange::new(0, 0)));
-        assert!(!g.npu_supported_range(LayerRange::new(0, 1)), "contains mish");
+        assert!(
+            !g.npu_supported_range(LayerRange::new(0, 1)),
+            "contains mish"
+        );
         assert!(g.npu_supported_range(LayerRange::new(2, 2)));
         assert!(!g.fully_npu_supported());
     }

@@ -45,7 +45,7 @@ pub mod profile;
 pub mod zoo;
 
 pub use cost::CostModel;
-pub use profile::ProfileTable;
 pub use graph::ModelGraph;
 pub use layer::{Layer, OpKind};
+pub use profile::ProfileTable;
 pub use zoo::ModelId;

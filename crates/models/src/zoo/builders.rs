@@ -11,15 +11,7 @@ use crate::layer::{f32_bytes, Layer, OpKind};
 ///
 /// `h × w × cin` input, `k × k` kernel, `stride`, producing
 /// `(h/stride) × (w/stride) × cout`.
-pub(crate) fn conv(
-    name: &str,
-    h: u64,
-    w: u64,
-    cin: u64,
-    cout: u64,
-    k: u64,
-    stride: u64,
-) -> Layer {
+pub(crate) fn conv(name: &str, h: u64, w: u64, cin: u64, cout: u64, k: u64, stride: u64) -> Layer {
     let oh = h.div_ceil(stride);
     let ow = w.div_ceil(stride);
     let flops = 2.0 * (k * k * cin * cout * oh * ow) as f64;
@@ -115,14 +107,8 @@ pub(crate) fn inception(name: &str, h: u64, w: u64, cin: u64, cout: u64) -> Laye
     let red3 = cin / 4;
     let red5 = cin / 16;
     let flops = 2.0
-        * ((cin * c1
-            + cin * red3
-            + 9 * red3 * c3
-            + cin * red5
-            + 25 * red5 * c5
-            + cin * cp)
-            * h
-            * w) as f64;
+        * ((cin * c1 + cin * red3 + 9 * red3 * c3 + cin * red5 + 25 * red5 * c5 + cin * cp) * h * w)
+            as f64;
     let weights =
         cin * c1 + cin * red3 + 9 * red3 * c3 + cin * red5 + 25 * red5 * c5 + cin * cp + cout;
     let ws = f32_bytes(h * w * (cin + cout + red3 + red5)) + f32_bytes(weights);
@@ -345,6 +331,4 @@ mod tests {
         let l = fc("fc6", 9216, 4096);
         assert_eq!(l.working_set_bytes, f32_bytes(9216 * 4096));
     }
-
-
 }

@@ -118,15 +118,33 @@ pub fn inceptionv4() -> ModelGraph {
         pool("stem_pool2", 75, 75, 192, 3, 2),
     ];
     for i in 0..4 {
-        layers.push(inception(&format!("incA{i}"), 38, 38, if i == 0 { 192 } else { 384 }, 384));
+        layers.push(inception(
+            &format!("incA{i}"),
+            38,
+            38,
+            if i == 0 { 192 } else { 384 },
+            384,
+        ));
     }
     layers.push(pool("redA", 38, 38, 384, 3, 2));
     for i in 0..7 {
-        layers.push(inception(&format!("incB{i}"), 19, 19, if i == 0 { 384 } else { 1024 }, 1024));
+        layers.push(inception(
+            &format!("incB{i}"),
+            19,
+            19,
+            if i == 0 { 384 } else { 1024 },
+            1024,
+        ));
     }
     layers.push(pool("redB", 19, 19, 1024, 3, 2));
     for i in 0..3 {
-        layers.push(inception(&format!("incC{i}"), 10, 10, if i == 0 { 1024 } else { 1536 }, 1536));
+        layers.push(inception(
+            &format!("incC{i}"),
+            10,
+            10,
+            if i == 0 { 1024 } else { 1536 },
+            1536,
+        ));
     }
     layers.push(global_pool("pool", 10, 10, 1536));
     layers.push(fc("fc", 1536, 1000));

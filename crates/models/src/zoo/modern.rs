@@ -21,7 +21,11 @@ pub fn resnet50() -> ModelGraph {
     for (s, &(blocks, h, w, cin, mid, cout)) in stages.iter().enumerate() {
         for b in 0..blocks {
             let stride = if b == 0 && s > 0 { 2 } else { 1 };
-            let (bh, bw) = if b == 0 { (h, w) } else { (h / if s > 0 { 2 } else { 1 }, w / if s > 0 { 2 } else { 1 }) };
+            let (bh, bw) = if b == 0 {
+                (h, w)
+            } else {
+                (h / if s > 0 { 2 } else { 1 }, w / if s > 0 { 2 } else { 1 })
+            };
             let bcin = if b == 0 { cin } else { cout };
             layers.push(bottleneck(
                 &format!("res{}_{b}", s + 2),
@@ -58,7 +62,11 @@ pub fn mobilenetv2() -> ModelGraph {
     let mut idx = 0;
     for &(repeat, cin, cout, expand, stride, h, w) in &cfg {
         for r in 0..repeat {
-            let (bh, bw) = if r == 0 { (h, w) } else { (h / stride.max(1), w / stride.max(1)) };
+            let (bh, bw) = if r == 0 {
+                (h, w)
+            } else {
+                (h / stride.max(1), w / stride.max(1))
+            };
             let bcin = if r == 0 { cin } else { cout };
             let bstride = if r == 0 { stride } else { 1 };
             layers.push(inverted_residual(
@@ -229,7 +237,11 @@ mod tests {
         let param_ratio = unfused.weight_bytes() as f64 / fused.weight_bytes() as f64;
         assert!((0.8..1.2).contains(&param_ratio), "got {param_ratio}");
         assert!(unfused.fully_npu_supported());
-        assert!(unfused.validate(3.0).is_empty(), "{:?}", unfused.validate(3.0));
+        assert!(
+            unfused.validate(3.0).is_empty(),
+            "{:?}",
+            unfused.validate(3.0)
+        );
     }
 
     #[test]

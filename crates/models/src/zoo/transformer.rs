@@ -64,10 +64,10 @@ pub fn bert_with_seq(seq: u64) -> ModelGraph {
     ModelGraph::new(name, f32_bytes(seq), layers)
 }
 
-/// ViT-B/16 (Dosovitskiy 2020): conv patch embedding + 12 encoder blocks
-/// + classification head, ~86 M params, ~17.6 GFLOPs. Unlike BERT, the
-/// patch embedding is an ordinary convolution, so ViT runs fully on the
-/// NPU.
+/// ViT-B/16 (Dosovitskiy 2020): conv patch embedding, 12 encoder blocks
+/// and a classification head; ~86 M params, ~17.6 GFLOPs. Unlike BERT,
+/// the patch embedding is an ordinary convolution, so ViT runs fully on
+/// the NPU.
 pub fn vit() -> ModelGraph {
     vit_at(224)
 }
@@ -81,7 +81,7 @@ pub fn vit() -> ModelGraph {
 /// Panics if `resolution` is zero or not a multiple of 16.
 pub fn vit_at(resolution: u64) -> ModelGraph {
     assert!(
-        resolution > 0 && resolution % 16 == 0,
+        resolution > 0 && resolution.is_multiple_of(16),
         "resolution must be a positive multiple of the 16-px patch size"
     );
     let patches = resolution / 16;

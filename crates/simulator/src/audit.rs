@@ -1,0 +1,820 @@
+//! Trace auditing: validates an executed [`Trace`] against the
+//! simulator's contracts.
+//!
+//! The engine is deterministic, but determinism alone does not prove a
+//! trace is *physically meaningful* — a bug in queueing, rate math or
+//! the memory ledger produces a perfectly repeatable wrong answer. The
+//! auditor re-derives every invariant the engine is supposed to uphold
+//! from first principles, using only the submitted [`TaskSpec`]s, the
+//! [`SocSpec`] and the finished [`Trace`]:
+//!
+//! 1. **Shape** — one span per task, matching processor/solo-time/label,
+//!    finite and ordered timestamps.
+//! 2. **Exclusivity** — spans on one processor never overlap.
+//! 3. **Releases** — no span starts before its task's `release_ms`.
+//! 4. **Dependencies** — no span starts before all of its dependencies
+//!    have ended.
+//! 5. **FIFO** — per processor, tasks start in queue-entry order, where
+//!    the entry time is reconstructed as `max(release, latest dep end)`
+//!    with the engine's task-id tie-break.
+//! 6. **Slowdown bounds** — every span takes at least its solo time, and
+//!    no longer than the worst case the
+//!    [`CouplingMatrix`](crate::interference::CouplingMatrix), thermal
+//!    throttling and memory paging can jointly justify.
+//! 7. **Bubble accounting** — [`Trace::idle_bubble_ms`] reconciles with
+//!    an independent per-processor gap summation (the trace-level
+//!    analogue of the paper's Def. 3).
+//! 8. **Memory ledger** — samples are time-ordered, internally
+//!    consistent, never exceed the sum of all footprints, and drain to
+//!    zero by the end of the run.
+//!
+//! [`audit`] returns an [`AuditReport`] listing every violation found;
+//! it never panics, so callers can render violations or gate on them
+//! (`h2p trace --audit` exits nonzero on a dirty report, and
+//! `execute_with_arrivals` asserts a clean report in debug builds).
+
+use std::fmt;
+
+use crate::engine::TaskSpec;
+use crate::soc::SocSpec;
+use crate::thermal::{ThermalMode, ThermalSpec};
+use crate::timeline::{Span, Trace};
+
+/// Absolute tolerance for event-time comparisons, matching the engine's
+/// completion epsilon.
+const TIME_EPS: f64 = 1e-6;
+
+/// One contract violation found in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The trace does not have exactly one span per submitted task, or a
+    /// span disagrees with its spec (task id, processor, solo time).
+    Shape {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// Two spans overlap on one processor.
+    Overlap {
+        /// Processor index.
+        processor: usize,
+        /// Earlier span's task id.
+        first: usize,
+        /// Later span's task id.
+        second: usize,
+        /// Overlap amount in ms.
+        by_ms: f64,
+    },
+    /// A span starts before its task's release time.
+    EarlyStart {
+        /// Task id.
+        task: usize,
+        /// Observed start.
+        start_ms: f64,
+        /// Required release.
+        release_ms: f64,
+    },
+    /// A span starts before one of its dependencies ends.
+    DependencyOrder {
+        /// Task id.
+        task: usize,
+        /// The dependency that had not finished.
+        dependency: usize,
+        /// Observed start of the dependent task.
+        start_ms: f64,
+        /// End of the dependency.
+        dep_end_ms: f64,
+    },
+    /// Two tasks on one processor started out of queue-entry order.
+    FifoOrder {
+        /// Processor index.
+        processor: usize,
+        /// The task that entered the queue first.
+        earlier: usize,
+        /// The task that entered later but started first.
+        later: usize,
+    },
+    /// A span finished faster than its solo time allows.
+    TooFast {
+        /// Task id.
+        task: usize,
+        /// Observed duration.
+        duration_ms: f64,
+        /// The task's solo time.
+        solo_ms: f64,
+    },
+    /// A span took longer than interference, throttling and paging can
+    /// jointly explain.
+    TooSlow {
+        /// Task id.
+        task: usize,
+        /// Observed duration.
+        duration_ms: f64,
+        /// The conservative upper bound.
+        bound_ms: f64,
+    },
+    /// `Trace::idle_bubble_ms` disagrees with an independent
+    /// recomputation from the spans.
+    BubbleMismatch {
+        /// The trace's reported value.
+        reported_ms: f64,
+        /// The independently recomputed value.
+        recomputed_ms: f64,
+    },
+    /// The memory trace is inconsistent (unordered samples, phantom
+    /// allocations, or a ledger that never drains).
+    MemoryLedger {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Shape { detail } => write!(f, "shape: {detail}"),
+            Violation::Overlap {
+                processor,
+                first,
+                second,
+                by_ms,
+            } => write!(
+                f,
+                "overlap: tasks {first} and {second} overlap by {by_ms:.6} ms on processor {processor}"
+            ),
+            Violation::EarlyStart {
+                task,
+                start_ms,
+                release_ms,
+            } => write!(
+                f,
+                "release: task {task} started at {start_ms:.6} ms before its release {release_ms:.6} ms"
+            ),
+            Violation::DependencyOrder {
+                task,
+                dependency,
+                start_ms,
+                dep_end_ms,
+            } => write!(
+                f,
+                "dependency: task {task} started at {start_ms:.6} ms before dependency {dependency} ended at {dep_end_ms:.6} ms"
+            ),
+            Violation::FifoOrder {
+                processor,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "fifo: task {later} started before task {earlier} on processor {processor} despite entering the queue later"
+            ),
+            Violation::TooFast {
+                task,
+                duration_ms,
+                solo_ms,
+            } => write!(
+                f,
+                "too fast: task {task} ran {duration_ms:.6} ms, under its solo time {solo_ms:.6} ms"
+            ),
+            Violation::TooSlow {
+                task,
+                duration_ms,
+                bound_ms,
+            } => write!(
+                f,
+                "too slow: task {task} ran {duration_ms:.6} ms, beyond the worst-case bound {bound_ms:.6} ms"
+            ),
+            Violation::BubbleMismatch {
+                reported_ms,
+                recomputed_ms,
+            } => write!(
+                f,
+                "bubble: trace reports {reported_ms:.6} ms idle but spans account for {recomputed_ms:.6} ms"
+            ),
+            Violation::MemoryLedger { detail } => write!(f, "memory: {detail}"),
+        }
+    }
+}
+
+/// The result of auditing one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// Every violation found, in check order.
+    pub violations: Vec<Violation>,
+    /// Number of individual checks performed.
+    pub checks: usize,
+}
+
+impl AuditReport {
+    /// Whether the trace passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            writeln!(f, "audit: clean ({} checks)", self.checks)
+        } else {
+            writeln!(
+                f,
+                "audit: {} violation(s) in {} checks",
+                self.violations.len(),
+                self.checks
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Audits `trace` against the contracts implied by `tasks` and `soc`.
+///
+/// The audit is pure and panic-free: every failed invariant becomes a
+/// [`Violation`] in the returned report. A trace produced by
+/// [`crate::engine::Simulation::run`] from the same `tasks` and `soc`
+/// always audits clean; the checks exist to catch corrupted, hand-built
+/// or regression-bugged traces.
+pub fn audit(soc: &SocSpec, tasks: &[TaskSpec], trace: &Trace) -> AuditReport {
+    let mut violations = Vec::new();
+    let mut checks = 0usize;
+
+    check_shape(soc, tasks, trace, &mut violations, &mut checks);
+    // Everything below indexes spans by task id; bail out early if the
+    // shape is too broken for that to be meaningful.
+    if trace.spans.len() != tasks.len() || trace.spans.iter().enumerate().any(|(i, s)| s.task != i)
+    {
+        return AuditReport { violations, checks };
+    }
+
+    check_exclusivity(trace, &mut violations, &mut checks);
+    check_releases(tasks, trace, &mut violations, &mut checks);
+    check_dependencies(tasks, trace, &mut violations, &mut checks);
+    check_fifo(tasks, trace, &mut violations, &mut checks);
+    check_duration_bounds(soc, tasks, trace, &mut violations, &mut checks);
+    check_bubbles(trace, &mut violations, &mut checks);
+    check_memory(soc, tasks, trace, &mut violations, &mut checks);
+
+    AuditReport { violations, checks }
+}
+
+fn check_shape(
+    soc: &SocSpec,
+    tasks: &[TaskSpec],
+    trace: &Trace,
+    violations: &mut Vec<Violation>,
+    checks: &mut usize,
+) {
+    *checks += 1;
+    if trace.spans.len() != tasks.len() {
+        violations.push(Violation::Shape {
+            detail: format!(
+                "{} spans for {} submitted tasks",
+                trace.spans.len(),
+                tasks.len()
+            ),
+        });
+    }
+    *checks += 1;
+    if trace.processor_count != soc.processors.len() {
+        violations.push(Violation::Shape {
+            detail: format!(
+                "trace claims {} processors, SoC has {}",
+                trace.processor_count,
+                soc.processors.len()
+            ),
+        });
+    }
+    for (i, span) in trace.spans.iter().enumerate() {
+        *checks += 1;
+        if span.task != i {
+            violations.push(Violation::Shape {
+                detail: format!("span {i} records task id {}", span.task),
+            });
+            continue;
+        }
+        let Some(spec) = tasks.get(i) else { continue };
+        if span.processor != spec.processor {
+            violations.push(Violation::Shape {
+                detail: format!(
+                    "task {i} ran on processor {} but was pinned to {}",
+                    span.processor.index(),
+                    spec.processor.index()
+                ),
+            });
+        }
+        if (span.solo_ms - spec.solo_ms).abs() > TIME_EPS {
+            violations.push(Violation::Shape {
+                detail: format!(
+                    "task {i} span records solo {} ms, spec says {} ms",
+                    span.solo_ms, spec.solo_ms
+                ),
+            });
+        }
+        if !(span.start_ms.is_finite() && span.end_ms.is_finite())
+            || span.end_ms < span.start_ms - TIME_EPS
+            || span.start_ms < -TIME_EPS
+        {
+            violations.push(Violation::Shape {
+                detail: format!(
+                    "task {i} has malformed timestamps [{}, {}]",
+                    span.start_ms, span.end_ms
+                ),
+            });
+        }
+    }
+}
+
+fn check_exclusivity(trace: &Trace, violations: &mut Vec<Violation>, checks: &mut usize) {
+    for p in 0..trace.processor_count {
+        let mut spans: Vec<&Span> = trace
+            .spans
+            .iter()
+            .filter(|s| s.processor.index() == p)
+            .collect();
+        spans.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+        for w in spans.windows(2) {
+            *checks += 1;
+            let gap = w[1].start_ms - w[0].end_ms;
+            if gap < -TIME_EPS {
+                violations.push(Violation::Overlap {
+                    processor: p,
+                    first: w[0].task,
+                    second: w[1].task,
+                    by_ms: -gap,
+                });
+            }
+        }
+    }
+}
+
+fn check_releases(
+    tasks: &[TaskSpec],
+    trace: &Trace,
+    violations: &mut Vec<Violation>,
+    checks: &mut usize,
+) {
+    for (i, spec) in tasks.iter().enumerate() {
+        *checks += 1;
+        let span = &trace.spans[i];
+        if span.start_ms < spec.release_ms - TIME_EPS {
+            violations.push(Violation::EarlyStart {
+                task: i,
+                start_ms: span.start_ms,
+                release_ms: spec.release_ms,
+            });
+        }
+    }
+}
+
+fn check_dependencies(
+    tasks: &[TaskSpec],
+    trace: &Trace,
+    violations: &mut Vec<Violation>,
+    checks: &mut usize,
+) {
+    for (i, spec) in tasks.iter().enumerate() {
+        let span = &trace.spans[i];
+        for d in &spec.deps {
+            *checks += 1;
+            let Some(dep_span) = trace.spans.get(d.index()) else {
+                continue;
+            };
+            if span.start_ms < dep_span.end_ms - TIME_EPS {
+                violations.push(Violation::DependencyOrder {
+                    task: i,
+                    dependency: d.index(),
+                    start_ms: span.start_ms,
+                    dep_end_ms: dep_span.end_ms,
+                });
+            }
+        }
+    }
+}
+
+/// The time at which task `i` became eligible for its processor queue:
+/// its release, or the end of its latest dependency, whichever is later.
+fn entry_time(tasks: &[TaskSpec], trace: &Trace, i: usize) -> f64 {
+    let dep_end = tasks[i]
+        .deps
+        .iter()
+        .filter_map(|d| trace.spans.get(d.index()))
+        .map(|s| s.end_ms)
+        .fold(0.0f64, f64::max);
+    tasks[i].release_ms.max(dep_end)
+}
+
+fn check_fifo(
+    tasks: &[TaskSpec],
+    trace: &Trace,
+    violations: &mut Vec<Violation>,
+    checks: &mut usize,
+) {
+    for p in 0..trace.processor_count {
+        let mut entries: Vec<(f64, usize)> = (0..tasks.len())
+            .filter(|&i| tasks[i].processor.index() == p)
+            .map(|i| (entry_time(tasks, trace, i), i))
+            .collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for w in entries.windows(2) {
+            let (entry_a, a) = w[0];
+            let (entry_b, b) = w[1];
+            // Equal entries (within tolerance) are only ordered by the
+            // engine when they join the queue at the same event, so the
+            // id tie-break is enforced for exact ties only.
+            let strictly_earlier = entry_a < entry_b - TIME_EPS;
+            let tie_by_id = entry_a == entry_b && a < b;
+            if !(strictly_earlier || tie_by_id) {
+                continue;
+            }
+            *checks += 1;
+            if trace.spans[a].start_ms > trace.spans[b].start_ms + TIME_EPS {
+                violations.push(Violation::FifoOrder {
+                    processor: p,
+                    earlier: a,
+                    later: b,
+                });
+            }
+        }
+    }
+}
+
+fn check_duration_bounds(
+    soc: &SocSpec,
+    tasks: &[TaskSpec],
+    trace: &Trace,
+    violations: &mut Vec<Violation>,
+    checks: &mut usize,
+) {
+    // Worst-case rate factors shared by all spans: a processor can be
+    // throttled whenever the thermal model is enabled, and every task
+    // pages whenever the run ever over-committed memory.
+    let paged = trace
+        .memory
+        .iter()
+        .any(|s| s.allocated_bytes > soc.memory.capacity_bytes);
+    let mem_min = if paged {
+        soc.memory.page_fault_penalty
+    } else {
+        1.0
+    };
+
+    for (i, spec) in tasks.iter().enumerate() {
+        let span = &trace.spans[i];
+        let duration = span.end_ms - span.start_ms;
+
+        *checks += 1;
+        if duration < spec.solo_ms - TIME_EPS {
+            violations.push(Violation::TooFast {
+                task: i,
+                duration_ms: duration,
+                solo_ms: spec.solo_ms,
+            });
+        }
+
+        // Conservative instantaneous slowdown ceiling: at any moment at
+        // most one task runs per other processor, so the worst case sums
+        // each other processor's most intense overlapping span.
+        let me = &soc.processors[spec.processor.index()];
+        let mut slow_max = 0.0;
+        for (q, other_proc) in soc.processors.iter().enumerate() {
+            if q == spec.processor.index() {
+                continue;
+            }
+            let worst_intensity = trace
+                .spans
+                .iter()
+                .filter(|s| {
+                    s.processor.index() == q
+                        && s.start_ms < span.end_ms + TIME_EPS
+                        && s.end_ms > span.start_ms - TIME_EPS
+                })
+                .map(|s| tasks[s.task].intensity.max(0.0))
+                .fold(0.0f64, f64::max);
+            slow_max += soc.coupling.coupling(me, other_proc) * worst_intensity;
+        }
+        slow_max *= spec.sensitivity.max(0.0);
+
+        let thermal_min = if soc.thermal_mode == ThermalMode::Disabled {
+            1.0
+        } else {
+            ThermalSpec::for_kind(me.kind).throttle_factor
+        };
+        let bound = spec.solo_ms * (1.0 + slow_max) / (thermal_min * mem_min) + TIME_EPS;
+        *checks += 1;
+        if duration > bound {
+            violations.push(Violation::TooSlow {
+                task: i,
+                duration_ms: duration,
+                bound_ms: bound,
+            });
+        }
+    }
+}
+
+fn check_bubbles(trace: &Trace, violations: &mut Vec<Violation>, checks: &mut usize) {
+    // Independent recomputation of Def. 3 idle bubbles: per processor,
+    // the gaps between consecutive spans.
+    let mut recomputed = 0.0;
+    for p in 0..trace.processor_count {
+        let mut spans: Vec<&Span> = trace
+            .spans
+            .iter()
+            .filter(|s| s.processor.index() == p)
+            .collect();
+        spans.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+        for w in spans.windows(2) {
+            recomputed += (w[1].start_ms - w[0].end_ms).max(0.0);
+        }
+    }
+    *checks += 1;
+    let reported = trace.idle_bubble_ms();
+    if !(reported - recomputed).abs().is_finite() || (reported - recomputed).abs() > TIME_EPS {
+        violations.push(Violation::BubbleMismatch {
+            reported_ms: reported,
+            recomputed_ms: recomputed,
+        });
+    }
+}
+
+fn check_memory(
+    soc: &SocSpec,
+    tasks: &[TaskSpec],
+    trace: &Trace,
+    violations: &mut Vec<Violation>,
+    checks: &mut usize,
+) {
+    let samples = &trace.memory;
+    *checks += 1;
+    if samples.is_empty() {
+        if !tasks.is_empty() {
+            violations.push(Violation::MemoryLedger {
+                detail: "no memory samples recorded for a non-empty run".to_owned(),
+            });
+        }
+        return;
+    }
+    *checks += 1;
+    let last = samples.last().expect("non-empty");
+    if last.allocated_bytes != 0 {
+        violations.push(Violation::MemoryLedger {
+            detail: format!(
+                "{} bytes still allocated at the end of the run",
+                last.allocated_bytes
+            ),
+        });
+    }
+    let total_footprint: u64 = tasks.iter().map(|t| t.footprint_bytes).sum();
+    let capacity = soc.memory.capacity_bytes;
+    let mut prev_time = f64::NEG_INFINITY;
+    for (i, s) in samples.iter().enumerate() {
+        *checks += 1;
+        if s.time_ms < prev_time {
+            violations.push(Violation::MemoryLedger {
+                detail: format!(
+                    "sample {i} at {} ms is earlier than its predecessor at {prev_time} ms",
+                    s.time_ms
+                ),
+            });
+        }
+        prev_time = s.time_ms;
+        if s.allocated_bytes > total_footprint {
+            violations.push(Violation::MemoryLedger {
+                detail: format!(
+                    "sample {i} allocates {} bytes, more than all footprints combined ({total_footprint})",
+                    s.allocated_bytes
+                ),
+            });
+        }
+        if s.available_bytes != capacity.saturating_sub(s.allocated_bytes) {
+            violations.push(Violation::MemoryLedger {
+                detail: format!(
+                    "sample {i}: available {} inconsistent with capacity {} - allocated {}",
+                    s.available_bytes, capacity, s.allocated_bytes
+                ),
+            });
+        }
+    }
+}
+
+/// Convenience: audits the trace and panics with the full report if it
+/// is not clean. Used by the executor's debug-build audit gate and by
+/// tests.
+///
+/// # Panics
+///
+/// Panics if the audit finds any violation.
+pub fn assert_clean(soc: &SocSpec, tasks: &[TaskSpec], trace: &Trace) {
+    let report = audit(soc, tasks, trace);
+    assert!(report.is_clean(), "trace audit failed:\n{report}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Simulation, TaskSpec};
+    use crate::processor::{ProcessorId, ProcessorKind};
+
+    fn soc() -> SocSpec {
+        SocSpec::kirin_990()
+    }
+
+    fn id(soc: &SocSpec, kind: ProcessorKind) -> ProcessorId {
+        soc.processor_by_kind(kind).expect("preset has processor")
+    }
+
+    /// A small mixed workload: chained pipeline plus independent work.
+    fn workload(soc: &SocSpec) -> (Vec<TaskSpec>, Trace) {
+        let cpu = id(soc, ProcessorKind::CpuBig);
+        let gpu = id(soc, ProcessorKind::Gpu);
+        let npu = id(soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc.clone());
+        let a = sim.add_task(
+            TaskSpec::new("a", npu, 8.0)
+                .intensity(0.6)
+                .footprint(64 << 20)
+                .bandwidth(2.0),
+        );
+        let b = sim.add_task(TaskSpec::new("b", gpu, 6.0).intensity(0.9).after(a));
+        sim.add_task(TaskSpec::new("c", cpu, 5.0).intensity(1.0).after(b));
+        sim.add_task(TaskSpec::new("d", cpu, 4.0).intensity(0.2).release(3.0));
+        sim.add_task(TaskSpec::new("e", npu, 2.0));
+        let tasks = sim.tasks().to_vec();
+        let trace = sim.run().expect("runs");
+        (tasks, trace)
+    }
+
+    #[test]
+    fn engine_traces_audit_clean() {
+        let soc = soc();
+        let (tasks, trace) = workload(&soc);
+        let report = audit(&soc, &tasks, &trace);
+        assert!(report.is_clean(), "unexpected violations:\n{report}");
+        assert!(report.checks > 10, "audit must actually check things");
+    }
+
+    #[test]
+    fn thermal_and_overcommit_traces_audit_clean() {
+        // Throttling and paging stretch spans; the upper bound must
+        // still accommodate them.
+        let mut soc = soc();
+        soc.thermal_mode = ThermalMode::SteadyState;
+        let cpu = id(&soc, ProcessorKind::CpuBig);
+        let cap = soc.memory.capacity_bytes;
+        let mut sim = Simulation::new(soc.clone());
+        sim.add_task(TaskSpec::new("huge", cpu, 10.0).footprint(cap + 1));
+        let tasks = sim.tasks().to_vec();
+        let trace = sim.run().expect("runs");
+        assert_clean(&soc, &tasks, &trace);
+    }
+
+    #[test]
+    fn overlapping_spans_are_detected() {
+        let soc = soc();
+        let (tasks, mut trace) = workload(&soc);
+        // Slide task d's span backwards until it overlaps task c on the
+        // same CPU (both run there).
+        let c_end = trace.spans[2].end_ms;
+        trace.spans[3].start_ms = c_end - 1.0;
+        trace.spans[3].end_ms = trace.spans[3].start_ms + 4.0;
+        let report = audit(&soc, &tasks, &trace);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::Overlap { .. })),
+            "expected an overlap violation, got:\n{report}"
+        );
+    }
+
+    #[test]
+    fn early_starts_are_detected() {
+        let soc = soc();
+        let (tasks, mut trace) = workload(&soc);
+        // Task d is released at 3.0 ms; forge an earlier start.
+        trace.spans[3].start_ms = 0.5;
+        let report = audit(&soc, &tasks, &trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::EarlyStart { task: 3, .. })));
+    }
+
+    #[test]
+    fn dependency_inversions_are_detected() {
+        let soc = soc();
+        let (tasks, mut trace) = workload(&soc);
+        // Task b depends on a; start it before a ends.
+        trace.spans[1].start_ms = trace.spans[0].end_ms - 2.0;
+        let report = audit(&soc, &tasks, &trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DependencyOrder { task: 1, .. })));
+    }
+
+    #[test]
+    fn superluminal_spans_are_detected() {
+        let soc = soc();
+        let (tasks, mut trace) = workload(&soc);
+        // Task c claims to finish in half its solo time.
+        trace.spans[2].end_ms = trace.spans[2].start_ms + tasks[2].solo_ms / 2.0;
+        let report = audit(&soc, &tasks, &trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TooFast { task: 2, .. })));
+    }
+
+    #[test]
+    fn unexplainable_stretch_is_detected() {
+        let soc = soc();
+        let (tasks, mut trace) = workload(&soc);
+        // Stretch the lone NPU task far beyond anything interference
+        // could justify.
+        trace.spans[4].end_ms = trace.spans[4].start_ms + tasks[4].solo_ms * 50.0;
+        let report = audit(&soc, &tasks, &trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TooSlow { task: 4, .. })));
+    }
+
+    #[test]
+    fn fifo_inversions_are_detected() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc.clone());
+        sim.add_task(TaskSpec::new("first", npu, 3.0));
+        sim.add_task(TaskSpec::new("second", npu, 3.0));
+        let tasks = sim.tasks().to_vec();
+        let mut trace = sim.run().expect("runs");
+        // Swap the execution order: second runs [0,3], first runs [3,6].
+        trace.spans[0].start_ms = 3.0;
+        trace.spans[0].end_ms = 6.0;
+        trace.spans[1].start_ms = 0.0;
+        trace.spans[1].end_ms = 3.0;
+        let report = audit(&soc, &tasks, &trace);
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::FifoOrder {
+                    earlier: 0,
+                    later: 1,
+                    ..
+                }
+            )),
+            "expected a FIFO violation, got:\n{report}"
+        );
+    }
+
+    #[test]
+    fn leaked_memory_is_detected() {
+        let soc = soc();
+        let (tasks, mut trace) = workload(&soc);
+        // Forge a ledger that never drains.
+        if let Some(last) = trace.memory.last_mut() {
+            last.allocated_bytes = 123;
+        }
+        let report = audit(&soc, &tasks, &trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MemoryLedger { .. })));
+    }
+
+    #[test]
+    fn shape_mismatches_are_detected() {
+        let soc = soc();
+        let (tasks, trace) = workload(&soc);
+        // Dropped span.
+        let mut short = trace.clone();
+        short.spans.pop();
+        assert!(!audit(&soc, &tasks, &short).is_clean());
+        // Wrong processor recorded.
+        let mut moved = trace.clone();
+        moved.spans[0].processor = ProcessorId(0);
+        let report = audit(&soc, &tasks, &moved);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Shape { .. })));
+    }
+
+    #[test]
+    fn report_display_lists_violations() {
+        let soc = soc();
+        let (tasks, mut trace) = workload(&soc);
+        trace.spans[2].end_ms = trace.spans[2].start_ms + 0.1;
+        let report = audit(&soc, &tasks, &trace);
+        let text = report.to_string();
+        assert!(text.contains("violation"));
+        assert!(text.contains("too fast"));
+        let clean = AuditReport {
+            violations: Vec::new(),
+            checks: 7,
+        };
+        assert!(clean.to_string().contains("clean"));
+    }
+}

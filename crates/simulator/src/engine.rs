@@ -125,6 +125,123 @@ struct Running {
     start_ms: f64,
 }
 
+/// One structured event from a simulation run, for the JSON-lines log.
+///
+/// Events are emitted in simulation-time order. `Ready` fires when a
+/// task joins its processor's FIFO queue (dependencies met and release
+/// time reached), `Start`/`Finish` bracket execution, and `Rate` fires
+/// whenever a running task's effective progress rate changes — its
+/// instantaneous interference slowdown, thermal factor and memory
+/// factor. Serialize with [`EngineEvent::json_line`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// A task joined its processor queue.
+    Ready {
+        /// Simulation time in ms.
+        time_ms: f64,
+        /// Task id.
+        task: usize,
+        /// Queue (processor) joined.
+        processor: ProcessorId,
+    },
+    /// A task began executing.
+    Start {
+        /// Simulation time in ms.
+        time_ms: f64,
+        /// Task id.
+        task: usize,
+        /// Processor it runs on.
+        processor: ProcessorId,
+    },
+    /// A running task's effective rate changed.
+    Rate {
+        /// Simulation time in ms.
+        time_ms: f64,
+        /// Task id.
+        task: usize,
+        /// Processor it runs on.
+        processor: ProcessorId,
+        /// Interference slowdown `s` (rate divides by `1 + s`).
+        slowdown: f64,
+        /// Thermal throttle factor in `(0, 1]`.
+        thermal_factor: f64,
+        /// Memory/paging factor in `(0, 1]`.
+        memory_factor: f64,
+    },
+    /// A task finished executing.
+    Finish {
+        /// Simulation time in ms.
+        time_ms: f64,
+        /// Task id.
+        task: usize,
+        /// Processor it ran on.
+        processor: ProcessorId,
+        /// Wall-clock duration of the span in ms.
+        duration_ms: f64,
+        /// Realized average slowdown `(duration - solo) / solo`.
+        slowdown: f64,
+    },
+}
+
+impl EngineEvent {
+    /// Simulation time at which the event fired.
+    pub fn time_ms(&self) -> f64 {
+        match self {
+            EngineEvent::Ready { time_ms, .. }
+            | EngineEvent::Start { time_ms, .. }
+            | EngineEvent::Rate { time_ms, .. }
+            | EngineEvent::Finish { time_ms, .. } => *time_ms,
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline), the
+    /// unit of the JSON-lines event log.
+    pub fn json_line(&self) -> String {
+        match self {
+            EngineEvent::Ready {
+                time_ms,
+                task,
+                processor,
+            } => format!(
+                "{{\"event\":\"ready\",\"time_ms\":{time_ms},\"task\":{task},\"processor\":{}}}",
+                processor.index()
+            ),
+            EngineEvent::Start {
+                time_ms,
+                task,
+                processor,
+            } => format!(
+                "{{\"event\":\"start\",\"time_ms\":{time_ms},\"task\":{task},\"processor\":{}}}",
+                processor.index()
+            ),
+            EngineEvent::Rate {
+                time_ms,
+                task,
+                processor,
+                slowdown,
+                thermal_factor,
+                memory_factor,
+            } => format!(
+                "{{\"event\":\"rate\",\"time_ms\":{time_ms},\"task\":{task},\"processor\":{},\
+                 \"slowdown\":{slowdown},\"thermal_factor\":{thermal_factor},\
+                 \"memory_factor\":{memory_factor}}}",
+                processor.index()
+            ),
+            EngineEvent::Finish {
+                time_ms,
+                task,
+                processor,
+                duration_ms,
+                slowdown,
+            } => format!(
+                "{{\"event\":\"finish\",\"time_ms\":{time_ms},\"task\":{task},\"processor\":{},\
+                 \"duration_ms\":{duration_ms},\"slowdown\":{slowdown}}}",
+                processor.index()
+            ),
+        }
+    }
+}
+
 /// A simulation under construction: an SoC plus a task DAG.
 #[derive(Debug, Clone)]
 pub struct Simulation {
@@ -149,6 +266,13 @@ impl Simulation {
     /// Number of tasks submitted so far.
     pub fn task_count(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// The submitted task specs, indexed by [`TaskId`]. Exposed so
+    /// callers can audit a [`Trace`] against the specs that produced it
+    /// (see [`crate::audit`]).
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
     }
 
     /// Submits a task and returns its handle. Validation of processor ids
@@ -200,6 +324,24 @@ impl Simulation {
     /// Returns [`SimError`] if a task references an unknown processor or
     /// dependency, has an invalid duration, or the DAG contains a cycle.
     pub fn run(self) -> Result<Trace, SimError> {
+        self.run_inner(None)
+    }
+
+    /// Like [`Simulation::run`], but also returns the structured event
+    /// log: one [`EngineEvent`] per queue entry, start, rate change and
+    /// finish, in simulation-time order. The trace is identical to the
+    /// one [`Simulation::run`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_with_events(self) -> Result<(Trace, Vec<EngineEvent>), SimError> {
+        let mut events = Vec::new();
+        let trace = self.run_inner(Some(&mut events))?;
+        Ok((trace, events))
+    }
+
+    fn run_inner(self, mut events: Option<&mut Vec<EngineEvent>>) -> Result<Trace, SimError> {
         self.validate()?;
         let n = self.tasks.len();
         let n_proc = self.soc.processors.len();
@@ -223,7 +365,8 @@ impl Simulation {
              time_ms: f64,
              queues: &mut Vec<VecDeque<usize>>,
              deferred: &mut Vec<(f64, usize)>,
-             tasks: &[TaskSpec]| {
+             tasks: &[TaskSpec],
+             events: &mut Option<&mut Vec<EngineEvent>>| {
                 if tasks[i].release_ms > time_ms {
                     let key = (tasks[i].release_ms, i);
                     let pos = deferred
@@ -237,11 +380,18 @@ impl Simulation {
                     deferred.insert(pos, (key.0, key.1));
                 } else {
                     queues[tasks[i].processor.index()].push_back(i);
+                    if let Some(ev) = events.as_mut() {
+                        ev.push(EngineEvent::Ready {
+                            time_ms,
+                            task: i,
+                            processor: tasks[i].processor,
+                        });
+                    }
                 }
             };
-        for i in 0..n {
-            if indegree[i] == 0 {
-                defer_or_queue(i, 0.0, &mut queues, &mut deferred, &self.tasks);
+        for (i, &deg) in indegree.iter().enumerate() {
+            if deg == 0 {
+                defer_or_queue(i, 0.0, &mut queues, &mut deferred, &self.tasks, &mut events);
             }
         }
 
@@ -258,6 +408,9 @@ impl Simulation {
         let mut spans: Vec<Option<Span>> = vec![None; n];
         let mut time_ms = 0.0f64;
         let mut completed = 0usize;
+        // Last rate tuple emitted per processor, to log rate events only
+        // when something actually changed.
+        let mut last_rate: Vec<Option<(usize, f64, f64, f64)>> = vec![None; n_proc];
         const EPS: f64 = 1e-9;
 
         while completed < n {
@@ -272,6 +425,13 @@ impl Simulation {
                             remaining_ms: spec.solo_ms,
                             start_ms: time_ms,
                         });
+                        if let Some(ev) = events.as_mut() {
+                            ev.push(EngineEvent::Start {
+                                time_ms,
+                                task,
+                                processor: spec.processor,
+                            });
+                        }
                     }
                 }
             }
@@ -286,6 +446,13 @@ impl Simulation {
                         if r <= time_ms {
                             deferred.pop();
                             queues[self.tasks[id].processor.index()].push_back(id);
+                            if let Some(ev) = events.as_mut() {
+                                ev.push(EngineEvent::Ready {
+                                    time_ms,
+                                    task: id,
+                                    processor: self.tasks[id].processor,
+                                });
+                            }
                         } else {
                             break;
                         }
@@ -305,10 +472,7 @@ impl Simulation {
                 let spec = &self.tasks[r.task];
                 let corunners = active.iter().filter(|&&q| q != p).map(|&q| {
                     let other = running[q].as_ref().expect("active implies running");
-                    (
-                        &self.soc.processors[q],
-                        self.tasks[other.task].intensity,
-                    )
+                    (&self.soc.processors[q], self.tasks[other.task].intensity)
                 });
                 let slow = slowdown_for(
                     &self.soc.coupling,
@@ -316,7 +480,22 @@ impl Simulation {
                     spec.sensitivity,
                     corunners,
                 );
-                rates[p] = thermal[p].rate_factor() * mem_factor / (1.0 + slow);
+                let thermal_factor = thermal[p].rate_factor();
+                rates[p] = thermal_factor * mem_factor / (1.0 + slow);
+                if let Some(ev) = events.as_mut() {
+                    let tuple = (r.task, slow, thermal_factor, mem_factor);
+                    if last_rate[p] != Some(tuple) {
+                        last_rate[p] = Some(tuple);
+                        ev.push(EngineEvent::Rate {
+                            time_ms,
+                            task: r.task,
+                            processor: spec.processor,
+                            slowdown: slow,
+                            thermal_factor,
+                            memory_factor: mem_factor,
+                        });
+                    }
+                }
             }
 
             // Advance phase: step to the earliest completion or release.
@@ -342,6 +521,13 @@ impl Simulation {
                 if r <= time_ms + 1e-12 {
                     deferred.pop();
                     queues[self.tasks[id].processor.index()].push_back(id);
+                    if let Some(ev) = events.as_mut() {
+                        ev.push(EngineEvent::Ready {
+                            time_ms,
+                            task: id,
+                            processor: self.tasks[id].processor,
+                        });
+                    }
                 } else {
                     break;
                 }
@@ -356,14 +542,30 @@ impl Simulation {
             // Finish phase: retire completed tasks in processor order,
             // then release successors in task-id order for determinism.
             let mut newly_ready: Vec<usize> = Vec::new();
-            for p in 0..n_proc {
-                let done = matches!(&running[p], Some(r) if r.remaining_ms <= EPS);
+            for (p, slot) in running.iter_mut().enumerate() {
+                let done = matches!(slot, Some(r) if r.remaining_ms <= EPS);
                 if !done {
                     continue;
                 }
-                let r = running[p].take().expect("checked above");
+                let r = slot.take().expect("checked above");
+                last_rate[p] = None;
                 let spec = &self.tasks[r.task];
                 memory.release(time_ms, spec.footprint_bytes, spec.bandwidth_gbps);
+                if let Some(ev) = events.as_mut() {
+                    let duration_ms = time_ms - r.start_ms;
+                    let slowdown = if spec.solo_ms > 0.0 {
+                        (duration_ms - spec.solo_ms) / spec.solo_ms
+                    } else {
+                        0.0
+                    };
+                    ev.push(EngineEvent::Finish {
+                        time_ms,
+                        task: r.task,
+                        processor: spec.processor,
+                        duration_ms,
+                        slowdown,
+                    });
+                }
                 spans[r.task] = Some(Span {
                     task: r.task,
                     label: spec.label.clone(),
@@ -382,12 +584,22 @@ impl Simulation {
             }
             newly_ready.sort_unstable();
             for s in newly_ready {
-                defer_or_queue(s, time_ms, &mut queues, &mut deferred, &self.tasks);
+                defer_or_queue(
+                    s,
+                    time_ms,
+                    &mut queues,
+                    &mut deferred,
+                    &self.tasks,
+                    &mut events,
+                );
             }
         }
 
         Ok(Trace {
-            spans: spans.into_iter().map(|s| s.expect("all completed")).collect(),
+            spans: spans
+                .into_iter()
+                .map(|s| s.expect("all completed"))
+                .collect(),
             memory: memory.into_trace(),
             processor_count: n_proc,
         })
@@ -601,6 +813,75 @@ mod tests {
         let mut sim = Simulation::new(soc);
         sim.add_task(TaskSpec::new("x", npu, 1.0).release(f64::NAN));
         assert!(matches!(sim.run(), Err(SimError::InvalidDuration { .. })));
+    }
+
+    #[test]
+    fn event_log_brackets_every_task() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let gpu = id(&soc, ProcessorKind::Gpu);
+        let mut sim = Simulation::new(soc);
+        let a = sim.add_task(TaskSpec::new("a", npu, 5.0).intensity(0.8));
+        sim.add_task(TaskSpec::new("b", gpu, 4.0).intensity(0.5).after(a));
+        sim.add_task(TaskSpec::new("c", npu, 2.0).release(1.0));
+        let (trace, events) = sim.run_with_events().expect("runs");
+        assert_eq!(trace.spans.len(), 3);
+        // Every task gets exactly one ready, one start and one finish,
+        // and they agree with the trace timestamps.
+        for span in &trace.spans {
+            let t = span.task;
+            let ready: Vec<_> = events
+                .iter()
+                .filter(|e| matches!(e, EngineEvent::Ready { task, .. } if *task == t))
+                .collect();
+            assert_eq!(ready.len(), 1, "task {t} ready events");
+            let starts: Vec<_> = events
+                .iter()
+                .filter(|e| matches!(e, EngineEvent::Start { task, .. } if *task == t))
+                .collect();
+            assert_eq!(starts.len(), 1, "task {t} start events");
+            assert!((starts[0].time_ms() - span.start_ms).abs() < 1e-9);
+            let finishes: Vec<_> = events
+                .iter()
+                .filter(|e| matches!(e, EngineEvent::Finish { task, .. } if *task == t))
+                .collect();
+            assert_eq!(finishes.len(), 1, "task {t} finish events");
+            assert!((finishes[0].time_ms() - span.end_ms).abs() < 1e-9);
+        }
+        // Events come out in simulation-time order.
+        for w in events.windows(2) {
+            assert!(w[1].time_ms() >= w[0].time_ms() - 1e-9);
+        }
+        // The logged run produces the identical trace.
+        let soc2 = SocSpec::kirin_990();
+        let npu2 = id(&soc2, ProcessorKind::Npu);
+        let gpu2 = id(&soc2, ProcessorKind::Gpu);
+        let mut plain = Simulation::new(soc2);
+        let a2 = plain.add_task(TaskSpec::new("a", npu2, 5.0).intensity(0.8));
+        plain.add_task(TaskSpec::new("b", gpu2, 4.0).intensity(0.5).after(a2));
+        plain.add_task(TaskSpec::new("c", npu2, 2.0).release(1.0));
+        assert_eq!(plain.run().expect("runs").spans, trace.spans);
+    }
+
+    #[test]
+    fn event_json_lines_are_well_formed() {
+        let soc = soc();
+        let cpu = id(&soc, ProcessorKind::CpuBig);
+        let gpu = id(&soc, ProcessorKind::Gpu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("c", cpu, 10.0).intensity(1.0));
+        sim.add_task(TaskSpec::new("g", gpu, 10.0).intensity(1.0));
+        let (_, events) = sim.run_with_events().expect("runs");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::Rate { slowdown, .. } if *slowdown > 0.0)));
+        for e in &events {
+            let line = e.json_line();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"event\":\""), "{line}");
+            assert!(line.contains("\"time_ms\":"), "{line}");
+            assert!(!line.contains('\n'), "one line per event: {line}");
+        }
     }
 
     #[test]

@@ -42,10 +42,9 @@ impl fmt::Display for SimError {
                 f,
                 "task references processor {index} but the SoC only has {available} processors"
             ),
-            SimError::UnknownDependency { task, dependency } => write!(
-                f,
-                "task {task} depends on unregistered task {dependency}"
-            ),
+            SimError::UnknownDependency { task, dependency } => {
+                write!(f, "task {task} depends on unregistered task {dependency}")
+            }
             SimError::CyclicDependency { stuck } => write!(
                 f,
                 "task graph contains a cycle: {stuck} tasks can never become ready"

@@ -24,7 +24,10 @@
 //!
 //! The main entry point is [`engine::Simulation`]: submit a DAG of
 //! [`engine::TaskSpec`]s, call [`engine::Simulation::run`], and inspect the
-//! returned [`timeline::Trace`].
+//! returned [`timeline::Trace`]. [`engine::Simulation::run_with_events`]
+//! additionally yields a structured event log, and [`audit::audit`]
+//! re-validates a finished trace against every contract the engine is
+//! supposed to uphold.
 //!
 //! ## Example
 //!
@@ -46,6 +49,7 @@
 //! # }
 //! ```
 
+pub mod audit;
 pub mod engine;
 pub mod error;
 pub mod interference;
@@ -56,7 +60,8 @@ pub mod soc;
 pub mod thermal;
 pub mod timeline;
 
-pub use engine::{Simulation, TaskId, TaskSpec};
+pub use audit::{AuditReport, Violation};
+pub use engine::{EngineEvent, Simulation, TaskId, TaskSpec};
 pub use error::SimError;
 pub use processor::{ProcessorId, ProcessorKind, ProcessorSpec};
 pub use soc::SocSpec;

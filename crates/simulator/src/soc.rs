@@ -267,9 +267,7 @@ impl SocSpec {
 
     /// Whether this SoC has an NPU.
     pub fn has_npu(&self) -> bool {
-        self.processors
-            .iter()
-            .any(|p| p.kind == ProcessorKind::Npu)
+        self.processors.iter().any(|p| p.kind == ProcessorKind::Npu)
     }
 }
 

@@ -204,7 +204,10 @@ mod tests {
 
     #[test]
     fn makespan_is_latest_end() {
-        let t = trace(vec![span(0, 0, 0.0, 5.0, 5.0), span(1, 1, 2.0, 9.0, 7.0)], 2);
+        let t = trace(
+            vec![span(0, 0, 0.0, 5.0, 5.0), span(1, 1, 2.0, 9.0, 7.0)],
+            2,
+        );
         assert_eq!(t.makespan_ms(), 9.0);
     }
 

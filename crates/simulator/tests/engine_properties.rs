@@ -12,10 +12,7 @@ use h2p_simulator::thermal::ThermalMode;
 use h2p_simulator::{ProcessorId, SocSpec};
 
 /// Deterministically derives a task set from a compact spec vector.
-fn build(
-    soc: &SocSpec,
-    specs: &[(usize, u64, u64, bool)],
-) -> Simulation {
+fn build(soc: &SocSpec, specs: &[(usize, u64, u64, bool)]) -> Simulation {
     let mut sim = Simulation::new(soc.clone());
     let mut prev = None;
     for (i, &(proc, tenth_ms, intensity_pct, chain)) in specs.iter().enumerate() {
@@ -39,6 +36,59 @@ fn quiet_kirin() -> SocSpec {
     let mut soc = SocSpec::kirin_990();
     soc.thermal_mode = ThermalMode::Disabled;
     soc
+}
+
+/// Pinned regression from `engine_properties.proptest-regressions`: a
+/// seven-task mix with one long NPU chain and an unchained GPU task that
+/// once tripped the interference-removal bound. The shrunken spec vector
+/// is re-run explicitly against every engine invariant the properties
+/// below check, independent of the generator.
+#[test]
+fn engine_regression_pinned_seven_task_mix() {
+    let specs: Vec<(usize, u64, u64, bool)> = vec![
+        (2, 274, 43, false),
+        (1, 1, 10, true),
+        (0, 4, 10, true),
+        (0, 19, 10, false),
+        (3, 101, 10, true),
+        (3, 152, 10, true),
+        (1, 4, 10, true),
+    ];
+    let contended = quiet_kirin();
+    let trace = build(&contended, &specs).run().expect("acyclic");
+    assert_eq!(trace.spans.len(), specs.len(), "every task runs once");
+    for s in &trace.spans {
+        assert!(s.duration_ms() >= s.solo_ms - 1e-9);
+    }
+    // One task per processor at a time.
+    for p in 0..contended.processors.len() {
+        let mut spans: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.processor == ProcessorId(p))
+            .collect();
+        spans.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+        for w in spans.windows(2) {
+            assert!(w[1].start_ms >= w[0].end_ms - 1e-9);
+        }
+    }
+    // Chain edges are honored.
+    for (i, &(_, _, _, chain)) in specs.iter().enumerate() {
+        if chain && i > 0 {
+            let before = trace.span(i - 1).expect("ran");
+            let after = trace.span(i).expect("ran");
+            assert!(after.start_ms >= before.end_ms - 1e-9);
+        }
+    }
+    // Removing interference stays within the Graham list-scheduling
+    // bound and no quiet task exceeds its solo time.
+    let mut quiet = contended.clone();
+    quiet.coupling = CouplingMatrix::none();
+    let without = build(&quiet, &specs).run().expect("runs");
+    assert!(without.makespan_ms() <= trace.makespan_ms() * 2.0 + 1e-6);
+    for s in &without.spans {
+        assert!(s.duration_ms() <= s.solo_ms + 1e-6);
+    }
 }
 
 proptest! {
@@ -134,6 +184,25 @@ proptest! {
             }
             prev = Some(i);
         }
+    }
+
+    #[test]
+    fn engine_traces_always_audit_clean(
+        specs in prop::collection::vec((0usize..4, 1u64..300, 0u64..150, prop::bool::ANY), 1..16),
+        steady_state in prop::bool::ANY,
+    ) {
+        // The audit layer re-derives every engine contract independently;
+        // a trace the engine produced must never trip it, with or
+        // without thermal throttling.
+        let mut soc = SocSpec::kirin_990();
+        if !steady_state {
+            soc.thermal_mode = ThermalMode::Disabled;
+        }
+        let sim = build(&soc, &specs);
+        let tasks = sim.tasks().to_vec();
+        let trace = sim.run().expect("acyclic");
+        let report = h2p_simulator::audit::audit(&soc, &tasks, &trace);
+        prop_assert!(report.is_clean(), "audit violations:\n{report}");
     }
 
     #[test]

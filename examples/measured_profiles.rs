@@ -25,7 +25,7 @@ fn gpu_share(soc: &SocSpec, cost_override: Option<ProfileTable>) -> (usize, f64)
     }
     // Plan over CPU_B + GPU, querying the (possibly profiled) cost model
     // directly through the same DP the planner uses.
-    let procs = vec![
+    let procs = [
         soc.processor_by_name("CPU_B").expect("CPU_B"),
         soc.processor_by_name("GPU").expect("GPU"),
     ];

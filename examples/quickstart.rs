@@ -51,7 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 })
             })
             .collect();
-        println!("  #{pos} {} [{:?}]: {}", req.model, req.class, stages.join(" -> "));
+        println!(
+            "  #{pos} {} [{:?}]: {}",
+            req.model,
+            req.class,
+            stages.join(" -> ")
+        );
     }
 
     // 4. Execute on the discrete-event SoC simulator, where co-execution

@@ -42,7 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut baseline_ms = None;
-    for scheme in [Scheme::MnnSerial, Scheme::PipeIt, Scheme::Band, Scheme::Hetero2Pipe] {
+    for scheme in [
+        Scheme::MnnSerial,
+        Scheme::PipeIt,
+        Scheme::Band,
+        Scheme::Hetero2Pipe,
+    ] {
         let report = scheme.run(&soc, &requests)?;
         let speedup = baseline_ms
             .map(|b: f64| format!("{:.2}x", b / report.makespan_ms))

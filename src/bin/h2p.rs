@@ -6,17 +6,25 @@
 //! h2p plan  --soc kirin990 bert yolov4   # print a pipeline plan
 //! h2p run   --soc sd870 --scheme band resnet50 vit squeezenet
 //! h2p gantt --soc kirin990 bert mobilenetv2 resnet50
+//! h2p trace --soc kirin990 --audit bert resnet50
+//! h2p trace --audit --corrupt bert       # exits nonzero (audit demo)
+//! h2p trace --events - mobilenetv2       # JSON-lines event log
 //! ```
 
 use h2p_baselines::Scheme;
 use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::ModelId;
-use h2p_simulator::SocSpec;
+use h2p_simulator::{audit, SocSpec};
+use hetero2pipe::executor::lower;
 use hetero2pipe::planner::Planner;
 use hetero2pipe::report::{PlanSummary, ReportSummary};
 
 fn parse_soc(name: &str) -> Option<SocSpec> {
-    match name.to_ascii_lowercase().replace(['-', '_', ' '], "").as_str() {
+    match name
+        .to_ascii_lowercase()
+        .replace(['-', '_', ' '], "")
+        .as_str()
+    {
         "kirin990" | "kirin" => Some(SocSpec::kirin_990()),
         "sd778g" | "snapdragon778g" | "778g" => Some(SocSpec::snapdragon_778g()),
         "sd870" | "snapdragon870" | "870" => Some(SocSpec::snapdragon_870()),
@@ -52,7 +60,7 @@ fn parse_scheme(name: &str) -> Option<Scheme> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)"
+        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--audit] [--corrupt] [--events PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\ntrace flags:\n  --audit         validate the trace against the simulator contracts;\n                  exit nonzero on any violation\n  --corrupt       deliberately corrupt the trace before auditing (demo)\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)"
     );
     std::process::exit(2);
 }
@@ -61,24 +69,27 @@ struct Args {
     soc: SocSpec,
     scheme: Scheme,
     models: Vec<ModelId>,
+    audit: bool,
+    corrupt: bool,
+    events: Option<String>,
 }
 
 fn parse_args(rest: &[String]) -> Args {
     let mut soc = SocSpec::kirin_990();
     let mut scheme = Scheme::Hetero2Pipe;
     let mut models = Vec::new();
+    let mut audit = false;
+    let mut corrupt = false;
+    let mut events = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--soc" => {
                 i += 1;
-                soc = rest
-                    .get(i)
-                    .and_then(|s| parse_soc(s))
-                    .unwrap_or_else(|| {
-                        eprintln!("unknown soc");
-                        usage()
-                    });
+                soc = rest.get(i).and_then(|s| parse_soc(s)).unwrap_or_else(|| {
+                    eprintln!("unknown soc");
+                    usage()
+                });
             }
             "--scheme" => {
                 i += 1;
@@ -89,6 +100,15 @@ fn parse_args(rest: &[String]) -> Args {
                         eprintln!("unknown scheme");
                         usage()
                     });
+            }
+            "--audit" => audit = true,
+            "--corrupt" => corrupt = true,
+            "--events" => {
+                i += 1;
+                events = Some(rest.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--events needs a path (or '-')");
+                    usage()
+                }));
             }
             m => match parse_model(m) {
                 Some(id) => models.push(id),
@@ -104,7 +124,14 @@ fn parse_args(rest: &[String]) -> Args {
         eprintln!("no models given");
         usage()
     }
-    Args { soc, scheme, models }
+    Args {
+        soc,
+        scheme,
+        models,
+        audit,
+        corrupt,
+        events,
+    }
 }
 
 fn graphs(ids: &[ModelId]) -> Vec<ModelGraph> {
@@ -134,7 +161,11 @@ fn main() {
                     g.len(),
                     g.weight_bytes() as f64 / (1024.0 * 1024.0),
                     g.total_flops() / 1e9,
-                    if g.fully_npu_supported() { "yes" } else { "fallback" }
+                    if g.fully_npu_supported() {
+                        "yes"
+                    } else {
+                        "fallback"
+                    }
                 );
             }
         }
@@ -171,6 +202,107 @@ fn main() {
                 report.makespan_ms, report.throughput_per_sec
             );
         }
+        "trace" => {
+            let args = parse_args(&argv[1..]);
+            let planner = Planner::new(&args.soc).expect("planner");
+            let planned = planner.plan(&graphs(&args.models)).expect("plan");
+            let lowered = lower(&planned.plan, &args.soc).expect("lower");
+            let tasks = lowered.simulation().tasks().to_vec();
+            let (mut report, events) = lowered.execute_logged().expect("execute");
+
+            if args.corrupt {
+                corrupt_trace(&mut report.trace);
+                eprintln!("trace deliberately corrupted (--corrupt)");
+            }
+
+            let names: Vec<&str> = args
+                .soc
+                .processors
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect();
+            print!("{}", report.trace.render_gantt(&names, 100));
+            for (p, name) in names.iter().enumerate() {
+                let id = h2p_simulator::ProcessorId(p);
+                println!(
+                    "{:<8} busy {:>8.2} ms  util {:>5.1}%  spans {}",
+                    name,
+                    report.trace.busy_ms(id),
+                    report.trace.utilization(id) * 100.0,
+                    report
+                        .trace
+                        .spans
+                        .iter()
+                        .filter(|s| s.processor == id)
+                        .count()
+                );
+            }
+            println!(
+                "latency {:.1} ms, throughput {:.2} inf/s, bubbles {:.1} ms, {} events",
+                report.makespan_ms,
+                report.throughput_per_sec,
+                report.trace.idle_bubble_ms(),
+                events.len()
+            );
+
+            if let Some(path) = &args.events {
+                let mut lines = String::new();
+                for (i, t) in tasks.iter().enumerate() {
+                    lines.push_str(&format!(
+                        "{{\"event\":\"task\",\"task\":{i},\"label\":\"{}\",\"processor\":{},\"solo_ms\":{}}}\n",
+                        t.label,
+                        t.processor.index(),
+                        t.solo_ms
+                    ));
+                }
+                for e in &events {
+                    lines.push_str(&e.json_line());
+                    lines.push('\n');
+                }
+                if path == "-" {
+                    print!("{lines}");
+                } else {
+                    std::fs::write(path, lines).expect("write events");
+                    eprintln!("event log written to {path}");
+                }
+            }
+
+            if args.audit {
+                let audit_report = audit::audit(&args.soc, &tasks, &report.trace);
+                print!("{audit_report}");
+                if !audit_report.is_clean() {
+                    std::process::exit(1);
+                }
+            }
+        }
         _ => usage(),
+    }
+}
+
+/// Deliberately violates the simulator contracts in a finished trace so
+/// `trace --audit --corrupt` demonstrates a nonzero exit: overlaps the
+/// two earliest spans on the busiest processor and makes one span beat
+/// its solo time.
+fn corrupt_trace(trace: &mut h2p_simulator::Trace) {
+    let busiest = (0..trace.processor_count).max_by_key(|&p| {
+        trace
+            .spans
+            .iter()
+            .filter(|s| s.processor.index() == p)
+            .count()
+    });
+    if let Some(p) = busiest {
+        let mut on_proc: Vec<usize> = (0..trace.spans.len())
+            .filter(|&i| trace.spans[i].processor.index() == p)
+            .collect();
+        on_proc.sort_by(|&a, &b| trace.spans[a].start_ms.total_cmp(&trace.spans[b].start_ms));
+        if let [first, second, ..] = on_proc[..] {
+            let duration = trace.spans[second].end_ms - trace.spans[second].start_ms;
+            trace.spans[second].start_ms = trace.spans[first].start_ms;
+            trace.spans[second].end_ms = trace.spans[second].start_ms + duration;
+        }
+    }
+    if let Some(span) = trace.spans.first_mut() {
+        span.end_ms = span.start_ms + span.solo_ms * 0.5;
     }
 }

@@ -62,6 +62,36 @@ fn gantt_renders_one_row_per_processor() {
 }
 
 #[test]
+fn trace_audit_is_clean_on_planned_runs() {
+    let (stdout, _, ok) = h2p(&["trace", "--audit", "bert", "mobilenetv2"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("audit: clean"), "{stdout}");
+    assert!(stdout.contains("latency"), "{stdout}");
+}
+
+#[test]
+fn trace_audit_rejects_corrupted_traces() {
+    let (stdout, stderr, ok) = h2p(&["trace", "--audit", "--corrupt", "bert", "mobilenetv2"]);
+    assert!(!ok, "corrupted trace must exit nonzero: {stdout}");
+    assert!(stdout.contains("violation"), "{stdout}");
+    assert!(stderr.contains("corrupted"), "{stderr}");
+}
+
+#[test]
+fn trace_emits_json_lines_event_log() {
+    let (stdout, _, ok) = h2p(&["trace", "--events", "-", "mobilenetv2"]);
+    assert!(ok);
+    for event in [
+        "\"event\":\"task\"",
+        "\"event\":\"ready\"",
+        "\"event\":\"start\"",
+        "\"event\":\"finish\"",
+    ] {
+        assert!(stdout.contains(event), "missing {event} in {stdout}");
+    }
+}
+
+#[test]
 fn unknown_inputs_exit_with_usage() {
     let (_, stderr, ok) = h2p(&["run", "not-a-model"]);
     assert!(!ok);

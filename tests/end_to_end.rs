@@ -88,7 +88,12 @@ fn full_planner_beats_no_ct_on_average() {
 fn plans_tile_every_model_and_execution_is_deterministic() {
     let soc = SocSpec::snapdragon_870();
     let planner = Planner::new(&soc).unwrap();
-    let reqs = graphs(&[ModelId::Vgg16, ModelId::Bert, ModelId::GoogLeNet, ModelId::Vit]);
+    let reqs = graphs(&[
+        ModelId::Vgg16,
+        ModelId::Bert,
+        ModelId::GoogLeNet,
+        ModelId::Vit,
+    ]);
     let a = planner.plan(&reqs).unwrap();
     let b = planner.plan(&reqs).unwrap();
     assert_eq!(a.plan, b.plan, "planning is deterministic");

@@ -61,8 +61,16 @@ fn obs1_slowdown_symmetry() {
     let big = soc.processor_by_name("CPU_B").unwrap();
     let gpu = soc.processor_by_name("GPU").unwrap();
     let mut sim = Simulation::new(soc);
-    sim.add_task(TaskSpec::new("a", big, 200.0).intensity(0.8).sensitivity(0.9));
-    sim.add_task(TaskSpec::new("b", gpu, 200.0).intensity(0.8).sensitivity(0.9));
+    sim.add_task(
+        TaskSpec::new("a", big, 200.0)
+            .intensity(0.8)
+            .sensitivity(0.9),
+    );
+    sim.add_task(
+        TaskSpec::new("b", gpu, 200.0)
+            .intensity(0.8)
+            .sensitivity(0.9),
+    );
     let t = sim.run().unwrap();
     let sa = t.span(0).unwrap().slowdown();
     let sb = t.span(1).unwrap().slowdown();
@@ -104,7 +112,10 @@ fn obs3_lightweight_outliers() {
     assert!(sq > resnet, "SqueezeNet must out-contend ResNet50");
     let size_ratio = ModelId::Vit.graph().weight_bytes() as f64
         / ModelId::SqueezeNet.graph().weight_bytes() as f64;
-    assert!(size_ratio > 40.0, "ViT is ~70x larger, got {size_ratio:.0}x");
+    assert!(
+        size_ratio > 40.0,
+        "ViT is ~70x larger, got {size_ratio:.0}x"
+    );
 }
 
 /// Eq. 1: the ridge regression predicts contention intensity from the
@@ -234,11 +245,9 @@ fn appendix_d_affine_batching() {
     let l = |b| m.latency_ms(b);
     assert!(((l(3) - l(2)) - (l(2) - l(1))).abs() < 1e-9);
     // Gap closing: some batch matches a BERT stage time.
-    let bert = cost
-        .model_latency_ms(&ModelId::Bert.graph(), big)
-        .unwrap();
+    let bert = cost.model_latency_ms(&ModelId::Bert.graph(), big).unwrap();
     let b = m.batch_to_match(bert / 4.0, 64);
-    assert!(b >= 2 && b <= 64);
+    assert!((2..=64).contains(&b));
 }
 
 /// Appendix B: at thermal steady state the CPU throttles but GPU/NPU do

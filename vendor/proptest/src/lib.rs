@@ -1,0 +1,379 @@
+//! Offline vendored property-testing harness.
+//!
+//! Provides the subset of the `proptest` API this workspace's tests use:
+//! the `proptest!` macro with an optional `#![proptest_config(...)]`
+//! header, `prop_assert!`/`prop_assert_eq!`, `any::<T>()`, integer-range
+//! strategies, tuple strategies, `prop::collection::vec` and
+//! `prop::bool::ANY`.
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test name (so failures reproduce on every
+//! run), there is no shrinking, and `.proptest-regressions` files are
+//! not consumed — their RNG-state entries are upstream-internal; pinned
+//! failure cases from those files are encoded as explicit unit tests in
+//! the repo instead. Failing inputs are printed in full.
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic per-test RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the RNG for one generated case.
+    pub fn new(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.gen_range(0u64..=u64::MAX)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.0.gen_range(0u64..bound)
+    }
+}
+
+/// A failed property-test case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration; only the case count is configurable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + rng.below((self.end - self.start) as u64) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+}
+
+/// Types with a canonical full-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The full-domain strategy for `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for integer types.
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for AnyInt<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+            impl Arbitrary for $ty {
+                type Strategy = AnyInt<$ty>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyInt(std::marker::PhantomData)
+                }
+            }
+        )*
+    };
+}
+
+impl_arbitrary_int!(u64, u32, u16, u8, usize, i64, i32);
+
+impl Arbitrary for bool {
+    type Strategy = prop::bool::BoolStrategy;
+    fn arbitrary() -> Self::Strategy {
+        prop::bool::BoolStrategy
+    }
+}
+
+/// The full-domain strategy for `T`: `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`,
+/// `prop::bool::ANY`).
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolStrategy;
+
+        impl Strategy for BoolStrategy {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.below(2) == 1
+            }
+        }
+
+        /// The uniform boolean strategy.
+        pub const ANY: BoolStrategy = BoolStrategy;
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for vectors with element strategy `S` and a length
+        /// drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Vector strategy: each case draws a length in `len`, then that
+        /// many elements.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.clone().generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Runs `cases` generated inputs of a property, panicking with the
+/// offending inputs on the first failure. Seeds derive from the test
+/// name and case index only, so every run generates the same cases.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    // FNV-1a over the test name gives a stable per-test seed base.
+    let mut base: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        base ^= b as u64;
+        base = base.wrapping_mul(0x100000001b3);
+    }
+    for i in 0..config.cases as u64 {
+        let mut rng = TestRng::new(base.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15)));
+        let (inputs, result) = case(&mut rng);
+        if let Err(e) = result {
+            panic!(
+                "property `{name}` failed at case {i}/{}:\n  {e}\n  inputs: {inputs}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// The property-test macro: wraps each `fn name(arg in strategy, ...)`
+/// into a `#[test]`-compatible function running [`run_cases`].
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config); $($rest)*);
+    };
+    (@funcs ($config:expr); ) => {};
+    (@funcs ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($config, stringify!($name), |proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), proptest_rng);)+
+                let proptest_inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}, ", &$arg));
+                    )+
+                    s
+                };
+                let proptest_result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                (proptest_inputs, proptest_result)
+            });
+        }
+        $crate::proptest!(@funcs ($config); $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, reporting the generated
+/// inputs on failure instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..9, v in prop::collection::vec(0u64..5, 1..7)) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 5), "out of range: {v:?}");
+        }
+
+        #[test]
+        fn tuples_and_any_compose(
+            specs in prop::collection::vec((0usize..4, 1u64..10, prop::bool::ANY), 1..5),
+            seed in any::<u64>(),
+        ) {
+            let _ = seed;
+            for (a, b, _flag) in &specs {
+                prop_assert!(*a < 4);
+                prop_assert_eq!((*b >= 1) && (*b < 10), true);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut first = Vec::new();
+        run_cases_capture(&mut first);
+        let mut second = Vec::new();
+        run_cases_capture(&mut second);
+        assert_eq!(first, second);
+    }
+
+    fn run_cases_capture(out: &mut Vec<u64>) {
+        crate::run_cases(crate::ProptestConfig::with_cases(16), "capture", |rng| {
+            out.push(crate::Strategy::generate(&(0u64..1000), rng));
+            (String::new(), Ok(()))
+        });
+    }
+}

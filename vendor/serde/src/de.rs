@@ -1,0 +1,247 @@
+//! Deserialization half of the vendored serde data model.
+//!
+//! Unlike upstream serde's visitor architecture, this facade uses a
+//! pull-based deserializer: the derived impls read fields in declaration
+//! order, mirroring exactly what the workspace's linear serializers
+//! write. Nothing in the workspace deserializes at runtime today
+//! (`DeserializeOwned` appears only as a trait bound), but the impls are
+//! fully functional against any [`Deserializer`] implementation.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+use std::hash::{BuildHasher, Hash};
+
+/// Error trait for deserializers: constructible from any displayable
+/// message.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error carrying an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A pull-based deserializer: a source of the serde data model.
+///
+/// Implementations are expected to be cursors over a linear encoding;
+/// `&mut D` also implements the trait so derived impls can hand the same
+/// cursor to nested fields.
+pub trait Deserializer<'de>: Sized {
+    /// Error type produced on failure.
+    type Error: Error;
+
+    /// Reads a `bool`.
+    fn read_bool(&mut self) -> Result<bool, Self::Error>;
+    /// Reads an `i64` (narrower signed ints narrow from this).
+    fn read_i64(&mut self) -> Result<i64, Self::Error>;
+    /// Reads a `u64` (narrower unsigned ints narrow from this).
+    fn read_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Reads an `f64` (`f32` narrows from this).
+    fn read_f64(&mut self) -> Result<f64, Self::Error>;
+    /// Reads a `char`.
+    fn read_char(&mut self) -> Result<char, Self::Error>;
+    /// Reads an owned string.
+    fn read_string(&mut self) -> Result<String, Self::Error>;
+    /// Reads an option discriminant: `true` if a value follows.
+    fn read_option(&mut self) -> Result<bool, Self::Error>;
+    /// Reads a sequence or map length.
+    fn read_len(&mut self) -> Result<usize, Self::Error>;
+    /// Reads an enum variant index.
+    fn read_variant(&mut self) -> Result<u32, Self::Error>;
+}
+
+impl<'de, D: Deserializer<'de>> Deserializer<'de> for &mut D {
+    type Error = D::Error;
+
+    fn read_bool(&mut self) -> Result<bool, Self::Error> {
+        (**self).read_bool()
+    }
+    fn read_i64(&mut self) -> Result<i64, Self::Error> {
+        (**self).read_i64()
+    }
+    fn read_u64(&mut self) -> Result<u64, Self::Error> {
+        (**self).read_u64()
+    }
+    fn read_f64(&mut self) -> Result<f64, Self::Error> {
+        (**self).read_f64()
+    }
+    fn read_char(&mut self) -> Result<char, Self::Error> {
+        (**self).read_char()
+    }
+    fn read_string(&mut self) -> Result<String, Self::Error> {
+        (**self).read_string()
+    }
+    fn read_option(&mut self) -> Result<bool, Self::Error> {
+        (**self).read_option()
+    }
+    fn read_len(&mut self) -> Result<usize, Self::Error> {
+        (**self).read_len()
+    }
+    fn read_variant(&mut self) -> Result<u32, Self::Error> {
+        (**self).read_variant()
+    }
+}
+
+/// A data structure that can be reconstructed from a deserializer.
+pub trait Deserialize<'de>: Sized {
+    /// Reads one value of `Self` from `deserializer`.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+                    let v = d.$method()?;
+                    <$ty>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!(
+                            "value {v} out of range for {}",
+                            stringify!($ty)
+                        )))
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_int! {
+    i8 => read_i64,
+    i16 => read_i64,
+    i32 => read_i64,
+    i64 => read_i64,
+    isize => read_i64,
+    u8 => read_u64,
+    u16 => read_u64,
+    u32 => read_u64,
+    u64 => read_u64,
+    usize => read_u64,
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        d.read_bool()
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        d.read_f64()
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        d.read_f64().map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        d.read_char()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        d.read_string()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Ok(())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        if d.read_option()? {
+            Ok(Some(T::deserialize(&mut d)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let len = d.read_len()?;
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::deserialize(&mut d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::deserialize(&mut d)?);
+        }
+        out.try_into()
+            .map_err(|_| D::Error::custom("array length mismatch"))
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident),+)),* $(,)?) => {
+        $(
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn deserialize<De: Deserializer<'de>>(mut d: De) -> Result<Self, De::Error> {
+                    Ok(($($name::deserialize(&mut d)?,)+))
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_tuple! {
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let len = d.read_len()?;
+        let mut out = HashMap::with_capacity_and_hasher(len.min(4096), H::default());
+        for _ in 0..len {
+            let k = K::deserialize(&mut d)?;
+            let v = V::deserialize(&mut d)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(mut d: D) -> Result<Self, D::Error> {
+        let len = d.read_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(&mut d)?;
+            let v = V::deserialize(&mut d)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline vendored facade of the `serde` data model.
+//!
+//! This workspace builds in an environment with no registry access, so it
+//! vendors the subset of serde it actually uses: the full `ser` trait
+//! surface (exercised by `tests/serde_roundtrips.rs`), a pull-based `de`
+//! counterpart sufficient for the derived impls, and blanket impls for
+//! the primitive/container types that appear in the public data
+//! structures. The `derive` feature re-exports the companion proc-macro
+//! crate, mirroring upstream serde's layout so `use serde::{Serialize,
+//! Deserialize}` plus `#[derive(Serialize, Deserialize)]` work unchanged.
+
+pub mod ser;
+
+pub mod de;
+
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,282 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Implemented directly on `proc_macro` token trees (no syn/quote, which
+//! are unavailable offline). Supports exactly the shapes this workspace
+//! derives on: non-generic structs with named fields, non-generic tuple
+//! structs, and enums whose variants are all unit variants. Anything
+//! else panics at expansion time with a clear message rather than
+//! generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives the vendored `serde::ser::Serialize` for supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::de::Deserialize` for supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) tokens.
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute body after '#', found {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(it: &mut Tokens, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "item name");
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde derive does not support generic type `{name}`");
+        }
+    }
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("expected item body for `{name}`, found {other:?}"),
+    };
+    match (kw.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Item::NamedStruct {
+            fields: parse_named_fields(body.stream(), &name),
+            name,
+        },
+        ("struct", Delimiter::Parenthesis) => Item::TupleStruct {
+            arity: count_tuple_fields(body.stream()),
+            name,
+        },
+        ("enum", Delimiter::Brace) => Item::UnitEnum {
+            variants: parse_unit_variants(body.stream(), &name),
+            name,
+        },
+        (kw, _) => panic!("vendored serde derive does not support this `{kw}` shape for `{name}`"),
+    }
+}
+
+/// Parses `ident: Type,` fields, tracking angle-bracket depth so commas
+/// inside generic arguments (e.g. `HashMap<(String, usize), f64>`) are
+/// not mistaken for field separators.
+fn parse_named_fields(ts: TokenStream, item: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let Some(tok) = it.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            panic!("expected field name in `{item}`, found {tok:?}");
+        };
+        fields.push(field.to_string());
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{field}` in `{item}`, found {other:?}"),
+        }
+        let mut depth = 0i32;
+        for t in it.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    ',' if depth == 0 => break,
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut in_field = false;
+    for t in ts {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_field = false,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        if !matches!(&t, TokenTree::Punct(p) if p.as_char() == ',' && depth == 0) && !in_field {
+            in_field = true;
+            arity += 1;
+        }
+    }
+    arity
+}
+
+fn parse_unit_variants(ts: TokenStream, item: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let Some(tok) = it.next() else { break };
+        let TokenTree::Ident(variant) = tok else {
+            panic!("expected variant name in enum `{item}`, found {tok:?}");
+        };
+        variants.push(variant.to_string());
+        match it.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!(
+                "vendored serde derive supports only unit variants; \
+                 enum `{item}` variant `{variant}` is followed by {other:?}"
+            ),
+        }
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let mut state = ::serde::ser::Serializer::serialize_struct(\
+                 serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(state)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => impl_serialize(
+            name,
+            &format!(
+                "::serde::ser::Serializer::serialize_newtype_struct(\
+                 serializer, \"{name}\", &self.0)"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let mut state = ::serde::ser::Serializer::serialize_tuple_struct(\
+                 serializer, \"{name}\", {arity}usize)?;\n"
+            );
+            for i in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut state, &self.{i})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(state)");
+            impl_serialize(name, &body)
+        }
+        Item::UnitEnum { name, variants } => {
+            let mut body = String::from("match *self {\n");
+            for (i, v) in variants.iter().enumerate() {
+                body.push_str(&format!(
+                    "{name}::{v} => ::serde::ser::Serializer::serialize_unit_variant(\
+                     serializer, \"{name}\", {i}u32, \"{v}\"),\n"
+                ));
+            }
+            body.push('}');
+            impl_serialize(name, &body)
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S)\n\
+         -> ::std::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!("::std::result::Result::Ok({name} {{\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::de::Deserialize::deserialize(&mut deserializer)?,\n"
+                ));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut body = format!("::std::result::Result::Ok({name}(\n");
+            for _ in 0..*arity {
+                body.push_str("::serde::de::Deserialize::deserialize(&mut deserializer)?,\n");
+            }
+            body.push_str("))");
+            impl_deserialize(name, &body)
+        }
+        Item::UnitEnum { name, variants } => {
+            let mut body = String::from(
+                "let idx = ::serde::de::Deserializer::read_variant(&mut deserializer)?;\n\
+                 match idx {\n",
+            );
+            for (i, v) in variants.iter().enumerate() {
+                body.push_str(&format!(
+                    "{i}u32 => ::std::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            body.push_str(&format!(
+                "_ => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"invalid variant index {{idx}} for {name}\"))),\n}}"
+            ));
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         #[allow(unused_mut)]\n\
+         fn deserialize<D: ::serde::de::Deserializer<'de>>(mut deserializer: D)\n\
+         -> ::std::result::Result<Self, D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
