@@ -1,0 +1,972 @@
+//! The static check families over [`PlanIr`].
+//!
+//! [`lint_plan`] runs, in order:
+//!
+//! 1. **Layer coverage** — every layer of every request in exactly one
+//!    stage; ranges contiguous and non-overlapping; fallback runs tile
+//!    their stage.
+//! 2. **Slot/processor feasibility** — distinct slot processors, stage
+//!    vectors of the right arity, stages pinned to their slot's
+//!    processor, valid processor indices, and the NPU operator-fallback
+//!    rules (an unsupported layer may sit in an NPU stage only inside a
+//!    non-NPU fallback run).
+//! 3. **Memory budget** — peak concurrent footprint across staggered
+//!    columns against the SoC ledger (Constraint 6). Paging is legal but
+//!    slow, so this is a warning.
+//! 4. **DAG sanity** — request indices form a set (the lowering keys
+//!    completion times by them) and stage chains are slot-ordered by
+//!    construction, so submission order implies acyclicity.
+//! 5. **Contention windows** — no two ℍ requests within one window of
+//!    `K` positions (Def. 4, Algorithm 2's postcondition). The planner
+//!    may accept a conflicted order when no resolution exists, so this
+//!    is a warning.
+//! 6. **Bound analysis** — the claimed makespan must fall inside the
+//!    envelope `[synchronous column bound, worst-case contention bound]`
+//!    derived by abstract interpretation over the coupling matrix, and
+//!    the claimed bubble total must equal the Eq. 3 recomputation.
+//!
+//! Non-finite or negative costs anywhere short-circuit into `H2P008`.
+
+use std::collections::HashSet;
+
+use h2p_simulator::interference::slowdown_for;
+use h2p_simulator::processor::ProcessorKind;
+use h2p_simulator::soc::SocSpec;
+use h2p_simulator::thermal::ThermalSpec;
+
+use crate::diag::{DiagCode, Diagnostic, Diagnostics};
+use crate::ir::{PlanIr, RequestIr, StageIr};
+
+/// Contention sensitivity of a stage given its emitted intensity — the
+/// same shaping the planner and executor apply.
+fn sensitivity(intensity: f64) -> f64 {
+    0.5 + 0.5 * intensity.clamp(0.0, 2.0)
+}
+
+/// Relative + absolute tolerance for comparing recomputed quantities.
+const TOL: f64 = 1e-6;
+
+/// Slack multiplier on the worst-case upper bound: the bound is an
+/// over-approximation, so claims only fail it when structurally absurd.
+const UPPER_SLACK: f64 = 1.05;
+
+/// Lints a plan IR against `soc` without executing anything.
+pub fn lint_plan(soc: &SocSpec, ir: &PlanIr) -> Diagnostics {
+    let mut out = Diagnostics::default();
+
+    if ir.requests.is_empty() {
+        out.record_check();
+        out.push(Diagnostic::new(
+            DiagCode::EmptyPlan,
+            "plan contains no requests",
+        ));
+        return out;
+    }
+
+    let finite_ok = check_finite(ir, &mut out);
+    let procs_ok = check_slots(soc, ir, &mut out);
+    check_coverage(ir, &mut out);
+    if procs_ok {
+        check_npu_feasibility(soc, ir, &mut out);
+        check_memory(soc, ir, &mut out);
+    }
+    check_dag(ir, &mut out);
+    check_contention_windows(ir, &mut out);
+    if procs_ok && finite_ok {
+        check_bounds(soc, ir, &mut out);
+    }
+    out
+}
+
+/// Family H2P008: every duration, intensity and claim must be a finite,
+/// non-negative number. Returns whether everything was finite (bound
+/// analysis is meaningless otherwise).
+fn check_finite(ir: &PlanIr, out: &mut Diagnostics) -> bool {
+    out.record_check();
+    let before = out.error_count();
+    let mut bad = |msg: String, pos: Option<usize>, slot: Option<usize>| {
+        let mut d = Diagnostic::new(DiagCode::NonFiniteCost, msg);
+        d.request = pos;
+        d.slot = slot;
+        out.push(d);
+    };
+    let ok = |x: f64| x.is_finite() && x >= 0.0;
+    if !(ir.staging_gbps.is_finite() && ir.staging_gbps > 0.0) {
+        bad(
+            format!(
+                "weight-staging rate {} GB/s is not positive",
+                ir.staging_gbps
+            ),
+            None,
+            None,
+        );
+    }
+    if !ok(ir.claimed_makespan_ms) {
+        bad(
+            format!(
+                "claimed makespan {} ms is not finite",
+                ir.claimed_makespan_ms
+            ),
+            None,
+            None,
+        );
+    }
+    if !ok(ir.claimed_bubble_ms) {
+        bad(
+            format!(
+                "claimed bubble total {} ms is not finite",
+                ir.claimed_bubble_ms
+            ),
+            None,
+            None,
+        );
+    }
+    for (pos, req) in ir.requests.iter().enumerate() {
+        if !ok(req.intensity_sum()) {
+            // Covered per-stage below; aggregate kept implicit.
+        }
+        for (slot, stage) in req.stages.iter().enumerate() {
+            let Some(stage) = stage else { continue };
+            for (what, v) in [
+                ("exec time", stage.exec_ms),
+                ("input-copy time", stage.copy_in_ms),
+                ("intensity", stage.intensity),
+            ] {
+                if !ok(v) {
+                    bad(
+                        format!("{}: stage {what} {v} is not finite", req.model),
+                        Some(pos),
+                        Some(slot),
+                    );
+                }
+            }
+            for run in &stage.runs {
+                if !ok(run.ms) {
+                    bad(
+                        format!("{}: fallback run time {} is not finite", req.model, run.ms),
+                        Some(pos),
+                        Some(slot),
+                    );
+                }
+            }
+        }
+    }
+    out.error_count() == before
+}
+
+impl RequestIr {
+    /// Sum of stage intensities (finiteness probe only).
+    fn intensity_sum(&self) -> f64 {
+        self.stages
+            .iter()
+            .flatten()
+            .map(|s| s.intensity)
+            .sum::<f64>()
+    }
+}
+
+/// Families H2P002/H2P003 (structural part): slot processors distinct and
+/// valid, stage vectors the right length, stages pinned to their slot.
+/// Returns whether processor indexing is sound enough for the memory and
+/// bound checks to dereference specs.
+fn check_slots(soc: &SocSpec, ir: &PlanIr, out: &mut Diagnostics) -> bool {
+    out.record_check();
+    let before = out.error_count();
+    let n_procs = soc.processors.len();
+    if ir.procs.is_empty() {
+        out.push(Diagnostic::new(
+            DiagCode::SlotConflict,
+            "plan has no processor slots",
+        ));
+    }
+    let mut seen: HashSet<usize> = HashSet::new();
+    for (slot, proc) in ir.procs.iter().enumerate() {
+        if proc.index() >= n_procs {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::ProcFeasibility,
+                    format!(
+                        "slot processor index {} out of range for {} ({} processors)",
+                        proc.index(),
+                        soc.name,
+                        n_procs
+                    ),
+                )
+                .slot(slot),
+            );
+        }
+        if !seen.insert(proc.index()) {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::SlotConflict,
+                    format!(
+                        "processor {} appears in more than one pipeline slot — two stages of one \
+                         request would share a column processor",
+                        proc.index()
+                    ),
+                )
+                .slot(slot),
+            );
+        }
+    }
+    for (pos, req) in ir.requests.iter().enumerate() {
+        if req.stages.len() != ir.procs.len() {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::SlotConflict,
+                    format!(
+                        "{}: stage vector has {} entries for {} slots",
+                        req.model,
+                        req.stages.len(),
+                        ir.procs.len()
+                    ),
+                )
+                .request(pos),
+            );
+            continue;
+        }
+        for (slot, stage) in req.stages.iter().enumerate() {
+            let Some(stage) = stage else { continue };
+            if stage.proc != ir.procs[slot] {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::ProcFeasibility,
+                        format!(
+                            "{}: stage pinned to processor {} but slot {} is processor {}",
+                            req.model,
+                            stage.proc.index(),
+                            slot,
+                            ir.procs[slot].index()
+                        ),
+                    )
+                    .request(pos)
+                    .slot(slot),
+                );
+            }
+        }
+    }
+    out.error_count() == before
+        && ir
+            .requests
+            .iter()
+            .flat_map(|r| r.stages.iter().flatten())
+            .all(|s| s.proc.index() < n_procs)
+}
+
+/// Family H2P001: every request's active stages tile `[0, layer_count)`
+/// contiguously in slot order, and fallback runs tile their stage.
+fn check_coverage(ir: &PlanIr, out: &mut Diagnostics) {
+    out.record_check();
+    for (pos, req) in ir.requests.iter().enumerate() {
+        let diag = |msg: String| Diagnostic::new(DiagCode::LayerCoverage, msg).request(pos);
+        if req.layer_count == 0 {
+            out.push(diag(format!("{}: model has zero layers", req.model)));
+            continue;
+        }
+        if req.npu_supported.len() != req.layer_count {
+            out.push(diag(format!(
+                "{}: NPU supportability table has {} entries for {} layers",
+                req.model,
+                req.npu_supported.len(),
+                req.layer_count
+            )));
+        }
+        let active: Vec<(usize, &StageIr)> = req
+            .stages
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, s)| s.as_ref().map(|s| (slot, s)))
+            .collect();
+        if active.is_empty() {
+            out.push(diag(format!(
+                "{}: request occupies no slot — no layer is covered",
+                req.model
+            )));
+            continue;
+        }
+        let mut next = 0usize;
+        let mut broken = false;
+        for &(slot, stage) in &active {
+            if stage.range.first != next {
+                out.push(
+                    diag(format!(
+                        "{}: stage covers layers {} but layer {} is the next uncovered one \
+                         (gap or overlap)",
+                        req.model, stage.range, next
+                    ))
+                    .slot(slot),
+                );
+                broken = true;
+                break;
+            }
+            if stage.range.last >= req.layer_count {
+                out.push(
+                    diag(format!(
+                        "{}: stage range {} exceeds the model's {} layers",
+                        req.model, stage.range, req.layer_count
+                    ))
+                    .slot(slot),
+                );
+                broken = true;
+                break;
+            }
+            check_runs(req, pos, slot, stage, out);
+            next = stage.range.last + 1;
+        }
+        if !broken && next != req.layer_count {
+            out.push(diag(format!(
+                "{}: layers {}..{} are not covered by any stage",
+                req.model,
+                next,
+                req.layer_count - 1
+            )));
+        }
+    }
+}
+
+/// Fallback runs of one stage must tile the stage range contiguously.
+fn check_runs(req: &RequestIr, pos: usize, slot: usize, stage: &StageIr, out: &mut Diagnostics) {
+    if stage.runs.is_empty() {
+        return;
+    }
+    let mut next = stage.range.first;
+    for run in &stage.runs {
+        if run.range.first != next || run.range.last > stage.range.last {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::LayerCoverage,
+                    format!(
+                        "{}: fallback runs do not tile stage range {} (run {} out of place)",
+                        req.model, stage.range, run.range
+                    ),
+                )
+                .request(pos)
+                .slot(slot),
+            );
+            return;
+        }
+        next = run.range.last + 1;
+    }
+    if next != stage.range.last + 1 {
+        out.push(
+            Diagnostic::new(
+                DiagCode::LayerCoverage,
+                format!(
+                    "{}: fallback runs stop at layer {} but the stage range is {}",
+                    req.model,
+                    next - 1,
+                    stage.range
+                ),
+            )
+            .request(pos)
+            .slot(slot),
+        );
+    }
+}
+
+/// Family H2P003 (operator part): NPU stages may contain unsupported
+/// layers only inside non-NPU fallback runs, and NPU runs may contain
+/// only supported layers. Requires valid processor indices.
+fn check_npu_feasibility(soc: &SocSpec, ir: &PlanIr, out: &mut Diagnostics) {
+    out.record_check();
+    let is_npu =
+        |p: h2p_simulator::processor::ProcessorId| soc.processor(p).kind == ProcessorKind::Npu;
+    for (pos, req) in ir.requests.iter().enumerate() {
+        for (slot, stage) in req.stages.iter().enumerate() {
+            let Some(stage) = stage else { continue };
+            let supported = |layer: usize| req.npu_supported.get(layer).copied().unwrap_or(false);
+            if stage.runs.is_empty() {
+                if is_npu(stage.proc) {
+                    if let Some(layer) =
+                        (stage.range.first..=stage.range.last).find(|&l| !supported(l))
+                    {
+                        out.push(
+                            Diagnostic::new(
+                                DiagCode::ProcFeasibility,
+                                format!(
+                                    "{}: layer {layer} is not NPU-supported but the stage runs \
+                                     on the NPU with no fallback runs",
+                                    req.model
+                                ),
+                            )
+                            .request(pos)
+                            .slot(slot),
+                        );
+                    }
+                }
+                continue;
+            }
+            for run in &stage.runs {
+                if run.proc.index() >= soc.processors.len() {
+                    out.push(
+                        Diagnostic::new(
+                            DiagCode::ProcFeasibility,
+                            format!(
+                                "{}: fallback run processor index {} out of range",
+                                req.model,
+                                run.proc.index()
+                            ),
+                        )
+                        .request(pos)
+                        .slot(slot),
+                    );
+                    continue;
+                }
+                if is_npu(run.proc) {
+                    if let Some(layer) = (run.range.first..=run.range.last).find(|&l| !supported(l))
+                    {
+                        out.push(
+                            Diagnostic::new(
+                                DiagCode::ProcFeasibility,
+                                format!(
+                                    "{}: layer {layer} is not NPU-supported but run {} executes \
+                                     on the NPU",
+                                    req.model, run.range
+                                ),
+                            )
+                            .request(pos)
+                            .slot(slot),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Family H2P004: peak concurrent footprint (largest column sum) against
+/// the SoC memory ledger.
+fn check_memory(soc: &SocSpec, ir: &PlanIr, out: &mut Diagnostics) {
+    out.record_check();
+    let peak: u64 = (0..ir.column_count())
+        .map(|j| {
+            ir.column_cells(j)
+                .iter()
+                .filter_map(|&(pos, slot)| ir.stage(pos, slot))
+                .map(|s| s.footprint_bytes)
+                .sum()
+        })
+        .max()
+        .unwrap_or(0);
+    let capacity = soc.memory.capacity_bytes;
+    if peak > capacity {
+        let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
+        out.push(Diagnostic::new(
+            DiagCode::MemoryBudget,
+            format!(
+                "peak concurrent footprint {:.1} MB exceeds {} capacity {:.1} MB — execution \
+                 will page at {:.0}% speed (Constraint 6)",
+                mb(peak),
+                soc.name,
+                mb(capacity),
+                soc.memory.page_fault_penalty * 100.0
+            ),
+        ));
+    }
+}
+
+/// Family H2P005: request indices must be distinct — the executor keys
+/// completion times by them, and a duplicate silently drops a latency.
+fn check_dag(ir: &PlanIr, out: &mut Diagnostics) {
+    out.record_check();
+    let mut seen: HashSet<usize> = HashSet::new();
+    for (pos, req) in ir.requests.iter().enumerate() {
+        if !seen.insert(req.request) {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::DagOrder,
+                    format!(
+                        "{}: original request index {} appears more than once in the execution \
+                         order",
+                        req.model, req.request
+                    ),
+                )
+                .request(pos),
+            );
+        }
+    }
+}
+
+/// Family H2P006: Algorithm 2's postcondition — no two ℍ requests within
+/// one contention window of `K` positions.
+fn check_contention_windows(ir: &PlanIr, out: &mut Diagnostics) {
+    out.record_check();
+    let k = ir.depth();
+    if k == 0 {
+        return;
+    }
+    let highs: Vec<usize> = ir
+        .requests
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.class.is_high())
+        .map(|(i, _)| i)
+        .collect();
+    for w in highs.windows(2) {
+        if w[1] - w[0] < k {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::ContentionWindow,
+                    format!(
+                        "ℍ requests at positions {} and {} are {} apart — inside one contention \
+                         window of K = {k} (Def. 4); their stages overlap temporally",
+                        w[0],
+                        w[1],
+                        w[1] - w[0]
+                    ),
+                )
+                .request(w[0]),
+            );
+        }
+    }
+}
+
+/// Family H2P007: abstract interpretation of the plan against the cost
+/// model. The claimed makespan must lie in the envelope
+/// `[sync_lower, worst_case_upper]`, and the claimed bubble total must
+/// equal the Eq. 3 recomputation.
+fn check_bounds(soc: &SocSpec, ir: &PlanIr, out: &mut Diagnostics) {
+    out.record_check();
+
+    // Eq. 3 recomputation: per column, Σ (max − cell).
+    let mut sync_lower = 0.0f64;
+    let mut bubbles = 0.0f64;
+    let mut stretched_upper = 0.0f64;
+    for j in 0..ir.column_count() {
+        let cells = ir.column_cells(j);
+        let times: Vec<f64> = cells
+            .iter()
+            .filter_map(|&(p, s)| ir.stage(p, s))
+            .map(StageIr::total_ms)
+            .collect();
+        let max = times.iter().fold(0.0f64, |a, &b| a.max(b));
+        sync_lower += max;
+        bubbles += times.iter().map(|t| max - t).sum::<f64>();
+        // Worst-case column duration: each cell stretched by the full
+        // coupling-matrix slowdown from all its co-runners.
+        let mut col_worst = 0.0f64;
+        for &(p, s) in &cells {
+            let Some(stage) = ir.stage(p, s) else {
+                continue;
+            };
+            let corunners = cells
+                .iter()
+                .filter(|&&(p2, s2)| !(p2 == p && s2 == s))
+                .filter_map(|&(p2, s2)| ir.stage(p2, s2))
+                .map(|o| (soc.processor(o.proc), o.intensity));
+            let slow = slowdown_for(
+                &soc.coupling,
+                soc.processor(stage.proc),
+                sensitivity(stage.intensity),
+                corunners,
+            );
+            col_worst = col_worst.max(stage.total_ms() * (1.0 + slow));
+        }
+        stretched_upper += col_worst;
+    }
+
+    if (ir.claimed_bubble_ms - bubbles).abs() > TOL + TOL * bubbles.max(1.0) {
+        out.push(Diagnostic::new(
+            DiagCode::BoundViolation,
+            format!(
+                "claimed bubble total {:.3} ms does not match the Eq. 3 recomputation {:.3} ms",
+                ir.claimed_bubble_ms, bubbles
+            ),
+        ));
+    }
+
+    // First-touch staging: every distinct (model, processor, range)
+    // placement pays its footprint once at the executor's staging rate.
+    let mut placements: HashSet<(String, usize, usize, usize)> = HashSet::new();
+    let mut staging_ms = 0.0f64;
+    for req in &ir.requests {
+        for stage in req.stages.iter().flatten() {
+            let key = (
+                req.model.clone(),
+                stage.proc.index(),
+                stage.range.first,
+                stage.range.last,
+            );
+            if placements.insert(key) {
+                staging_ms += stage.footprint_bytes as f64 / (ir.staging_gbps * 1e6);
+            }
+        }
+    }
+
+    // Worst-case rate divisors: sustained thermal throttling on the
+    // slowest-throttling processor in use, and page-fault slowdown if the
+    // peak footprint overcommits memory.
+    let min_thermal = ir
+        .requests
+        .iter()
+        .flat_map(|r| r.stages.iter().flatten())
+        .map(|s| ThermalSpec::for_kind(soc.processor(s.proc).kind).throttle_factor)
+        .fold(1.0f64, f64::min);
+    let peak: u64 = (0..ir.column_count())
+        .map(|j| {
+            ir.column_cells(j)
+                .iter()
+                .filter_map(|&(p, s)| ir.stage(p, s))
+                .map(|s| s.footprint_bytes)
+                .sum()
+        })
+        .max()
+        .unwrap_or(0);
+    let paging = if peak > soc.memory.capacity_bytes {
+        soc.memory.page_fault_penalty
+    } else {
+        1.0
+    };
+    let upper = (stretched_upper + staging_ms) / (min_thermal * paging) * UPPER_SLACK + TOL;
+    let lower = sync_lower * (1.0 - TOL) - TOL;
+
+    if ir.claimed_makespan_ms < lower {
+        out.push(Diagnostic::new(
+            DiagCode::BoundViolation,
+            format!(
+                "claimed makespan {:.3} ms beats the synchronous column lower bound {:.3} ms — \
+                 no schedule of these stages can be that fast",
+                ir.claimed_makespan_ms, sync_lower
+            ),
+        ));
+    }
+    if ir.claimed_makespan_ms > upper {
+        out.push(Diagnostic::new(
+            DiagCode::BoundViolation,
+            format!(
+                "claimed makespan {:.3} ms exceeds the worst-case contention upper bound \
+                 {:.3} ms (coupling-stretched columns + staging, throttled and paging)",
+                ir.claimed_makespan_ms, upper
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{RequestIr, RunIr, StageIr};
+    use h2p_contention::ContentionClass;
+    use h2p_models::graph::LayerRange;
+    use h2p_simulator::processor::ProcessorId;
+
+    /// A well-formed two-request, two-slot IR on Kirin 990 (slot 0 = NPU,
+    /// slot 1 = CPU_B in power order).
+    fn clean_ir(soc: &SocSpec) -> PlanIr {
+        let procs = soc.processors_by_power();
+        let (p0, p1) = (procs[0], procs[1]);
+        let mk_req = |idx: usize| RequestIr {
+            request: idx,
+            model: format!("toy{idx}"),
+            layer_count: 4,
+            npu_supported: vec![true; 4],
+            class: ContentionClass::Low,
+            stages: vec![
+                Some(StageIr {
+                    range: LayerRange::new(0, 1),
+                    proc: p0,
+                    exec_ms: 2.0,
+                    copy_in_ms: 0.0,
+                    intensity: 0.1,
+                    footprint_bytes: 1_000,
+                    runs: Vec::new(),
+                }),
+                Some(StageIr {
+                    range: LayerRange::new(2, 3),
+                    proc: p1,
+                    exec_ms: 2.0,
+                    copy_in_ms: 0.1,
+                    intensity: 0.1,
+                    footprint_bytes: 1_000,
+                    runs: Vec::new(),
+                }),
+            ],
+        };
+        let mut ir = PlanIr {
+            procs: vec![p0, p1],
+            requests: vec![mk_req(0), mk_req(1)],
+            claimed_makespan_ms: 0.0,
+            claimed_bubble_ms: 0.0,
+            staging_gbps: 2.0,
+        };
+        // Make the claims self-consistent the way the planner's are.
+        let mut sync = 0.0;
+        let mut bub = 0.0;
+        for j in 0..ir.column_count() {
+            let times: Vec<f64> = ir
+                .column_cells(j)
+                .iter()
+                .filter_map(|&(p, s)| ir.stage(p, s))
+                .map(StageIr::total_ms)
+                .collect();
+            let max = times.iter().fold(0.0f64, |a, &b| a.max(b));
+            sync += max;
+            bub += times.iter().map(|t| max - t).sum::<f64>();
+        }
+        ir.claimed_makespan_ms = sync;
+        ir.claimed_bubble_ms = bub;
+        ir
+    }
+
+    fn kirin() -> SocSpec {
+        SocSpec::kirin_990()
+    }
+
+    #[test]
+    fn clean_ir_lints_clean() {
+        let soc = kirin();
+        let d = lint_plan(&soc, &clean_ir(&soc));
+        assert!(d.is_clean(), "{d}");
+        assert_eq!(d.warn_count(), 0, "{d}");
+        assert!(d.checks >= 6, "all families must run, got {}", d.checks);
+    }
+
+    #[test]
+    fn empty_plan_warns() {
+        let soc = kirin();
+        let ir = PlanIr {
+            procs: soc.processors_by_power(),
+            requests: Vec::new(),
+            claimed_makespan_ms: 0.0,
+            claimed_bubble_ms: 0.0,
+            staging_gbps: 2.0,
+        };
+        let d = lint_plan(&soc, &ir);
+        assert!(d.is_clean());
+        assert_eq!(d.warn_count(), 1);
+        assert_eq!(d.diags[0].code, DiagCode::EmptyPlan);
+    }
+
+    #[test]
+    fn dropped_layer_is_a_coverage_error() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        // Shrink the last stage: layer 3 is now uncovered.
+        if let Some(s) = &mut ir.requests[0].stages[1] {
+            s.range = LayerRange::new(2, 2);
+        }
+        let d = lint_plan(&soc, &ir);
+        assert!(d
+            .diags
+            .iter()
+            .any(|x| x.code == DiagCode::LayerCoverage && x.severity == Severity::Error));
+    }
+
+    use crate::diag::Severity;
+
+    #[test]
+    fn overlapping_ranges_are_a_coverage_error() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        if let Some(s) = &mut ir.requests[1].stages[1] {
+            s.range = LayerRange::new(1, 3); // overlaps layer 1 of stage 0
+        }
+        let d = lint_plan(&soc, &ir);
+        assert!(!d.is_clean(), "{d}");
+        assert!(d.diags.iter().any(|x| x.code == DiagCode::LayerCoverage));
+    }
+
+    #[test]
+    fn duplicate_slot_processor_is_a_slot_conflict() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        ir.procs[1] = ir.procs[0];
+        let d = lint_plan(&soc, &ir);
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::SlotConflict),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn stage_off_its_slot_processor_is_infeasible() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        let other = ir.procs[0];
+        if let Some(s) = &mut ir.requests[0].stages[1] {
+            s.proc = other;
+        }
+        let d = lint_plan(&soc, &ir);
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::ProcFeasibility),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_processor_is_infeasible() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        ir.procs[0] = ProcessorId(99);
+        if let Some(s) = &mut ir.requests[0].stages[0] {
+            s.proc = ProcessorId(99);
+        }
+        if let Some(s) = &mut ir.requests[1].stages[0] {
+            s.proc = ProcessorId(99);
+        }
+        let d = lint_plan(&soc, &ir);
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::ProcFeasibility),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn unsupported_layer_on_npu_without_runs_is_infeasible() {
+        let soc = kirin();
+        let npu = soc
+            .processor_by_kind(ProcessorKind::Npu)
+            .expect("kirin has an NPU");
+        let mut ir = clean_ir(&soc);
+        // Slot 0 on Kirin power order is the NPU.
+        assert_eq!(ir.procs[0], npu);
+        ir.requests[0].npu_supported[1] = false;
+        let d = lint_plan(&soc, &ir);
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::ProcFeasibility),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn unsupported_layer_in_fallback_run_is_fine() {
+        let soc = kirin();
+        let cpu = soc
+            .processor_by_kind(ProcessorKind::CpuBig)
+            .expect("kirin has a big CPU");
+        let mut ir = clean_ir(&soc);
+        ir.requests[0].npu_supported[1] = false;
+        if let Some(s) = &mut ir.requests[0].stages[0] {
+            s.runs = vec![
+                RunIr {
+                    range: LayerRange::new(0, 0),
+                    proc: s.proc,
+                    ms: 1.0,
+                },
+                RunIr {
+                    range: LayerRange::new(1, 1),
+                    proc: cpu,
+                    ms: 1.0,
+                },
+            ];
+        }
+        let d = lint_plan(&soc, &ir);
+        assert!(d.is_clean(), "{d}");
+    }
+
+    #[test]
+    fn runs_that_do_not_tile_the_stage_are_a_coverage_error() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        if let Some(s) = &mut ir.requests[0].stages[0] {
+            s.runs = vec![RunIr {
+                range: LayerRange::new(0, 0),
+                proc: s.proc,
+                ms: 1.0,
+            }]; // layer 1 of the stage has no run
+        }
+        let d = lint_plan(&soc, &ir);
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::LayerCoverage),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn overcommitted_memory_warns_but_does_not_error() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        for req in &mut ir.requests {
+            for s in req.stages.iter_mut().flatten() {
+                s.footprint_bytes = soc.memory.capacity_bytes;
+            }
+        }
+        // Keep the claims consistent: footprints feed staging, so recompute
+        // an enormous-but-consistent claim is unnecessary — the sync bound
+        // does not move with footprints, only the upper bound does.
+        let d = lint_plan(&soc, &ir);
+        assert!(d.is_clean(), "{d}");
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::MemoryBudget),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn duplicate_request_index_is_a_dag_error() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        ir.requests[1].request = ir.requests[0].request;
+        let d = lint_plan(&soc, &ir);
+        assert!(d.diags.iter().any(|x| x.code == DiagCode::DagOrder), "{d}");
+    }
+
+    #[test]
+    fn adjacent_high_contention_requests_warn() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        ir.requests[0].class = ContentionClass::High;
+        ir.requests[1].class = ContentionClass::High;
+        let d = lint_plan(&soc, &ir);
+        assert!(d.is_clean(), "window conflicts are warnings: {d}");
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::ContentionWindow),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn inflated_makespan_claim_is_a_bound_error() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        ir.claimed_makespan_ms = ir.claimed_makespan_ms * 1000.0 + 1000.0;
+        let d = lint_plan(&soc, &ir);
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::BoundViolation),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn impossibly_fast_makespan_claim_is_a_bound_error() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        ir.claimed_makespan_ms /= 10.0;
+        let d = lint_plan(&soc, &ir);
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::BoundViolation),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn wrong_bubble_claim_is_a_bound_error() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        ir.claimed_bubble_ms += 123.0;
+        let d = lint_plan(&soc, &ir);
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::BoundViolation),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn nan_exec_time_is_a_nonfinite_error_and_skips_bounds() {
+        let soc = kirin();
+        let mut ir = clean_ir(&soc);
+        if let Some(s) = &mut ir.requests[0].stages[0] {
+            s.exec_ms = f64::NAN;
+        }
+        let d = lint_plan(&soc, &ir);
+        assert!(
+            d.diags.iter().any(|x| x.code == DiagCode::NonFiniteCost),
+            "{d}"
+        );
+        // Bound analysis must not also fire spuriously on NaN arithmetic.
+        assert!(
+            !d.diags.iter().any(|x| x.code == DiagCode::BoundViolation),
+            "{d}"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! The analyzer's plan intermediate representation.
+//!
+//! `h2p-analyze` sits *below* the planner crate in the dependency graph
+//! (the planner gates on it in debug builds), so it cannot consume the
+//! planner's `PipelinePlan` directly. Instead it defines a small IR that
+//! mirrors the plan structure and additionally carries the facts the
+//! static checks need but the plan type does not record: per-request
+//! layer counts, per-layer NPU supportability, the planner's *claimed*
+//! makespan and bubble totals, and the weight-staging rate the executor
+//! will charge. The planner crate owns the conversion.
+
+use serde::{Deserialize, Serialize};
+
+use h2p_contention::ContentionClass;
+use h2p_models::graph::LayerRange;
+use h2p_simulator::processor::ProcessorId;
+
+/// One homogeneous sub-run of a stage (NPU operator fallback).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunIr {
+    /// Layers of the run.
+    pub range: LayerRange,
+    /// Processor the run executes on.
+    pub proc: ProcessorId,
+    /// Run duration in ms, entry copies included.
+    pub ms: f64,
+}
+
+/// One model slice mapped onto one pipeline slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageIr {
+    /// The layer slice this stage executes.
+    pub range: LayerRange,
+    /// Processor the slice is pinned to.
+    pub proc: ProcessorId,
+    /// Estimated solo execution time in ms.
+    pub exec_ms: f64,
+    /// Estimated input-copy time in ms.
+    pub copy_in_ms: f64,
+    /// Emitted contention intensity while running.
+    pub intensity: f64,
+    /// Resident footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Operator-fallback runs; empty for a homogeneous stage.
+    pub runs: Vec<RunIr>,
+}
+
+impl StageIr {
+    /// Total planned stage time (execution + input copy).
+    pub fn total_ms(&self) -> f64 {
+        self.exec_ms + self.copy_in_ms
+    }
+}
+
+/// One request in execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestIr {
+    /// Original submission index.
+    pub request: usize,
+    /// Model name, for messages.
+    pub model: String,
+    /// Number of layers in the request's model graph.
+    pub layer_count: usize,
+    /// Per-layer NPU operator supportability, length `layer_count`.
+    pub npu_supported: Vec<bool>,
+    /// ℍ/𝕃 contention class.
+    pub class: ContentionClass,
+    /// One entry per pipeline slot (`None` = slot skipped).
+    pub stages: Vec<Option<StageIr>>,
+}
+
+/// A complete plan in analyzer IR, plus the planner's claims about it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanIr {
+    /// Processors by pipeline slot, descending power order.
+    pub procs: Vec<ProcessorId>,
+    /// Requests in final execution order.
+    pub requests: Vec<RequestIr>,
+    /// The makespan the planner claims for this plan, in ms.
+    pub claimed_makespan_ms: f64,
+    /// The total bubble volume (Eq. 3 summed over columns) the planner
+    /// claims, in ms.
+    pub claimed_bubble_ms: f64,
+    /// First-touch weight-staging rate the executor charges, GB/s.
+    pub staging_gbps: f64,
+}
+
+impl PlanIr {
+    /// Pipeline depth `K`.
+    pub fn depth(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Number of staggered columns, `|M| + K − 1` (0 when empty).
+    pub fn column_count(&self) -> usize {
+        if self.requests.is_empty() {
+            0
+        } else {
+            self.requests.len() + self.depth().saturating_sub(1)
+        }
+    }
+
+    /// The cells `(position, slot)` of column `j` that carry a stage.
+    /// Mirrors the staggered execution rule `j = position + slot`.
+    pub fn column_cells(&self, j: usize) -> Vec<(usize, usize)> {
+        let mut cells = Vec::new();
+        for slot in 0..self.depth() {
+            if j < slot {
+                continue;
+            }
+            let pos = j - slot;
+            if pos >= self.requests.len() {
+                continue;
+            }
+            if self.requests[pos]
+                .stages
+                .get(slot)
+                .is_some_and(Option::is_some)
+            {
+                cells.push((pos, slot));
+            }
+        }
+        cells
+    }
+
+    /// The stage at `(position, slot)`, if present and in bounds.
+    pub fn stage(&self, pos: usize, slot: usize) -> Option<&StageIr> {
+        self.requests
+            .get(pos)
+            .and_then(|r| r.stages.get(slot))
+            .and_then(Option::as_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(ms: f64) -> Option<StageIr> {
+        Some(StageIr {
+            range: LayerRange::new(0, 0),
+            proc: ProcessorId(0),
+            exec_ms: ms,
+            copy_in_ms: 0.0,
+            intensity: 0.0,
+            footprint_bytes: 0,
+            runs: Vec::new(),
+        })
+    }
+
+    fn ir(times: &[&[f64]], k: usize) -> PlanIr {
+        PlanIr {
+            procs: (0..k).map(ProcessorId).collect(),
+            requests: times
+                .iter()
+                .enumerate()
+                .map(|(i, ts)| RequestIr {
+                    request: i,
+                    model: format!("m{i}"),
+                    layer_count: 1,
+                    npu_supported: vec![true],
+                    class: ContentionClass::Low,
+                    stages: ts.iter().map(|&t| stage(t)).collect(),
+                })
+                .collect(),
+            claimed_makespan_ms: 0.0,
+            claimed_bubble_ms: 0.0,
+            staging_gbps: 2.0,
+        }
+    }
+
+    #[test]
+    fn column_cells_follow_the_stagger() {
+        let p = ir(&[&[1.0, 2.0], &[3.0, 4.0]], 2);
+        assert_eq!(p.column_count(), 3);
+        assert_eq!(p.column_cells(0), vec![(0, 0)]);
+        assert_eq!(p.column_cells(1), vec![(1, 0), (0, 1)]);
+        assert_eq!(p.column_cells(2), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn empty_ir_has_no_columns() {
+        let p = ir(&[], 3);
+        assert_eq!(p.column_count(), 0);
+        assert!(p.stage(0, 0).is_none());
+    }
+}

@@ -19,7 +19,7 @@ use h2p_simulator::engine::{Simulation, TaskId, TaskSpec};
 use h2p_simulator::processor::ProcessorId;
 use h2p_simulator::soc::SocSpec;
 use hetero2pipe::error::PlanError;
-use hetero2pipe::executor::ExecutionReport;
+use hetero2pipe::executor::{ExecutionReport, LoweredPlan};
 
 /// Cuts `graph` into maximal runs of uniform NPU supportability.
 fn fallback_segments(graph: &ModelGraph) -> Vec<LayerRange> {
@@ -38,13 +38,12 @@ fn fallback_segments(graph: &ModelGraph) -> Vec<LayerRange> {
     segments
 }
 
-/// Plans and executes `requests` under Band's greedy policy.
+/// Lowers `requests` to Band's greedy task graph without running it.
 ///
 /// # Errors
 ///
-/// Returns [`PlanError`] if a segment cannot run anywhere or simulation
-/// fails.
-pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, PlanError> {
+/// Returns [`PlanError`] if a segment cannot run anywhere.
+pub fn lower(soc: &SocSpec, requests: &[ModelGraph]) -> Result<LoweredPlan, PlanError> {
     if requests.is_empty() {
         return Err(PlanError::EmptyRequestSet);
     }
@@ -115,28 +114,17 @@ pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, Pl
         final_tasks[idx] = prev_task;
     }
 
-    let trace = sim.run().map_err(PlanError::Simulation)?;
-    let makespan_ms = trace.makespan_ms();
-    let request_latency_ms: Vec<f64> = final_tasks
-        .iter()
-        .map(|t| {
-            t.and_then(|id| trace.span(id.index()).map(|s| s.end_ms))
-                .unwrap_or(0.0)
-        })
-        .collect();
-    let mean_slowdown = if trace.spans.is_empty() {
-        0.0
-    } else {
-        trace.spans.iter().map(|s| s.slowdown()).sum::<f64>() / trace.spans.len() as f64
-    };
-    Ok(ExecutionReport {
-        makespan_ms,
-        throughput_per_sec: requests.len() as f64 * 1000.0 / makespan_ms,
-        request_latency_ms,
-        measured_bubble_ms: trace.idle_bubble_ms(),
-        mean_slowdown,
-        trace,
-    })
+    Ok(LoweredPlan::from_parts(sim, final_tasks, requests.len()))
+}
+
+/// Plans and executes `requests` under Band's greedy policy.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] if a segment cannot run anywhere or simulation
+/// fails.
+pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, PlanError> {
+    lower(soc, requests)?.execute()
 }
 
 #[cfg(test)]

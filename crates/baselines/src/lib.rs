@@ -16,6 +16,9 @@
 //! The "No C/T" ablation is [`hetero2pipe::PlannerConfig::no_ct`] and is
 //! exposed here through [`Scheme::NoCt`].
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod annealing;
 pub mod band;
 pub mod dart;
@@ -26,7 +29,7 @@ pub mod pipe_it;
 use h2p_models::graph::ModelGraph;
 use h2p_simulator::soc::SocSpec;
 use hetero2pipe::error::PlanError;
-use hetero2pipe::executor::ExecutionReport;
+use hetero2pipe::executor::{self, ExecutionReport, LoweredPlan};
 use hetero2pipe::planner::{Planner, PlannerConfig};
 
 /// The schemes compared in Fig. 7.
@@ -69,26 +72,42 @@ impl Scheme {
         }
     }
 
+    /// Plans `requests` under this scheme and lowers the result onto a
+    /// fresh simulation of `soc` without running it.
+    ///
+    /// Every scheme flows through [`LoweredPlan`], so all of them share
+    /// the executor's pre-execution static lint and (in debug builds)
+    /// the post-execution trace audit — the task graphs a baseline
+    /// produces can be inspected, linted and event-logged exactly like
+    /// the planner's own.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if planning fails.
+    pub fn lower(self, soc: &SocSpec, requests: &[ModelGraph]) -> Result<LoweredPlan, PlanError> {
+        match self {
+            Scheme::MnnSerial => mnn_serial::lower(soc, requests),
+            Scheme::PipeIt => executor::lower(&pipe_it::plan(soc, requests)?, soc),
+            Scheme::Band => band::lower(soc, requests),
+            Scheme::Dart => dart::lower(soc, requests),
+            Scheme::NoCt => {
+                let planner = Planner::with_config(soc, PlannerConfig::no_ct())?;
+                planner.plan(requests)?.lower(soc)
+            }
+            Scheme::Hetero2Pipe => {
+                let planner = Planner::new(soc)?;
+                planner.plan(requests)?.lower(soc)
+            }
+        }
+    }
+
     /// Plans and executes `requests` on `soc` under this scheme.
     ///
     /// # Errors
     ///
     /// Returns [`PlanError`] if planning or simulation fails.
     pub fn run(self, soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, PlanError> {
-        match self {
-            Scheme::MnnSerial => mnn_serial::run(soc, requests),
-            Scheme::PipeIt => pipe_it::run(soc, requests),
-            Scheme::Band => band::run(soc, requests),
-            Scheme::Dart => dart::run(soc, requests),
-            Scheme::NoCt => {
-                let planner = Planner::with_config(soc, PlannerConfig::no_ct())?;
-                planner.plan(requests)?.execute(soc)
-            }
-            Scheme::Hetero2Pipe => {
-                let planner = Planner::new(soc)?;
-                planner.plan(requests)?.execute(soc)
-            }
-        }
+        self.lower(soc, requests)?.execute()
     }
 }
 
@@ -116,6 +135,19 @@ mod tests {
             });
             assert!(r.makespan_ms > 0.0, "{}", scheme.name());
             assert_eq!(r.request_latency_ms.len(), reqs.len(), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn every_scheme_lowers_to_a_lint_clean_task_graph() {
+        let soc = SocSpec::kirin_990();
+        let reqs = graphs(&[ModelId::YoloV4, ModelId::MobileNetV2, ModelId::Bert]);
+        for scheme in Scheme::ALL {
+            let lowered = scheme.lower(&soc, &reqs).unwrap_or_else(|e| {
+                panic!("{} failed to lower: {e}", scheme.name());
+            });
+            let diags = lowered.lint();
+            assert!(diags.is_clean(), "{}: {diags}", scheme.name());
         }
     }
 

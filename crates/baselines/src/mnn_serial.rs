@@ -8,19 +8,18 @@
 
 use h2p_models::cost::CostModel;
 use h2p_models::graph::{LayerRange, ModelGraph};
-use h2p_simulator::engine::{Simulation, TaskSpec};
+use h2p_simulator::engine::{Simulation, TaskId, TaskSpec};
 use h2p_simulator::processor::ProcessorKind;
 use h2p_simulator::soc::SocSpec;
 use hetero2pipe::error::PlanError;
-use hetero2pipe::executor::ExecutionReport;
+use hetero2pipe::executor::{ExecutionReport, LoweredPlan};
 
-/// Executes `requests` serially on the CPU Big cores.
+/// Lowers `requests` to a serial CPU-Big task chain without running it.
 ///
 /// # Errors
 ///
-/// Returns [`PlanError::NoCpu`] if the SoC lacks a big CPU cluster, or
-/// [`PlanError::Simulation`] if the simulation fails.
-pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, PlanError> {
+/// Returns [`PlanError::NoCpu`] if the SoC lacks a big CPU cluster.
+pub fn lower(soc: &SocSpec, requests: &[ModelGraph]) -> Result<LoweredPlan, PlanError> {
     if requests.is_empty() {
         return Err(PlanError::EmptyRequestSet);
     }
@@ -29,7 +28,7 @@ pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, Pl
         .ok_or(PlanError::NoCpu)?;
     let cost = CostModel::new(soc);
     let mut sim = Simulation::new(soc.clone());
-    let mut final_tasks = Vec::with_capacity(requests.len());
+    let mut final_tasks: Vec<Option<TaskId>> = Vec::with_capacity(requests.len());
     let mut seen = std::collections::HashSet::new();
     for (idx, graph) in requests.iter().enumerate() {
         let whole = LayerRange::new(0, graph.len() - 1);
@@ -50,22 +49,19 @@ pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, Pl
                 .bandwidth(bw)
                 .footprint((graph.footprint_bytes() as f64 * cost.footprint_scale()) as u64),
         );
-        final_tasks.push(id);
+        final_tasks.push(Some(id));
     }
-    let trace = sim.run().map_err(PlanError::Simulation)?;
-    let makespan_ms = trace.makespan_ms();
-    let request_latency_ms = final_tasks
-        .iter()
-        .map(|t| trace.span(t.index()).map_or(0.0, |s| s.end_ms))
-        .collect();
-    Ok(ExecutionReport {
-        makespan_ms,
-        throughput_per_sec: requests.len() as f64 * 1000.0 / makespan_ms,
-        request_latency_ms,
-        measured_bubble_ms: trace.idle_bubble_ms(),
-        mean_slowdown: 0.0,
-        trace,
-    })
+    Ok(LoweredPlan::from_parts(sim, final_tasks, requests.len()))
+}
+
+/// Executes `requests` serially on the CPU Big cores.
+///
+/// # Errors
+///
+/// Returns [`PlanError::NoCpu`] if the SoC lacks a big CPU cluster, or
+/// [`PlanError::Simulation`] if the simulation fails.
+pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, PlanError> {
+    lower(soc, requests)?.execute()
 }
 
 #[cfg(test)]

@@ -18,13 +18,13 @@ use hetero2pipe::executor::{self, ExecutionReport};
 use hetero2pipe::partition::min_max_partition;
 use hetero2pipe::plan::{PipelinePlan, RequestPlan};
 
-/// Plans and executes `requests` as a Big→Small CPU pipeline.
+/// Builds the Big→Small CPU pipeline plan without executing it.
 ///
 /// # Errors
 ///
-/// Returns [`PlanError`] if the SoC lacks CPU clusters or simulation
-/// fails.
-pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, PlanError> {
+/// Returns [`PlanError`] if the SoC lacks CPU clusters or a model cannot
+/// be partitioned.
+pub fn plan(soc: &SocSpec, requests: &[ModelGraph]) -> Result<PipelinePlan, PlanError> {
     if requests.is_empty() {
         return Err(PlanError::EmptyRequestSet);
     }
@@ -67,11 +67,20 @@ pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, Pl
             class: estimator.classify(graph),
         });
     }
-    let plan = PipelinePlan {
+    Ok(PipelinePlan {
         procs,
         requests: plans,
-    };
-    executor::execute(&plan, soc)
+    })
+}
+
+/// Plans and executes `requests` as a Big→Small CPU pipeline.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] if the SoC lacks CPU clusters or simulation
+/// fails.
+pub fn run(soc: &SocSpec, requests: &[ModelGraph]) -> Result<ExecutionReport, PlanError> {
+    executor::execute(&plan(soc, requests)?, soc)
 }
 
 #[cfg(test)]

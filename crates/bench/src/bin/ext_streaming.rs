@@ -12,8 +12,8 @@
 
 use h2p_bench::{arg_usize, print_table};
 use h2p_models::graph::ModelGraph;
-use h2p_simulator::SocSpec;
-use hetero2pipe::executor::{percentile, response_times};
+use h2p_simulator::{audit, SocSpec};
+use hetero2pipe::executor::{lower_with_arrivals, percentile, response_times};
 use hetero2pipe::online::OnlinePlanner;
 use hetero2pipe::planner::Planner;
 use hetero2pipe::workload::{poisson_arrivals, random_models};
@@ -27,14 +27,20 @@ fn main() {
     let requests: Vec<ModelGraph> = models.iter().map(|m| m.graph()).collect();
 
     let mut rows = Vec::new();
+    let (mut lint_clean, mut audits_clean, mut events_total) = (true, true, 0usize);
     for gap_ms in [50.0, 100.0, 200.0, 400.0, 800.0] {
         let arrivals = poisson_arrivals(seed ^ 0x57, n, gap_ms);
-        // Online Hetero2Pipe, window 8.
+        // Online Hetero2Pipe, window 8. Both verification layers run on
+        // every operating point: the static lint on the combined plan
+        // before lowering, the dynamic trace audit after execution.
         let online = OnlinePlanner::new(planner.clone(), 8);
         let planned = online.plan(&requests).expect("plan");
-        let h2p = planned
-            .execute_with_arrivals(&soc, &arrivals)
-            .expect("exec");
+        lint_clean &= planned.lint(&soc).is_clean();
+        let lowered = lower_with_arrivals(&planned.plan, &soc, &arrivals).expect("lower");
+        let tasks = lowered.simulation().tasks().to_vec();
+        let (h2p, events) = lowered.execute_logged().expect("exec");
+        events_total += events.len();
+        audits_clean &= audit::audit(&soc, &tasks, &h2p.trace).is_clean();
         let h2p_resp = response_times(&h2p, &arrivals);
         // Serial CPU-Big baseline with the same arrivals: one task per
         // request, FIFO on CPU_B, released at arrival.
@@ -61,6 +67,14 @@ fn main() {
     println!(
         "\nAt tight gaps the serial CPU queue saturates (response times explode with\nqueue depth) while the pipeline's higher service rate keeps percentiles\nbounded; at sparse arrivals both converge to solo latency."
     );
+    println!(
+        "\nverification: static lint {}, trace audit {} ({events_total} engine events logged)",
+        if lint_clean { "clean" } else { "FAILED" },
+        if audits_clean { "clean" } else { "FAILED" },
+    );
+    if !(lint_clean && audits_clean) {
+        std::process::exit(1);
+    }
 }
 
 /// Serial CPU-Big execution with request release times; returns

@@ -15,6 +15,9 @@
 //! ([`ridge`]), and exposes the end-to-end intensity estimator and
 //! high/low classifier used by the planner ([`intensity`]).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod counters;
 pub mod intensity;
 pub mod linalg;

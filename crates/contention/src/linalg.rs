@@ -136,10 +136,12 @@ impl Matrix {
         let mut x = b.to_vec();
         for col in 0..n {
             // Partial pivot.
-            let (pivot_row, pivot_val) = (col..n)
+            let Some((pivot_row, pivot_val)) = (col..n)
                 .map(|r| (r, a[r * n + col].abs()))
                 .max_by(|l, r| l.1.total_cmp(&r.1))
-                .expect("non-empty range");
+            else {
+                return None; // unreachable: col < n keeps the range non-empty
+            };
             if pivot_val < 1e-12 {
                 return None;
             }

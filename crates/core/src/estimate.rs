@@ -179,6 +179,10 @@ impl NpuFallback {
         lat_prefix.push(0.0);
         for i in 0..n {
             let proc = if supported[i] { npu } else { fallback };
+            // Invariant of the cost table: the fallback processor is a
+            // CPU and CPUs support every operator, so the lookup cannot
+            // miss. A miss would be a zoo/cost-model bug worth a crash.
+            #[allow(clippy::expect_used)]
             let ms = cost
                 .layer_latency_for(graph, i, proc)
                 .expect("fallback CPU supports every operator");
@@ -322,9 +326,8 @@ impl RequestContext {
             }
             let range = LayerRange::new(prev, end - 1);
             let proc = self.procs[a];
-            let is_fallback_stage = matches!(&self.npu_fallback, Some(fb) if fb.stage == a);
-            let (exec_ms, runs) = if is_fallback_stage {
-                let fb = self.npu_fallback.as_ref().expect("matched above");
+            let fallback_stage = self.npu_fallback.as_ref().filter(|fb| fb.stage == a);
+            let (exec_ms, runs) = if let Some(fb) = fallback_stage {
                 let runs = fb.runs(prev, end - 1);
                 // A single homogeneous NPU run needs no lowering detail.
                 let runs = if runs.len() == 1 && runs[0].proc == proc {
@@ -393,6 +396,9 @@ impl RequestContext {
     pub fn splits_of(&self, stages: &[Option<StagePlan>]) -> Vec<usize> {
         let mut splits = Vec::with_capacity(self.stage_count() - 1);
         for (a, &slot) in self.active_slots.iter().enumerate() {
+            // Documented panic: callers must pass a vector produced by
+            // `build_stages`, which populates every active slot.
+            #[allow(clippy::expect_used)]
             let stage = stages[slot]
                 .as_ref()
                 .expect("stage vector must populate every active slot");

@@ -110,9 +110,33 @@ pub struct LoweredPlan {
 }
 
 impl LoweredPlan {
+    /// Wraps an externally-built task graph (baseline schemes lower their
+    /// own) so it flows through the same execute/audit/lint path as plans
+    /// lowered by [`lower`]. `final_task[i]` is the last task of request
+    /// `i` (by original submission index, `None` if the request lowered
+    /// to nothing); `executed_requests` is how many requests the graph
+    /// serves.
+    pub fn from_parts(
+        sim: Simulation,
+        final_task: Vec<Option<TaskId>>,
+        executed_requests: usize,
+    ) -> Self {
+        LoweredPlan {
+            sim,
+            final_task,
+            executed_requests,
+        }
+    }
+
     /// The simulation holding the lowered task graph.
     pub fn simulation(&self) -> &Simulation {
         &self.sim
+    }
+
+    /// Statically lints the lowered task graph against the simulation's
+    /// SoC without running it ([`h2p_analyze::lint_tasks`]).
+    pub fn lint(&self) -> h2p_analyze::Diagnostics {
+        h2p_analyze::lint_tasks(self.sim.soc(), self.sim.tasks())
     }
 
     /// Runs the simulation and assembles the execution report. In debug
@@ -127,6 +151,16 @@ impl LoweredPlan {
     /// Debug builds panic if the trace fails its audit — that is a
     /// simulator bug, never a planner input problem.
     pub fn execute(self) -> Result<ExecutionReport, PlanError> {
+        // Debug builds statically lint the task graph before running it —
+        // the pre-execution counterpart of the post-execution audit below.
+        #[cfg(debug_assertions)]
+        {
+            let diags = self.lint();
+            debug_assert!(
+                diags.is_clean(),
+                "lowered task graph fails its static lint:\n{diags}"
+            );
+        }
         let LoweredPlan {
             sim,
             final_task,

@@ -118,11 +118,17 @@ pub fn solve(cost: &[Vec<f64>]) -> Option<Assignment> {
     if row_to_col.contains(&usize::MAX) {
         return None;
     }
-    let total_cost: f64 = row_to_col
-        .iter()
-        .enumerate()
-        .map(|(r, &c)| cost[r][c])
-        .sum();
+    // Every *individual* assigned cell must be finite, not just the sum.
+    // A sum-only check can be fooled by cancelling infinities, and its
+    // failure mode is exactly the one mitigation must never hit: a real
+    // request silently assigned to a forbidden (padded) slot.
+    let mut total_cost = 0.0f64;
+    for (r, &c) in row_to_col.iter().enumerate() {
+        if !cost[r][c].is_finite() {
+            return None;
+        }
+        total_cost += cost[r][c];
+    }
     if !total_cost.is_finite() {
         return None;
     }
@@ -289,6 +295,37 @@ mod tests {
         assert!(solve(&[vec![-1.0, 1.0], vec![1.0, 2.0]]).is_none());
         // Tiny negative rounding noise is tolerated.
         assert!(solve(&[vec![-1e-13, 1.0], vec![1.0, 2.0]]).is_some());
+    }
+
+    /// Mitigation pads its LAP matrix with forbidden (`+∞`) cells when
+    /// there are more candidate positions than movable requests. The
+    /// solver must never hand a real row one of those cells — each
+    /// assigned cell is checked for finiteness individually, so a padded
+    /// slot can never be silently matched to a real request.
+    #[test]
+    fn padded_slots_are_never_assigned_to_real_rows() {
+        let inf = f64::INFINITY;
+        // Square padded matrix: row 2 is a padding row (all finite zeros
+        // would be typical), but here every feasible column for row 0 is
+        // forbidden — the whole instance must be rejected rather than
+        // matching row 0 to a forbidden column.
+        let cost = vec![
+            vec![inf, inf, inf],
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 0.0, 0.0],
+        ];
+        assert!(solve(&cost).is_none());
+        // Feasible padded instance: assignments exist and avoid ∞ cells.
+        let cost = vec![
+            vec![inf, 5.0, inf],
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 0.0, 0.0],
+        ];
+        let a = solve(&cost).expect("feasible around the padding");
+        for (r, &c) in a.row_to_col.iter().enumerate() {
+            assert!(cost[r][c].is_finite(), "row {r} got forbidden column {c}");
+        }
+        assert_eq!(a.row_to_col[0], 1);
     }
 
     #[test]

@@ -47,11 +47,15 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod batching;
 pub mod error;
 pub mod estimate;
 pub mod executor;
 pub mod lap;
+pub mod lint;
 pub mod mitigation;
 pub mod online;
 pub mod partition;

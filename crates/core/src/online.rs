@@ -73,11 +73,24 @@ impl OnlinePlanner {
                 }
             }
         }
-        let mut out = combined.expect("non-empty input produced windows");
+        let Some(mut out) = combined else {
+            // Unreachable: a non-empty slice yields at least one chunk.
+            return Err(PlanError::EmptyRequestSet);
+        };
         out.tail_merges = tail_merges;
         // Window-local passes already ran; the combined plan keeps them.
         out.mitigation = None;
         out.steal = None;
+        // The per-window plans were already gated inside `Planner::plan`;
+        // re-lint the concatenation, whose indices and claims are new.
+        #[cfg(debug_assertions)]
+        {
+            let diags = out.lint(self.planner.soc());
+            debug_assert!(
+                diags.is_clean(),
+                "online planner produced a combined plan that fails its static lint:\n{diags}"
+            );
+        }
         Ok(out)
     }
 

@@ -230,11 +230,12 @@ impl PipelinePlan {
                     &soc.coupling,
                     soc.processor(stage.proc),
                     sensitivity(stage.intensity),
-                    corunners.map(|&(p2, s2, _)| {
-                        let other = self.requests[p2].stages[s2]
+                    // `column_cells` only yields populated cells, so the
+                    // filter_map never actually drops anything.
+                    corunners.filter_map(|&(p2, s2, _)| {
+                        self.requests[p2].stages[s2]
                             .as_ref()
-                            .expect("cell implies stage");
-                        (soc.processor(other.proc), other.intensity)
+                            .map(|other| (soc.processor(other.proc), other.intensity))
                     }),
                 );
                 let dur = (stage.total_ms() + upload) * (1.0 + slow);

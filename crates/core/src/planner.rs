@@ -297,13 +297,24 @@ impl Planner {
         }
         let (plan, contexts, steal, tail_merges) = best;
 
-        Ok(PlannedPipeline {
+        let planned = PlannedPipeline {
             plan,
             contexts,
             mitigation,
             steal,
             tail_merges,
-        })
+        };
+        // Debug builds statically verify every plan this planner emits; a
+        // lint error here is a planner bug, never an input problem.
+        #[cfg(debug_assertions)]
+        {
+            let diags = planned.lint(&self.soc);
+            debug_assert!(
+                diags.is_clean(),
+                "planner produced a plan that fails its own static lint:\n{diags}"
+            );
+        }
+        Ok(planned)
     }
 
     /// Convenience wrapper planning zoo models by id.

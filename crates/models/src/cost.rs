@@ -328,13 +328,16 @@ impl CostModel {
             let mut un = Vec::with_capacity(n + 1);
             pm.push(0.0);
             un.push(0u32);
+            let (mut pm_acc, mut un_acc) = (0.0f64, 0u32);
             for idx in 0..n {
                 let (ms, bad) = match self.layer_latency_for(graph, idx, p) {
                     Some(ms) => (ms, 0),
                     None => (0.0, 1),
                 };
-                pm.push(pm.last().expect("nonempty") + ms);
-                un.push(un.last().expect("nonempty") + bad);
+                pm_acc += ms;
+                un_acc += bad;
+                pm.push(pm_acc);
+                un.push(un_acc);
             }
             prefix_ms.push(pm);
             unsupported.push(un);

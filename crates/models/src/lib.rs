@@ -37,6 +37,9 @@
 //! assert!(cost.model_latency_ms(&bert, npu).is_none());
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod batch;
 pub mod cost;
 pub mod graph;

@@ -556,7 +556,9 @@ fn check_memory(
         return;
     }
     *checks += 1;
-    let last = samples.last().expect("non-empty");
+    let Some(last) = samples.last() else {
+        return; // unreachable: emptiness handled above
+    };
     if last.allocated_bytes != 0 {
         violations.push(Violation::MemoryLedger {
             detail: format!(

@@ -371,10 +371,9 @@ impl Simulation {
                     let key = (tasks[i].release_ms, i);
                     let pos = deferred
                         .binary_search_by(|&(r, id)| {
-                            (r, id)
-                                .partial_cmp(&key)
-                                .expect("finite releases")
-                                .reverse()
+                            // total_cmp gives a total order even for the
+                            // NaN releases the lint layer rejects.
+                            r.total_cmp(&key.0).then(id.cmp(&key.1)).reverse()
                         })
                         .unwrap_or_else(|p| p);
                     deferred.insert(pos, (key.0, key.1));
@@ -468,11 +467,16 @@ impl Simulation {
             let mem_factor = memory.rate_factor();
             let mut rates = vec![0.0f64; n_proc];
             for &p in &active {
+                // Invariant: `active` lists exactly the occupied slots.
+                #[allow(clippy::expect_used)]
                 let r = running[p].as_ref().expect("active implies running");
                 let spec = &self.tasks[r.task];
-                let corunners = active.iter().filter(|&&q| q != p).map(|&q| {
-                    let other = running[q].as_ref().expect("active implies running");
-                    (&self.soc.processors[q], self.tasks[other.task].intensity)
+                let corunners = active.iter().filter(|&&q| q != p).filter_map(|&q| {
+                    // filter_map never drops anything: `active` lists
+                    // exactly the occupied slots.
+                    running[q]
+                        .as_ref()
+                        .map(|other| (&self.soc.processors[q], self.tasks[other.task].intensity))
                 });
                 let slow = slowdown_for(
                     &self.soc.coupling,
@@ -501,13 +505,13 @@ impl Simulation {
             // Advance phase: step to the earliest completion or release.
             let completion_dt = active
                 .iter()
-                .map(|&p| {
-                    let r = running[p].as_ref().expect("active implies running");
-                    if rates[p] > 0.0 {
+                .filter_map(|&p| {
+                    let r = running[p].as_ref()?;
+                    Some(if rates[p] > 0.0 {
                         r.remaining_ms / rates[p]
                     } else {
                         f64::INFINITY
-                    }
+                    })
                 })
                 .fold(f64::INFINITY, f64::min);
             let release_dt = deferred
@@ -547,7 +551,7 @@ impl Simulation {
                 if !done {
                     continue;
                 }
-                let r = slot.take().expect("checked above");
+                let Some(r) = slot.take() else { continue };
                 last_rate[p] = None;
                 let spec = &self.tasks[r.task];
                 memory.release(time_ms, spec.footprint_bytes, spec.bandwidth_gbps);
@@ -598,7 +602,13 @@ impl Simulation {
         Ok(Trace {
             spans: spans
                 .into_iter()
-                .map(|s| s.expect("all completed"))
+                .map(|s| {
+                    // Invariant: `completed == n` here, so every span slot
+                    // was filled; a hole would be an engine bug worth a
+                    // crash rather than a silently shorter trace.
+                    #[allow(clippy::expect_used)]
+                    s.expect("all completed")
+                })
                 .collect(),
             memory: memory.into_trace(),
             processor_count: n_proc,

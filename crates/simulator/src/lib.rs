@@ -49,6 +49,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod audit;
 pub mod engine;
 pub mod error;

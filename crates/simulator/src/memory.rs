@@ -38,6 +38,9 @@ impl MemorySpec {
 
     /// The highest governor frequency level in MHz.
     pub fn max_freq_mhz(&self) -> u32 {
+        // Documented invariant: every constructor provides at least one
+        // frequency level; an empty table is a spec-construction bug.
+        #[allow(clippy::expect_used)]
         *self
             .freq_levels_mhz
             .last()

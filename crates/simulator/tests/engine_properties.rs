@@ -1,3 +1,7 @@
+// Integration tests may unwrap/expect freely: a panic here is a test
+// failure, not a library defect.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Property-based invariants of the discrete-event engine: physical
 //! sanity (no task finishes faster than its solo time; one task per
 //! processor at a time), conservation (ledger drains; every task runs

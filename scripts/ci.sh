@@ -16,4 +16,19 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== h2p lint (static plan verifier)"
+H2P=target/release/h2p
+# Every scheme must produce a lint-clean plan / task graph.
+for scheme in mnn pipeit band dart noct h2p; do
+    $H2P lint --scheme "$scheme" --json --deny-warnings \
+        bert yolov4 mobilenetv2 > /dev/null
+done
+# Every corruption class must be caught with a nonzero exit.
+for class in drop-layer duplicate-slot bad-proc inflate-makespan; do
+    if $H2P lint --corrupt "$class" bert yolov4 > /dev/null 2>&1; then
+        echo "lint MISSED corruption class: $class" >&2
+        exit 1
+    fi
+done
+
 echo "CI gate passed."

@@ -9,9 +9,13 @@
 //! h2p trace --soc kirin990 --audit bert resnet50
 //! h2p trace --audit --corrupt bert       # exits nonzero (audit demo)
 //! h2p trace --events - mobilenetv2       # JSON-lines event log
+//! h2p lint  --soc kirin990 bert yolov4   # static plan verification
+//! h2p lint  --json --deny-warnings bert  # machine-readable, strict
+//! h2p lint  --corrupt drop-layer bert    # exits nonzero (lint demo)
 //! ```
 
-use h2p_baselines::Scheme;
+use h2p_analyze::Mutation;
+use h2p_baselines::{pipe_it, Scheme};
 use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::ModelId;
 use h2p_simulator::{audit, SocSpec};
@@ -60,7 +64,7 @@ fn parse_scheme(name: &str) -> Option<Scheme> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--audit] [--corrupt] [--events PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\ntrace flags:\n  --audit         validate the trace against the simulator contracts;\n                  exit nonzero on any violation\n  --corrupt       deliberately corrupt the trace before auditing (demo)\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)"
+        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--audit] [--corrupt] [--events PATH|-] MODEL...\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\ntrace flags:\n  --audit         validate the trace against the simulator contracts;\n                  exit nonzero on any violation\n  --corrupt       deliberately corrupt the trace before auditing (demo)\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan"
     );
     std::process::exit(2);
 }
@@ -72,15 +76,24 @@ struct Args {
     audit: bool,
     corrupt: bool,
     events: Option<String>,
+    json: bool,
+    deny_warnings: bool,
+    mutation: Option<Mutation>,
 }
 
-fn parse_args(rest: &[String]) -> Args {
+/// Parses the common tail of the argument list. `lint` switches
+/// `--corrupt` from the trace subcommand's bare flag to the lint
+/// subcommand's `--corrupt CLASS` form.
+fn parse_args(rest: &[String], lint: bool) -> Args {
     let mut soc = SocSpec::kirin_990();
     let mut scheme = Scheme::Hetero2Pipe;
     let mut models = Vec::new();
     let mut audit = false;
     let mut corrupt = false;
     let mut events = None;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut mutation = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -102,7 +115,21 @@ fn parse_args(rest: &[String]) -> Args {
                     });
             }
             "--audit" => audit = true,
+            "--corrupt" if lint => {
+                i += 1;
+                mutation = Some(rest.get(i).and_then(|s| Mutation::parse(s)).unwrap_or_else(
+                    || {
+                        eprintln!(
+                            "--corrupt needs a class: {}",
+                            Mutation::ALL.map(Mutation::name).join(", ")
+                        );
+                        usage()
+                    },
+                ));
+            }
             "--corrupt" => corrupt = true,
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
             "--events" => {
                 i += 1;
                 events = Some(rest.get(i).cloned().unwrap_or_else(|| {
@@ -131,6 +158,9 @@ fn parse_args(rest: &[String]) -> Args {
         audit,
         corrupt,
         events,
+        json,
+        deny_warnings,
+        mutation,
     }
 }
 
@@ -170,14 +200,14 @@ fn main() {
             }
         }
         "plan" => {
-            let args = parse_args(&argv[1..]);
+            let args = parse_args(&argv[1..], false);
             let planner = Planner::new(&args.soc).expect("planner");
             let planned = planner.plan(&graphs(&args.models)).expect("plan");
             println!("plan on {}:", args.soc.name);
             print!("{}", PlanSummary::new(&planned.plan, &args.soc));
         }
         "run" => {
-            let args = parse_args(&argv[1..]);
+            let args = parse_args(&argv[1..], false);
             let report = args
                 .scheme
                 .run(&args.soc, &graphs(&args.models))
@@ -186,7 +216,7 @@ fn main() {
             print!("{}", ReportSummary::new(&report));
         }
         "gantt" => {
-            let args = parse_args(&argv[1..]);
+            let args = parse_args(&argv[1..], false);
             let planner = Planner::new(&args.soc).expect("planner");
             let planned = planner.plan(&graphs(&args.models)).expect("plan");
             let report = planned.execute(&args.soc).expect("execute");
@@ -203,7 +233,7 @@ fn main() {
             );
         }
         "trace" => {
-            let args = parse_args(&argv[1..]);
+            let args = parse_args(&argv[1..], false);
             let planner = Planner::new(&args.soc).expect("planner");
             let planned = planner.plan(&graphs(&args.models)).expect("plan");
             let lowered = lower(&planned.plan, &args.soc).expect("lower");
@@ -275,8 +305,82 @@ fn main() {
                 }
             }
         }
+        "lint" => {
+            let args = parse_args(&argv[1..], true);
+            let diags = run_lint(&args);
+            if args.json {
+                print!("{}", diags.to_json_lines());
+            } else {
+                print!("{diags}");
+            }
+            if diags.should_fail(args.deny_warnings) {
+                std::process::exit(1);
+            }
+        }
         _ => usage(),
     }
+}
+
+/// Builds the requested scheme's plan (or lowered task graph) without
+/// executing it and runs the static verifier over the result.
+///
+/// Plan-producing schemes (h2p, noct, pipeit) are linted at the
+/// pipeline-plan level, where `--corrupt` can inject damage before the
+/// checks run. Task-graph schemes (mnn, band, dart) never build a
+/// `PipelinePlan`, so they are linted at the lowered task-graph level
+/// and do not support `--corrupt`.
+fn run_lint(args: &Args) -> h2p_analyze::Diagnostics {
+    let reqs = graphs(&args.models);
+    match args.scheme {
+        Scheme::Hetero2Pipe | Scheme::NoCt => {
+            let planner = if args.scheme == Scheme::NoCt {
+                Planner::with_config(&args.soc, hetero2pipe::planner::PlannerConfig::no_ct())
+            } else {
+                Planner::new(&args.soc)
+            }
+            .expect("planner");
+            let planned = planner.plan(&reqs).expect("plan");
+            match args.mutation {
+                Some(m) => lint_corrupted(&args.soc, planned.plan_ir(), m),
+                None => planned.lint(&args.soc),
+            }
+        }
+        Scheme::PipeIt => {
+            let plan = pipe_it::plan(&args.soc, &reqs).expect("plan");
+            let refs: Vec<&ModelGraph> = reqs.iter().collect();
+            let ir = hetero2pipe::lint::plan_ir(&plan, &refs);
+            match args.mutation {
+                Some(m) => lint_corrupted(&args.soc, ir, m),
+                None => h2p_analyze::lint_plan(&args.soc, &ir),
+            }
+        }
+        Scheme::MnnSerial | Scheme::Band | Scheme::Dart => {
+            if args.mutation.is_some() {
+                eprintln!(
+                    "--corrupt needs a plan-producing scheme (h2p, noct or pipeit); {} \
+                     lowers straight to a task graph",
+                    args.scheme.name()
+                );
+                usage()
+            }
+            let lowered = args.scheme.lower(&args.soc, &reqs).expect("lower");
+            lowered.lint()
+        }
+    }
+}
+
+/// Applies `m` to the plan IR, then lints the damaged plan.
+fn lint_corrupted(
+    soc: &SocSpec,
+    mut ir: h2p_analyze::PlanIr,
+    m: Mutation,
+) -> h2p_analyze::Diagnostics {
+    if !h2p_analyze::apply(&mut ir, m) {
+        eprintln!("plan has no structure for --corrupt {}", m.name());
+        std::process::exit(2);
+    }
+    eprintln!("plan deliberately corrupted (--corrupt {})", m.name());
+    h2p_analyze::lint_plan(soc, &ir)
 }
 
 /// Deliberately violates the simulator contracts in a finished trace so

@@ -92,6 +92,50 @@ fn trace_emits_json_lines_event_log() {
 }
 
 #[test]
+fn lint_is_clean_for_every_scheme() {
+    for scheme in ["mnn", "pipeit", "dart", "band", "noct", "h2p"] {
+        let (stdout, _, ok) = h2p(&["lint", "--scheme", scheme, "bert", "mobilenetv2"]);
+        assert!(ok, "{scheme} lint failed: {stdout}");
+        assert!(stdout.contains("0 error(s)"), "{scheme}: {stdout}");
+    }
+}
+
+#[test]
+fn lint_json_emits_summary_line() {
+    let (stdout, _, ok) = h2p(&["lint", "--json", "--deny-warnings", "bert", "yolov4"]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("{\"summary\":true,\"errors\":0,\"warnings\":0,"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn lint_catches_every_corruption_class() {
+    for class in [
+        "drop-layer",
+        "duplicate-slot",
+        "bad-proc",
+        "inflate-makespan",
+    ] {
+        let (stdout, stderr, ok) = h2p(&["lint", "--corrupt", class, "bert", "yolov4"]);
+        assert!(!ok, "{class} must exit nonzero: {stdout}");
+        assert!(stdout.contains("error"), "{class}: {stdout}");
+        assert!(stderr.contains("corrupted"), "{class}: {stderr}");
+    }
+}
+
+#[test]
+fn lint_rejects_bad_corrupt_usage() {
+    let (_, stderr, ok) = h2p(&["lint", "--corrupt", "not-a-class", "bert"]);
+    assert!(!ok);
+    assert!(stderr.contains("--corrupt needs a class"), "{stderr}");
+    let (_, stderr, ok) = h2p(&["lint", "--scheme", "mnn", "--corrupt", "drop-layer", "bert"]);
+    assert!(!ok);
+    assert!(stderr.contains("plan-producing scheme"), "{stderr}");
+}
+
+#[test]
 fn unknown_inputs_exit_with_usage() {
     let (_, stderr, ok) = h2p(&["run", "not-a-model"]);
     assert!(!ok);

@@ -381,4 +381,57 @@ proptest! {
             .count();
         prop_assert_eq!(finishes, report.trace.spans.len());
     }
+
+    /// Any plan the planner produces, on any evaluation platform, must
+    /// pass the static verifier with zero errors *before* execution —
+    /// `h2p lint` treats planner output as its cleanliness baseline,
+    /// mirroring what `planned_workloads_audit_clean` establishes for the
+    /// dynamic trace audit. The lowered task graph must lint clean too.
+    #[test]
+    fn planned_workloads_lint_clean(
+        picks in prop::collection::vec(0usize..10, 1..5),
+        soc_pick in 0usize..3,
+    ) {
+        use hetero2pipe::planner::Planner;
+
+        let ids: Vec<ModelId> = picks.iter().map(|&i| ModelId::ALL[i]).collect();
+        let graphs: Vec<_> = ids.iter().map(|m| m.graph()).collect();
+        let soc = SocSpec::evaluation_platforms()
+            .into_iter()
+            .nth(soc_pick)
+            .expect("three platforms");
+        let planner = Planner::new(&soc).expect("planner trains");
+        let planned = planner.plan(&graphs).expect("plans");
+        let diags = planned.lint(&soc);
+        prop_assert!(diags.is_clean(), "static lint errors for {ids:?} on {}:\n{diags}", soc.name);
+        let lowered = planned.lower(&soc).expect("lowers");
+        let task_diags = lowered.lint();
+        prop_assert!(task_diags.is_clean(), "task-graph lint errors:\n{task_diags}");
+    }
+
+    /// Every corruption class, applied to any planner-produced plan,
+    /// must be caught by the static verifier — the mutation harness is
+    /// only meaningful if no workload lets a damaged plan slip through.
+    #[test]
+    fn mutated_plans_never_lint_clean(
+        picks in prop::collection::vec(0usize..10, 1..5),
+    ) {
+        use hetero2pipe::planner::Planner;
+
+        let ids: Vec<ModelId> = picks.iter().map(|&i| ModelId::ALL[i]).collect();
+        let graphs: Vec<_> = ids.iter().map(|m| m.graph()).collect();
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).expect("planner trains");
+        let planned = planner.plan(&graphs).expect("plans");
+        for m in h2p_analyze::Mutation::ALL {
+            let mut ir = planned.plan_ir();
+            prop_assert!(h2p_analyze::apply(&mut ir, m), "{} found nothing to corrupt", m.name());
+            let diags = h2p_analyze::lint_plan(&soc, &ir);
+            prop_assert!(
+                !diags.is_clean(),
+                "{} slipped past the lint for {ids:?}:\n{diags}",
+                m.name()
+            );
+        }
+    }
 }
