@@ -152,6 +152,27 @@ mod tests {
     }
 
     #[test]
+    fn every_scheme_produces_an_audit_clean_trace() {
+        // The trace-audit gate extended to the baselines: every scheme's
+        // executed trace must satisfy the simulator contracts, exactly
+        // like the planner's own (`h2p trace --scheme X --audit` asserts
+        // the same in scripts/ci.sh).
+        let soc = SocSpec::kirin_990();
+        let reqs = graphs(&[ModelId::Bert, ModelId::YoloV4, ModelId::MobileNetV2]);
+        for scheme in Scheme::ALL {
+            let lowered = scheme.lower(&soc, &reqs).unwrap_or_else(|e| {
+                panic!("{} failed to lower: {e}", scheme.name());
+            });
+            let tasks = lowered.simulation().tasks().to_vec();
+            let (report, _events) = lowered.execute_logged().unwrap_or_else(|e| {
+                panic!("{} failed to execute: {e}", scheme.name());
+            });
+            let audit = h2p_simulator::audit::audit(&soc, &tasks, &report.trace);
+            assert!(audit.is_clean(), "{}: {audit}", scheme.name());
+        }
+    }
+
+    #[test]
     fn hetero2pipe_beats_serial_mnn_substantially() {
         // The paper's headline: 4.2x average speedup vs MNN, up to 8.8x
         // on Kirin 990. Require at least 2x on a friendly mix.

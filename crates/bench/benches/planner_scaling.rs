@@ -1,0 +1,164 @@
+//! The planner's perf-trajectory suite: partition DP, LAP solve,
+//! end-to-end planning at 2/4/8/16 requests (frozen sequential reference
+//! vs the cached runtime at 1 and 4 threads), and an online window
+//! replan. After running, writes the measurements to `BENCH_planner.json`
+//! (path overridable via `H2P_BENCH_OUT`) so `scripts/ci.sh` and future
+//! PRs have a machine-readable trajectory to regress against.
+//!
+//! `H2P_BENCH_QUICK=1` shrinks sampling so the suite finishes in seconds;
+//! `scripts/bench.sh` wraps both modes.
+
+use criterion::{BenchResult, BenchmarkId, Criterion};
+
+use h2p_models::graph::ModelGraph;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+use hetero2pipe::online::OnlinePlanner;
+use hetero2pipe::planner::Planner;
+use hetero2pipe::workload::random_models;
+use hetero2pipe::{lap, par, partition};
+
+/// The thread count of the parallel end-to-end cases (and the speedup
+/// gate in `bench_check`).
+const PAR_THREADS: usize = 4;
+
+/// Request count of the workload the speedup gate reads.
+const GATE_REQUESTS: usize = 8;
+
+fn workload(m: usize) -> Vec<ModelGraph> {
+    // Seed fixed per size so every run (and both planner paths) measures
+    // the identical workload.
+    random_models(7, m).iter().map(|id| id.graph()).collect()
+}
+
+fn bench_partition_dp(c: &mut Criterion) {
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).expect("planner");
+    let procs = soc.processors_by_power();
+    let mut group = c.benchmark_group("partition_dp");
+    for id in [ModelId::Vgg16, ModelId::Bert] {
+        let graph = id.graph();
+        let ctx = planner.estimator().context(&graph, &procs, vec![1, 2, 3]);
+        let cost = planner.estimator().cost();
+        let n = graph.len();
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &n, |b, &n| {
+            b.iter(|| {
+                partition::min_max_partition(n, 3, |a, i, j| ctx.stage_cost(cost, a, i, j))
+                    .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lap(c: &mut Criterion) {
+    let n = 32usize;
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed % 1000) as f64
+    };
+    let cost: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+    c.bench_function("lap_solve/32", |b| {
+        b.iter(|| lap::solve(&cost).expect("feasible"))
+    });
+}
+
+fn bench_plan_scaling(c: &mut Criterion) {
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).expect("planner");
+    for m in [2usize, 4, 8, 16] {
+        let graphs = workload(m);
+        c.bench_function(&format!("plan/reference/{m}"), |b| {
+            b.iter(|| planner.plan_reference(&graphs).expect("plan"))
+        });
+        c.bench_function(&format!("plan/t1/{m}"), |b| {
+            b.iter(|| planner.plan_with_threads(&graphs, 1).expect("plan"))
+        });
+        c.bench_function(&format!("plan/t{PAR_THREADS}/{m}"), |b| {
+            b.iter(|| {
+                planner
+                    .plan_with_threads(&graphs, PAR_THREADS)
+                    .expect("plan")
+            })
+        });
+    }
+}
+
+fn bench_online_replan(c: &mut Criterion) {
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).expect("planner");
+    let online = OnlinePlanner::new(planner, 4);
+    let graphs = workload(16);
+    c.bench_function("online/replan_w4/16", |b| {
+        b.iter(|| online.plan(&graphs).expect("plan"))
+    });
+}
+
+fn median_of(results: &[BenchResult], name: &str) -> Option<f64> {
+    results.iter().find(|r| r.name == name).map(|r| r.median_ns)
+}
+
+fn write_json(results: &[BenchResult]) {
+    let out = std::env::var("H2P_BENCH_OUT").unwrap_or_else(|_| "BENCH_planner.json".to_owned());
+    let cases: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}",
+                r.name, r.median_ns, r.mean_ns, r.min_ns, r.iters_per_sample, r.samples
+            )
+        })
+        .collect();
+    let reference = median_of(results, &format!("plan/reference/{GATE_REQUESTS}"));
+    let t1 = median_of(results, &format!("plan/t1/{GATE_REQUESTS}"));
+    let t4 = median_of(results, &format!("plan/t{PAR_THREADS}/{GATE_REQUESTS}"));
+    let speedup = match (reference, t1, t4) {
+        (Some(reference), Some(t1), Some(t4)) if t4 > 0.0 && t1 > 0.0 => format!(
+            concat!(
+                "  \"speedup\": {{\n",
+                "    \"workload_requests\": {req},\n",
+                "    \"threads\": {thr},\n",
+                "    \"reference_median_ns\": {reference:.1},\n",
+                "    \"t1_median_ns\": {t1:.1},\n",
+                "    \"t{thr}_median_ns\": {t4:.1},\n",
+                "    \"t{thr}_vs_reference\": {vs_ref:.3},\n",
+                "    \"t{thr}_vs_t1\": {vs_t1:.3}\n",
+                "  }}"
+            ),
+            req = GATE_REQUESTS,
+            thr = PAR_THREADS,
+            reference = reference,
+            t1 = t1,
+            t4 = t4,
+            vs_ref = reference / t4,
+            vs_t1 = t1 / t4,
+        ),
+        _ => "  \"speedup\": null".to_owned(),
+    };
+    let json = format!(
+        "{{\n  \"schema\": \"h2p-bench-planner/v1\",\n  \"quick\": {},\n  \"available_parallelism\": {},\n  \"cases\": [\n{}\n  ],\n{}\n}}\n",
+        criterion::quick_mode(),
+        par::available_parallelism(),
+        cases.join(",\n"),
+        speedup,
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_partition_dp(&mut criterion);
+    bench_lap(&mut criterion);
+    bench_plan_scaling(&mut criterion);
+    bench_online_replan(&mut criterion);
+    write_json(&criterion::take_results());
+}

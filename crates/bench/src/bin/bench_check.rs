@@ -1,0 +1,120 @@
+//! Validates `BENCH_planner.json` (written by the `planner_scaling`
+//! bench) and gates the perf trajectory: the schema must match, the
+//! required cases must be present with positive medians, and the parallel
+//! planner must not be slower than the sequential baseline on the
+//! 8-request workload.
+//!
+//! ```text
+//! bench_check [path] [--min-speedup X]
+//! ```
+//!
+//! Exits non-zero with a diagnostic on any violation. The parser is a
+//! deliberately small field extractor over the file this workspace itself
+//! writes — not a general JSON reader.
+
+/// Extracts the string value of `"key": "value"`.
+fn string_field(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Extracts the numeric value of `"key": 123.4` (also accepts `null`,
+/// returning `None`).
+fn number_field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The median of a named case, if the case is present.
+fn case_median_ns(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let start = json.find(&needle)?;
+    number_field(&json[start..], "median_ns")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = "BENCH_planner.json".to_owned();
+    let mut min_speedup = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--min-speedup" => {
+                min_speedup = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--min-speedup needs a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                path = other.to_owned();
+                i += 1;
+            }
+        }
+    }
+
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+
+    match string_field(&json, "schema") {
+        Some(s) if s == "h2p-bench-planner/v1" => {}
+        Some(s) => failures.push(format!("unexpected schema {s:?}")),
+        None => failures.push("missing \"schema\" field".to_owned()),
+    }
+
+    let required_cases = [
+        "partition_dp/VGG16",
+        "lap_solve/32",
+        "plan/reference/8",
+        "plan/t1/8",
+        "plan/t4/8",
+        "online/replan_w4/16",
+    ];
+    for name in required_cases {
+        match case_median_ns(&json, name) {
+            Some(ns) if ns > 0.0 => {}
+            Some(ns) => failures.push(format!("case {name}: non-positive median {ns}")),
+            None => failures.push(format!("missing case {name}")),
+        }
+    }
+
+    match number_field(&json, "t4_vs_reference") {
+        Some(speedup) if speedup >= min_speedup => {
+            println!(
+                "bench_check: parallel planner speedup {speedup:.3}x vs sequential reference \
+                 (gate: >= {min_speedup:.3}x) -- ok"
+            );
+        }
+        Some(speedup) => failures.push(format!(
+            "parallel planner is too slow: {speedup:.3}x vs sequential reference \
+             (gate: >= {min_speedup:.3}x)"
+        )),
+        None => failures.push("missing speedup block (t4_vs_reference)".to_owned()),
+    }
+
+    if failures.is_empty() {
+        println!("bench_check: {path} valid");
+    } else {
+        for f in &failures {
+            eprintln!("bench_check: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,23 @@
 //! contention-intensity estimate of Sec. III. [`Estimator`] bundles those;
 //! [`RequestContext`] caches per-request cost tables so partitioning and
 //! work stealing can re-evaluate stage times in O(1) per query.
+//!
+//! Two construction paths exist for a [`RequestContext`]:
+//!
+//! * [`Estimator::context`] — self-contained: builds a fresh cost table
+//!   over the active processors and computes copy-in costs on demand.
+//!   This is the original (pre-caching) code path, kept as the planner's
+//!   frozen sequential reference.
+//! * [`Estimator::tables`] + [`RequestTables::context`] — the cached
+//!   path: one full-pipeline prefix-sum table, one operator-fallback
+//!   table and one copy-in curve per processor pair are built **once per
+//!   request** and shared (`Arc`) by every processor-subset context the
+//!   planner derives, so deriving a context is O(stages) and
+//!   `stage_cost`/`copy_in_ms` are pure O(1) lookups. Both paths produce
+//!   bit-identical stage costs.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use h2p_contention::{ContentionClass, IntensityModel};
 use h2p_models::cost::{CostModel, CostTable};
@@ -18,12 +35,21 @@ use h2p_simulator::soc::SocSpec;
 use crate::error::PlanError;
 use crate::plan::{StagePlan, StageRun};
 
+/// Memoized intensity predictions, keyed by model name with a full graph
+/// equality check per entry (names alone are not unique — batched graphs
+/// share a base name).
+type IntensityMemo = HashMap<String, Vec<(Arc<ModelGraph>, f64, ContentionClass)>>;
+
 /// Bundles the cost model and the trained contention-intensity model.
 #[derive(Debug, Clone)]
 pub struct Estimator {
     cost: CostModel,
     intensity: IntensityModel,
     pmu_proc: ProcessorId,
+    /// Cross-call memo for [`Estimator::intensity_and_class`]; shared by
+    /// clones of this estimator (planning the same model zoo repeatedly
+    /// — the online re-planning case — hits the memo).
+    intensity_memo: Arc<Mutex<IntensityMemo>>,
 }
 
 impl Estimator {
@@ -60,6 +86,7 @@ impl Estimator {
             cost,
             intensity,
             pmu_proc,
+            intensity_memo: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -83,6 +110,7 @@ impl Estimator {
             cost,
             intensity,
             pmu_proc,
+            intensity_memo: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -106,8 +134,34 @@ impl Estimator {
         self.intensity.classify(&self.cost, graph, self.pmu_proc)
     }
 
+    /// Memoized `(predict_intensity, classify)` pair. The memo key is the
+    /// model name, verified with a full graph equality check, so a hit is
+    /// exactly as correct as recomputing; repeated planning of the same
+    /// models (the online case) skips the regression entirely.
+    pub fn intensity_and_class(&self, graph: &Arc<ModelGraph>) -> (f64, ContentionClass) {
+        let mut memo = match self.intensity_memo.lock() {
+            Ok(guard) => guard,
+            // The memo is a pure cache: a panic while holding the lock
+            // cannot leave partial state, so a poisoned lock is usable.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let entries = memo.entry(graph.name().to_owned()).or_default();
+        if let Some((_, i, c)) = entries.iter().find(|(g, _, _)| **g == **graph) {
+            return (*i, *c);
+        }
+        let i = self.predict_intensity(graph);
+        let c = self.classify(graph);
+        entries.push((Arc::clone(graph), i, c));
+        (i, c)
+    }
+
     /// Builds the per-request context for `graph` on the given active
     /// slots of the pipeline's processor list.
+    ///
+    /// This is the self-contained path: it clones the graph and builds a
+    /// fresh cost table over the active processors. Planning loops that
+    /// derive many contexts for the same request should build
+    /// [`Estimator::tables`] once and derive contexts from it instead.
     ///
     /// # Panics
     ///
@@ -118,46 +172,194 @@ impl Estimator {
         pipeline_procs: &[ProcessorId],
         active_slots: Vec<usize>,
     ) -> RequestContext {
-        assert!(
-            !active_slots.is_empty(),
-            "a request needs at least one slot"
-        );
-        assert!(
-            active_slots.windows(2).all(|w| w[0] < w[1]),
-            "active slots must be strictly ascending"
-        );
+        assert_active_slots(&active_slots);
         let procs: Vec<ProcessorId> = active_slots.iter().map(|&s| pipeline_procs[s]).collect();
-        let table = self.cost.table(graph, &procs);
+        let table = Arc::new(self.cost.table(graph, &procs));
         let npu_fallback = procs
             .iter()
             .position(|&p| self.cost.soc().processor(p).kind == ProcessorKind::Npu)
-            .map(|stage| NpuFallback::build(&self.cost, graph, procs[stage], self.pmu_proc, stage));
+            .map(|stage| FallbackAt {
+                stage,
+                core: Arc::new(NpuFallback::build(
+                    &self.cost,
+                    graph,
+                    procs[stage],
+                    self.pmu_proc,
+                )),
+            });
+        let rows = (0..active_slots.len()).collect();
         RequestContext {
-            graph: graph.clone(),
+            graph: Arc::new(graph.clone()),
             active_slots,
             procs,
+            rows,
             table,
+            copy_cache: None,
+            npu_fallback,
+        }
+    }
+
+    /// Builds the shared per-request tables over the **full** pipeline
+    /// processor list: one prefix-sum cost table covering every slot, the
+    /// operator-fallback arrays for the NPU slot (if any), and one
+    /// copy-in curve per ordered slot pair. Deriving a context for any
+    /// processor subset from the result is O(stages).
+    pub fn tables(&self, graph: Arc<ModelGraph>, pipeline_procs: &[ProcessorId]) -> RequestTables {
+        let k = pipeline_procs.len();
+        let n = graph.len();
+        let table = Arc::new(self.cost.table(&graph, pipeline_procs));
+        let fallback = pipeline_procs
+            .iter()
+            .position(|&p| self.cost.soc().processor(p).kind == ProcessorKind::Npu)
+            .map(|slot| {
+                let core =
+                    NpuFallback::build(&self.cost, &graph, pipeline_procs[slot], self.pmu_proc);
+                (slot, Arc::new(core))
+            });
+        // Copy-in curve for a stage on slot `q` receiving from slot `p`:
+        // curve[i] is the input-copy cost when the stage starts at layer
+        // `i` — exactly what `copy_in_ms` computes on the fly.
+        let empty = Arc::new(Vec::new());
+        let mut copy_pairs = vec![Arc::clone(&empty); k * k];
+        for p in 0..k {
+            for q in (p + 1)..k {
+                let curve: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let bytes = if i == 0 {
+                            graph.input_bytes()
+                        } else {
+                            graph.boundary_bytes(i - 1)
+                        };
+                        self.cost
+                            .copy_ms(bytes, pipeline_procs[p], pipeline_procs[q])
+                    })
+                    .collect();
+                copy_pairs[p * k + q] = Arc::new(curve);
+            }
+        }
+        RequestTables {
+            graph,
+            pipeline_procs: pipeline_procs.to_vec(),
+            table,
+            copy_pairs,
+            fallback,
+        }
+    }
+}
+
+fn assert_active_slots(active_slots: &[usize]) {
+    assert!(
+        !active_slots.is_empty(),
+        "a request needs at least one slot"
+    );
+    assert!(
+        active_slots.windows(2).all(|w| w[0] < w[1]),
+        "active slots must be strictly ascending"
+    );
+}
+
+/// Shared per-request planning tables over the full pipeline processor
+/// list (see [`Estimator::tables`]). Cloning is cheap (`Arc` internals);
+/// deriving per-subset contexts does not rebuild any table.
+#[derive(Debug, Clone)]
+pub struct RequestTables {
+    graph: Arc<ModelGraph>,
+    pipeline_procs: Vec<ProcessorId>,
+    table: Arc<CostTable>,
+    /// `copy_pairs[p * k + q]` for `p < q`: per-start-layer copy-in cost
+    /// from slot `p`'s processor to slot `q`'s. Unused pairs hold an
+    /// empty curve.
+    copy_pairs: Vec<Arc<Vec<f64>>>,
+    /// `(pipeline slot of the NPU, fallback arrays)`, if the pipeline
+    /// includes an NPU.
+    fallback: Option<(usize, Arc<NpuFallback>)>,
+}
+
+impl RequestTables {
+    /// The model these tables describe.
+    pub fn graph(&self) -> &Arc<ModelGraph> {
+        &self.graph
+    }
+
+    /// Number of pipeline processor slots covered.
+    pub fn slot_count(&self) -> usize {
+        self.pipeline_procs.len()
+    }
+
+    /// The full-pipeline prefix-sum cost table (row = pipeline slot).
+    pub(crate) fn table(&self) -> &CostTable {
+        &self.table
+    }
+
+    /// The NPU slot and its operator-fallback arrays, if present.
+    pub(crate) fn fallback(&self) -> Option<(usize, &NpuFallback)> {
+        self.fallback.as_ref().map(|(s, core)| (*s, core.as_ref()))
+    }
+
+    /// The copy-in curve for a stage on slot `q` receiving from slot `p`.
+    pub(crate) fn copy_curve(&self, p: usize, q: usize) -> &Arc<Vec<f64>> {
+        &self.copy_pairs[p * self.pipeline_procs.len() + q]
+    }
+
+    /// Derives the context for the given active slots, sharing every
+    /// table. Produces bit-identical stage costs to the self-contained
+    /// [`Estimator::context`] over the same slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_slots` is empty or not strictly ascending.
+    pub fn context(&self, active_slots: Vec<usize>) -> RequestContext {
+        assert_active_slots(&active_slots);
+        let k = self.pipeline_procs.len();
+        let procs: Vec<ProcessorId> = active_slots
+            .iter()
+            .map(|&s| self.pipeline_procs[s])
+            .collect();
+        let npu_fallback = self.fallback.as_ref().and_then(|(slot, core)| {
+            active_slots
+                .iter()
+                .position(|&s| s == *slot)
+                .map(|stage| FallbackAt {
+                    stage,
+                    core: Arc::clone(core),
+                })
+        });
+        // copy_cache[a] for stage a >= 1 is the (p, q) curve of the
+        // adjacent active slots; entry 0 is never read (stage 0 has no
+        // copy-in).
+        let mut copy_cache = Vec::with_capacity(active_slots.len());
+        copy_cache.push(Arc::new(Vec::new()));
+        for w in active_slots.windows(2) {
+            copy_cache.push(Arc::clone(&self.copy_pairs[w[0] * k + w[1]]));
+        }
+        RequestContext {
+            graph: Arc::clone(&self.graph),
+            rows: active_slots.clone(),
+            active_slots,
+            procs,
+            table: Arc::clone(&self.table),
+            copy_cache: Some(copy_cache),
             npu_fallback,
         }
     }
 }
 
-/// Operator-fallback cost arrays for the NPU stage (Sec. IV: unsupported
+/// Operator-fallback cost arrays for an NPU stage (Sec. IV: unsupported
 /// operators inside an NPU slice are forwarded to the CPU Big cluster,
-/// paying a tensor copy at every supportability transition).
+/// paying a tensor copy at every supportability transition). The arrays
+/// depend only on the model and the (NPU, fallback-CPU) pair, so one
+/// instance is shared by every context of a request.
 #[derive(Debug, Clone)]
-struct NpuFallback {
-    /// Which active stage is the NPU stage.
-    stage: usize,
+pub(crate) struct NpuFallback {
     npu: ProcessorId,
     fallback: ProcessorId,
     /// `lat_prefix[i]` = Σ effective latency of layers `0..i`, each on
     /// the NPU if supported, otherwise on the fallback CPU.
-    lat_prefix: Vec<f64>,
+    pub(crate) lat_prefix: Vec<f64>,
     /// `copy_prefix[k]` = Σ transition-copy cost over boundaries `< k`;
     /// boundary `l` (between layers `l` and `l+1`) costs a copy iff the
     /// two layers run on different processors.
-    copy_prefix: Vec<f64>,
+    pub(crate) copy_prefix: Vec<f64>,
     supported: Vec<bool>,
 }
 
@@ -167,7 +369,6 @@ impl NpuFallback {
         graph: &ModelGraph,
         npu: ProcessorId,
         fallback: ProcessorId,
-        stage: usize,
     ) -> Self {
         let n = graph.len();
         let supported: Vec<bool> = graph
@@ -204,7 +405,6 @@ impl NpuFallback {
             copy_prefix.push(copy_prefix[l] + c);
         }
         NpuFallback {
-            stage,
             npu,
             fallback,
             lat_prefix,
@@ -215,7 +415,7 @@ impl NpuFallback {
 
     /// Effective execution time of layers `[i, j]` on the NPU stage,
     /// including fallback detours and transition copies.
-    fn slice_ms(&self, i: usize, j: usize) -> f64 {
+    pub(crate) fn slice_ms(&self, i: usize, j: usize) -> f64 {
         self.lat_prefix[j + 1] - self.lat_prefix[i] + self.copy_prefix[j] - self.copy_prefix[i]
     }
 
@@ -249,19 +449,34 @@ impl NpuFallback {
     }
 }
 
+/// An NPU fallback bound to the active stage that hosts it.
+#[derive(Debug, Clone)]
+struct FallbackAt {
+    /// Which active stage is the NPU stage.
+    stage: usize,
+    core: Arc<NpuFallback>,
+}
+
 /// Cached per-request planning state: the model, its active slots within
 /// the pipeline, and a prefix-sum cost table over those slots' processors.
 #[derive(Debug, Clone)]
 pub struct RequestContext {
-    /// The model being planned.
-    pub graph: ModelGraph,
+    /// The model being planned (shared, never deep-cloned on the
+    /// planning path).
+    pub graph: Arc<ModelGraph>,
     /// Indices into the pipeline's processor slots this request uses,
     /// strictly ascending.
     pub active_slots: Vec<usize>,
     /// The processors of the active slots, in order.
     pub procs: Vec<ProcessorId>,
-    table: CostTable,
-    npu_fallback: Option<NpuFallback>,
+    /// Table row of each active stage (identity for self-contained
+    /// tables; the pipeline slot index for shared full-pipeline tables).
+    rows: Vec<usize>,
+    table: Arc<CostTable>,
+    /// Precomputed copy-in curves per active stage (shared path only);
+    /// `None` falls back to computing copies on demand.
+    copy_cache: Option<Vec<Arc<Vec<f64>>>>,
+    npu_fallback: Option<FallbackAt>,
 }
 
 impl RequestContext {
@@ -287,8 +502,8 @@ impl RequestContext {
             return None;
         }
         let exec = match &self.npu_fallback {
-            Some(fb) if fb.stage == a => fb.slice_ms(i, j),
-            _ => self.table.slice_ms(a, i, j)?,
+            Some(fb) if fb.stage == a => fb.core.slice_ms(i, j),
+            _ => self.table.slice_ms(self.rows[a], i, j)?,
         };
         Some(exec + self.copy_in_ms(cost, a, i))
     }
@@ -298,6 +513,9 @@ impl RequestContext {
     pub fn copy_in_ms(&self, cost: &CostModel, a: usize, i: usize) -> f64 {
         if a == 0 {
             return 0.0;
+        }
+        if let Some(cache) = &self.copy_cache {
+            return cache[a][i];
         }
         let bytes = if i == 0 {
             self.graph.input_bytes()
@@ -326,7 +544,11 @@ impl RequestContext {
             }
             let range = LayerRange::new(prev, end - 1);
             let proc = self.procs[a];
-            let fallback_stage = self.npu_fallback.as_ref().filter(|fb| fb.stage == a);
+            let fallback_stage = self
+                .npu_fallback
+                .as_ref()
+                .filter(|fb| fb.stage == a)
+                .map(|fb| fb.core.as_ref());
             let (exec_ms, runs) = if let Some(fb) = fallback_stage {
                 let runs = fb.runs(prev, end - 1);
                 // A single homogeneous NPU run needs no lowering detail.
@@ -337,7 +559,10 @@ impl RequestContext {
                 };
                 (fb.slice_ms(prev, end - 1), runs)
             } else {
-                (self.table.slice_ms(a, prev, end - 1)?, Vec::new())
+                (
+                    self.table.slice_ms(self.rows[a], prev, end - 1)?,
+                    Vec::new(),
+                )
             };
             let copy_in_ms = self.copy_in_ms(cost, a, prev);
             let bandwidth_gbps = if runs.is_empty() {
@@ -440,6 +665,65 @@ mod tests {
             .unwrap();
         let with_copy = ctx.stage_cost(est.cost(), 1, 5, 8).unwrap();
         assert!(with_copy > exec, "copy-in must be added");
+    }
+
+    #[test]
+    fn shared_tables_context_matches_self_contained_context() {
+        let (soc, est) = setup();
+        let procs = soc.processors_by_power();
+        for id in [ModelId::ResNet50, ModelId::Bert, ModelId::YoloV4] {
+            let g = id.graph();
+            let tables = est.tables(Arc::new(g.clone()), &procs);
+            for slots in [
+                vec![0usize],
+                vec![2],
+                vec![0, 1],
+                vec![1, 3],
+                vec![0, 2, 3],
+                vec![0, 1, 2, 3],
+            ] {
+                let a = est.context(&g, &procs, slots.clone());
+                let b = tables.context(slots.clone());
+                let n = g.len();
+                for stage in 0..slots.len() {
+                    for i in 0..n {
+                        for j in i..n.min(i + 7) {
+                            let ca = a.stage_cost(est.cost(), stage, i, j);
+                            let cb = b.stage_cost(est.cost(), stage, i, j);
+                            match (ca, cb) {
+                                (None, None) => {}
+                                (Some(x), Some(y)) => assert_eq!(
+                                    x.to_bits(),
+                                    y.to_bits(),
+                                    "{id} slots {slots:?} stage {stage} [{i},{j}]"
+                                ),
+                                _ => panic!(
+                                    "feasibility mismatch: {id} slots {slots:?} \
+                                     stage {stage} [{i},{j}]: {ca:?} vs {cb:?}"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_memo_matches_direct_calls() {
+        let (_, est) = setup();
+        let g = Arc::new(ModelId::SqueezeNet.graph());
+        let (i1, c1) = est.intensity_and_class(&g);
+        assert_eq!(i1.to_bits(), est.predict_intensity(&g).to_bits());
+        assert_eq!(c1, est.classify(&g));
+        // Second call hits the memo and must agree bit-for-bit.
+        let (i2, c2) = est.intensity_and_class(&g);
+        assert_eq!(i1.to_bits(), i2.to_bits());
+        assert_eq!(c1, c2);
+        // A same-name but different graph must not hit the wrong entry.
+        let batched = Arc::new(crate::batching::batched_graph(&g, 2));
+        let (ib, _) = est.intensity_and_class(&batched);
+        assert_eq!(ib.to_bits(), est.predict_intensity(&batched).to_bits());
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod lap;
 pub mod lint;
 pub mod mitigation;
 pub mod online;
+pub mod par;
 pub mod partition;
 pub mod plan;
 pub mod planner;

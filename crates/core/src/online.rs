@@ -12,6 +12,7 @@
 use h2p_models::graph::ModelGraph;
 
 use crate::error::PlanError;
+use crate::par;
 use crate::plan::PipelinePlan;
 use crate::planner::{PlannedPipeline, Planner};
 
@@ -56,11 +57,27 @@ impl OnlinePlanner {
         if requests.is_empty() {
             return Err(PlanError::EmptyRequestSet);
         }
+        // Windows are planned independently — the third parallel loop of
+        // the planning runtime. When more than one window fans out across
+        // the workers, each window plans with a single inner thread so the
+        // worker pool is not oversubscribed; a lone window keeps the full
+        // inner parallelism. Either way each window's plan is bit-identical
+        // (the planner's thread-count invariance), and the merge below
+        // concatenates windows in arrival order.
+        let chunks: Vec<&[ModelGraph]> = requests.chunks(self.window).collect();
+        let outer_threads = self.planner.config().effective_threads();
+        let inner_threads = if chunks.len() > 1 && outer_threads > 1 {
+            1
+        } else {
+            outer_threads
+        };
+        let window_plans = par::try_map(outer_threads, &chunks, |_, chunk| {
+            self.planner.plan_with_threads(chunk, inner_threads)
+        })?;
         let mut combined: Option<PlannedPipeline> = None;
         let mut tail_merges = 0usize;
-        for (w, chunk) in requests.chunks(self.window).enumerate() {
+        for (w, mut planned) in window_plans.into_iter().enumerate() {
             let offset = w * self.window;
-            let mut planned = self.planner.plan(chunk)?;
             for req in &mut planned.plan.requests {
                 req.request += offset;
             }

@@ -1,0 +1,235 @@
+//! Minimal deterministic parallel runtime for the planner's hot loops.
+//!
+//! The planner's three expensive loops — per-request DP partitioning,
+//! candidate-order evaluation and per-window online planning — are
+//! embarrassingly parallel: every item is computed from shared read-only
+//! state and the results are combined by index. This module provides
+//! exactly that shape on top of [`std::thread::scope`]:
+//!
+//! * no `unsafe`, no new dependencies, no thread pool — workers live only
+//!   for the duration of one call;
+//! * a shared atomic cursor hands out item indices in order, each worker
+//!   records `(index, result)` pairs, and the merge places results back
+//!   by index — so the output is **independent of thread count and
+//!   scheduling**, the determinism contract the planner's equivalence
+//!   proptest pins down;
+//! * [`try_map`] reports the error of the **lowest-index** failing item,
+//!   matching what a sequential short-circuiting loop would return.
+//!
+//! A worker panic propagates out of the scope and aborts the whole map,
+//! exactly like a panic in the equivalent sequential loop.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// The number of worker threads to use by default: the machine's
+/// available parallelism, or 1 if it cannot be queried.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item and returns the results in item order.
+///
+/// With `threads <= 1` (or fewer than two items) this is a plain
+/// sequential map; otherwise up to `threads` scoped workers (including
+/// the calling thread) pull indices from a shared cursor. The result is
+/// bit-identical either way as long as `f` is a pure function of
+/// `(index, item)`.
+pub fn map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let run = |_worker: usize| {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= items.len() {
+                break;
+            }
+            local.push((idx, f(idx, &items[idx])));
+        }
+        local
+    };
+    let mut produced: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..workers).map(|w| scope.spawn(move || run(w))).collect();
+        let mut all = vec![run(0)];
+        for h in handles {
+            // A panicked worker re-raises here, unwinding the scope.
+            match h.join() {
+                Ok(local) => all.push(local),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        all
+    });
+    // Deterministic index-ordered merge.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for local in produced.drain(..) {
+        for (idx, value) in local {
+            slots[idx] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(idx, v)| match v {
+            Some(v) => v,
+            // Unreachable: the cursor hands out every index exactly once
+            // and worker panics abort the scope above.
+            None => panic!("par::map lost the result of item {idx}"),
+        })
+        .collect()
+}
+
+/// Fallible variant of [`map`]: returns all results in item order, or the
+/// error of the lowest-index failing item — the same error a sequential
+/// short-circuiting loop would surface. After the first error is
+/// observed, workers stop claiming new items (already-claimed items still
+/// run to completion, keeping the claimed set a prefix of the items, which
+/// is what makes the lowest-index rule exact).
+pub fn try_map<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect::<Result<Vec<R>, E>>();
+    }
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let run = |_worker: usize| {
+        let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
+        loop {
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= items.len() {
+                break;
+            }
+            let out = f(idx, &items[idx]);
+            if out.is_err() {
+                failed.store(true, Ordering::Relaxed);
+            }
+            local.push((idx, out));
+        }
+        local
+    };
+    let mut produced: Vec<Vec<(usize, Result<R, E>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..workers).map(|w| scope.spawn(move || run(w))).collect();
+        let mut all = vec![run(0)];
+        for h in handles {
+            match h.join() {
+                Ok(local) => all.push(local),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        all
+    });
+    let mut slots: Vec<Option<Result<R, E>>> = (0..items.len()).map(|_| None).collect();
+    for local in produced.drain(..) {
+        for (idx, value) in local {
+            slots[idx] = Some(value);
+        }
+    }
+    // First error in index order wins; on success every slot is filled.
+    let mut out = Vec::with_capacity(items.len());
+    for (idx, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            // Only reachable when an error tripped the stop flag before
+            // this index was claimed; the error lives at a lower index
+            // and was returned above — reaching here is a runtime bug.
+            None => panic!("par::try_map lost item {idx} without an error"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_for_all_thread_counts() {
+        let items: Vec<usize> = (0..37).collect();
+        let seq: Vec<usize> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [0, 1, 2, 3, 4, 8, 64] {
+            let par = map(threads, &items, |_, &x| x * x + 1);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_item_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out = map(4, &items, |idx, &s| format!("{idx}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_map_collects_all_on_success() {
+        let items: Vec<i64> = (0..23).collect();
+        for threads in [1, 2, 4] {
+            let out: Result<Vec<i64>, ()> = try_map(threads, &items, |_, &x| Ok(x * 2));
+            assert_eq!(out, Ok(items.iter().map(|&x| x * 2).collect()));
+        }
+    }
+
+    #[test]
+    fn try_map_reports_lowest_index_error() {
+        // Items 5, 11 and 17 fail; the reported error must always be 5's,
+        // matching a sequential short-circuit, for every thread count.
+        let items: Vec<usize> = (0..32).collect();
+        for threads in [1, 2, 4, 8] {
+            let out: Result<Vec<usize>, String> = try_map(threads, &items, |_, &x| {
+                if x == 5 || x == 11 || x == 17 {
+                    Err(format!("boom at {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
+            assert_eq!(out, Err("boom at 5".to_owned()), "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker exploded")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..16).collect();
+        let _ = map(4, &items, |_, &x| {
+            if x == 9 {
+                panic!("worker exploded");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn available_parallelism_is_positive() {
+        assert!(available_parallelism() >= 1);
+    }
+}

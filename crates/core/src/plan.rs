@@ -190,6 +190,48 @@ impl PipelinePlan {
             .sum()
     }
 
+    /// Allocation-free twin of [`PipelinePlan::estimated_makespan_ms`]
+    /// that evaluates the makespan *as if* request `pos`'s stages were
+    /// replaced by `stages`, without mutating the plan. Cells are folded
+    /// in the same slot-ascending order with the same `f64::max`/sum
+    /// operations, so the result is bit-identical to substituting the
+    /// stages and calling `estimated_makespan_ms` — which is what the
+    /// cached tail search relies on.
+    pub fn estimated_makespan_ms_substituting(
+        &self,
+        pos: usize,
+        stages: &[Option<StagePlan>],
+    ) -> f64 {
+        let k = self.depth();
+        let m = self.requests.len();
+        if m == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        for j in 0..(m + k - 1) {
+            let mut max = 0.0f64;
+            for slot in 0..k {
+                if j < slot {
+                    continue;
+                }
+                let p = j - slot;
+                if p >= m {
+                    continue;
+                }
+                let row: &[Option<StagePlan>] = if p == pos {
+                    stages
+                } else {
+                    &self.requests[p].stages
+                };
+                if let Some(stage) = row.get(slot).and_then(|s| s.as_ref()) {
+                    max = f64::max(max, stage.total_ms());
+                }
+            }
+            total += max;
+        }
+        total
+    }
+
     /// Contention-aware makespan estimate (Eq. 2's `T_co` term folded
     /// into planning): a deterministic list schedule — every stage starts
     /// at `max(processor available, previous stage done)`, the same FIFO

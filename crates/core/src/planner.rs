@@ -17,14 +17,30 @@
 //! Steps 2 and 3 can be disabled individually through
 //! [`PlannerConfig`] — that is exactly the paper's "No C/T" ablation
 //! baseline.
+//!
+//! # Parallel planning runtime
+//!
+//! The production path ([`Planner::plan`]) runs on the [`crate::par`]
+//! runtime with shared per-request cost tables
+//! ([`crate::estimate::RequestTables`]): per-request DP partitioning and
+//! the candidate-order evaluations fan out across worker threads, and a
+//! deterministic index-ordered merge plus a sequential selection replay
+//! guarantee the output is **bit-identical for every thread count** —
+//! including the frozen sequential reference
+//! ([`Planner::plan_reference`]), which preserves the original
+//! clone-per-mask implementation as the recorded perf baseline (see
+//! `scripts/bench.sh`) and as the oracle for the equivalence proptest.
+
+use std::sync::Arc;
 
 use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::ModelId;
 use h2p_simulator::soc::SocSpec;
 
 use crate::error::PlanError;
-use crate::estimate::{Estimator, RequestContext};
+use crate::estimate::{Estimator, RequestContext, RequestTables};
 use crate::mitigation::{self, MitigationOutcome};
+use crate::par;
 use crate::partition::min_max_partition;
 use crate::plan::{PipelinePlan, RequestPlan};
 use crate::worksteal::{self, StealReport};
@@ -42,6 +58,10 @@ pub struct PlannerConfig {
     pub max_depth: usize,
     /// Numerical precision the deployment executes at.
     pub precision: h2p_models::cost::Precision,
+    /// Worker threads for the parallel planning runtime; `0` (the
+    /// default) resolves to the machine's available parallelism. The
+    /// planned output is bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for PlannerConfig {
@@ -52,11 +72,20 @@ impl Default for PlannerConfig {
             tail_optimization: true,
             max_depth: 4,
             precision: h2p_models::cost::Precision::Fp32,
+            threads: 0,
         }
     }
 }
 
 impl PlannerConfig {
+    /// Hysteresis margin for adopting a candidate request re-ordering: a
+    /// candidate's contention-aware makespan estimate must undercut the
+    /// incumbent's by this factor before the planner switches away from
+    /// arrival order. The estimate ranks orders well but not perfectly,
+    /// and arrival order is the natural default, so near-ties stick with
+    /// the incumbent instead of churning on estimation noise.
+    pub const ORDER_HYSTERESIS: f64 = 0.97;
+
     /// The paper's "No C/T" ablation: contention mitigation and tail
     /// optimization disabled (work stealing stays on).
     pub fn no_ct() -> Self {
@@ -64,6 +93,15 @@ impl PlannerConfig {
             contention_mitigation: false,
             tail_optimization: false,
             ..PlannerConfig::default()
+        }
+    }
+
+    /// The worker-thread count this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            par::available_parallelism()
+        } else {
+            self.threads
         }
     }
 }
@@ -86,9 +124,18 @@ pub struct PlannedPipeline {
 /// The Hetero²Pipe planner bound to one SoC.
 #[derive(Debug, Clone)]
 pub struct Planner {
-    soc: SocSpec,
     estimator: Estimator,
     config: PlannerConfig,
+}
+
+/// Everything step 1 produces for one request, computed independently
+/// per request (and therefore in parallel).
+struct PreparedRequest {
+    ctx: RequestContext,
+    plan: RequestPlan,
+    /// Single-slot collapse candidates for the tail search, one per
+    /// pipeline slot (`None` = infeasible on that slot).
+    collapse: worksteal::CollapseSlots,
 }
 
 impl Planner {
@@ -110,7 +157,6 @@ impl Planner {
     /// Same as [`Planner::new`].
     pub fn with_config(soc: &SocSpec, config: PlannerConfig) -> Result<Self, PlanError> {
         Ok(Planner {
-            soc: soc.clone(),
             estimator: Estimator::with_precision(soc, config.precision)?,
             config,
         })
@@ -118,7 +164,7 @@ impl Planner {
 
     /// The SoC this planner targets.
     pub fn soc(&self) -> &SocSpec {
-        &self.soc
+        self.estimator.cost().soc()
     }
 
     /// The planner's estimator (cost + intensity models).
@@ -134,7 +180,7 @@ impl Planner {
     /// The pipeline's processor slots: power-ranked, truncated to
     /// `max_depth`.
     pub fn pipeline_procs(&self) -> Vec<h2p_simulator::ProcessorId> {
-        let mut procs = self.soc.processors_by_power();
+        let mut procs = self.soc().processors_by_power();
         procs.truncate(self.config.max_depth.max(1));
         procs
     }
@@ -142,6 +188,11 @@ impl Planner {
     /// Horizontal step only: the best feasible partition of one request
     /// over the pipeline slots, trying every ordered processor subset and
     /// keeping the minimum makespan (P1).
+    ///
+    /// This is the original self-contained implementation — it rebuilds a
+    /// cost table per processor subset. The planning path uses the cached
+    /// equivalent over [`Estimator::tables`]; both pick the same subset
+    /// and splits.
     ///
     /// # Errors
     ///
@@ -179,13 +230,342 @@ impl Planner {
         })
     }
 
-    /// Runs the full two-step planning pipeline over `requests`.
+    /// The cached equivalent of [`Planner::plan_request`]: every
+    /// processor-subset DP reads the request's shared prefix-sum tables,
+    /// and subsets whose exact lower bound cannot beat the incumbent are
+    /// pruned without running the DP. Masks are visited in the same order
+    /// with the same strict-improvement epsilon, and the bound never
+    /// exceeds the true optimum of a mask, so the selected subset, splits
+    /// and makespan are bit-identical to the reference.
+    fn plan_request_cached(
+        &self,
+        tables: &RequestTables,
+    ) -> Result<(RequestContext, Vec<usize>, f64), PlanError> {
+        /// Per-slot slice-cost source: plain prefix rows, or the NPU
+        /// operator-fallback arrays.
+        enum Row<'a> {
+            Plain { pm: &'a [f64], un: &'a [u32] },
+            Fallback { lp: &'a [f64], cp: &'a [f64] },
+        }
+        let graph = tables.graph();
+        let n = graph.len();
+        let k_slots = tables.slot_count();
+        let table = tables.table();
+        let fallback = tables.fallback();
+        let rows: Vec<Row> = (0..k_slots)
+            .map(|s| match fallback {
+                Some((fs, fb)) if fs == s => Row::Fallback {
+                    lp: &fb.lat_prefix,
+                    cp: &fb.copy_prefix,
+                },
+                _ => Row::Plain {
+                    pm: table.prefix_row(s),
+                    un: table.unsupported_row(s),
+                },
+            })
+            .collect();
+        // Per-slot per-layer latency (∞ where unsupported), for the
+        // pruning lower bound.
+        let lat: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|row| match row {
+                Row::Plain { pm, un } => (0..n)
+                    .map(|i| {
+                        if un[i + 1] - un[i] > 0 {
+                            f64::INFINITY
+                        } else {
+                            pm[i + 1] - pm[i]
+                        }
+                    })
+                    .collect(),
+                Row::Fallback { lp, .. } => (0..n).map(|i| lp[i + 1] - lp[i]).collect(),
+            })
+            .collect();
+
+        let mut best: Option<(Vec<usize>, Vec<usize>, f64)> = None; // (slots, splits, ms)
+        for mask in 1u32..(1 << k_slots) {
+            let slots: Vec<usize> = (0..k_slots).filter(|&s| mask & (1 << s) != 0).collect();
+            if slots.len() > n {
+                continue;
+            }
+            // Exact lower bound on this subset's optimal makespan: every
+            // layer costs at least its cheapest active slot, stage costs
+            // only add copies on top, and the max stage is at least both
+            // the largest single layer and the average share of the
+            // total. Pruning on it can never drop a subset that would
+            // have won under the strict `+1e-12` improvement rule.
+            let mut mins = vec![f64::INFINITY; n];
+            for &s in &slots {
+                for (m, &v) in mins.iter_mut().zip(&lat[s]) {
+                    *m = m.min(v);
+                }
+            }
+            if mins.iter().any(|m| !m.is_finite()) {
+                continue; // some layer runs on no active slot: the DP
+                          // could not have found a partition either
+            }
+            let sum: f64 = mins.iter().sum();
+            let max_single = mins.iter().copied().fold(0.0f64, f64::max);
+            let bound = max_single.max(sum / slots.len() as f64);
+            if let Some((_, _, ms)) = &best {
+                if bound + 1e-12 >= *ms {
+                    continue;
+                }
+            }
+            // Tight oracle over the shared tables; arithmetic matches
+            // `RequestContext::stage_cost` operation for operation.
+            let stage_rows: Vec<&Row> = slots.iter().map(|&s| &rows[s]).collect();
+            let copy_curves: Vec<&[f64]> = std::iter::once(&[] as &[f64])
+                .chain(
+                    slots
+                        .windows(2)
+                        .map(|w| tables.copy_curve(w[0], w[1]).as_slice()),
+                )
+                .collect();
+            let oracle = |a: usize, i: usize, j: usize| -> Option<f64> {
+                let exec = match stage_rows[a] {
+                    Row::Plain { pm, un } => {
+                        if un[j + 1] - un[i] > 0 {
+                            return None;
+                        }
+                        pm[j + 1] - pm[i]
+                    }
+                    Row::Fallback { lp, cp } => lp[j + 1] - lp[i] + cp[j] - cp[i],
+                };
+                let copy = if a == 0 { 0.0 } else { copy_curves[a][i] };
+                Some(exec + copy)
+            };
+            let Some(p) = min_max_partition(n, slots.len(), oracle) else {
+                continue;
+            };
+            if best
+                .as_ref()
+                .is_none_or(|(_, _, ms)| p.makespan_ms + 1e-12 < *ms)
+            {
+                best = Some((slots, p.splits, p.makespan_ms));
+            }
+        }
+        let (slots, splits, ms) = best.ok_or_else(|| PlanError::NoFeasiblePipeline {
+            model: graph.name().to_owned(),
+        })?;
+        Ok((tables.context(slots), splits, ms))
+    }
+
+    /// Step 1 for one request on the cached tables, producing the context,
+    /// the request plan and the tail-collapse candidates.
+    fn prepare_request(
+        &self,
+        idx: usize,
+        graph: &ModelGraph,
+    ) -> Result<PreparedRequest, PlanError> {
+        let procs = self.pipeline_procs();
+        let cost = self.estimator.cost();
+        let k = procs.len();
+        let tables = self.estimator.tables(Arc::new(graph.clone()), &procs);
+        let (ctx, splits, _) = self.plan_request_cached(&tables)?;
+        let stages =
+            ctx.build_stages(cost, &splits, k)
+                .ok_or_else(|| PlanError::NoFeasiblePipeline {
+                    model: graph.name().to_owned(),
+                })?;
+        let (intensity, class) = self.estimator.intensity_and_class(tables.graph());
+        let collapse = if self.config.tail_optimization {
+            worksteal::collapse_candidates(&tables, cost, k)
+        } else {
+            Vec::new()
+        };
+        Ok(PreparedRequest {
+            ctx,
+            plan: RequestPlan {
+                request: idx,
+                model: graph.name().to_owned(),
+                stages,
+                intensity,
+                class,
+            },
+            collapse,
+        })
+    }
+
+    /// Runs the full two-step planning pipeline over `requests` on the
+    /// configured number of worker threads.
     ///
     /// # Errors
     ///
     /// Returns [`PlanError::EmptyRequestSet`] for an empty input and
     /// [`PlanError::NoFeasiblePipeline`] if any model cannot be placed.
     pub fn plan(&self, requests: &[ModelGraph]) -> Result<PlannedPipeline, PlanError> {
+        self.plan_with_threads(requests, self.config.effective_threads())
+    }
+
+    /// [`Planner::plan`] with an explicit worker-thread count. The output
+    /// is bit-identical for every `threads` value (the equivalence the
+    /// proptest suite pins down); only wall-clock time changes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Planner::plan`].
+    pub fn plan_with_threads(
+        &self,
+        requests: &[ModelGraph],
+        threads: usize,
+    ) -> Result<PlannedPipeline, PlanError> {
+        if requests.is_empty() {
+            return Err(PlanError::EmptyRequestSet);
+        }
+        let procs = self.pipeline_procs();
+        let cost = self.estimator.cost();
+        let soc = self.estimator.cost().soc();
+
+        // Step 1: horizontal partitioning, independently per request —
+        // the first parallel loop.
+        let prepared = par::try_map(threads, requests, |idx, graph| {
+            self.prepare_request(idx, graph)
+        })?;
+        let mut plans: Vec<RequestPlan> = Vec::with_capacity(prepared.len());
+        let mut contexts: Vec<RequestContext> = Vec::with_capacity(prepared.len());
+        let mut collapse: Vec<worksteal::CollapseSlots> = Vec::with_capacity(prepared.len());
+        for p in prepared {
+            plans.push(p.plan);
+            contexts.push(p.ctx);
+            collapse.push(p.collapse);
+        }
+
+        // Steps 2+3: contention mitigation over the request order, then
+        // vertical alignment. Both the mitigated and the original order
+        // are assembled and the better estimated makespan wins — the
+        // re-ordering is a heuristic, so the planner checks it paid off.
+        // `assemble` also returns the contention-aware estimate so the
+        // candidate evaluations below are fully independent.
+        let assemble = |ordered: Vec<RequestPlan>| -> (
+            PipelinePlan,
+            Vec<RequestContext>,
+            Option<StealReport>,
+            usize,
+            f64,
+        ) {
+            let mut ctxs = contexts.to_vec();
+            let mut plan = PipelinePlan {
+                procs: procs.clone(),
+                requests: ordered,
+            };
+            let steal = if self.config.work_stealing {
+                Some(worksteal::align_by_stealing(&mut plan, &ctxs, cost))
+            } else {
+                None
+            };
+            let tail = if self.config.tail_optimization {
+                worksteal::optimize_tail_cached(&mut plan, &mut ctxs, &collapse)
+            } else {
+                0
+            };
+            let est = plan.estimated_makespan_contention_ms(soc);
+            (plan, ctxs, steal, tail, est)
+        };
+
+        let mut mitigation = None;
+        let best = if self.config.contention_mitigation && plans.len() > 1 {
+            // Candidate orders, all evaluated with the contention-aware
+            // estimate after the full vertical passes: the arrival order
+            // (the incumbent), the Algorithm-2 mitigation order, plus two
+            // cheap deterministic heuristics (longest-total-first, and a
+            // heavy/light interleave that spreads both load and
+            // contention).
+            let classes: Vec<_> = plans.iter().map(|p| p.class).collect();
+            let outcome = mitigation::mitigate(&classes, procs.len());
+            let mut by_time: Vec<usize> = (0..plans.len()).collect();
+            by_time.sort_by(|&a, &b| {
+                plans[b]
+                    .total_ms()
+                    .total_cmp(&plans[a].total_ms())
+                    .then(a.cmp(&b))
+            });
+            let mut interleave = Vec::with_capacity(plans.len());
+            let (mut lo, mut hi) = (0usize, by_time.len());
+            while lo < hi {
+                interleave.push(by_time[lo]);
+                lo += 1;
+                if lo < hi {
+                    hi -= 1;
+                    interleave.push(by_time[hi]);
+                }
+            }
+            let orders: Vec<(Option<&MitigationOutcome>, Vec<usize>)> = vec![
+                (None, (0..plans.len()).collect()),
+                (Some(&outcome), outcome.order.clone()),
+                (None, by_time),
+                (None, interleave),
+            ];
+            // Second parallel loop: the candidate assemblies (work
+            // stealing + tail search + contention estimate each) are
+            // independent; selection is replayed sequentially below, so
+            // the adopted order and hysteresis behaviour are identical
+            // to a sequential evaluation.
+            let results = par::map(threads, &orders, |_, (_, order)| {
+                let reordered: Vec<RequestPlan> = order
+                    .iter()
+                    .map(|&orig_pos| plans[orig_pos].clone())
+                    .collect();
+                assemble(reordered)
+            });
+            let mut results = results.into_iter();
+            // The cursor hands out every index, so `results` has exactly
+            // `orders.len()` entries; the first is the arrival order.
+            let Some(mut best) = results.next() else {
+                unreachable!("candidate evaluation produced no results")
+            };
+            let mut best_est = best.4;
+            for ((mit, _), candidate) in orders.iter().skip(1).zip(results) {
+                let est = candidate.4;
+                // Hysteresis: a re-ordering must beat the incumbent's
+                // estimate by a clear margin before it is adopted (see
+                // `PlannerConfig::ORDER_HYSTERESIS`).
+                if est < best_est * PlannerConfig::ORDER_HYSTERESIS {
+                    best_est = est;
+                    best = candidate;
+                    mitigation = mit.map(|m| (*m).clone());
+                }
+            }
+            best
+        } else {
+            // Single request or mitigation disabled: one assembly, and
+            // the plans are moved, not cloned.
+            assemble(plans)
+        };
+        let (plan, contexts, steal, tail_merges, _) = best;
+
+        let planned = PlannedPipeline {
+            plan,
+            contexts,
+            mitigation,
+            steal,
+            tail_merges,
+        };
+        // Debug builds statically verify every plan this planner emits; a
+        // lint error here is a planner bug, never an input problem.
+        #[cfg(debug_assertions)]
+        {
+            let diags = planned.lint(self.soc());
+            debug_assert!(
+                diags.is_clean(),
+                "planner produced a plan that fails its own static lint:\n{diags}"
+            );
+        }
+        Ok(planned)
+    }
+
+    /// The frozen sequential reference implementation of
+    /// [`Planner::plan`]: the original clone-per-mask, rebuild-per-stage
+    /// code path, kept verbatim so (a) the equivalence proptest has an
+    /// independently-written oracle and (b) `scripts/bench.sh` can record
+    /// the sequential baseline the parallel runtime's speedup is measured
+    /// against, in the same run. Produces bit-identical plans to
+    /// [`Planner::plan`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Planner::plan`].
+    pub fn plan_reference(&self, requests: &[ModelGraph]) -> Result<PlannedPipeline, PlanError> {
         if requests.is_empty() {
             return Err(PlanError::EmptyRequestSet);
         }
@@ -193,7 +573,7 @@ impl Planner {
         let k = procs.len();
         let cost = self.estimator.cost();
 
-        // Step 1: horizontal partitioning, independently per request.
+        // Step 1: horizontal partitioning, sequentially per request.
         let mut contexts: Vec<RequestContext> = Vec::with_capacity(requests.len());
         let mut plans: Vec<RequestPlan> = Vec::with_capacity(requests.len());
         for (idx, graph) in requests.iter().enumerate() {
@@ -213,10 +593,6 @@ impl Planner {
             contexts.push(ctx);
         }
 
-        // Steps 2+3: contention mitigation over the request order, then
-        // vertical alignment. Both the mitigated and the original order
-        // are assembled and the better estimated makespan wins — the
-        // re-ordering is a heuristic, so the planner checks it paid off.
         let assemble = |ordered: Vec<RequestPlan>,
                         base_ctxs: &[RequestContext]|
          -> (
@@ -243,16 +619,13 @@ impl Planner {
             (plan, ctxs, steal, tail)
         };
 
+        // Part of the frozen reference cost profile: the original code
+        // cloned the SoC here.
         let soc = self.estimator.cost().soc().clone();
         let mut mitigation = None;
         let mut best = assemble(plans.clone(), &contexts);
         let mut best_est = best.0.estimated_makespan_contention_ms(&soc);
         if self.config.contention_mitigation && plans.len() > 1 {
-            // Candidate orders, all evaluated with the contention-aware
-            // estimate after the full vertical passes: the Algorithm-2
-            // mitigation order, plus two cheap deterministic heuristics
-            // (longest-total-first, and a heavy/light interleave that
-            // spreads both load and contention).
             let classes: Vec<_> = plans.iter().map(|p| p.class).collect();
             let outcome = mitigation::mitigate(&classes, k);
             let mut by_time: Vec<usize> = (0..plans.len()).collect();
@@ -284,11 +657,7 @@ impl Planner {
                     .collect();
                 let candidate = assemble(reordered, &contexts);
                 let est = candidate.0.estimated_makespan_contention_ms(&soc);
-                // Hysteresis: a re-ordering must beat the incumbent's
-                // estimate by a clear margin before it is adopted — the
-                // estimate ranks orders well but not perfectly, and
-                // arrival order is the natural default.
-                if est < best_est * 0.97 {
+                if est < best_est * PlannerConfig::ORDER_HYSTERESIS {
                     best_est = est;
                     best = candidate;
                     mitigation = mit.cloned();
@@ -304,11 +673,9 @@ impl Planner {
             steal,
             tail_merges,
         };
-        // Debug builds statically verify every plan this planner emits; a
-        // lint error here is a planner bug, never an input problem.
         #[cfg(debug_assertions)]
         {
-            let diags = planned.lint(&self.soc);
+            let diags = planned.lint(self.soc());
             debug_assert!(
                 diags.is_clean(),
                 "planner produced a plan that fails its own static lint:\n{diags}"
@@ -458,5 +825,69 @@ mod tests {
         let a = p.plan_models(&ids).unwrap();
         let b = p.plan_models(&ids).unwrap();
         assert_eq!(a.plan, b.plan);
+    }
+
+    /// The tentpole contract: the parallel cached path must reproduce the
+    /// frozen sequential reference bit-for-bit, at every thread count.
+    /// (The proptest suite widens this over random workloads.)
+    #[test]
+    fn plan_matches_reference_at_all_thread_counts() {
+        let p = kirin_planner();
+        let workloads: [&[ModelId]; 4] = [
+            &[ModelId::ResNet50],
+            &[ModelId::Bert, ModelId::SqueezeNet, ModelId::Vit],
+            &[
+                ModelId::Vgg16,
+                ModelId::SqueezeNet,
+                ModelId::Bert,
+                ModelId::MobileNetV2,
+                ModelId::ResNet50,
+                ModelId::GoogLeNet,
+            ],
+            &[
+                ModelId::YoloV4,
+                ModelId::AlexNet,
+                ModelId::InceptionV4,
+                ModelId::Vit,
+                ModelId::GoogLeNet,
+            ],
+        ];
+        for ids in workloads {
+            let graphs: Vec<ModelGraph> = ids.iter().map(|m| m.graph()).collect();
+            let reference = p.plan_reference(&graphs).unwrap();
+            for threads in [1usize, 2, 4] {
+                let out = p.plan_with_threads(&graphs, threads).unwrap();
+                assert_eq!(out.plan, reference.plan, "{ids:?} threads={threads}");
+                assert_eq!(
+                    out.plan.estimated_makespan_ms().to_bits(),
+                    reference.plan.estimated_makespan_ms().to_bits(),
+                    "{ids:?} threads={threads}: makespan bits differ"
+                );
+                assert_eq!(out.tail_merges, reference.tail_merges, "{ids:?}");
+                assert_eq!(out.steal, reference.steal, "{ids:?}");
+                assert_eq!(
+                    out.mitigation.is_some(),
+                    reference.mitigation.is_some(),
+                    "{ids:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_ct_also_matches_reference() {
+        let p = Planner::with_config(&SocSpec::kirin_990(), PlannerConfig::no_ct()).unwrap();
+        let graphs: Vec<ModelGraph> = [ModelId::SqueezeNet, ModelId::GoogLeNet, ModelId::Vgg16]
+            .iter()
+            .map(|m| m.graph())
+            .collect();
+        let reference = p.plan_reference(&graphs).unwrap();
+        let out = p.plan_with_threads(&graphs, 4).unwrap();
+        assert_eq!(out.plan, reference.plan);
+    }
+
+    #[test]
+    fn hysteresis_margin_is_the_documented_constant() {
+        assert_eq!(PlannerConfig::ORDER_HYSTERESIS, 0.97);
     }
 }

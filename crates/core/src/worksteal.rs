@@ -23,8 +23,15 @@
 
 use h2p_models::cost::CostModel;
 
-use crate::estimate::{Estimator, RequestContext};
-use crate::plan::PipelinePlan;
+use crate::estimate::{Estimator, RequestContext, RequestTables};
+use crate::plan::{PipelinePlan, StagePlan};
+
+/// Precomputed single-slot collapse candidates for one request: entry
+/// `slot` holds the stages and derived context of running the whole model
+/// alone on that slot, or `None` where the model is infeasible there.
+/// Computed once per request from its shared cost tables (in parallel with
+/// the rest of step 1) and reused across every candidate-order assembly.
+pub type CollapseSlots = Vec<Option<(Vec<Option<StagePlan>>, RequestContext)>>;
 
 /// Outcome statistics of the vertical-alignment passes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -206,6 +213,63 @@ pub fn optimize_tail(
     // keeps the pass monotone.
     let positions: Vec<usize> = (0..m).collect();
     optimize_positions(plan, ctxs, estimator, &positions)
+}
+
+/// Builds the [`CollapseSlots`] for one request from its shared cost
+/// tables: the stages and context of collapsing onto each single slot.
+/// The candidates are exactly what [`optimize_tail`]'s inner loop would
+/// rebuild per position — but computed once, from the cached tables.
+pub fn collapse_candidates(
+    tables: &RequestTables,
+    cost: &CostModel,
+    total_slots: usize,
+) -> CollapseSlots {
+    (0..total_slots)
+        .map(|slot| {
+            let ctx = tables.context(vec![slot]);
+            let stages = ctx.build_stages(cost, &[], total_slots)?;
+            Some((stages, ctx))
+        })
+        .collect()
+}
+
+/// The cached equivalent of [`optimize_tail`]: the same K-way
+/// single-processor local search with the same visit order and the same
+/// guarded accept (`makespan + 1e-9 < best`), but reading precomputed
+/// [`CollapseSlots`] (indexed by *original* request index) instead of
+/// rebuilding a context per `(position, slot)` pair, and evaluating each
+/// candidate with the allocation-free
+/// [`PipelinePlan::estimated_makespan_ms_substituting`]. Bit-identical
+/// merge decisions to the reference.
+pub fn optimize_tail_cached(
+    plan: &mut PipelinePlan,
+    ctxs: &mut [RequestContext],
+    collapse: &[CollapseSlots],
+) -> usize {
+    let k = plan.depth();
+    let m = plan.requests.len();
+    if m == 0 || k < 2 {
+        return 0;
+    }
+    let mut merges = 0usize;
+    for pos in 0..m {
+        let orig = plan.requests[pos].request;
+        let mut best_makespan = plan.estimated_makespan_ms();
+        let mut best: Option<&(Vec<Option<StagePlan>>, RequestContext)> = None;
+        for candidate in collapse[orig].iter().flatten() {
+            let makespan = plan.estimated_makespan_ms_substituting(pos, &candidate.0);
+            if makespan + 1e-9 < best_makespan {
+                best_makespan = makespan;
+                best = Some(candidate);
+            }
+        }
+        if let Some((stages, ctx)) = best {
+            plan.requests[pos].stages = stages.clone();
+            ctxs[orig] = ctx.clone();
+            merges += 1;
+        }
+    }
+    merges
 }
 
 /// The K-way single-processor collapse search over the given positions.

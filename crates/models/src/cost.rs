@@ -396,6 +396,22 @@ impl CostTable {
     pub fn boundary_bytes(&self, i: usize) -> u64 {
         self.boundary_bytes[i]
     }
+
+    /// The raw latency prefix sums of `slot` (`prefix_row(s)[i]` = total
+    /// latency of layers `0..i`). Exposed so tight planning loops can
+    /// evaluate slice costs without per-query bounds checks; the slice
+    /// `[i, j]` costs `prefix_row(s)[j + 1] - prefix_row(s)[i]`, exactly
+    /// as [`CostTable::slice_ms`] computes it.
+    pub fn prefix_row(&self, slot: usize) -> &[f64] {
+        &self.prefix_ms[slot]
+    }
+
+    /// The running unsupported-layer counts of `slot`, aligned with
+    /// [`CostTable::prefix_row`]: slice `[i, j]` is feasible iff
+    /// `unsupported_row(s)[j + 1] - unsupported_row(s)[i] == 0`.
+    pub fn unsupported_row(&self, slot: usize) -> &[u32] {
+        &self.unsupported[slot]
+    }
 }
 
 #[cfg(test)]

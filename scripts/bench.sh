@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the planner perf-trajectory suite and writes BENCH_planner.json at
+# the workspace root (median ns/iter per case, thread counts, and the
+# parallel-vs-sequential speedup measured in the same run).
+#
+#   scripts/bench.sh           # full sampling (local profiling)
+#   scripts/bench.sh --quick   # shrunk sampling (CI; finishes in seconds)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+export H2P_BENCH_OUT="$PWD/BENCH_planner.json"
+if [ "$QUICK" = "1" ]; then
+    export H2P_BENCH_QUICK=1
+    echo "== planner_scaling bench (quick mode) -> $H2P_BENCH_OUT"
+else
+    unset H2P_BENCH_QUICK || true
+    echo "== planner_scaling bench (full sampling) -> $H2P_BENCH_OUT"
+fi
+
+cargo bench -p h2p-bench --bench planner_scaling
+
+echo "== validating $H2P_BENCH_OUT"
+cargo run --release -q -p h2p-bench --bin bench_check -- "$H2P_BENCH_OUT"

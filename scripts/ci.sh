@@ -31,4 +31,22 @@ for class in drop-layer duplicate-slot bad-proc inflate-makespan; do
     fi
 done
 
+echo "== h2p trace --audit (baselines included)"
+# Every scheme lowers through Scheme::lower -> LoweredPlan, so the
+# post-execution trace audit gates the baselines too.
+for scheme in mnn pipeit band dart noct h2p; do
+    $H2P trace --scheme "$scheme" --audit bert yolov4 mobilenetv2 > /dev/null
+done
+# The corrupted-trace demo must still fail the audit.
+if $H2P trace --audit --corrupt bert > /dev/null 2>&1; then
+    echo "trace audit MISSED a corrupted trace" >&2
+    exit 1
+fi
+
+echo "== planner bench (quick) + BENCH_planner.json gate"
+# Runs the perf-trajectory suite, validates the JSON schema, and fails
+# if the parallel planner is slower than the sequential reference on the
+# 8-request workload (bench_check's default gate).
+scripts/bench.sh --quick
+
 echo "CI gate passed."

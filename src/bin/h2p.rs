@@ -4,9 +4,11 @@
 //! h2p socs                               # list SoC presets
 //! h2p zoo                                # list zoo models
 //! h2p plan  --soc kirin990 bert yolov4   # print a pipeline plan
+//! h2p plan  --threads 4 bert yolov4      # explicit planner threads
 //! h2p run   --soc sd870 --scheme band resnet50 vit squeezenet
 //! h2p gantt --soc kirin990 bert mobilenetv2 resnet50
 //! h2p trace --soc kirin990 --audit bert resnet50
+//! h2p trace --scheme band --audit bert   # audit a baseline's trace
 //! h2p trace --audit --corrupt bert       # exits nonzero (audit demo)
 //! h2p trace --events - mobilenetv2       # JSON-lines event log
 //! h2p lint  --soc kirin990 bert yolov4   # static plan verification
@@ -19,7 +21,6 @@ use h2p_baselines::{pipe_it, Scheme};
 use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::ModelId;
 use h2p_simulator::{audit, SocSpec};
-use hetero2pipe::executor::lower;
 use hetero2pipe::planner::Planner;
 use hetero2pipe::report::{PlanSummary, ReportSummary};
 
@@ -64,7 +65,7 @@ fn parse_scheme(name: &str) -> Option<Scheme> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--audit] [--corrupt] [--events PATH|-] MODEL...\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\ntrace flags:\n  --audit         validate the trace against the simulator contracts;\n                  exit nonzero on any violation\n  --corrupt       deliberately corrupt the trace before auditing (demo)\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan"
+        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--corrupt]\n            [--events PATH|-] MODEL...\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts;\n                  exit nonzero on any violation\n  --corrupt       deliberately corrupt the trace before auditing (demo)\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan"
     );
     std::process::exit(2);
 }
@@ -79,6 +80,7 @@ struct Args {
     json: bool,
     deny_warnings: bool,
     mutation: Option<Mutation>,
+    threads: usize,
 }
 
 /// Parses the common tail of the argument list. `lint` switches
@@ -94,6 +96,7 @@ fn parse_args(rest: &[String], lint: bool) -> Args {
     let mut json = false;
     let mut deny_warnings = false;
     let mut mutation = None;
+    let mut threads = 0usize;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -113,6 +116,13 @@ fn parse_args(rest: &[String], lint: bool) -> Args {
                         eprintln!("unknown scheme");
                         usage()
                     });
+            }
+            "--threads" => {
+                i += 1;
+                threads = rest.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a non-negative integer");
+                    usage()
+                });
             }
             "--audit" => audit = true,
             "--corrupt" if lint => {
@@ -161,6 +171,7 @@ fn parse_args(rest: &[String], lint: bool) -> Args {
         json,
         deny_warnings,
         mutation,
+        threads,
     }
 }
 
@@ -201,9 +212,22 @@ fn main() {
         }
         "plan" => {
             let args = parse_args(&argv[1..], false);
-            let planner = Planner::new(&args.soc).expect("planner");
+            let config = hetero2pipe::planner::PlannerConfig {
+                threads: args.threads,
+                ..hetero2pipe::planner::PlannerConfig::default()
+            };
+            let planner = Planner::with_config(&args.soc, config).expect("planner");
             let planned = planner.plan(&graphs(&args.models)).expect("plan");
-            println!("plan on {}:", args.soc.name);
+            println!(
+                "plan on {} ({} planner thread{}):",
+                args.soc.name,
+                config.effective_threads(),
+                if config.effective_threads() == 1 {
+                    ""
+                } else {
+                    "s"
+                }
+            );
             print!("{}", PlanSummary::new(&planned.plan, &args.soc));
         }
         "run" => {
@@ -234,9 +258,13 @@ fn main() {
         }
         "trace" => {
             let args = parse_args(&argv[1..], false);
-            let planner = Planner::new(&args.soc).expect("planner");
-            let planned = planner.plan(&graphs(&args.models)).expect("plan");
-            let lowered = lower(&planned.plan, &args.soc).expect("lower");
+            // Every scheme lowers through `Scheme::lower -> LoweredPlan`,
+            // so the trace-audit gate covers the baselines too, not just
+            // the Hetero²Pipe planner.
+            let lowered = args
+                .scheme
+                .lower(&args.soc, &graphs(&args.models))
+                .expect("lower");
             let tasks = lowered.simulation().tasks().to_vec();
             let (mut report, events) = lowered.execute_logged().expect("execute");
 

@@ -1,0 +1,121 @@
+//! The parallel planning runtime's determinism contract, property-tested:
+//! for random workloads, [`Planner::plan_with_threads`] must produce a
+//! `PlannedPipeline` **bit-identical** to the frozen sequential reference
+//! ([`Planner::plan_reference`]) at every thread count — same splits,
+//! same request order, same makespan bits — and the windowed
+//! [`OnlinePlanner`] must be equally thread-count invariant.
+
+use proptest::prelude::*;
+
+use h2p_models::graph::ModelGraph;
+use h2p_models::zoo::ModelId;
+use h2p_simulator::SocSpec;
+use hetero2pipe::online::OnlinePlanner;
+use hetero2pipe::planner::{Planner, PlannerConfig};
+
+/// Deterministically picks `m` zoo models from `seed` (an LCG, as in the
+/// other proptest suites, so failures replay exactly).
+fn pick_workload(seed: u64, m: usize) -> Vec<ModelGraph> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as usize
+    };
+    (0..m)
+        .map(|_| ModelId::ALL[next() % ModelId::ALL.len()].graph())
+        .collect()
+}
+
+fn pick_soc(seed: u64) -> SocSpec {
+    // Cover both an NPU SoC (operator fallback paths) and a CPU/GPU-only
+    // one (no fallback slot at all).
+    if seed.is_multiple_of(2) {
+        SocSpec::kirin_990()
+    } else {
+        SocSpec::snapdragon_870()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Offline planning: parallel (threads 1/2/4) == sequential reference,
+    /// bit for bit.
+    #[test]
+    fn parallel_planning_matches_sequential_reference(
+        m in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let soc = pick_soc(seed);
+        let graphs = pick_workload(seed, m);
+        let planner = Planner::new(&soc).expect("planner");
+        let reference = planner.plan_reference(&graphs).expect("reference plan");
+        for threads in [1usize, 2, 4] {
+            let out = planner.plan_with_threads(&graphs, threads).expect("plan");
+            // Identical splits, processors, order, stage times.
+            prop_assert_eq!(&out.plan, &reference.plan, "threads={}", threads);
+            // Identical makespan down to the last bit.
+            prop_assert_eq!(
+                out.plan.estimated_makespan_ms().to_bits(),
+                reference.plan.estimated_makespan_ms().to_bits(),
+                "threads={}", threads
+            );
+            prop_assert_eq!(
+                out.plan.estimated_makespan_contention_ms(&soc).to_bits(),
+                reference.plan.estimated_makespan_contention_ms(&soc).to_bits(),
+                "threads={}", threads
+            );
+            // Identical pass outcomes.
+            prop_assert_eq!(out.tail_merges, reference.tail_merges);
+            prop_assert_eq!(out.steal, reference.steal);
+            prop_assert_eq!(
+                out.mitigation.is_some(),
+                reference.mitigation.is_some()
+            );
+        }
+    }
+
+    /// The "No C/T" ablation configuration obeys the same contract (it
+    /// exercises the single-assembly move path).
+    #[test]
+    fn no_ct_parallel_matches_reference(
+        m in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let soc = pick_soc(seed);
+        let graphs = pick_workload(seed, m);
+        let planner = Planner::with_config(&soc, PlannerConfig::no_ct()).expect("planner");
+        let reference = planner.plan_reference(&graphs).expect("reference plan");
+        for threads in [1usize, 2, 4] {
+            let out = planner.plan_with_threads(&graphs, threads).expect("plan");
+            prop_assert_eq!(&out.plan, &reference.plan, "threads={}", threads);
+        }
+    }
+
+    /// Online windowed planning is thread-count invariant: the combined
+    /// plan from a 1-thread planner equals the one from a 4-thread
+    /// planner (windows fan out in parallel in the latter).
+    #[test]
+    fn online_windows_are_thread_count_invariant(
+        m in 2usize..8,
+        window in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let soc = pick_soc(seed);
+        let graphs = pick_workload(seed, m);
+        let mut plans = Vec::new();
+        for threads in [1usize, 4] {
+            let config = PlannerConfig { threads, ..PlannerConfig::default() };
+            let planner = Planner::with_config(&soc, config).expect("planner");
+            let online = OnlinePlanner::new(planner, window);
+            plans.push(online.plan(&graphs).expect("online plan"));
+        }
+        let (a, b) = (&plans[0], &plans[1]);
+        prop_assert_eq!(&a.plan, &b.plan);
+        prop_assert_eq!(
+            a.plan.estimated_makespan_ms().to_bits(),
+            b.plan.estimated_makespan_ms().to_bits()
+        );
+        prop_assert_eq!(a.tail_merges, b.tail_merges);
+    }
+}

@@ -3,15 +3,82 @@
 //! Exposes the `criterion` API surface this workspace's benches use
 //! (`Criterion`, `benchmark_group`, `BenchmarkId`, `bench_with_input`,
 //! `bench_function`, `criterion_group!`, `criterion_main!`) with a
-//! simple wall-clock timing loop: warm-up, then timed batches, printing
-//! mean time per iteration. No statistics, plots or comparisons — just
-//! enough to run `cargo bench` offline and eyeball relative costs.
+//! sampled wall-clock timing loop: calibrate an iteration count, time a
+//! fixed number of samples, and report the **median** time per iteration
+//! (robust to scheduler noise, which matters on busy CI hosts). No plots
+//! or comparisons — just enough to run `cargo bench` offline and track a
+//! perf trajectory.
+//!
+//! Two extensions over the classic facade, used by the planner bench
+//! harness (`crates/bench/benches/planner_scaling.rs`):
+//!
+//! * **Quick mode** — setting `H2P_BENCH_QUICK=1` shrinks the per-sample
+//!   time budget and sample count so the whole suite finishes in seconds
+//!   (CI runs it on every push; the full run stays for local profiling).
+//! * **Results registry** — every finished benchmark is recorded in a
+//!   process-global list; [`take_results`] drains it so a bench `main`
+//!   can serialize the measurements (e.g. to `BENCH_planner.json`)
+//!   after running its groups.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from discarding a benchmarked value.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// One finished benchmark's summary statistics, in nanoseconds per
+/// iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function/param`).
+    pub name: String,
+    /// Median over the timed samples.
+    pub median_ns: f64,
+    /// Mean over the timed samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Iterations per sample (after calibration).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+fn push_result(r: BenchResult) {
+    let mut guard = match RESULTS.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard.push(r);
+}
+
+/// Drains and returns every benchmark result recorded so far, in run
+/// order. Call after running all groups to serialize the measurements.
+pub fn take_results() -> Vec<BenchResult> {
+    let mut guard = match RESULTS.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    std::mem::take(&mut *guard)
+}
+
+/// Whether quick mode is active (`H2P_BENCH_QUICK` set to anything but
+/// `0` or empty).
+pub fn quick_mode() -> bool {
+    std::env::var("H2P_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// `(per-sample time budget, sample count)` for the active mode.
+fn sample_plan() -> (Duration, usize) {
+    if quick_mode() {
+        (Duration::from_millis(10), 5)
+    } else {
+        (Duration::from_millis(50), 11)
+    }
 }
 
 /// Identifier of one benchmark within a group.
@@ -38,37 +105,79 @@ impl BenchmarkId {
 
 /// Timing loop handle passed to benchmark closures.
 pub struct Bencher {
-    iters_done: u64,
-    elapsed: Duration,
+    iters_per_sample: u64,
+    sample_ns: Vec<f64>,
 }
 
 impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters_per_sample: 0,
+            sample_ns: Vec::new(),
+        }
+    }
+
     /// Times `routine`, discarding its output via [`black_box`].
+    ///
+    /// Calibrates an iteration count whose batch runs at least the
+    /// per-sample budget, then times a fixed number of such batches and
+    /// records each batch's per-iteration time as one sample.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up and calibration: find an iteration count that runs
-        // long enough to time meaningfully, capped for slow routines.
+        let (budget, samples) = sample_plan();
+        // Calibration: double until one batch fills the budget (the
+        // calibration batches double as warm-up).
         let mut n: u64 = 1;
         loop {
             let start = Instant::now();
             for _ in 0..n {
                 black_box(routine());
             }
-            let elapsed = start.elapsed();
-            if elapsed > Duration::from_millis(200) || n >= 1 << 20 {
-                self.iters_done = n;
-                self.elapsed = elapsed;
-                return;
+            if start.elapsed() >= budget || n >= 1 << 22 {
+                break;
             }
             n *= 2;
         }
+        self.iters_per_sample = n;
+        self.sample_ns = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                start.elapsed().as_secs_f64() * 1e9 / n as f64
+            })
+            .collect();
+    }
+
+    fn result(&self, name: &str) -> Option<BenchResult> {
+        if self.sample_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.sample_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        let median_ns = if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        };
+        let mean_ns = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(BenchResult {
+            name: name.to_owned(),
+            median_ns,
+            mean_ns,
+            min_ns: sorted[0],
+            iters_per_sample: self.iters_per_sample,
+            samples: sorted.len(),
+        })
     }
 }
 
 fn report(name: &str, b: &Bencher) {
-    if b.iters_done == 0 {
+    let Some(result) = b.result(name) else {
         return;
-    }
-    let per_iter = b.elapsed.as_secs_f64() / b.iters_done as f64;
+    };
+    let per_iter = result.median_ns / 1e9;
     let (value, unit) = if per_iter >= 1e-3 {
         (per_iter * 1e3, "ms")
     } else if per_iter >= 1e-6 {
@@ -77,9 +186,10 @@ fn report(name: &str, b: &Bencher) {
         (per_iter * 1e9, "ns")
     };
     println!(
-        "{name:<48} {value:>10.3} {unit}/iter ({} iters)",
-        b.iters_done
+        "{name:<48} {value:>10.3} {unit}/iter (median of {} × {} iters)",
+        result.samples, result.iters_per_sample
     );
+    push_result(result);
 }
 
 /// A named group of related benchmarks.
@@ -94,10 +204,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher {
-            iters_done: 0,
-            elapsed: Duration::ZERO,
-        };
+        let mut b = Bencher::new();
         f(&mut b, input);
         report(&format!("{}/{}", self.name, id.name), &b);
     }
@@ -121,10 +228,7 @@ impl Criterion {
 
     /// Runs one standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
-        let mut b = Bencher {
-            iters_done: 0,
-            elapsed: Duration::ZERO,
-        };
+        let mut b = Bencher::new();
         f(&mut b);
         report(name, &b);
     }
@@ -149,4 +253,35 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples_and_median() {
+        let mut b = Bencher::new();
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        let r = b.result("toy").expect("samples recorded");
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.iters_per_sample >= 1);
+        assert!(r.samples >= 5);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        push_result(BenchResult {
+            name: "registry/probe".to_owned(),
+            median_ns: 1.0,
+            mean_ns: 1.0,
+            min_ns: 1.0,
+            iters_per_sample: 1,
+            samples: 1,
+        });
+        let drained = take_results();
+        assert!(drained.iter().any(|r| r.name == "registry/probe"));
+        assert!(!take_results().iter().any(|r| r.name == "registry/probe"));
+    }
 }
