@@ -176,25 +176,90 @@ impl LoweredPlan {
 
     /// Runs the simulation and additionally returns the engine's
     /// structured event log ([`EngineEvent`]s in simulation-time order).
-    /// No audit is performed — callers that want one (possibly after
-    /// corrupting the trace on purpose) run [`h2p_simulator::audit::audit`]
-    /// themselves against [`LoweredPlan::simulation`]'s task specs.
+    ///
+    /// In debug builds the task graph is linted first and the finished
+    /// trace must pass the *reconciled* audit
+    /// ([`h2p_simulator::audit::audit_with_events`]), which replays the
+    /// logged piecewise interference rates — strictly stronger than the
+    /// envelope-only audit [`LoweredPlan::execute`] runs. Callers that
+    /// audit a deliberately corrupted trace (`h2p trace --corrupt`) do so
+    /// on their own copy afterwards. When the `H2P_CHROME_TRACE`
+    /// environment variable names a path, the run's Chrome Trace JSON is
+    /// additionally written there (best-effort: a write failure is
+    /// reported on stderr, never fails the run).
     ///
     /// # Errors
     ///
     /// Returns [`PlanError::Simulation`] if the task graph is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the trace fails the reconciled audit — that
+    /// is a simulator bug, never a planner input problem.
     pub fn execute_logged(self) -> Result<(ExecutionReport, Vec<EngineEvent>), PlanError> {
+        #[cfg(debug_assertions)]
+        {
+            let diags = self.lint();
+            debug_assert!(
+                diags.is_clean(),
+                "lowered task graph fails its static lint:\n{diags}"
+            );
+        }
         let LoweredPlan {
             sim,
             final_task,
             executed_requests,
         } = self;
+        let dump_path = std::env::var_os("H2P_CHROME_TRACE");
+        let needs_specs = cfg!(debug_assertions) || dump_path.is_some();
+        let specs = needs_specs.then(|| (sim.soc().clone(), sim.tasks().to_vec()));
         let (trace, events) = sim.run_with_events().map_err(PlanError::Simulation)?;
+        #[cfg(debug_assertions)]
+        if let Some((soc, tasks)) = &specs {
+            h2p_simulator::audit::assert_clean_with_events(soc, tasks, &events, &trace);
+        }
+        if let (Some(path), Some((soc, tasks))) = (dump_path, &specs) {
+            let doc = h2p_simulator::export::chrome_trace(soc, tasks, &events);
+            if let Err(err) = std::fs::write(&path, doc.to_json()) {
+                eprintln!(
+                    "h2p: failed to write H2P_CHROME_TRACE {}: {err}",
+                    std::path::Path::new(&path).display()
+                );
+            }
+        }
         Ok((
             assemble_report(trace, &final_task, executed_requests),
             events,
         ))
     }
+}
+
+/// Groups a trace's spans by originating request, parsed from the
+/// lowering labels (`{model}#{request}@s{slot}` and
+/// `{model}#{request}@s{slot}r{run}`). Entry `i` is the `(start, end)`
+/// envelope over request `i`'s spans — the async request slice the
+/// chrome exporter draws — or `None` for indices the trace never
+/// mentions (and for spans with foreign labels).
+pub fn request_slices(trace: &Trace) -> Vec<Option<(f64, f64)>> {
+    let parse = |label: &str| -> Option<usize> {
+        let (_, rest) = label.rsplit_once('#')?;
+        let (req, _) = rest.split_once('@')?;
+        req.parse().ok()
+    };
+    let mut out: Vec<Option<(f64, f64)>> = Vec::new();
+    for span in &trace.spans {
+        let Some(r) = parse(&span.label) else {
+            continue;
+        };
+        if out.len() <= r {
+            out.resize(r + 1, None);
+        }
+        out[r] = Some(match out[r] {
+            None => (span.start_ms, span.end_ms),
+            Some((s, e)) => (s.min(span.start_ms), e.max(span.end_ms)),
+        });
+    }
+    out
 }
 
 /// Lowers `plan` onto a fresh simulation of `soc` without running it.
@@ -560,6 +625,26 @@ mod tests {
             audit.is_clean(),
             "planned workload must audit clean:\n{audit}"
         );
+    }
+
+    #[test]
+    fn request_slices_envelope_every_request() {
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let planned = planner
+            .plan_models(&[ModelId::MobileNetV2, ModelId::SqueezeNet, ModelId::Bert])
+            .unwrap();
+        let r = planned.execute(&soc).unwrap();
+        let slices = request_slices(&r.trace);
+        assert_eq!(slices.len(), 3);
+        for (i, slice) in slices.iter().enumerate() {
+            let (start, end) = slice.expect("every request has spans");
+            assert!(start < end, "request {i}");
+            assert!(
+                (end - r.request_latency_ms[i]).abs() < 1e-9,
+                "request {i} envelope ends at its completion time"
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,19 @@ pub struct Assignment {
     pub total_cost: f64,
 }
 
+/// Work counters from one [`solve_with_stats`] call, independent of
+/// whether the instance turned out feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LapStats {
+    /// Number of rows in the cost matrix.
+    pub rows: usize,
+    /// Number of columns in the cost matrix.
+    pub cols: usize,
+    /// Shortest-augmenting-path relaxation steps performed (each step
+    /// scans all unvisited columns, so work ≈ `augment_steps × cols`).
+    pub augment_steps: usize,
+}
+
 /// Solves the rectangular LAP `min Σ c[r][assign(r)]` with every row
 /// assigned to a distinct column. Requires `rows ≤ cols`; entries may be
 /// `f64::INFINITY` to forbid a pairing.
@@ -32,20 +45,32 @@ pub struct Assignment {
 /// assert_eq!(a.row_to_col, vec![1, 0, 2]);
 /// ```
 pub fn solve(cost: &[Vec<f64>]) -> Option<Assignment> {
+    solve_with_stats(cost).0
+}
+
+/// Like [`solve`], but also reports how much work the solver did — the
+/// stats are meaningful even when the instance is rejected or
+/// infeasible (they cover the steps taken before bailing out).
+pub fn solve_with_stats(cost: &[Vec<f64>]) -> (Option<Assignment>, LapStats) {
     let n = cost.len();
+    let mut stats = LapStats {
+        rows: n,
+        cols: cost.first().map_or(0, Vec::len),
+        augment_steps: 0,
+    };
     if n == 0 {
-        return None;
+        return (None, stats);
     }
     let m = cost[0].len();
     if m < n || cost.iter().any(|row| row.len() != m) {
-        return None;
+        return (None, stats);
     }
     // Reject NaN and any cost below the rounding tolerance. `-∞` must be
     // caught here too: it satisfies `c < -1e-12` but is *not* finite, so
     // any "negative and finite" phrasing would wave it through into the
     // potential updates below, where it poisons every delta.
     if cost.iter().flatten().any(|&c| c.is_nan() || c < -1e-12) {
-        return None;
+        return (None, stats);
     }
 
     // Shortest-augmenting-path Hungarian with potentials, 1-indexed
@@ -63,6 +88,7 @@ pub fn solve(cost: &[Vec<f64>]) -> Option<Assignment> {
         let mut used = vec![false; m + 1];
         let mut way = vec![0usize; m + 1];
         loop {
+            stats.augment_steps += 1;
             used[j0] = true;
             let i0 = p[j0];
             let mut delta = INF;
@@ -83,7 +109,7 @@ pub fn solve(cost: &[Vec<f64>]) -> Option<Assignment> {
             }
             if !delta.is_finite() {
                 // No augmenting path with finite cost: infeasible.
-                return None;
+                return (None, stats);
             }
             for j in 0..=m {
                 if used[j] {
@@ -116,7 +142,7 @@ pub fn solve(cost: &[Vec<f64>]) -> Option<Assignment> {
         }
     }
     if row_to_col.contains(&usize::MAX) {
-        return None;
+        return (None, stats);
     }
     // Every *individual* assigned cell must be finite, not just the sum.
     // A sum-only check can be fooled by cancelling infinities, and its
@@ -125,17 +151,20 @@ pub fn solve(cost: &[Vec<f64>]) -> Option<Assignment> {
     let mut total_cost = 0.0f64;
     for (r, &c) in row_to_col.iter().enumerate() {
         if !cost[r][c].is_finite() {
-            return None;
+            return (None, stats);
         }
         total_cost += cost[r][c];
     }
     if !total_cost.is_finite() {
-        return None;
+        return (None, stats);
     }
-    Some(Assignment {
-        row_to_col,
-        total_cost,
-    })
+    (
+        Some(Assignment {
+            row_to_col,
+            total_cost,
+        }),
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -326,6 +355,25 @@ mod tests {
             assert!(cost[r][c].is_finite(), "row {r} got forbidden column {c}");
         }
         assert_eq!(a.row_to_col[0], 1);
+    }
+
+    #[test]
+    fn stats_count_augmenting_work() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let (a, stats) = solve_with_stats(&cost);
+        assert_eq!(a, solve(&cost));
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.cols, 3);
+        // Every row augmentation takes at least one relaxation step.
+        assert!(stats.augment_steps >= 3, "{stats:?}");
+        // Rejected inputs still report their shape, with zero steps.
+        let (none, stats) = solve_with_stats(&[vec![f64::NAN]]);
+        assert!(none.is_none());
+        assert_eq!((stats.rows, stats.cols, stats.augment_steps), (1, 1, 0));
     }
 
     #[test]

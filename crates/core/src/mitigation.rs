@@ -16,6 +16,7 @@
 //! [`crate::lap`].
 
 use h2p_contention::ContentionClass;
+use h2p_telemetry::MetricsRegistry;
 
 use crate::lap;
 
@@ -101,7 +102,37 @@ pub fn overlap_windows(classes: &[ContentionClass], window: usize) -> usize {
 ///
 /// Panics if `window == 0`.
 pub fn mitigate(classes: &[ContentionClass], window: usize) -> MitigationOutcome {
+    mitigate_instrumented(classes, window, None)
+}
+
+/// [`mitigate`] with optional telemetry: when `metrics` is given,
+/// records `mitigation.passes` / `conflicts` / `moves` / `unresolved`
+/// counters, the cumulative `mitigation.displacement_cost` gauge, and
+/// the underlying `lap.solves` / `lap.augment_steps` work counters.
+/// The returned outcome is identical to [`mitigate`]'s — telemetry
+/// observes the pass, it never alters it.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn mitigate_instrumented(
+    classes: &[ContentionClass],
+    window: usize,
+    metrics: Option<&MetricsRegistry>,
+) -> MitigationOutcome {
     assert!(window > 0, "contention window must be positive");
+    if let Some(m) = metrics {
+        m.inc("mitigation.passes");
+    }
+    let record = |out: &MitigationOutcome| {
+        if let Some(m) = metrics {
+            m.add("mitigation.moves", out.moves as u64);
+            m.gauge_add("mitigation.displacement_cost", out.displacement_cost);
+            if !out.resolved {
+                m.inc("mitigation.unresolved");
+            }
+        }
+    };
     let n = classes.len();
     let mut order: Vec<usize> = (0..n).collect();
     let mut cls: Vec<ContentionClass> = classes.to_vec();
@@ -113,13 +144,18 @@ pub fn mitigate(classes: &[ContentionClass], window: usize) -> MitigationOutcome
     let max_iters = 4 * n.max(1);
     for _ in 0..max_iters {
         let Some((u, v)) = first_conflict(&cls, window) else {
-            return MitigationOutcome {
+            let out = MitigationOutcome {
                 order,
                 moves,
                 displacement_cost,
                 resolved: true,
             };
+            record(&out);
+            return out;
         };
+        if let Some(m) = metrics {
+            m.inc("mitigation.conflicts");
+        }
         let need = window - (v - u); // Property 3: K − d relocations.
 
         // Candidate 𝕃 requests (Eq. 10): outside (u, v), and not the
@@ -141,12 +177,14 @@ pub fn mitigate(classes: &[ContentionClass], window: usize) -> MitigationOutcome
             candidates.push(p);
         }
         if candidates.len() < need {
-            return MitigationOutcome {
+            let out = MitigationOutcome {
                 order,
                 moves,
                 displacement_cost,
                 resolved: false,
             };
+            record(&out);
+            return out;
         }
 
         // LAP: rows = insertion slots (right after u), cols = candidates,
@@ -161,13 +199,20 @@ pub fn mitigate(classes: &[ContentionClass], window: usize) -> MitigationOutcome
                     .collect()
             })
             .collect();
-        let Some(assignment) = lap::solve(&cost) else {
-            return MitigationOutcome {
+        let (solved, stats) = lap::solve_with_stats(&cost);
+        if let Some(m) = metrics {
+            m.inc("lap.solves");
+            m.add("lap.augment_steps", stats.augment_steps as u64);
+        }
+        let Some(assignment) = solved else {
+            let out = MitigationOutcome {
                 order,
                 moves,
                 displacement_cost,
                 resolved: false,
             };
+            record(&out);
+            return out;
         };
 
         // Apply the moves: remove the chosen 𝕃 requests, then insert
@@ -201,12 +246,14 @@ pub fn mitigate(classes: &[ContentionClass], window: usize) -> MitigationOutcome
     }
 
     let resolved = !has_conflict(&cls, window);
-    MitigationOutcome {
+    let out = MitigationOutcome {
         order,
         moves,
         displacement_cost,
         resolved,
-    }
+    };
+    record(&out);
+    out
 }
 
 #[cfg(test)]
@@ -320,6 +367,36 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_panics() {
         mitigate(&[L], 0);
+    }
+
+    #[test]
+    fn instrumented_pass_matches_plain_and_counts_work() {
+        let cls = [H, H, L, H, L, L, H, L, L, L];
+        let metrics = MetricsRegistry::new();
+        let instrumented = mitigate_instrumented(&cls, 3, Some(&metrics));
+        assert_eq!(
+            instrumented,
+            mitigate(&cls, 3),
+            "telemetry must not perturb"
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("mitigation.passes"), Some(1));
+        assert!(snap.counter("mitigation.conflicts").unwrap_or(0) >= 1);
+        assert_eq!(
+            snap.counter("mitigation.moves"),
+            Some(instrumented.moves as u64)
+        );
+        assert!(snap.counter("lap.solves").unwrap_or(0) >= 1);
+        assert!(snap.counter("lap.augment_steps").unwrap_or(0) >= 1);
+        assert!(snap.counter("mitigation.unresolved").is_none());
+    }
+
+    #[test]
+    fn instrumented_unresolved_pass_is_counted() {
+        let metrics = MetricsRegistry::new();
+        let out = mitigate_instrumented(&[H, H, H], 2, Some(&metrics));
+        assert!(!out.resolved);
+        assert_eq!(metrics.snapshot().counter("mitigation.unresolved"), Some(1));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! pipeline keeps streaming.
 
 use h2p_models::graph::ModelGraph;
+use h2p_telemetry::span;
 
 use crate::error::PlanError;
 use crate::par;
@@ -64,14 +65,19 @@ impl OnlinePlanner {
         // inner parallelism. Either way each window's plan is bit-identical
         // (the planner's thread-count invariance), and the merge below
         // concatenates windows in arrival order.
+        let telemetry = self.planner.telemetry();
+        span!(telemetry.spans, "online:{}req", requests.len());
         let chunks: Vec<&[ModelGraph]> = requests.chunks(self.window).collect();
+        telemetry.metrics.inc("online.invocations");
+        telemetry.metrics.add("online.windows", chunks.len() as u64);
         let outer_threads = self.planner.config().effective_threads();
         let inner_threads = if chunks.len() > 1 && outer_threads > 1 {
             1
         } else {
             outer_threads
         };
-        let window_plans = par::try_map(outer_threads, &chunks, |_, chunk| {
+        let window_plans = par::try_map(outer_threads, &chunks, |w, chunk| {
+            span!(telemetry.spans, "window:{}", w);
             self.planner.plan_with_threads(chunk, inner_threads)
         })?;
         let mut combined: Option<PlannedPipeline> = None;
@@ -195,6 +201,26 @@ mod tests {
             "online {:.0} vs offline {:.0}",
             online.makespan_ms,
             offline.makespan_ms
+        );
+    }
+
+    #[test]
+    fn online_planning_records_window_metrics() {
+        let soc = SocSpec::kirin_990();
+        let online = OnlinePlanner::new(Planner::new(&soc).unwrap(), 3);
+        let reqs = stream(); // 8 requests → 3 windows of ≤3
+        online.plan(&reqs).unwrap();
+        let snap = online.planner().telemetry().metrics.snapshot();
+        assert_eq!(snap.counter("online.invocations"), Some(1));
+        assert_eq!(snap.counter("online.windows"), Some(3));
+        assert_eq!(snap.counter("planner.plans"), Some(3));
+        let spans = online.planner().telemetry().spans.records();
+        assert_eq!(
+            spans
+                .iter()
+                .filter(|s| s.name.starts_with("window:"))
+                .count(),
+            3
         );
     }
 

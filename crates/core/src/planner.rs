@@ -32,10 +32,12 @@
 //! `scripts/bench.sh`) and as the oracle for the equivalence proptest.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::ModelId;
 use h2p_simulator::soc::SocSpec;
+use h2p_telemetry::{span, Telemetry};
 
 use crate::error::PlanError;
 use crate::estimate::{Estimator, RequestContext, RequestTables};
@@ -126,6 +128,12 @@ pub struct PlannedPipeline {
 pub struct Planner {
     estimator: Estimator,
     config: PlannerConfig,
+    /// Shared telemetry sink. Recording is strictly observational: hot
+    /// loops count locally and flush once per request, and the frozen
+    /// [`Planner::plan_reference`] path stays un-instrumented, so the
+    /// bit-identical-output contract is untouched. Clones of a planner
+    /// share the sink.
+    telemetry: Arc<Telemetry>,
 }
 
 /// Everything step 1 produces for one request, computed independently
@@ -159,7 +167,19 @@ impl Planner {
         Ok(Planner {
             estimator: Estimator::with_precision(soc, config.precision)?,
             config,
+            telemetry: Arc::new(Telemetry::new()),
         })
+    }
+
+    /// The planner's telemetry sink (metrics registry + span recorder).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Replaces the telemetry sink, e.g. to share one registry between
+    /// several planners or with the CLI exporter.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// The SoC this planner targets.
@@ -282,6 +302,12 @@ impl Planner {
             })
             .collect();
 
+        // Telemetry: count locally, flush once at the end — the DP loop
+        // must never contend on the shared registry lock.
+        let mut masks_evaluated = 0u64;
+        let mut masks_pruned = 0u64;
+        let cells = std::cell::Cell::new(0u64);
+
         let mut best: Option<(Vec<usize>, Vec<usize>, f64)> = None; // (slots, splits, ms)
         for mask in 1u32..(1 << k_slots) {
             let slots: Vec<usize> = (0..k_slots).filter(|&s| mask & (1 << s) != 0).collect();
@@ -309,9 +335,11 @@ impl Planner {
             let bound = max_single.max(sum / slots.len() as f64);
             if let Some((_, _, ms)) = &best {
                 if bound + 1e-12 >= *ms {
+                    masks_pruned += 1;
                     continue;
                 }
             }
+            masks_evaluated += 1;
             // Tight oracle over the shared tables; arithmetic matches
             // `RequestContext::stage_cost` operation for operation.
             let stage_rows: Vec<&Row> = slots.iter().map(|&s| &rows[s]).collect();
@@ -323,6 +351,7 @@ impl Planner {
                 )
                 .collect();
             let oracle = |a: usize, i: usize, j: usize| -> Option<f64> {
+                cells.set(cells.get() + 1);
                 let exec = match stage_rows[a] {
                     Row::Plain { pm, un } => {
                         if un[j + 1] - un[i] > 0 {
@@ -345,6 +374,11 @@ impl Planner {
                 best = Some((slots, p.splits, p.makespan_ms));
             }
         }
+        let m = &self.telemetry.metrics;
+        m.add("planner.dp.masks_evaluated", masks_evaluated);
+        m.add("planner.dp.masks_pruned", masks_pruned);
+        m.add("planner.dp.cells", cells.get());
+
         let (slots, splits, ms) = best.ok_or_else(|| PlanError::NoFeasiblePipeline {
             model: graph.name().to_owned(),
         })?;
@@ -358,6 +392,7 @@ impl Planner {
         idx: usize,
         graph: &ModelGraph,
     ) -> Result<PreparedRequest, PlanError> {
+        span!(self.telemetry.spans, "prepare:{}:{}", idx, graph.name());
         let procs = self.pipeline_procs();
         let cost = self.estimator.cost();
         let k = procs.len();
@@ -413,15 +448,25 @@ impl Planner {
         if requests.is_empty() {
             return Err(PlanError::EmptyRequestSet);
         }
+        let total_start = Instant::now();
+        span!(self.telemetry.spans, "plan:{}req", requests.len());
         let procs = self.pipeline_procs();
         let cost = self.estimator.cost();
         let soc = self.estimator.cost().soc();
 
         // Step 1: horizontal partitioning, independently per request —
         // the first parallel loop.
-        let prepared = par::try_map(threads, requests, |idx, graph| {
-            self.prepare_request(idx, graph)
-        })?;
+        let prepare_start = Instant::now();
+        let prepared = {
+            span!(self.telemetry.spans, "prepare");
+            par::try_map(threads, requests, |idx, graph| {
+                self.prepare_request(idx, graph)
+            })?
+        };
+        self.telemetry.metrics.gauge_add(
+            "planner.phase.prepare_ms",
+            prepare_start.elapsed().as_secs_f64() * 1e3,
+        );
         let mut plans: Vec<RequestPlan> = Vec::with_capacity(prepared.len());
         let mut contexts: Vec<RequestContext> = Vec::with_capacity(prepared.len());
         let mut collapse: Vec<worksteal::CollapseSlots> = Vec::with_capacity(prepared.len());
@@ -444,6 +489,7 @@ impl Planner {
             usize,
             f64,
         ) {
+            span!(self.telemetry.spans, "assemble:{}req", ordered.len());
             let mut ctxs = contexts.to_vec();
             let mut plan = PipelinePlan {
                 procs: procs.clone(),
@@ -463,6 +509,7 @@ impl Planner {
             (plan, ctxs, steal, tail, est)
         };
 
+        let assemble_start = Instant::now();
         let mut mitigation = None;
         let best = if self.config.contention_mitigation && plans.len() > 1 {
             // Candidate orders, all evaluated with the contention-aware
@@ -472,7 +519,11 @@ impl Planner {
             // heavy/light interleave that spreads both load and
             // contention).
             let classes: Vec<_> = plans.iter().map(|p| p.class).collect();
-            let outcome = mitigation::mitigate(&classes, procs.len());
+            let outcome = mitigation::mitigate_instrumented(
+                &classes,
+                procs.len(),
+                Some(&self.telemetry.metrics),
+            );
             let mut by_time: Vec<usize> = (0..plans.len()).collect();
             by_time.sort_by(|&a, &b| {
                 plans[b]
@@ -533,6 +584,26 @@ impl Planner {
             assemble(plans)
         };
         let (plan, contexts, steal, tail_merges, _) = best;
+
+        let metrics = &self.telemetry.metrics;
+        metrics.gauge_add(
+            "planner.phase.assemble_ms",
+            assemble_start.elapsed().as_secs_f64() * 1e3,
+        );
+        metrics.inc("planner.plans");
+        metrics.add("planner.requests", requests.len() as u64);
+        metrics.add("planner.tail_merges", tail_merges as u64);
+        if let Some(s) = &steal {
+            metrics.add("planner.steal.windows", s.windows as u64);
+            metrics.add("planner.steal.adjustments", s.adjustments as u64);
+            metrics.gauge_add(
+                "planner.steal.bubbles_removed_ms",
+                (s.bubbles_before_ms - s.bubbles_after_ms).max(0.0),
+            );
+        }
+        let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+        metrics.gauge_add("planner.phase.total_ms", total_ms);
+        metrics.observe("planner.plan_ms", total_ms);
 
         let planned = PlannedPipeline {
             plan,
@@ -889,5 +960,53 @@ mod tests {
     #[test]
     fn hysteresis_margin_is_the_documented_constant() {
         assert_eq!(PlannerConfig::ORDER_HYSTERESIS, 0.97);
+    }
+
+    #[test]
+    fn planning_records_phase_metrics_and_spans() {
+        let p = kirin_planner();
+        let ids = [ModelId::Bert, ModelId::SqueezeNet, ModelId::Vit];
+        p.plan_models(&ids).unwrap();
+        let snap = p.telemetry().metrics.snapshot();
+        assert_eq!(snap.counter("planner.plans"), Some(1));
+        assert_eq!(snap.counter("planner.requests"), Some(ids.len() as u64));
+        assert!(snap.counter("planner.dp.masks_evaluated").unwrap_or(0) > 0);
+        assert!(snap.counter("planner.dp.cells").unwrap_or(0) > 0);
+        assert!(snap.gauge("planner.phase.prepare_ms").unwrap_or(-1.0) >= 0.0);
+        assert!(snap.gauge("planner.phase.assemble_ms").unwrap_or(-1.0) >= 0.0);
+        assert!(snap.gauge("planner.phase.total_ms").unwrap_or(-1.0) >= 0.0);
+        // Mitigation ran instrumented (three requests, mitigation on).
+        assert_eq!(snap.counter("mitigation.passes"), Some(1));
+        // Span tree: one plan root, one prepare phase, one closed span
+        // per request, one assemble per candidate order.
+        let spans = p.telemetry().spans.records();
+        assert!(spans.iter().all(|s| s.is_closed()));
+        assert_eq!(spans.iter().filter(|s| s.name == "plan:3req").count(), 1);
+        assert_eq!(spans.iter().filter(|s| s.name == "prepare").count(), 1);
+        assert_eq!(
+            spans
+                .iter()
+                .filter(|s| s.name.starts_with("prepare:"))
+                .count(),
+            ids.len()
+        );
+        assert!(spans.iter().any(|s| s.name.starts_with("assemble:")));
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_plans() {
+        // A planner that has already recorded telemetry produces the
+        // same plan as a fresh one and as the frozen reference.
+        let warm = kirin_planner();
+        let ids = [ModelId::Vgg16, ModelId::Bert, ModelId::SqueezeNet];
+        let graphs: Vec<ModelGraph> = ids.iter().map(|m| m.graph()).collect();
+        let first = warm.plan(&graphs).unwrap();
+        let second = warm.plan(&graphs).unwrap();
+        assert_eq!(first.plan, second.plan);
+        assert_eq!(first.plan, warm.plan_reference(&graphs).unwrap().plan);
+        assert_eq!(
+            warm.telemetry().metrics.snapshot().counter("planner.plans"),
+            Some(2)
+        );
     }
 }

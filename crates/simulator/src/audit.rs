@@ -35,7 +35,7 @@
 
 use std::fmt;
 
-use crate::engine::TaskSpec;
+use crate::engine::{EngineEvent, TaskSpec};
 use crate::soc::SocSpec;
 use crate::thermal::{ThermalMode, ThermalSpec};
 use crate::timeline::{Span, Trace};
@@ -126,6 +126,66 @@ pub enum Violation {
         /// Description of the inconsistency.
         detail: String,
     },
+    /// The event log itself is malformed (double start, finish without
+    /// start, rate for an idle task, or a task that never finishes).
+    ReplayLog {
+        /// Description of the malformation.
+        detail: String,
+    },
+    /// A span's claimed boundaries disagree with the exact boundaries
+    /// replayed from the event log.
+    ReplaySpan {
+        /// Task id.
+        task: usize,
+        /// The trace's claimed start.
+        claimed_start_ms: f64,
+        /// The trace's claimed end.
+        claimed_end_ms: f64,
+        /// Start replayed from the event log.
+        replayed_start_ms: f64,
+        /// End replayed from the event log.
+        replayed_end_ms: f64,
+    },
+    /// Integrating the piecewise rates over a task's span does not
+    /// accumulate its solo work: the log's rates cannot explain the
+    /// claimed duration.
+    ReplayProgress {
+        /// Task id.
+        task: usize,
+        /// `∫ rate(t) dt` over the replayed span.
+        integrated_ms: f64,
+        /// The task's solo time (the work that must be accumulated).
+        solo_ms: f64,
+    },
+    /// The trace's makespan disagrees with the last finish event.
+    ReplayMakespan {
+        /// The trace's claimed makespan.
+        claimed_ms: f64,
+        /// Latest finish time in the event log.
+        replayed_ms: f64,
+    },
+}
+
+impl Violation {
+    /// The task a violation is anchored to, when it concerns one
+    /// specific task (used to place audit markers on trace timelines).
+    pub fn task(&self) -> Option<usize> {
+        match self {
+            Violation::Overlap { second, .. } => Some(*second),
+            Violation::EarlyStart { task, .. }
+            | Violation::DependencyOrder { task, .. }
+            | Violation::TooFast { task, .. }
+            | Violation::TooSlow { task, .. }
+            | Violation::ReplaySpan { task, .. }
+            | Violation::ReplayProgress { task, .. } => Some(*task),
+            Violation::FifoOrder { later, .. } => Some(*later),
+            Violation::Shape { .. }
+            | Violation::BubbleMismatch { .. }
+            | Violation::MemoryLedger { .. }
+            | Violation::ReplayLog { .. }
+            | Violation::ReplayMakespan { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for Violation {
@@ -190,6 +250,32 @@ impl fmt::Display for Violation {
                 "bubble: trace reports {reported_ms:.6} ms idle but spans account for {recomputed_ms:.6} ms"
             ),
             Violation::MemoryLedger { detail } => write!(f, "memory: {detail}"),
+            Violation::ReplayLog { detail } => write!(f, "replay: {detail}"),
+            Violation::ReplaySpan {
+                task,
+                claimed_start_ms,
+                claimed_end_ms,
+                replayed_start_ms,
+                replayed_end_ms,
+            } => write!(
+                f,
+                "replay: task {task} claims [{claimed_start_ms:.6}, {claimed_end_ms:.6}] ms but the event log replays [{replayed_start_ms:.6}, {replayed_end_ms:.6}] ms"
+            ),
+            Violation::ReplayProgress {
+                task,
+                integrated_ms,
+                solo_ms,
+            } => write!(
+                f,
+                "replay: task {task} accumulates {integrated_ms:.6} ms of solo-equivalent work under the logged rates, but its solo time is {solo_ms:.6} ms"
+            ),
+            Violation::ReplayMakespan {
+                claimed_ms,
+                replayed_ms,
+            } => write!(
+                f,
+                "replay: trace makespan {claimed_ms:.6} ms disagrees with the last logged finish at {replayed_ms:.6} ms"
+            ),
         }
     }
 }
@@ -440,16 +526,17 @@ fn check_fifo(
     }
 }
 
-fn check_duration_bounds(
-    soc: &SocSpec,
-    tasks: &[TaskSpec],
-    trace: &Trace,
-    violations: &mut Vec<Violation>,
-    checks: &mut usize,
-) {
-    // Worst-case rate factors shared by all spans: a processor can be
-    // throttled whenever the thermal model is enabled, and every task
-    // pages whenever the run ever over-committed memory.
+/// The conservative per-task duration ceiling the plain [`audit`]
+/// enforces: `solo · (1 + slow_max) / (thermal_min · mem_min)`, where
+/// `slow_max` sums each other processor's most intense overlapping
+/// span through the coupling matrix. This is a *worst-case envelope* —
+/// it assumes maximal co-execution for the whole span, throttling from
+/// the first instant, and paging whenever the run ever over-committed.
+/// The exact check is [`audit_with_events`], which replays the
+/// piecewise rates from the event log; this bound exists for callers
+/// that only have a trace (and for crafting in-envelope corruptions in
+/// tests).
+pub fn conservative_bound_ms(soc: &SocSpec, tasks: &[TaskSpec], trace: &Trace, task: usize) -> f64 {
     let paged = trace
         .memory
         .iter()
@@ -459,7 +546,47 @@ fn check_duration_bounds(
     } else {
         1.0
     };
+    let spec = &tasks[task];
+    let span = &trace.spans[task];
 
+    // Conservative instantaneous slowdown ceiling: at any moment at
+    // most one task runs per other processor, so the worst case sums
+    // each other processor's most intense overlapping span.
+    let me = &soc.processors[spec.processor.index()];
+    let mut slow_max = 0.0;
+    for (q, other_proc) in soc.processors.iter().enumerate() {
+        if q == spec.processor.index() {
+            continue;
+        }
+        let worst_intensity = trace
+            .spans
+            .iter()
+            .filter(|s| {
+                s.processor.index() == q
+                    && s.start_ms < span.end_ms + TIME_EPS
+                    && s.end_ms > span.start_ms - TIME_EPS
+            })
+            .map(|s| tasks[s.task].intensity.max(0.0))
+            .fold(0.0f64, f64::max);
+        slow_max += soc.coupling.coupling(me, other_proc) * worst_intensity;
+    }
+    slow_max *= spec.sensitivity.max(0.0);
+
+    let thermal_min = if soc.thermal_mode == ThermalMode::Disabled {
+        1.0
+    } else {
+        ThermalSpec::for_kind(me.kind).throttle_factor
+    };
+    spec.solo_ms * (1.0 + slow_max) / (thermal_min * mem_min) + TIME_EPS
+}
+
+fn check_duration_bounds(
+    soc: &SocSpec,
+    tasks: &[TaskSpec],
+    trace: &Trace,
+    violations: &mut Vec<Violation>,
+    checks: &mut usize,
+) {
     for (i, spec) in tasks.iter().enumerate() {
         let span = &trace.spans[i];
         let duration = span.end_ms - span.start_ms;
@@ -473,35 +600,7 @@ fn check_duration_bounds(
             });
         }
 
-        // Conservative instantaneous slowdown ceiling: at any moment at
-        // most one task runs per other processor, so the worst case sums
-        // each other processor's most intense overlapping span.
-        let me = &soc.processors[spec.processor.index()];
-        let mut slow_max = 0.0;
-        for (q, other_proc) in soc.processors.iter().enumerate() {
-            if q == spec.processor.index() {
-                continue;
-            }
-            let worst_intensity = trace
-                .spans
-                .iter()
-                .filter(|s| {
-                    s.processor.index() == q
-                        && s.start_ms < span.end_ms + TIME_EPS
-                        && s.end_ms > span.start_ms - TIME_EPS
-                })
-                .map(|s| tasks[s.task].intensity.max(0.0))
-                .fold(0.0f64, f64::max);
-            slow_max += soc.coupling.coupling(me, other_proc) * worst_intensity;
-        }
-        slow_max *= spec.sensitivity.max(0.0);
-
-        let thermal_min = if soc.thermal_mode == ThermalMode::Disabled {
-            1.0
-        } else {
-            ThermalSpec::for_kind(me.kind).throttle_factor
-        };
-        let bound = spec.solo_ms * (1.0 + slow_max) / (thermal_min * mem_min) + TIME_EPS;
+        let bound = conservative_bound_ms(soc, tasks, trace, i);
         *checks += 1;
         if duration > bound {
             violations.push(Violation::TooSlow {
@@ -600,6 +699,186 @@ fn check_memory(
     }
 }
 
+/// One task's execution reconstructed exactly from the event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedSpan {
+    /// Time of the task's `Start` event.
+    pub start_ms: f64,
+    /// Time of the task's `Finish` event.
+    pub end_ms: f64,
+    /// Solo-equivalent work accumulated by integrating the piecewise
+    /// rates over the span: `∫ rate(t) dt`. For a well-formed log this
+    /// equals the task's solo time (the engine retires a task exactly
+    /// when its remaining solo work reaches zero).
+    pub integrated_ms: f64,
+}
+
+/// Replays the engine's piecewise-constant rates from an event log.
+///
+/// The engine emits a `Rate` event whenever a running task's effective
+/// rate tuple changes (and always at its start, because the
+/// per-processor memo resets on finish), so between consecutive events
+/// every task's rate is exactly constant and the log is sufficient to
+/// reconstruct each span's boundaries *and* the work it accumulated.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found: an
+/// out-of-range task id, a double start, or a rate/finish event for a
+/// task that is not running. Tasks with no `Finish` event replay as
+/// `None`.
+pub fn replay(
+    task_count: usize,
+    events: &[EngineEvent],
+) -> Result<Vec<Option<ReplayedSpan>>, String> {
+    struct Run {
+        start_ms: f64,
+        last_ms: f64,
+        rate: f64,
+        progress: f64,
+    }
+    let mut running: Vec<Option<Run>> = (0..task_count).map(|_| None).collect();
+    let mut out: Vec<Option<ReplayedSpan>> = vec![None; task_count];
+    for ev in events {
+        match ev {
+            EngineEvent::Ready { task, .. } => {
+                if *task >= task_count {
+                    return Err(format!("ready event for unknown task {task}"));
+                }
+            }
+            EngineEvent::Start { time_ms, task, .. } => {
+                let Some(slot) = running.get_mut(*task) else {
+                    return Err(format!("start event for unknown task {task}"));
+                };
+                if slot.is_some() || out[*task].is_some() {
+                    return Err(format!("task {task} started more than once"));
+                }
+                *slot = Some(Run {
+                    start_ms: *time_ms,
+                    last_ms: *time_ms,
+                    rate: 0.0,
+                    progress: 0.0,
+                });
+            }
+            EngineEvent::Rate {
+                time_ms,
+                task,
+                slowdown,
+                thermal_factor,
+                memory_factor,
+                ..
+            } => {
+                let Some(run) = running.get_mut(*task).and_then(Option::as_mut) else {
+                    return Err(format!("rate event for task {task} which is not running"));
+                };
+                run.progress += run.rate * (time_ms - run.last_ms);
+                run.last_ms = *time_ms;
+                run.rate = thermal_factor * memory_factor / (1.0 + slowdown);
+            }
+            EngineEvent::Finish { time_ms, task, .. } => {
+                let Some(run) = running.get_mut(*task).and_then(Option::take) else {
+                    return Err(format!("finish event for task {task} which is not running"));
+                };
+                let progress = run.progress + run.rate * (time_ms - run.last_ms);
+                out[*task] = Some(ReplayedSpan {
+                    start_ms: run.start_ms,
+                    end_ms: *time_ms,
+                    integrated_ms: progress,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn check_replay(
+    tasks: &[TaskSpec],
+    events: &[EngineEvent],
+    trace: &Trace,
+    violations: &mut Vec<Violation>,
+    checks: &mut usize,
+) {
+    let replayed = match replay(tasks.len(), events) {
+        Ok(replayed) => replayed,
+        Err(detail) => {
+            *checks += 1;
+            violations.push(Violation::ReplayLog { detail });
+            return;
+        }
+    };
+    let mut last_finish = 0.0f64;
+    for (i, rep) in replayed.iter().enumerate() {
+        *checks += 1;
+        let Some(rep) = rep else {
+            violations.push(Violation::ReplayLog {
+                detail: format!("task {i} never finished in the event log"),
+            });
+            continue;
+        };
+        last_finish = last_finish.max(rep.end_ms);
+        let span = &trace.spans[i];
+        if (span.start_ms - rep.start_ms).abs() > TIME_EPS
+            || (span.end_ms - rep.end_ms).abs() > TIME_EPS
+        {
+            violations.push(Violation::ReplaySpan {
+                task: i,
+                claimed_start_ms: span.start_ms,
+                claimed_end_ms: span.end_ms,
+                replayed_start_ms: rep.start_ms,
+                replayed_end_ms: rep.end_ms,
+            });
+        }
+        // The engine retires a task when its remaining solo work drops
+        // below its 1e-9 ms epsilon, so the integral must land on the
+        // solo time up to accumulated float error over the event times.
+        *checks += 1;
+        let eps = TIME_EPS * (1.0 + tasks[i].solo_ms);
+        if (rep.integrated_ms - tasks[i].solo_ms).abs() > eps {
+            violations.push(Violation::ReplayProgress {
+                task: i,
+                integrated_ms: rep.integrated_ms,
+                solo_ms: tasks[i].solo_ms,
+            });
+        }
+    }
+    *checks += 1;
+    let claimed = trace.makespan_ms();
+    if (claimed - last_finish).abs() > TIME_EPS {
+        violations.push(Violation::ReplayMakespan {
+            claimed_ms: claimed,
+            replayed_ms: last_finish,
+        });
+    }
+}
+
+/// Audits `trace` as [`audit`] does, then reconciles it exactly against
+/// the engine's event log: span boundaries, accumulated work under the
+/// logged piecewise rates, and the makespan must all match. This
+/// tightens the conservative [`conservative_bound_ms`] envelope to an
+/// exact check — a span stretched anywhere inside the envelope passes
+/// the plain audit but cannot survive replay.
+pub fn audit_with_events(
+    soc: &SocSpec,
+    tasks: &[TaskSpec],
+    events: &[EngineEvent],
+    trace: &Trace,
+) -> AuditReport {
+    let mut report = audit(soc, tasks, trace);
+    // Same bail-out rule as `audit`: replay indexes spans by task id.
+    if trace.spans.len() != tasks.len() || trace.spans.iter().enumerate().any(|(i, s)| s.task != i)
+    {
+        return report;
+    }
+    check_replay(
+        tasks,
+        events,
+        trace,
+        &mut report.violations,
+        &mut report.checks,
+    );
+    report
+}
+
 /// Convenience: audits the trace and panics with the full report if it
 /// is not clean. Used by the executor's debug-build audit gate and by
 /// tests.
@@ -609,6 +888,22 @@ fn check_memory(
 /// Panics if the audit finds any violation.
 pub fn assert_clean(soc: &SocSpec, tasks: &[TaskSpec], trace: &Trace) {
     let report = audit(soc, tasks, trace);
+    assert!(report.is_clean(), "trace audit failed:\n{report}");
+}
+
+/// Like [`assert_clean`], but runs the event-log reconciliation too.
+/// Used by the `execute_logged` debug-build audit gate.
+///
+/// # Panics
+///
+/// Panics if the reconciled audit finds any violation.
+pub fn assert_clean_with_events(
+    soc: &SocSpec,
+    tasks: &[TaskSpec],
+    events: &[EngineEvent],
+    trace: &Trace,
+) {
+    let report = audit_with_events(soc, tasks, events, trace);
     assert!(report.is_clean(), "trace audit failed:\n{report}");
 }
 
@@ -802,6 +1097,166 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, Violation::Shape { .. })));
+    }
+
+    /// The same mixed workload as [`workload`], but run with the event
+    /// log attached.
+    fn logged_workload(soc: &SocSpec) -> (Vec<TaskSpec>, Trace, Vec<crate::engine::EngineEvent>) {
+        let cpu = id(soc, ProcessorKind::CpuBig);
+        let gpu = id(soc, ProcessorKind::Gpu);
+        let npu = id(soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc.clone());
+        let a = sim.add_task(
+            TaskSpec::new("a", npu, 8.0)
+                .intensity(0.6)
+                .footprint(64 << 20)
+                .bandwidth(2.0),
+        );
+        let b = sim.add_task(TaskSpec::new("b", gpu, 6.0).intensity(0.9).after(a));
+        sim.add_task(TaskSpec::new("c", cpu, 5.0).intensity(1.0).after(b));
+        sim.add_task(TaskSpec::new("d", cpu, 4.0).intensity(0.2).release(3.0));
+        sim.add_task(TaskSpec::new("e", npu, 2.0));
+        let tasks = sim.tasks().to_vec();
+        let (trace, events) = sim.run_with_events().expect("runs");
+        (tasks, trace, events)
+    }
+
+    #[test]
+    fn engine_event_logs_reconcile_clean() {
+        let soc = soc();
+        let (tasks, trace, events) = logged_workload(&soc);
+        let report = audit_with_events(&soc, &tasks, &events, &trace);
+        assert!(report.is_clean(), "unexpected violations:\n{report}");
+        // Reconciliation adds checks on top of the plain audit.
+        assert!(report.checks > audit(&soc, &tasks, &trace).checks);
+    }
+
+    #[test]
+    fn replay_integrates_solo_work_exactly() {
+        let soc = soc();
+        let (tasks, _, events) = logged_workload(&soc);
+        let replayed = replay(tasks.len(), &events).expect("well-formed log");
+        for (i, rep) in replayed.iter().enumerate() {
+            let rep = rep.as_ref().expect("all tasks finish");
+            assert!(
+                (rep.integrated_ms - tasks[i].solo_ms).abs() < 1e-6 * (1.0 + tasks[i].solo_ms),
+                "task {i}: integrated {} vs solo {}",
+                rep.integrated_ms,
+                tasks[i].solo_ms
+            );
+        }
+    }
+
+    #[test]
+    fn in_envelope_stretch_passes_plain_audit_but_fails_replay() {
+        let soc = soc();
+        let (tasks, mut trace, events) = logged_workload(&soc);
+        // Stretch the globally last span (no dependents, last on its
+        // processor) to midway between its true duration and the
+        // conservative envelope: invisible to the plain audit, exactly
+        // what the replay reconciliation exists to catch.
+        let last = (0..trace.spans.len())
+            .max_by(|&a, &b| trace.spans[a].end_ms.total_cmp(&trace.spans[b].end_ms))
+            .expect("non-empty");
+        let span = &trace.spans[last];
+        let duration = span.end_ms - span.start_ms;
+        let bound = conservative_bound_ms(&soc, &tasks, &trace, last);
+        assert!(
+            bound > duration + 1e-3,
+            "test needs slack inside the envelope (bound {bound}, duration {duration})"
+        );
+        trace.spans[last].end_ms = trace.spans[last].start_ms + (duration + bound) / 2.0;
+
+        let plain = audit(&soc, &tasks, &trace);
+        assert!(
+            plain.is_clean(),
+            "the stretch must stay inside the conservative envelope:\n{plain}"
+        );
+        let reconciled = audit_with_events(&soc, &tasks, &events, &trace);
+        assert!(reconciled
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReplaySpan { task, .. } if *task == last)));
+        assert!(reconciled
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReplayMakespan { .. })));
+    }
+
+    #[test]
+    fn tampered_rates_fail_progress_reconciliation() {
+        let soc = soc();
+        let (tasks, trace, mut events) = logged_workload(&soc);
+        // Halve the rate a task claims to have run at: its span
+        // boundaries still match, but the integral no longer explains
+        // its solo work.
+        let tampered = events
+            .iter_mut()
+            .find_map(|e| match e {
+                crate::engine::EngineEvent::Rate { task, slowdown, .. } => {
+                    *slowdown = 2.0 * *slowdown + 1.0;
+                    Some(*task)
+                }
+                _ => None,
+            })
+            .expect("log has rate events");
+        let report = audit_with_events(&soc, &tasks, &events, &trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReplayProgress { task, .. } if *task == tampered)));
+    }
+
+    #[test]
+    fn malformed_logs_are_rejected() {
+        let soc = soc();
+        let (tasks, trace, events) = logged_workload(&soc);
+        // Drop the first start event: its finish is now orphaned.
+        let without_start: Vec<_> = {
+            let mut dropped = false;
+            events
+                .iter()
+                .filter(|e| {
+                    if !dropped && matches!(e, crate::engine::EngineEvent::Start { .. }) {
+                        dropped = true;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .cloned()
+                .collect()
+        };
+        let report = audit_with_events(&soc, &tasks, &without_start, &trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReplayLog { .. })));
+        // Truncated log: some task never finishes.
+        let truncated = &events[..events.len() - 1];
+        let report = audit_with_events(&soc, &tasks, truncated, &trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReplayLog { .. })));
+    }
+
+    #[test]
+    fn violation_task_anchors() {
+        let v = Violation::ReplaySpan {
+            task: 3,
+            claimed_start_ms: 0.0,
+            claimed_end_ms: 1.0,
+            replayed_start_ms: 0.0,
+            replayed_end_ms: 0.5,
+        };
+        assert_eq!(v.task(), Some(3));
+        assert!(v.to_string().contains("replays"));
+        let v = Violation::ReplayMakespan {
+            claimed_ms: 2.0,
+            replayed_ms: 1.0,
+        };
+        assert_eq!(v.task(), None);
     }
 
     #[test]

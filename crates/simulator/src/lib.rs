@@ -55,6 +55,7 @@
 pub mod audit;
 pub mod engine;
 pub mod error;
+pub mod export;
 pub mod interference;
 pub mod memory;
 pub mod power;

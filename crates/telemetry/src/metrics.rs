@@ -1,0 +1,310 @@
+//! Thread-safe metrics registry: counters, gauges, and fixed-bucket
+//! histograms with a JSON- and table-renderable snapshot.
+//!
+//! Recording is mutex-guarded and intended to be coarse-grained —
+//! callers in hot loops accumulate into locals and flush once per
+//! request or phase. The registry never panics: a poisoned lock is
+//! recovered (metrics are monotone aggregates, so a panicking writer
+//! cannot leave them logically inconsistent).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::{json_escape, json_num};
+
+/// Default histogram bucket upper bounds, in milliseconds. Chosen to
+/// straddle planner phase timings (sub-ms DP slices up to multi-second
+/// full plans).
+pub const DEFAULT_MS_BUCKETS: [f64; 12] = [
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+];
+
+/// A fixed-bucket histogram: `counts[i]` holds observations `<=
+/// bounds[i]` (and greater than the previous bound); the final slot is
+/// the overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    pub fn observe(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The registry proper. Cheap to create; share behind an `Arc` (or via
+/// [`crate::Telemetry`]) across planner threads.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Adds `delta` to a gauge, creating it at zero first.
+    pub fn gauge_add(&self, name: &str, delta: f64) {
+        let mut inner = self.lock();
+        *inner.gauges.entry(name.to_owned()).or_insert(0.0) += delta;
+    }
+
+    /// Records an observation into a histogram with the default
+    /// millisecond buckets.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with(name, &DEFAULT_MS_BUCKETS, value);
+    }
+
+    /// Records an observation into a histogram with explicit bucket
+    /// bounds. The bounds are fixed by the first observation; later
+    /// calls reuse the existing buckets.
+    pub fn observe_with(&self, name: &str, bounds: &[f64], value: f64) {
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Copies the current state out into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of a registry, ready for JSON or table rendering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Renders the snapshot as a JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{bounds,counts,sum,count}}}`.
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
+            .collect::<Vec<_>>()
+            .join(",");
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_num(*v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let bounds = h
+                    .bounds()
+                    .iter()
+                    .map(|b| json_num(*b))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let counts = h
+                    .counts()
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+                    json_escape(k),
+                    bounds,
+                    counts,
+                    json_num(h.sum()),
+                    h.count()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
+        )
+    }
+
+    /// Renders a plain-text table: one `name value` row per metric,
+    /// counters first, then gauges, then histogram means.
+    pub fn render_table(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{k:<width$}  {v:.3}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{k:<width$}  count={} mean={:.3}\n",
+                h.count(),
+                h.mean()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let m = MetricsRegistry::new();
+        m.inc("a.count");
+        m.add("a.count", 4);
+        m.gauge("b.ms", 1.25);
+        m.gauge_add("b.ms", 0.75);
+        m.observe_with("c.ms", &[1.0, 10.0], 0.5);
+        m.observe_with("c.ms", &[1.0, 10.0], 5.0);
+        m.observe_with("c.ms", &[1.0, 10.0], 50.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(5));
+        assert_eq!(snap.gauge("b.ms"), Some(2.0));
+        let h = &snap.histograms["c.ms"];
+        assert_eq!(h.counts(), &[1, 1, 1]);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 55.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed() {
+        let m = MetricsRegistry::new();
+        m.inc("x");
+        m.gauge("g", 2.5);
+        m.observe_with("h", &[1.0], 0.5);
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"x\":1"));
+        assert!(json.contains("\"g\":2.5"));
+        assert!(json.contains("\"bounds\":[1]"));
+        assert!(json.contains("\"counts\":[1,0]"));
+        // Balanced braces/brackets (no string values contain either).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        let m = MetricsRegistry::new();
+        assert!(m.snapshot().is_empty());
+        m.inc("x");
+        assert!(!m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn render_table_lists_all_kinds() {
+        let m = MetricsRegistry::new();
+        m.inc("counter.one");
+        m.gauge("gauge.two", 4.0);
+        m.observe("hist.three", 2.0);
+        let table = m.snapshot().render_table();
+        assert!(table.contains("counter.one"));
+        assert!(table.contains("gauge.two"));
+        assert!(table.contains("hist.three"));
+        assert!(table.contains("count=1"));
+    }
+}

@@ -1,0 +1,264 @@
+//! RAII phase spans with deterministic ids and per-thread lanes.
+//!
+//! A [`SpanRecorder`] keeps a per-thread stack of open spans, so nested
+//! `enter` calls form a tree even when planner phases fan out across
+//! `std::thread::scope` workers. Span ids are content-derived (FNV-1a
+//! over parent id, name, and the sibling ordinal), so the sequential
+//! phase tree of a deterministic planner run hashes to the same ids on
+//! every run — stable anchors for golden tests and trace diffing.
+//! Wall-clock fields (`start_us`, `dur_us`) are measured, not derived,
+//! and are the only non-deterministic part of a record.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// Sentinel duration of a span that has not been closed yet.
+pub const OPEN_DUR_US: f64 = -1.0;
+
+/// One recorded span. `lane` is a dense per-recorder thread index (0 is
+/// the first thread that ever entered a span), used as the `tid` of the
+/// planner track in the chrome exporter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: String,
+    pub lane: u64,
+    pub depth: u32,
+    pub start_us: f64,
+    pub dur_us: f64,
+}
+
+impl SpanRecord {
+    pub fn is_closed(&self) -> bool {
+        self.dur_us >= 0.0
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    records: Vec<SpanRecord>,
+    /// Per-thread stack of open record indices.
+    stacks: HashMap<ThreadId, Vec<usize>>,
+    /// Dense lane assignment per thread.
+    lanes: HashMap<ThreadId, u64>,
+}
+
+/// Records a tree of timed phases. Create one per planner (or share via
+/// [`crate::Telemetry`]); guards returned by [`SpanRecorder::enter`]
+/// close their span on drop.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+}
+
+fn fnv1a(parent: u64, name: &str, ordinal: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for byte in parent.to_le_bytes() {
+        mix(byte);
+    }
+    for byte in name.bytes() {
+        mix(byte);
+    }
+    for byte in ordinal.to_le_bytes() {
+        mix(byte);
+    }
+    hash
+}
+
+impl SpanRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Opens a span named `name` under the calling thread's current
+    /// span (if any). Returns a guard that closes the span when
+    /// dropped.
+    pub fn enter(&self, name: impl Into<String>) -> SpanGuard<'_> {
+        let name = name.into();
+        let start_us = self.epoch.elapsed().as_secs_f64() * 1e6;
+        let thread = std::thread::current().id();
+        let mut inner = self.lock();
+        let next_lane = inner.lanes.len() as u64;
+        let lane = *inner.lanes.entry(thread).or_insert(next_lane);
+        let stack = inner.stacks.entry(thread).or_default();
+        let (parent, depth) = match stack.last() {
+            Some(&ix) => (Some(inner.records[ix].id), inner.records[ix].depth + 1),
+            None => (None, 0),
+        };
+        let parent_hash = parent.unwrap_or(0);
+        let ordinal = inner
+            .records
+            .iter()
+            .filter(|r| r.parent == parent && r.name == name)
+            .count() as u64;
+        let id = fnv1a(parent_hash, &name, ordinal);
+        let index = inner.records.len();
+        inner.records.push(SpanRecord {
+            id,
+            parent,
+            name,
+            lane,
+            depth,
+            start_us,
+            dur_us: OPEN_DUR_US,
+        });
+        if let Some(stack) = inner.stacks.get_mut(&thread) {
+            stack.push(index);
+        }
+        SpanGuard {
+            recorder: self,
+            thread,
+            index,
+        }
+    }
+
+    /// Copies out all records (closed and still-open) in enter order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.lock().records.clone()
+    }
+
+    /// Renders the span tree as an indented text listing, roots in
+    /// enter order.
+    pub fn render_tree(&self) -> String {
+        let records = self.records();
+        let mut out = String::new();
+        for r in &records {
+            let indent = "  ".repeat(r.depth as usize);
+            if r.is_closed() {
+                out.push_str(&format!("{indent}{} {:.3}ms\n", r.name, r.dur_us / 1000.0));
+            } else {
+                out.push_str(&format!("{indent}{} (open)\n", r.name));
+            }
+        }
+        out
+    }
+
+    fn close(&self, thread: ThreadId, index: usize) {
+        let end_us = self.epoch.elapsed().as_secs_f64() * 1e6;
+        let mut inner = self.lock();
+        let start = inner.records[index].start_us;
+        inner.records[index].dur_us = (end_us - start).max(0.0);
+        if let Some(stack) = inner.stacks.get_mut(&thread) {
+            // The guard being dropped is normally the top of the stack;
+            // retain-by-value keeps the recorder consistent even if
+            // guards are dropped out of order.
+            stack.retain(|&ix| ix != index);
+        }
+    }
+}
+
+/// Closes its span on drop.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard<'a> {
+    recorder: &'a SpanRecorder,
+    thread: ThreadId,
+    index: usize,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder.close(self.thread, self.index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_form_a_tree() {
+        let rec = SpanRecorder::new();
+        {
+            let _root = rec.enter("plan");
+            {
+                let _child = rec.enter("prepare");
+            }
+            let _child2 = rec.enter("assemble");
+        }
+        let records = rec.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].name, "plan");
+        assert_eq!(records[0].parent, None);
+        assert_eq!(records[1].parent, Some(records[0].id));
+        assert_eq!(records[2].parent, Some(records[0].id));
+        assert!(records.iter().all(SpanRecord::is_closed));
+        assert_eq!(records[0].depth, 0);
+        assert_eq!(records[1].depth, 1);
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_distinct_per_sibling() {
+        let tree = || {
+            let rec = SpanRecorder::new();
+            {
+                let _root = rec.enter("plan");
+                let _a = rec.enter("phase");
+                drop(_a);
+                let _b = rec.enter("phase");
+            }
+            rec.records().iter().map(|r| r.id).collect::<Vec<_>>()
+        };
+        let first = tree();
+        let second = tree();
+        assert_eq!(first, second);
+        // Same name, same parent, different ordinal => different id.
+        assert_ne!(first[1], first[2]);
+    }
+
+    #[test]
+    fn spans_from_worker_threads_get_their_own_lanes() {
+        let rec = SpanRecorder::new();
+        let _root = rec.enter("plan");
+        std::thread::scope(|scope| {
+            for i in 0..2 {
+                let rec = &rec;
+                scope.spawn(move || {
+                    let _s = rec.enter(format!("worker:{i}"));
+                });
+            }
+        });
+        drop(_root);
+        let records = rec.records();
+        assert_eq!(records.len(), 3);
+        let mut lanes: Vec<u64> = records.iter().map(|r| r.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert_eq!(lanes.len(), 3, "each thread gets a distinct lane");
+        // Worker spans are roots of their own lanes (no cross-thread
+        // parenting).
+        assert!(records[1..].iter().all(|r| r.parent.is_none()));
+    }
+
+    #[test]
+    fn render_tree_indents_children() {
+        let rec = SpanRecorder::new();
+        {
+            let _root = rec.enter("plan");
+            let _child = rec.enter("prepare");
+        }
+        let tree = rec.render_tree();
+        assert!(tree.contains("plan "));
+        assert!(tree.contains("\n  prepare "));
+    }
+}

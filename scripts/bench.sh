@@ -29,3 +29,7 @@ cargo bench -p h2p-bench --bench planner_scaling
 
 echo "== validating $H2P_BENCH_OUT"
 cargo run --release -q -p h2p-bench --bin bench_check -- "$H2P_BENCH_OUT"
+
+echo "== planner_phases (telemetry phase timings) -> $PWD/BENCH_planner_phases.json"
+cargo run --release -q -p h2p-bench --bin planner_phases -- \
+    --out "$PWD/BENCH_planner_phases.json"

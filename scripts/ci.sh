@@ -37,11 +37,30 @@ echo "== h2p trace --audit (baselines included)"
 for scheme in mnn pipeit band dart noct h2p; do
     $H2P trace --scheme "$scheme" --audit bert yolov4 mobilenetv2 > /dev/null
 done
-# The corrupted-trace demo must still fail the audit.
-if $H2P trace --audit --corrupt bert > /dev/null 2>&1; then
-    echo "trace audit MISSED a corrupted trace" >&2
-    exit 1
-fi
+# The corrupted-trace demos must still fail the audit: "overlap"
+# violates the plain envelope contracts, "stretch" stays inside the
+# conservative envelope and is only caught by the event-log replay.
+for class in overlap stretch; do
+    if $H2P trace --audit --corrupt "$class" bert > /dev/null 2>&1; then
+        echo "trace audit MISSED corruption class: $class" >&2
+        exit 1
+    fi
+done
+
+echo "== h2p export (chrome trace + metrics snapshot)"
+# The exporter must emit schema-valid Chrome Trace JSON and a non-empty
+# metrics snapshot for the full pipeline scheme.
+TRACE_OUT=$(mktemp)
+METRICS_OUT=$(mktemp)
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT"' EXIT
+$H2P export --scheme h2p --trace "$TRACE_OUT" --metrics "$METRICS_OUT" \
+    bert yolov4 mobilenetv2 > /dev/null
+grep -q '"traceEvents"' "$TRACE_OUT" || {
+    echo "exported trace lacks a traceEvents array" >&2; exit 1; }
+grep -q '"ph":"X"' "$TRACE_OUT" || {
+    echo "exported trace has no complete (ph=X) slices" >&2; exit 1; }
+grep -q '"counters"' "$METRICS_OUT" || {
+    echo "exported metrics snapshot is empty" >&2; exit 1; }
 
 echo "== planner bench (quick) + BENCH_planner.json gate"
 # Runs the perf-trajectory suite, validates the JSON schema, and fails

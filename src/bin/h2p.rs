@@ -11,17 +11,26 @@
 //! h2p trace --scheme band --audit bert   # audit a baseline's trace
 //! h2p trace --audit --corrupt bert       # exits nonzero (audit demo)
 //! h2p trace --events - mobilenetv2       # JSON-lines event log
+//! h2p trace --summary bert resnet50      # per-processor metrics table
 //! h2p lint  --soc kirin990 bert yolov4   # static plan verification
 //! h2p lint  --json --deny-warnings bert  # machine-readable, strict
 //! h2p lint  --corrupt drop-layer bert    # exits nonzero (lint demo)
+//! h2p export --trace t.json --metrics m.json bert resnet50
 //! ```
+
+use std::sync::Arc;
 
 use h2p_analyze::Mutation;
 use h2p_baselines::{pipe_it, Scheme};
 use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::ModelId;
+use h2p_simulator::export::{
+    add_audit_instants, add_planner_spans, chrome_trace, record_trace_metrics, ENGINE_PID,
+};
 use h2p_simulator::{audit, SocSpec};
-use hetero2pipe::planner::Planner;
+use h2p_telemetry::{MetricsRegistry, Telemetry};
+use hetero2pipe::executor::request_slices;
+use hetero2pipe::planner::{Planner, PlannerConfig};
 use hetero2pipe::report::{PlanSummary, ReportSummary};
 
 fn parse_soc(name: &str) -> Option<SocSpec> {
@@ -65,9 +74,20 @@ fn parse_scheme(name: &str) -> Option<Scheme> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--corrupt]\n            [--events PATH|-] MODEL...\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts;\n                  exit nonzero on any violation\n  --corrupt       deliberately corrupt the trace before auditing (demo)\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan"
+        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--summary]\n            [--corrupt [CLASS]] [--events PATH|-] MODEL...\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n  h2p export [--soc NAME] [--scheme NAME] [--trace PATH|-]\n            [--metrics PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts,\n                  including the event-log replay reconciliation; exit\n                  nonzero on any violation\n  --summary       print the per-processor metrics snapshot table\n                  (busy/idle/bubble/stretch ms)\n  --corrupt [CLASS] deliberately corrupt the trace before auditing\n                  (demo); CLASS is overlap (default) or stretch — an\n                  in-envelope duration corruption only the replay\n                  reconciliation catches\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan\n\nexport flags:\n  --trace PATH    write the run as Chrome Trace Event JSON, loadable in\n                  chrome://tracing or ui.perfetto.dev ('-' = stdout)\n  --metrics PATH  write the metrics snapshot JSON ('-' = stdout)"
     );
     std::process::exit(2);
+}
+
+/// Which trace corruption `h2p trace --corrupt [CLASS]` injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceCorruption {
+    /// Overlap two spans and beat a solo time — the plain envelope
+    /// audit catches this.
+    Overlap,
+    /// Stretch the last span towards (but within) the conservative
+    /// duration bound — only the replay reconciliation catches this.
+    Stretch,
 }
 
 struct Args {
@@ -75,12 +95,15 @@ struct Args {
     scheme: Scheme,
     models: Vec<ModelId>,
     audit: bool,
-    corrupt: bool,
+    corrupt: Option<TraceCorruption>,
     events: Option<String>,
     json: bool,
     deny_warnings: bool,
     mutation: Option<Mutation>,
     threads: usize,
+    summary: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 /// Parses the common tail of the argument list. `lint` switches
@@ -91,12 +114,15 @@ fn parse_args(rest: &[String], lint: bool) -> Args {
     let mut scheme = Scheme::Hetero2Pipe;
     let mut models = Vec::new();
     let mut audit = false;
-    let mut corrupt = false;
+    let mut corrupt = None;
     let mut events = None;
     let mut json = false;
     let mut deny_warnings = false;
     let mut mutation = None;
     let mut threads = 0usize;
+    let mut summary = false;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -137,13 +163,42 @@ fn parse_args(rest: &[String], lint: bool) -> Args {
                     },
                 ));
             }
-            "--corrupt" => corrupt = true,
+            // The class operand is optional (legacy `--corrupt MODEL...`
+            // keeps meaning overlap), so peek before consuming it.
+            "--corrupt" => {
+                corrupt = Some(match rest.get(i + 1).map(String::as_str) {
+                    Some("overlap") => {
+                        i += 1;
+                        TraceCorruption::Overlap
+                    }
+                    Some("stretch") => {
+                        i += 1;
+                        TraceCorruption::Stretch
+                    }
+                    _ => TraceCorruption::Overlap,
+                });
+            }
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
+            "--summary" => summary = true,
             "--events" => {
                 i += 1;
                 events = Some(rest.get(i).cloned().unwrap_or_else(|| {
                     eprintln!("--events needs a path (or '-')");
+                    usage()
+                }));
+            }
+            "--trace" => {
+                i += 1;
+                trace_out = Some(rest.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace needs a path (or '-')");
+                    usage()
+                }));
+            }
+            "--metrics" => {
+                i += 1;
+                metrics_out = Some(rest.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--metrics needs a path (or '-')");
                     usage()
                 }));
             }
@@ -172,6 +227,19 @@ fn parse_args(rest: &[String], lint: bool) -> Args {
         deny_warnings,
         mutation,
         threads,
+        summary,
+        trace_out,
+        metrics_out,
+    }
+}
+
+/// Writes `content` to `path`, with `-` meaning stdout.
+fn write_out(path: &str, content: &str, what: &str) {
+    if path == "-" {
+        println!("{content}");
+    } else {
+        std::fs::write(path, content).expect("write output file");
+        eprintln!("{what} written to {path}");
     }
 }
 
@@ -268,9 +336,16 @@ fn main() {
             let tasks = lowered.simulation().tasks().to_vec();
             let (mut report, events) = lowered.execute_logged().expect("execute");
 
-            if args.corrupt {
-                corrupt_trace(&mut report.trace);
-                eprintln!("trace deliberately corrupted (--corrupt)");
+            match args.corrupt {
+                Some(TraceCorruption::Overlap) => {
+                    corrupt_trace(&mut report.trace);
+                    eprintln!("trace deliberately corrupted (--corrupt overlap)");
+                }
+                Some(TraceCorruption::Stretch) => {
+                    corrupt_stretch(&mut report.trace, &args.soc, &tasks);
+                    eprintln!("trace deliberately corrupted (--corrupt stretch)");
+                }
+                None => {}
             }
 
             let names: Vec<&str> = args
@@ -303,6 +378,12 @@ fn main() {
                 events.len()
             );
 
+            if args.summary {
+                let metrics = MetricsRegistry::new();
+                record_trace_metrics(&args.soc, &report.trace, &metrics);
+                print!("{}", metrics.snapshot().render_table());
+            }
+
             if let Some(path) = &args.events {
                 let mut lines = String::new();
                 for (i, t) in tasks.iter().enumerate() {
@@ -326,11 +407,118 @@ fn main() {
             }
 
             if args.audit {
-                let audit_report = audit::audit(&args.soc, &tasks, &report.trace);
+                // The reconciled audit: envelope checks plus the replay
+                // of the logged piecewise interference rates, which also
+                // catches in-envelope corruption (--corrupt stretch).
+                let audit_report =
+                    audit::audit_with_events(&args.soc, &tasks, &events, &report.trace);
                 print!("{audit_report}");
                 if !audit_report.is_clean() {
                     std::process::exit(1);
                 }
+            }
+        }
+        "export" => {
+            let args = parse_args(&argv[1..], false);
+            if args.trace_out.is_none() && args.metrics_out.is_none() {
+                eprintln!("export needs --trace PATH and/or --metrics PATH");
+                usage()
+            }
+            let reqs = graphs(&args.models);
+            let telemetry = Arc::new(Telemetry::new());
+            // Plan-producing schemes run through a planner that shares
+            // this telemetry sink, so the export carries planner phase
+            // spans and planning metrics; task-graph schemes lower
+            // directly and export engine-side telemetry only.
+            let (lowered, mitigation) = match args.scheme {
+                Scheme::Hetero2Pipe | Scheme::NoCt => {
+                    let config = if args.scheme == Scheme::NoCt {
+                        PlannerConfig::no_ct()
+                    } else {
+                        PlannerConfig::default()
+                    };
+                    let mut planner = Planner::with_config(&args.soc, config).expect("planner");
+                    planner.set_telemetry(Arc::clone(&telemetry));
+                    let planned = planner.plan(&reqs).expect("plan");
+                    let mit = planned.mitigation.clone();
+                    (planned.lower(&args.soc).expect("lower"), mit)
+                }
+                _ => (args.scheme.lower(&args.soc, &reqs).expect("lower"), None),
+            };
+            let tasks = lowered.simulation().tasks().to_vec();
+            let (report, events) = lowered.execute_logged().expect("execute");
+
+            let audit_report = audit::audit_with_events(&args.soc, &tasks, &events, &report.trace);
+            telemetry
+                .metrics
+                .add("audit.checks", audit_report.checks as u64);
+            telemetry
+                .metrics
+                .add("audit.violations", audit_report.violations.len() as u64);
+
+            let mut doc = chrome_trace(&args.soc, &tasks, &events);
+            add_planner_spans(&mut doc, &telemetry.spans.records());
+            // One async slice per request: first dispatch to completion.
+            let slices = request_slices(&report.trace);
+            for (r, slice) in slices.iter().enumerate() {
+                let Some((start, end)) = slice else { continue };
+                let name = args.models.get(r).map_or_else(
+                    || format!("request:{r}"),
+                    |m| format!("request:{r}:{}", m.name()),
+                );
+                doc.async_slice(
+                    ENGINE_PID,
+                    0,
+                    r as u64,
+                    name,
+                    "request",
+                    start * 1000.0,
+                    end * 1000.0,
+                );
+            }
+            // Instant markers for the mitigation pass's relocations,
+            // anchored where the moved request actually started.
+            if let Some(m) = &mitigation {
+                for (pos, &orig) in m.order.iter().enumerate() {
+                    if pos == orig {
+                        continue;
+                    }
+                    let ts_us = slices
+                        .get(orig)
+                        .copied()
+                        .flatten()
+                        .map_or(0.0, |(s, _)| s * 1000.0);
+                    doc.instant(
+                        ENGINE_PID,
+                        0,
+                        format!("relocated:{orig}->{pos}"),
+                        "relocation",
+                        ts_us,
+                        'g',
+                        Vec::new(),
+                    );
+                }
+            }
+            add_audit_instants(&mut doc, &audit_report, &report.trace);
+            record_trace_metrics(&args.soc, &report.trace, &telemetry.metrics);
+
+            if let Err(err) = doc.validate() {
+                eprintln!("internal error: exported trace fails its schema check: {err}");
+                std::process::exit(1);
+            }
+            if let Some(path) = &args.trace_out {
+                write_out(path, &doc.to_json(), "chrome trace");
+            }
+            if let Some(path) = &args.metrics_out {
+                write_out(
+                    path,
+                    &telemetry.metrics.snapshot().to_json(),
+                    "metrics snapshot",
+                );
+            }
+            if !audit_report.is_clean() {
+                print!("{audit_report}");
+                std::process::exit(1);
             }
         }
         "lint" => {
@@ -437,4 +625,33 @@ fn corrupt_trace(trace: &mut h2p_simulator::Trace) {
     if let Some(span) = trace.spans.first_mut() {
         span.end_ms = span.start_ms + span.solo_ms * 0.5;
     }
+}
+
+/// In-envelope duration corruption for `trace --audit --corrupt
+/// stretch`: lengthens the globally-last span towards — but strictly
+/// within — the audit's conservative duration upper bound. The plain
+/// envelope audit waves the stretched trace through; only the
+/// event-log replay reconciliation exposes it, which is exactly the
+/// gap ROADMAP's "tighten the conservative bound" item describes.
+fn corrupt_stretch(
+    trace: &mut h2p_simulator::Trace,
+    soc: &SocSpec,
+    tasks: &[h2p_simulator::TaskSpec],
+) {
+    let Some(last) = (0..trace.spans.len())
+        .max_by(|&a, &b| trace.spans[a].end_ms.total_cmp(&trace.spans[b].end_ms))
+    else {
+        return;
+    };
+    let bound = audit::conservative_bound_ms(soc, tasks, trace, last);
+    let span = &mut trace.spans[last];
+    let duration = span.end_ms - span.start_ms;
+    // Midway between the real duration and the envelope bound; if the
+    // envelope is already tight, fall back to an unmistakable stretch.
+    let target = if bound - duration < 1e-3 {
+        duration * 1.5
+    } else {
+        (duration + bound) / 2.0
+    };
+    span.end_ms = span.start_ms + target;
 }

@@ -78,6 +78,65 @@ fn trace_audit_rejects_corrupted_traces() {
 }
 
 #[test]
+fn trace_audit_replay_catches_stretch_corruption() {
+    // The stretch class stays inside the conservative slowdown envelope
+    // and is only caught by the event-log replay reconciliation.
+    let (stdout, stderr, ok) = h2p(&[
+        "trace",
+        "--audit",
+        "--corrupt",
+        "stretch",
+        "bert",
+        "resnet50",
+    ]);
+    assert!(!ok, "stretched trace must exit nonzero: {stdout}");
+    assert!(stdout.contains("replay"), "{stdout}");
+    assert!(stderr.contains("--corrupt stretch"), "{stderr}");
+}
+
+#[test]
+fn trace_summary_prints_metrics_table() {
+    let (stdout, _, ok) = h2p(&["trace", "--summary", "bert", "mobilenetv2"]);
+    assert!(ok, "{stdout}");
+    for metric in ["busy_ms", "bubble_ms", "engine.makespan_ms", "engine.spans"] {
+        assert!(stdout.contains(metric), "missing {metric} in {stdout}");
+    }
+}
+
+#[test]
+fn export_writes_chrome_trace_and_metrics() {
+    let dir = std::env::temp_dir();
+    let trace_path = dir.join("h2p_cli_test_trace.json");
+    let metrics_path = dir.join("h2p_cli_test_metrics.json");
+    let (stdout, _, ok) = h2p(&[
+        "export",
+        "--trace",
+        trace_path.to_str().expect("utf-8 path"),
+        "--metrics",
+        metrics_path.to_str().expect("utf-8 path"),
+        "bert",
+        "mobilenetv2",
+    ]);
+    assert!(ok, "{stdout}");
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics written");
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&metrics_path);
+    for field in ["\"traceEvents\"", "\"ph\":\"X\"", "\"ph\":\"M\""] {
+        assert!(trace.contains(field), "missing {field} in trace JSON");
+    }
+    assert!(metrics.contains("\"counters\""), "{metrics}");
+    assert!(metrics.contains("planner.plans"), "{metrics}");
+}
+
+#[test]
+fn export_requires_an_output_path() {
+    let (_, stderr, ok) = h2p(&["export", "bert"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
 fn trace_emits_json_lines_event_log() {
     let (stdout, _, ok) = h2p(&["trace", "--events", "-", "mobilenetv2"]);
     assert!(ok);
