@@ -68,6 +68,10 @@ pub enum DiagCode {
     /// H2P008 — a cost, duration, intensity or rate is NaN, infinite or
     /// negative.
     NonFiniteCost,
+    /// H2P009 — the plan references a processor marked unavailable
+    /// (dropped out or administratively excluded): recovery replans must
+    /// never route work onto a dead processor.
+    ProcessorDown,
 }
 
 impl DiagCode {
@@ -83,6 +87,7 @@ impl DiagCode {
             DiagCode::ContentionWindow => "H2P006",
             DiagCode::BoundViolation => "H2P007",
             DiagCode::NonFiniteCost => "H2P008",
+            DiagCode::ProcessorDown => "H2P009",
         }
     }
 
@@ -95,7 +100,8 @@ impl DiagCode {
             | DiagCode::ProcFeasibility
             | DiagCode::DagOrder
             | DiagCode::BoundViolation
-            | DiagCode::NonFiniteCost => Severity::Error,
+            | DiagCode::NonFiniteCost
+            | DiagCode::ProcessorDown => Severity::Error,
             DiagCode::MemoryBudget | DiagCode::ContentionWindow => Severity::Warn,
         }
     }
@@ -306,12 +312,14 @@ mod tests {
             DiagCode::ContentionWindow,
             DiagCode::BoundViolation,
             DiagCode::NonFiniteCost,
+            DiagCode::ProcessorDown,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), all.len(), "codes must be unique");
         assert_eq!(DiagCode::LayerCoverage.code(), "H2P001");
+        assert_eq!(DiagCode::ProcessorDown.code(), "H2P009");
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use checks::lint_plan;
 pub use diag::{DiagCode, Diagnostic, Diagnostics, Severity};
 pub use ir::{PlanIr, RequestIr, RunIr, StageIr};
 pub use mutate::{apply, Mutation};
-pub use tasks::lint_tasks;
+pub use tasks::{lint_tasks, lint_tasks_available};

@@ -121,6 +121,40 @@ pub fn lint_tasks(soc: &SocSpec, tasks: &[TaskSpec]) -> Diagnostics {
     out
 }
 
+/// Lints a lowered task graph against `soc` with an availability mask:
+/// everything [`lint_tasks`] checks, plus H2P009 — no task may target a
+/// processor marked unavailable in `down` (`down[p] == true` means
+/// processor `p` has dropped out). Recovery replans run this instead of
+/// [`lint_tasks`] so a plan that routes work onto a dead processor is
+/// rejected before execution.
+///
+/// `down` is indexed by processor; indices beyond its length are
+/// treated as available (their validity is already H2P003's job).
+pub fn lint_tasks_available(soc: &SocSpec, tasks: &[TaskSpec], down: &[bool]) -> Diagnostics {
+    let mut out = lint_tasks(soc, tasks);
+    out.record_check();
+    for (i, t) in tasks.iter().enumerate() {
+        let p = t.processor.index();
+        if down.get(p).copied().unwrap_or(false) {
+            let name = soc
+                .processors
+                .get(p)
+                .map_or_else(|| format!("processor {p}"), |spec| spec.name.clone());
+            out.push(
+                Diagnostic::new(
+                    DiagCode::ProcessorDown,
+                    format!(
+                        "task '{}' targets {name}, which is marked unavailable",
+                        t.label
+                    ),
+                )
+                .request(i),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +231,35 @@ mod tests {
         tasks[1].deps.clear();
         let d = lint_tasks(&soc, &tasks);
         assert!(d.diags.iter().any(|x| x.code == DiagCode::DagOrder), "{d}");
+    }
+
+    #[test]
+    fn down_processor_fires_h2p009() {
+        let soc = soc();
+        let tasks = graph(&soc);
+        let used = tasks[0].processor.index();
+        let mut down = vec![false; soc.processors.len()];
+
+        // All processors up: the extra check runs and stays clean.
+        let d = lint_tasks_available(&soc, &tasks, &down);
+        assert!(d.is_clean(), "{d}");
+        assert_eq!(d.checks, 6);
+
+        down[used] = true;
+        let d = lint_tasks_available(&soc, &tasks, &down);
+        assert!(!d.is_clean(), "{d}");
+        assert_eq!(
+            d.diags
+                .iter()
+                .filter(|x| x.code == DiagCode::ProcessorDown)
+                .count(),
+            2,
+            "both tasks target the down processor: {d}"
+        );
+
+        // A short mask treats unlisted processors as available.
+        let d = lint_tasks_available(&soc, &tasks, &[]);
+        assert!(d.is_clean(), "{d}");
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! The planner's perf-trajectory suite: partition DP, LAP solve,
 //! end-to-end planning at 2/4/8/16 requests (frozen sequential reference
-//! vs the cached runtime at 1 and 4 threads), and an online window
-//! replan. After running, writes the measurements to `BENCH_planner.json`
+//! vs the cached runtime at 1 and 4 threads), an online window replan,
+//! and the recovery re-plan after a processor dropout. After running,
+//! writes the measurements to `BENCH_planner.json`
 //! (path overridable via `H2P_BENCH_OUT`) so `scripts/ci.sh` and future
 //! PRs have a machine-readable trajectory to regress against.
 //!
 //! `H2P_BENCH_QUICK=1` shrinks sampling so the suite finishes in seconds;
 //! `scripts/bench.sh` wraps both modes.
+
+use std::sync::Arc;
 
 use criterion::{BenchResult, BenchmarkId, Criterion};
 
@@ -97,6 +100,26 @@ fn bench_online_replan(c: &mut Criterion) {
     });
 }
 
+fn bench_recovery_replan(c: &mut Criterion) {
+    // The fault-recovery path: after the most powerful pipeline slot
+    // drops out, every request is re-partitioned over the ordered
+    // subsets of the surviving slots and re-aligned by work stealing.
+    // This is the latency a live deployment pays between a dropout
+    // notification and the resumed pipeline.
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).expect("planner");
+    let graphs: Vec<Arc<ModelGraph>> = workload(8).into_iter().map(Arc::new).collect();
+    let pending: Vec<usize> = (0..graphs.len()).collect();
+    let mut down = vec![false; soc.processors.len()];
+    down[planner.pipeline_procs()[0].index()] = true;
+    c.bench_function("recovery/replan_drop1/8", |b| {
+        b.iter(|| {
+            hetero2pipe::recovery::replan_on_survivors(&planner, &graphs, &pending, &down)
+                .expect("replan")
+        })
+    });
+}
+
 fn median_of(results: &[BenchResult], name: &str) -> Option<f64> {
     results.iter().find(|r| r.name == name).map(|r| r.median_ns)
 }
@@ -160,5 +183,6 @@ fn main() {
     bench_lap(&mut criterion);
     bench_plan_scaling(&mut criterion);
     bench_online_replan(&mut criterion);
+    bench_recovery_replan(&mut criterion);
     write_json(&criterion::take_results());
 }

@@ -86,6 +86,7 @@ fn main() {
         "plan/t1/8",
         "plan/t4/8",
         "online/replan_w4/16",
+        "recovery/replan_drop1/8",
     ];
     for name in required_cases {
         match case_median_ns(&json, name) {

@@ -32,6 +32,35 @@ pub enum PlanError {
     },
     /// Lowering the plan onto the simulator failed.
     Simulation(SimError),
+    /// Recovery gave up on a request after exhausting its retry budget
+    /// (typed degraded outcome — the caller decides whether to drop the
+    /// request or surface the failure).
+    RetriesExhausted {
+        /// Original submission index of the request.
+        request: usize,
+        /// Attempts made (initial run plus retries).
+        attempts: usize,
+    },
+    /// A request missed its recovery deadline: the accumulated wall time
+    /// across recovery rounds exceeded the per-request budget.
+    DeadlineExceeded {
+        /// Original submission index of the request.
+        request: usize,
+        /// The deadline that was exceeded, in ms.
+        deadline_ms: f64,
+    },
+    /// Every pipeline processor has dropped out; no replan can place the
+    /// remaining work.
+    NoSurvivingProcessors,
+    /// A recovery replan routed work onto a processor already known to
+    /// be down (lint H2P009) — an internal planner invariant violation
+    /// surfaced as a typed error rather than a silently dirty audit.
+    UnavailableProcessor {
+        /// Recovery round that produced the bad plan.
+        round: usize,
+        /// Rendered lint report describing the violating tasks.
+        diags: String,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -50,6 +79,34 @@ impl fmt::Display for PlanError {
                 )
             }
             PlanError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            PlanError::RetriesExhausted { request, attempts } => {
+                write!(
+                    f,
+                    "request {request} still failing after {attempts} attempts — retry budget \
+                     exhausted"
+                )
+            }
+            PlanError::DeadlineExceeded {
+                request,
+                deadline_ms,
+            } => {
+                write!(
+                    f,
+                    "request {request} exceeded its {deadline_ms} ms recovery deadline"
+                )
+            }
+            PlanError::NoSurvivingProcessors => {
+                write!(
+                    f,
+                    "all pipeline processors are down; nothing can be replanned"
+                )
+            }
+            PlanError::UnavailableProcessor { round, diags } => {
+                write!(
+                    f,
+                    "recovery round {round} planned onto an unavailable processor:\n{diags}"
+                )
+            }
         }
     }
 }

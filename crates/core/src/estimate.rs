@@ -413,6 +413,17 @@ impl NpuFallback {
         }
     }
 
+    /// The processor that absorbs NPU-unsupported operators.
+    pub(crate) fn fallback_proc(&self) -> ProcessorId {
+        self.fallback
+    }
+
+    /// Whether any layer of the model actually takes the fallback
+    /// detour (an all-supported model never leaves the NPU).
+    pub(crate) fn needs_fallback(&self) -> bool {
+        self.supported.iter().any(|s| !s)
+    }
+
     /// Effective execution time of layers `[i, j]` on the NPU stage,
     /// including fallback detours and transition copies.
     pub(crate) fn slice_ms(&self, i: usize, j: usize) -> f64 {

@@ -133,6 +133,14 @@ impl LoweredPlan {
         &self.sim
     }
 
+    /// Decomposes the lowered plan back into its parts (inverse of
+    /// [`LoweredPlan::from_parts`]). The recovery runner uses this to
+    /// execute the task graph under a fault injector instead of the
+    /// plain `execute` path.
+    pub fn into_parts(self) -> (Simulation, Vec<Option<TaskId>>, usize) {
+        (self.sim, self.final_task, self.executed_requests)
+    }
+
     /// Statically lints the lowered task graph against the simulation's
     /// SoC without running it ([`h2p_analyze::lint_tasks`]).
     pub fn lint(&self) -> h2p_analyze::Diagnostics {

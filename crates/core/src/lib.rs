@@ -62,6 +62,7 @@ pub mod par;
 pub mod partition;
 pub mod plan;
 pub mod planner;
+pub mod recovery;
 pub mod report;
 pub mod searchspace;
 pub mod workload;
@@ -72,3 +73,7 @@ pub use estimate::Estimator;
 pub use executor::{execute, ExecutionReport};
 pub use plan::{PipelinePlan, RequestPlan, StagePlan};
 pub use planner::{PlannedPipeline, Planner, PlannerConfig};
+pub use recovery::{
+    chaos_faults, replan_on_survivors, run_with_recovery, RecoveryOutcome, RecoveryPolicy,
+    RecoveryReport, RoundLog,
+};

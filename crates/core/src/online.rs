@@ -125,6 +125,24 @@ impl OnlinePlanner {
     pub fn plan_pipeline(&self, requests: &[ModelGraph]) -> Result<PipelinePlan, PlanError> {
         Ok(self.plan(requests)?.plan)
     }
+
+    /// Runs the request stream under scripted faults, reacting to fault
+    /// notifications by re-planning the unexecuted work on the surviving
+    /// processor set (see [`crate::recovery`]). Fault-free streams take
+    /// the normal planning path and complete in one round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] only for structural problems; fault-driven
+    /// failures are typed degraded outcomes inside the report.
+    pub fn run_with_recovery(
+        &self,
+        requests: &[ModelGraph],
+        faults: &[h2p_simulator::FaultSpec],
+        policy: &crate::recovery::RecoveryPolicy,
+    ) -> Result<crate::recovery::RecoveryReport, PlanError> {
+        crate::recovery::run_with_recovery(&self.planner, requests, faults, policy)
+    }
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@
 
 use std::fmt;
 
-use crate::engine::{EngineEvent, TaskSpec};
+use crate::engine::{EngineEvent, TaskId, TaskSpec};
 use crate::soc::SocSpec;
 use crate::thermal::{ThermalMode, ThermalSpec};
 use crate::timeline::{Span, Trace};
@@ -786,6 +786,17 @@ pub fn replay(
                     integrated_ms: progress,
                 });
             }
+            // Fault markers carry no rate information; the throttle
+            // multipliers they announce are already folded into the Rate
+            // events, so replay integrates faulted rates exactly.
+            EngineEvent::ProcessorDown { .. } | EngineEvent::Throttle { .. } => {}
+            EngineEvent::TaskFailed { task, .. } => {
+                if running.get_mut(*task).and_then(Option::take).is_none() {
+                    return Err(format!(
+                        "task_failed event for task {task} which is not running"
+                    ));
+                }
+            }
         }
     }
     Ok(out)
@@ -877,6 +888,222 @@ pub fn audit_with_events(
         &mut report.checks,
     );
     report
+}
+
+/// Audits the completed subset of a faulted run ([`FaultOutcome`])
+/// against the full contract battery, adapted for partial completion:
+///
+/// - Failed and orphaned tasks must have no span, and every dependency
+///   of a completed task must itself have completed (a fault kills its
+///   whole downstream cone). If that closure is broken the audit bails
+///   out, because remapping the subset would be meaningless.
+/// - The completed subset is remapped onto a compact task list and
+///   audited with the fault-free families: shape, exclusivity,
+///   releases, dependencies, FIFO, the too-fast floor, bubble
+///   accounting, and the memory ledger (checked against the *original*
+///   task list's footprint ceiling — failed tasks genuinely allocated
+///   before they were aborted).
+/// - The conservative too-*slow* envelope is deliberately skipped:
+///   injected throttles can undercut the [`ThermalSpec`] floor, and
+///   partially-run failed co-runners contribute slowdown without ever
+///   producing a span. Exactness comes from the replay reconciliation
+///   instead, which integrates the logged (faulted) piecewise rates:
+///   completed spans must replay to their exact boundaries and solo
+///   work, killed tasks must not replay a finish, and the last finish
+///   must match the completed subset's makespan.
+///
+/// [`FaultOutcome`]: crate::faults::FaultOutcome
+pub fn audit_faulted(
+    soc: &SocSpec,
+    tasks: &[TaskSpec],
+    events: &[EngineEvent],
+    outcome: &crate::faults::FaultOutcome,
+) -> AuditReport {
+    let mut violations = Vec::new();
+    let mut checks = 0usize;
+
+    checks += 2;
+    if outcome.spans.len() != tasks.len() {
+        violations.push(Violation::Shape {
+            detail: format!(
+                "{} outcome slots for {} submitted tasks",
+                outcome.spans.len(),
+                tasks.len()
+            ),
+        });
+        return AuditReport { violations, checks };
+    }
+    if outcome.processor_count != soc.processors.len() {
+        violations.push(Violation::Shape {
+            detail: format!(
+                "outcome claims {} processors, SoC has {}",
+                outcome.processor_count,
+                soc.processors.len()
+            ),
+        });
+        return AuditReport { violations, checks };
+    }
+
+    // A task the faults killed must not also claim a completed span.
+    for f in &outcome.failed {
+        checks += 1;
+        if outcome.spans.get(f.task).is_some_and(Option::is_some) {
+            violations.push(Violation::Shape {
+                detail: format!("task {} both failed and completed", f.task),
+            });
+        }
+    }
+    for &o in &outcome.orphaned {
+        checks += 1;
+        if outcome.spans.get(o).is_some_and(Option::is_some) {
+            violations.push(Violation::Shape {
+                detail: format!("task {o} is both orphaned and completed"),
+            });
+        }
+    }
+
+    // Completed-closure invariant: every dependency of a completed task
+    // completed. Without it the subset remap below would hide ordering
+    // violations, so a broken closure bails out.
+    for (i, s) in outcome.spans.iter().enumerate() {
+        if s.is_none() {
+            continue;
+        }
+        for d in &tasks[i].deps {
+            checks += 1;
+            if outcome.spans.get(d.index()).is_none_or(Option::is_none) {
+                violations.push(Violation::Shape {
+                    detail: format!(
+                        "task {i} completed but its dependency {} did not",
+                        d.index()
+                    ),
+                });
+            }
+        }
+    }
+    if !violations.is_empty() {
+        return AuditReport { violations, checks };
+    }
+
+    // Remap the completed subset onto compact ids so the fault-free
+    // contract families apply unchanged. The remap is order-preserving,
+    // so the engine's task-id FIFO tie-break survives it.
+    let completed: Vec<usize> = (0..tasks.len())
+        .filter(|&i| outcome.spans[i].is_some())
+        .collect();
+    let mut new_id = vec![usize::MAX; tasks.len()];
+    for (k, &i) in completed.iter().enumerate() {
+        new_id[i] = k;
+    }
+    let sub_tasks: Vec<TaskSpec> = completed
+        .iter()
+        .map(|&i| {
+            let mut t = tasks[i].clone();
+            t.deps = t.deps.iter().map(|d| TaskId(new_id[d.index()])).collect();
+            t
+        })
+        .collect();
+    let sub_trace = Trace {
+        spans: completed
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &i)| {
+                outcome.spans[i].as_ref().map(|s| {
+                    let mut s = s.clone();
+                    s.task = k;
+                    s
+                })
+            })
+            .collect(),
+        memory: outcome.memory.clone(),
+        processor_count: outcome.processor_count,
+    };
+
+    check_shape(soc, &sub_tasks, &sub_trace, &mut violations, &mut checks);
+    if sub_trace.spans.len() != sub_tasks.len()
+        || sub_trace.spans.iter().enumerate().any(|(i, s)| s.task != i)
+    {
+        return AuditReport { violations, checks };
+    }
+    check_exclusivity(&sub_trace, &mut violations, &mut checks);
+    check_releases(&sub_tasks, &sub_trace, &mut violations, &mut checks);
+    check_dependencies(&sub_tasks, &sub_trace, &mut violations, &mut checks);
+    check_fifo(&sub_tasks, &sub_trace, &mut violations, &mut checks);
+    // Too-fast floor only; see the doc comment for why the too-slow
+    // envelope is replaced by exact replay under faults.
+    for (i, spec) in sub_tasks.iter().enumerate() {
+        checks += 1;
+        let duration = sub_trace.spans[i].end_ms - sub_trace.spans[i].start_ms;
+        if duration < spec.solo_ms - TIME_EPS {
+            violations.push(Violation::TooFast {
+                task: i,
+                duration_ms: duration,
+                solo_ms: spec.solo_ms,
+            });
+        }
+    }
+    check_bubbles(&sub_trace, &mut violations, &mut checks);
+    // The footprint ceiling must come from the original task list:
+    // failed tasks allocated real memory before they were aborted.
+    check_memory(soc, tasks, &sub_trace, &mut violations, &mut checks);
+
+    // Replay reconciliation over the original task ids.
+    match replay(tasks.len(), events) {
+        Err(detail) => {
+            checks += 1;
+            violations.push(Violation::ReplayLog { detail });
+        }
+        Ok(replayed) => {
+            let mut last_finish = 0.0f64;
+            for (i, rep) in replayed.iter().enumerate() {
+                checks += 1;
+                if let Some(rep) = rep {
+                    last_finish = last_finish.max(rep.end_ms);
+                }
+                match (&outcome.spans[i], rep) {
+                    (Some(span), Some(rep)) => {
+                        if (span.start_ms - rep.start_ms).abs() > TIME_EPS
+                            || (span.end_ms - rep.end_ms).abs() > TIME_EPS
+                        {
+                            violations.push(Violation::ReplaySpan {
+                                task: i,
+                                claimed_start_ms: span.start_ms,
+                                claimed_end_ms: span.end_ms,
+                                replayed_start_ms: rep.start_ms,
+                                replayed_end_ms: rep.end_ms,
+                            });
+                        }
+                        checks += 1;
+                        let eps = TIME_EPS * (1.0 + tasks[i].solo_ms);
+                        if (rep.integrated_ms - tasks[i].solo_ms).abs() > eps {
+                            violations.push(Violation::ReplayProgress {
+                                task: i,
+                                integrated_ms: rep.integrated_ms,
+                                solo_ms: tasks[i].solo_ms,
+                            });
+                        }
+                    }
+                    (None, Some(_)) => violations.push(Violation::ReplayLog {
+                        detail: format!("task {i} finished in the event log but has no span"),
+                    }),
+                    (Some(_), None) => violations.push(Violation::ReplayLog {
+                        detail: format!("task {i} has a span but never finished in the event log"),
+                    }),
+                    (None, None) => {}
+                }
+            }
+            checks += 1;
+            let claimed = sub_trace.makespan_ms();
+            if (claimed - last_finish).abs() > TIME_EPS {
+                violations.push(Violation::ReplayMakespan {
+                    claimed_ms: claimed,
+                    replayed_ms: last_finish,
+                });
+            }
+        }
+    }
+
+    AuditReport { violations, checks }
 }
 
 /// Convenience: audits the trace and panics with the full report if it

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
+use crate::faults::{FailedTask, FaultInjector, FaultKind, FaultOutcome};
 use crate::interference::slowdown_for;
 use crate::memory::MemoryState;
 use crate::processor::ProcessorId;
@@ -181,6 +182,33 @@ pub enum EngineEvent {
         /// Realized average slowdown `(duration - solo) / solo`.
         slowdown: f64,
     },
+    /// An injected fault permanently dropped a processor.
+    ProcessorDown {
+        /// Simulation time in ms.
+        time_ms: f64,
+        /// Processor that dropped.
+        processor: ProcessorId,
+    },
+    /// An injected fault changed a processor's throttle multiplier.
+    Throttle {
+        /// Simulation time in ms.
+        time_ms: f64,
+        /// Processor being throttled.
+        processor: ProcessorId,
+        /// New fault throttle factor in `(0, 1]` (1.0 = throttle lifted).
+        factor: f64,
+    },
+    /// An injected fault aborted a running task.
+    TaskFailed {
+        /// Simulation time in ms.
+        time_ms: f64,
+        /// Task id.
+        task: usize,
+        /// Processor it was running on.
+        processor: ProcessorId,
+        /// What killed it.
+        kind: FaultKind,
+    },
 }
 
 impl EngineEvent {
@@ -190,7 +218,10 @@ impl EngineEvent {
             EngineEvent::Ready { time_ms, .. }
             | EngineEvent::Start { time_ms, .. }
             | EngineEvent::Rate { time_ms, .. }
-            | EngineEvent::Finish { time_ms, .. } => *time_ms,
+            | EngineEvent::Finish { time_ms, .. }
+            | EngineEvent::ProcessorDown { time_ms, .. }
+            | EngineEvent::Throttle { time_ms, .. }
+            | EngineEvent::TaskFailed { time_ms, .. } => *time_ms,
         }
     }
 
@@ -237,6 +268,29 @@ impl EngineEvent {
                 "{{\"event\":\"finish\",\"time_ms\":{time_ms},\"task\":{task},\"processor\":{},\
                  \"duration_ms\":{duration_ms},\"slowdown\":{slowdown}}}",
                 processor.index()
+            ),
+            EngineEvent::ProcessorDown { time_ms, processor } => format!(
+                "{{\"event\":\"processor_down\",\"time_ms\":{time_ms},\"processor\":{}}}",
+                processor.index()
+            ),
+            EngineEvent::Throttle {
+                time_ms,
+                processor,
+                factor,
+            } => format!(
+                "{{\"event\":\"throttle\",\"time_ms\":{time_ms},\"processor\":{},\"factor\":{factor}}}",
+                processor.index()
+            ),
+            EngineEvent::TaskFailed {
+                time_ms,
+                task,
+                processor,
+                kind,
+            } => format!(
+                "{{\"event\":\"task_failed\",\"time_ms\":{time_ms},\"task\":{task},\"processor\":{},\
+                 \"kind\":\"{}\"}}",
+                processor.index(),
+                kind.as_str()
             ),
         }
     }
@@ -341,7 +395,87 @@ impl Simulation {
         Ok((trace, events))
     }
 
-    fn run_inner(self, mut events: Option<&mut Vec<EngineEvent>>) -> Result<Trace, SimError> {
+    /// Runs the simulation under an injected fault script and returns
+    /// the partial [`FaultOutcome`] plus the event log. Unlike
+    /// [`Simulation::run`], a faulted run never fails because tasks got
+    /// stuck: when faults leave unrunnable work (processor down,
+    /// dependency dead), the engine halts at the last instant progress
+    /// was possible and reports the killed/orphaned tasks in the
+    /// outcome.
+    ///
+    /// Fault throttle multipliers are folded into the `thermal_factor`
+    /// of the logged `Rate` events, so the replay reconciliation in
+    /// [`crate::audit`] integrates the faulted rates exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on the same *structural* problems as
+    /// [`Simulation::run`] (unknown processor/dependency, invalid
+    /// duration), and [`SimError::UnknownProcessor`] when the injector
+    /// was compiled for a different processor count than the SoC.
+    pub fn run_faulted(
+        self,
+        faults: &FaultInjector,
+    ) -> Result<(FaultOutcome, Vec<EngineEvent>), SimError> {
+        if faults.processor_count() != self.soc.processors.len() {
+            return Err(SimError::UnknownProcessor {
+                index: faults.processor_count(),
+                available: self.soc.processors.len(),
+            });
+        }
+        let mut events = Vec::new();
+        let core = self.run_core(Some(&mut events), Some(faults))?;
+        let mut dead = vec![false; core.spans.len()];
+        for f in &core.failed {
+            if let Some(slot) = dead.get_mut(f.task) {
+                *slot = true;
+            }
+        }
+        let orphaned: Vec<usize> = core
+            .spans
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| s.is_none() && !dead[i])
+            .map(|(i, _)| i)
+            .collect();
+        Ok((
+            FaultOutcome {
+                spans: core.spans,
+                failed: core.failed,
+                orphaned,
+                halt_ms: core.halt_ms,
+                down: core.down,
+                memory: core.memory,
+                processor_count: core.processor_count,
+            },
+            events,
+        ))
+    }
+
+    fn run_inner(self, events: Option<&mut Vec<EngineEvent>>) -> Result<Trace, SimError> {
+        let core = self.run_core(events, None)?;
+        Ok(Trace {
+            spans: core
+                .spans
+                .into_iter()
+                .map(|s| {
+                    // Invariant: the fault-free path only returns once
+                    // every task completed; a hole would be an engine bug
+                    // worth a crash rather than a silently shorter trace.
+                    #[allow(clippy::expect_used)]
+                    s.expect("all completed")
+                })
+                .collect(),
+            memory: core.memory,
+            processor_count: core.processor_count,
+        })
+    }
+
+    fn run_core(
+        self,
+        mut events: Option<&mut Vec<EngineEvent>>,
+        faults: Option<&FaultInjector>,
+    ) -> Result<CoreOutcome, SimError> {
         self.validate()?;
         let n = self.tasks.len();
         let n_proc = self.soc.processors.len();
@@ -410,12 +544,60 @@ impl Simulation {
         // Last rate tuple emitted per processor, to log rate events only
         // when something actually changed.
         let mut last_rate: Vec<Option<(usize, f64, f64, f64)>> = vec![None; n_proc];
+        // Fault-injection state; inert (and bit-identically absent from
+        // the trace) when `faults` is `None`.
+        let mut down = vec![false; n_proc];
+        let mut failed: Vec<FailedTask> = Vec::new();
+        let mut last_fault_factor = vec![1.0f64; n_proc];
         const EPS: f64 = 1e-9;
 
         while completed < n {
+            // Dropout phase: apply scripted processor dropouts before
+            // anything new starts. This runs at the top of the loop so a
+            // task finishing exactly at the dropout instant (previous
+            // iteration's finish phase) still completes, while nothing
+            // can ever start on a down processor.
+            if let Some(f) = faults {
+                for p in 0..n_proc {
+                    if down[p] {
+                        continue;
+                    }
+                    let Some(at) = f.down_at(p) else { continue };
+                    if at > time_ms + 1e-12 {
+                        continue;
+                    }
+                    down[p] = true;
+                    if let Some(ev) = events.as_mut() {
+                        ev.push(EngineEvent::ProcessorDown {
+                            time_ms,
+                            processor: ProcessorId(p),
+                        });
+                    }
+                    if let Some(r) = running[p].take() {
+                        last_rate[p] = None;
+                        let spec = &self.tasks[r.task];
+                        memory.release(time_ms, spec.footprint_bytes, spec.bandwidth_gbps);
+                        if let Some(ev) = events.as_mut() {
+                            ev.push(EngineEvent::TaskFailed {
+                                time_ms,
+                                task: r.task,
+                                processor: spec.processor,
+                                kind: FaultKind::Dropout,
+                            });
+                        }
+                        failed.push(FailedTask {
+                            task: r.task,
+                            processor: spec.processor,
+                            at_ms: time_ms,
+                            kind: FaultKind::Dropout,
+                        });
+                    }
+                }
+            }
+
             // Start phase: fill idle processors from their FIFO queues.
             for p in 0..n_proc {
-                if running[p].is_none() {
+                if running[p].is_none() && !down[p] {
                     if let Some(task) = queues[p].pop_front() {
                         let spec = &self.tasks[task];
                         memory.allocate(time_ms, spec.footprint_bytes, spec.bandwidth_gbps);
@@ -458,9 +640,37 @@ impl Simulation {
                     }
                     continue;
                 }
+                if faults.is_some() {
+                    // Faulted runs halt with a partial outcome instead of
+                    // reporting a cycle: the stuck tasks are orphans of
+                    // failed dependencies or sit on down processors.
+                    break;
+                }
                 return Err(SimError::CyclicDependency {
                     stuck: n - completed,
                 });
+            }
+
+            // Throttle phase: surface scripted fault-throttle changes in
+            // the event log (the factor itself is folded into the Rate
+            // events below, so replay stays exact).
+            if let Some(f) = faults {
+                for p in 0..n_proc {
+                    if down[p] {
+                        continue;
+                    }
+                    let factor = f.throttle_factor(p, time_ms);
+                    if (factor - last_fault_factor[p]).abs() > 1e-12 {
+                        last_fault_factor[p] = factor;
+                        if let Some(ev) = events.as_mut() {
+                            ev.push(EngineEvent::Throttle {
+                                time_ms,
+                                processor: ProcessorId(p),
+                                factor,
+                            });
+                        }
+                    }
+                }
             }
 
             // Rate phase: effective progress rate for every running task.
@@ -484,7 +694,8 @@ impl Simulation {
                     spec.sensitivity,
                     corunners,
                 );
-                let thermal_factor = thermal[p].rate_factor();
+                let fault_factor = faults.map_or(1.0, |f| f.throttle_factor(p, time_ms));
+                let thermal_factor = thermal[p].rate_factor() * fault_factor;
                 rates[p] = thermal_factor * mem_factor / (1.0 + slow);
                 if let Some(ev) = events.as_mut() {
                     let tuple = (r.task, slow, thermal_factor, mem_factor);
@@ -517,8 +728,41 @@ impl Simulation {
             let release_dt = deferred
                 .last()
                 .map_or(f64::INFINITY, |&(r, _)| (r - time_ms).max(0.0));
-            let dt = completion_dt.min(release_dt);
-            debug_assert!(dt.is_finite(), "at least one task must make progress");
+            // Faulted runs also stop at the next scripted fault boundary
+            // (dropout instant, throttle edge) and at each running task's
+            // scripted transient-failure point.
+            let fault_dt = faults
+                .and_then(|f| f.next_boundary_after(time_ms))
+                .map_or(f64::INFINITY, |b| (b - time_ms).max(0.0));
+            let failure_dt = faults.map_or(f64::INFINITY, |f| {
+                active
+                    .iter()
+                    .filter_map(|&p| {
+                        let r = running[p].as_ref()?;
+                        let frac = f.fail_fraction(r.task)?;
+                        let spec = &self.tasks[r.task];
+                        // Solo-ms of work left before the failure point.
+                        let to_fail = r.remaining_ms - (1.0 - frac) * spec.solo_ms;
+                        Some(if to_fail <= 0.0 {
+                            0.0
+                        } else if rates[p] > 0.0 {
+                            to_fail / rates[p]
+                        } else {
+                            f64::INFINITY
+                        })
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            });
+            let dt = completion_dt.min(release_dt).min(fault_dt).min(failure_dt);
+            debug_assert!(
+                faults.is_some() || dt.is_finite(),
+                "at least one task must make progress"
+            );
+            if !dt.is_finite() {
+                // Only reachable under faults: nothing can ever progress
+                // again (e.g. every runnable task sits behind dead work).
+                break;
+            }
             time_ms += dt;
             // Release newly arrived tasks.
             while let Some(&(r, id)) = deferred.last() {
@@ -540,6 +784,43 @@ impl Simulation {
                 thermal[p].advance(dt, running[p].is_some());
                 if let Some(r) = running[p].as_mut() {
                     r.remaining_ms = (r.remaining_ms - dt * rates[p]).max(0.0);
+                }
+            }
+
+            // Failure phase: abort tasks that crossed their scripted
+            // transient-failure point. Runs before the finish phase so a
+            // scripted failure always wins over completion (the failure
+            // fraction is clamped strictly below 1.0).
+            if let Some(f) = faults {
+                for (p, slot) in running.iter_mut().enumerate() {
+                    let fails = match slot {
+                        Some(r) => f.fail_fraction(r.task).is_some_and(|frac| {
+                            let spec = &self.tasks[r.task];
+                            spec.solo_ms - r.remaining_ms + EPS >= frac * spec.solo_ms
+                        }),
+                        None => false,
+                    };
+                    if !fails {
+                        continue;
+                    }
+                    let Some(r) = slot.take() else { continue };
+                    last_rate[p] = None;
+                    let spec = &self.tasks[r.task];
+                    memory.release(time_ms, spec.footprint_bytes, spec.bandwidth_gbps);
+                    if let Some(ev) = events.as_mut() {
+                        ev.push(EngineEvent::TaskFailed {
+                            time_ms,
+                            task: r.task,
+                            processor: spec.processor,
+                            kind: FaultKind::Transient,
+                        });
+                    }
+                    failed.push(FailedTask {
+                        task: r.task,
+                        processor: spec.processor,
+                        at_ms: time_ms,
+                        kind: FaultKind::Transient,
+                    });
                 }
             }
 
@@ -599,21 +880,28 @@ impl Simulation {
             }
         }
 
-        Ok(Trace {
-            spans: spans
-                .into_iter()
-                .map(|s| {
-                    // Invariant: `completed == n` here, so every span slot
-                    // was filled; a hole would be an engine bug worth a
-                    // crash rather than a silently shorter trace.
-                    #[allow(clippy::expect_used)]
-                    s.expect("all completed")
-                })
-                .collect(),
+        Ok(CoreOutcome {
+            spans,
+            failed,
+            halt_ms: time_ms,
+            down,
             memory: memory.into_trace(),
             processor_count: n_proc,
         })
     }
+}
+
+/// Raw result of the engine loop, shared by the fault-free and faulted
+/// entry points. The fault-free path asserts every span slot is filled;
+/// the faulted path derives the orphan set before publishing it as a
+/// [`FaultOutcome`].
+struct CoreOutcome {
+    spans: Vec<Option<Span>>,
+    failed: Vec<FailedTask>,
+    halt_ms: f64,
+    down: Vec<bool>,
+    memory: Vec<crate::memory::MemorySample>,
+    processor_count: usize,
 }
 
 #[cfg(test)]
@@ -892,6 +1180,204 @@ mod tests {
             assert!(line.contains("\"time_ms\":"), "{line}");
             assert!(!line.contains('\n'), "one line per event: {line}");
         }
+    }
+
+    #[test]
+    fn empty_injector_reproduces_plain_run_exactly() {
+        let build = || {
+            let soc = soc();
+            let npu = id(&soc, ProcessorKind::Npu);
+            let gpu = id(&soc, ProcessorKind::Gpu);
+            let mut sim = Simulation::new(soc);
+            let a = sim.add_task(TaskSpec::new("a", npu, 5.0).intensity(0.8));
+            sim.add_task(TaskSpec::new("b", gpu, 4.0).intensity(0.5).after(a));
+            sim.add_task(TaskSpec::new("c", npu, 2.0).release(1.0));
+            sim
+        };
+        let plain = build().run().expect("runs");
+        let inj = crate::faults::FaultInjector::new(4);
+        let (outcome, events) = build().run_faulted(&inj).expect("runs");
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.completed_trace().spans, plain.spans);
+        assert!(!events.iter().any(|e| matches!(
+            e,
+            EngineEvent::ProcessorDown { .. }
+                | EngineEvent::Throttle { .. }
+                | EngineEvent::TaskFailed { .. }
+        )));
+    }
+
+    #[test]
+    fn dropout_kills_running_task_and_orphans_successors() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let gpu = id(&soc, ProcessorKind::Gpu);
+        let mut sim = Simulation::new(soc);
+        let a = sim.add_task(TaskSpec::new("victim", npu, 10.0));
+        sim.add_task(TaskSpec::new("orphan", gpu, 1.0).after(a));
+        sim.add_task(TaskSpec::new("survivor", gpu, 3.0));
+        let inj = crate::faults::FaultInjector::new(4).dropout(npu, 4.0);
+        let (outcome, events) = sim.run_faulted(&inj).expect("runs");
+        assert!(!outcome.is_complete());
+        assert_eq!(outcome.completed_count(), 1);
+        assert!(outcome.spans[2].is_some(), "survivor completes");
+        assert_eq!(outcome.failed.len(), 1);
+        assert_eq!(outcome.failed[0].task, 0);
+        assert_eq!(outcome.failed[0].kind, crate::faults::FaultKind::Dropout);
+        assert!((outcome.failed[0].at_ms - 4.0).abs() < 1e-9);
+        assert_eq!(outcome.orphaned, vec![1]);
+        assert!(outcome.down[npu.index()]);
+        assert!(events.iter().any(
+            |e| matches!(e, EngineEvent::ProcessorDown { processor, .. } if *processor == npu)
+        ));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            EngineEvent::TaskFailed {
+                task: 0,
+                kind: FaultKind::Dropout,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn nothing_starts_on_a_down_processor() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("late", npu, 5.0).release(10.0));
+        let inj = crate::faults::FaultInjector::new(4).dropout(npu, 0.0);
+        let (outcome, events) = sim.run_faulted(&inj).expect("runs");
+        assert_eq!(outcome.completed_count(), 0);
+        assert_eq!(outcome.orphaned, vec![0]);
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::Start { .. })));
+    }
+
+    #[test]
+    fn throttle_stretches_exactly_by_its_factor() {
+        let mut soc = soc();
+        soc.thermal_mode = crate::thermal::ThermalMode::Disabled;
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("t", npu, 10.0));
+        // Half rate over [0, 100): 10 ms of work takes 20 ms.
+        let inj = crate::faults::FaultInjector::new(4).throttle(npu, 0.0, 100.0, 0.5);
+        let (outcome, events) = sim.run_faulted(&inj).expect("runs");
+        assert!(outcome.is_complete());
+        let span = outcome.spans[0].as_ref().expect("completed");
+        assert!(
+            (span.end_ms - 20.0).abs() < 1e-6,
+            "throttled end {}",
+            span.end_ms
+        );
+        // The throttle factor reaches the event log through the Rate
+        // events' thermal factor, plus a Throttle marker.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            EngineEvent::Rate { thermal_factor, .. } if (*thermal_factor - 0.5).abs() < 1e-12
+        )));
+        assert!(events.iter().any(
+            |e| matches!(e, EngineEvent::Throttle { factor, .. } if (*factor - 0.5).abs() < 1e-12)
+        ));
+    }
+
+    #[test]
+    fn throttle_lift_mid_task_changes_rate_at_boundary() {
+        let mut soc = soc();
+        soc.thermal_mode = crate::thermal::ThermalMode::Disabled;
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("t", npu, 10.0));
+        // Half rate over [0, 10): 5 ms of work done by t=10, the rest at
+        // full rate: end = 10 + 5 = 15.
+        let inj = crate::faults::FaultInjector::new(4).throttle(npu, 0.0, 10.0, 0.5);
+        let (outcome, _events) = sim.run_faulted(&inj).expect("runs");
+        let span = outcome.spans[0].as_ref().expect("completed");
+        assert!((span.end_ms - 15.0).abs() < 1e-6, "end {}", span.end_ms);
+    }
+
+    #[test]
+    fn transient_failure_fires_at_fraction_of_solo_work() {
+        let mut soc = soc();
+        soc.thermal_mode = crate::thermal::ThermalMode::Disabled;
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("flaky", npu, 10.0));
+        let inj = crate::faults::FaultInjector::new(4).fail_task(0, 0.5);
+        let (outcome, events) = sim.run_faulted(&inj).expect("runs");
+        assert_eq!(outcome.completed_count(), 0);
+        assert_eq!(outcome.failed.len(), 1);
+        let f = &outcome.failed[0];
+        assert_eq!(f.kind, crate::faults::FaultKind::Transient);
+        // Solo rate on an idle NPU is 1.0, so 50% of 10 ms dies at t=5.
+        assert!((f.at_ms - 5.0).abs() < 1e-6, "failed at {}", f.at_ms);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            EngineEvent::TaskFailed {
+                task: 0,
+                kind: FaultKind::Transient,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn faulted_runs_audit_clean_per_scenario() {
+        // Every fault class ends in a clean faulted audit: the replay
+        // reconciliation must integrate the faulted rates exactly.
+        let scenarios: Vec<crate::faults::FaultInjector> = vec![
+            crate::faults::FaultInjector::new(4),
+            crate::faults::FaultInjector::new(4).dropout(ProcessorId(3), 4.0),
+            crate::faults::FaultInjector::new(4).throttle(ProcessorId(0), 2.0, 9.0, 0.4),
+            crate::faults::FaultInjector::new(4).fail_task(1, 0.3),
+            crate::faults::FaultInjector::new(4)
+                .dropout(ProcessorId(2), 6.0)
+                .throttle(ProcessorId(0), 0.0, 5.0, 0.6)
+                .fail_task(4, 0.7),
+        ];
+        for (si, inj) in scenarios.into_iter().enumerate() {
+            let soc = soc();
+            let cpu = id(&soc, ProcessorKind::CpuBig);
+            let gpu = id(&soc, ProcessorKind::Gpu);
+            let npu = id(&soc, ProcessorKind::Npu);
+            let mut sim = Simulation::new(soc.clone());
+            let mut prev: Option<TaskId> = None;
+            for i in 0..9 {
+                let p = match i % 3 {
+                    0 => cpu,
+                    1 => gpu,
+                    _ => npu,
+                };
+                let mut t = TaskSpec::new(format!("t{i}"), p, 2.0 + (i % 4) as f64)
+                    .intensity(0.2 * (i % 4) as f64)
+                    .release(0.5 * i as f64);
+                if i % 3 == 2 {
+                    if let Some(pv) = prev {
+                        t = t.after(pv);
+                    }
+                }
+                prev = Some(sim.add_task(t));
+            }
+            let tasks = sim.tasks().to_vec();
+            let (outcome, events) = sim.run_faulted(&inj).expect("runs");
+            let report = crate::audit::audit_faulted(&soc, &tasks, &events, &outcome);
+            assert!(report.is_clean(), "scenario {si}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn injector_processor_count_mismatch_is_reported() {
+        let soc = soc();
+        let npu = id(&soc, ProcessorKind::Npu);
+        let mut sim = Simulation::new(soc);
+        sim.add_task(TaskSpec::new("t", npu, 1.0));
+        let inj = crate::faults::FaultInjector::new(2);
+        assert!(matches!(
+            sim.run_faulted(&inj),
+            Err(SimError::UnknownProcessor { .. })
+        ));
     }
 
     #[test]

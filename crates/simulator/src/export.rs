@@ -127,6 +127,53 @@ pub fn chrome_trace(soc: &SocSpec, tasks: &[TaskSpec], events: &[EngineEvent]) -
                     slowdown: *slowdown,
                 });
             }
+            EngineEvent::ProcessorDown { time_ms, processor } => {
+                doc.instant(
+                    ENGINE_PID,
+                    processor.index() as u64,
+                    format!("down:{}", proc_name(processor.index())),
+                    "fault",
+                    time_ms * US_PER_MS,
+                    't',
+                    Vec::new(),
+                );
+            }
+            EngineEvent::Throttle {
+                time_ms,
+                processor,
+                factor,
+            } => {
+                doc.instant(
+                    ENGINE_PID,
+                    processor.index() as u64,
+                    format!("throttle:{}", proc_name(processor.index())),
+                    "fault",
+                    time_ms * US_PER_MS,
+                    't',
+                    vec![("factor".to_owned(), Arg::Num(*factor))],
+                );
+            }
+            EngineEvent::TaskFailed {
+                time_ms,
+                task,
+                processor,
+                kind,
+            } => {
+                doc.instant(
+                    ENGINE_PID,
+                    processor.index() as u64,
+                    format!("failed:{}", label(*task)),
+                    "fault",
+                    time_ms * US_PER_MS,
+                    't',
+                    vec![("kind".to_owned(), Arg::Str(kind.as_str().to_owned()))],
+                );
+                // A failed task never gets a Finish event; drop its open
+                // start so it doesn't leak into another slice.
+                if let Some(slot) = open.get_mut(*task) {
+                    *slot = None;
+                }
+            }
         }
     }
     slices.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));

@@ -55,7 +55,9 @@
 pub mod audit;
 pub mod engine;
 pub mod error;
+pub mod eventlog;
 pub mod export;
+pub mod faults;
 pub mod interference;
 pub mod memory;
 pub mod power;
@@ -67,6 +69,8 @@ pub mod timeline;
 pub use audit::{AuditReport, Violation};
 pub use engine::{EngineEvent, Simulation, TaskId, TaskSpec};
 pub use error::SimError;
+pub use eventlog::{parse_event_log, ParseError, ParsedLog};
+pub use faults::{FaultInjector, FaultKind, FaultOutcome, FaultSpec};
 pub use processor::{ProcessorId, ProcessorKind, ProcessorSpec};
 pub use soc::SocSpec;
 pub use timeline::Trace;

@@ -11,6 +11,7 @@
 use proptest::prelude::*;
 
 use h2p_simulator::engine::{Simulation, TaskSpec};
+use h2p_simulator::faults::FaultInjector;
 use h2p_simulator::interference::CouplingMatrix;
 use h2p_simulator::thermal::ThermalMode;
 use h2p_simulator::{ProcessorId, SocSpec};
@@ -207,6 +208,53 @@ proptest! {
         let trace = sim.run().expect("acyclic");
         let report = h2p_simulator::audit::audit(&soc, &tasks, &trace);
         prop_assert!(report.is_clean(), "audit violations:\n{report}");
+    }
+
+    #[test]
+    fn throttled_traces_pass_every_audit_family_and_replay(
+        specs in prop::collection::vec((0usize..4, 1u64..300, 0u64..150, prop::bool::ANY), 1..14),
+        throttles in prop::collection::vec(
+            (0usize..4, 0u64..2000, 1u64..3000, 10u64..100),
+            1..4,
+        ),
+    ) {
+        // Injected thermal throttles slow work down but never destroy
+        // it: the run still completes every task, and the faulted audit
+        // — all eight contract families (shape, exclusivity, releases,
+        // dependencies, FIFO, the too-fast floor, bubble accounting,
+        // memory ledger) plus the exact event-log replay — stays clean.
+        let soc = quiet_kirin();
+        let sim = build(&soc, &specs);
+        let tasks = sim.tasks().to_vec();
+        let mut inj = FaultInjector::new(soc.processors.len());
+        for &(p, from_tenth, len_tenth, pct) in &throttles {
+            let from = from_tenth as f64 / 10.0;
+            inj = inj.throttle(
+                ProcessorId(p % soc.processors.len()),
+                from,
+                from + len_tenth as f64 / 10.0,
+                pct as f64 / 100.0,
+            );
+        }
+        let (outcome, events) = sim.run_faulted(&inj).expect("acyclic");
+        prop_assert!(
+            outcome.is_complete(),
+            "throttling costs time, never work: {} of {} completed",
+            outcome.completed_count(),
+            tasks.len()
+        );
+        let report = h2p_simulator::audit::audit_faulted(&soc, &tasks, &events, &outcome);
+        prop_assert!(report.is_clean(), "audit violations:\n{report:?}");
+        // The replay reconciliation independently reconstructs every
+        // span from the logged piecewise rates.
+        let spans = h2p_simulator::audit::replay(tasks.len(), &events).expect("replayable log");
+        for (i, replayed) in spans.iter().enumerate() {
+            let r = replayed.as_ref().expect("every task replays a finish");
+            let actual = outcome.spans[i].as_ref().expect("completed");
+            prop_assert!((r.start_ms - actual.start_ms).abs() < 1e-6);
+            prop_assert!((r.end_ms - actual.end_ms).abs() < 1e-6);
+            prop_assert!((r.integrated_ms - tasks[i].solo_ms).abs() < 1e-6);
+        }
     }
 
     #[test]

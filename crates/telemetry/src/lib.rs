@@ -23,7 +23,7 @@ pub mod chrome;
 pub mod metrics;
 pub mod span;
 
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use metrics::{FlushHandle, MetricsRegistry, MetricsSnapshot};
 pub use span::{SpanGuard, SpanRecord, SpanRecorder};
 
 /// Bundle of the two recording layers, shared behind an `Arc` by the

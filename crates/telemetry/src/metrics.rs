@@ -8,7 +8,11 @@
 //! cannot leave them logically inconsistent).
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::{json_escape, json_num};
 
@@ -146,6 +150,102 @@ impl MetricsRegistry {
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
             histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Spawns a background flusher that appends one JSON snapshot line
+    /// (`{"seq":N,"counters":...,...}`) to `path` every `period`,
+    /// truncating any existing file first. Stopping the returned
+    /// [`FlushHandle`] (explicitly or by drop) wakes the flusher, writes
+    /// one final snapshot so the last line always reflects the registry
+    /// state at shutdown, and joins the thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created or the
+    /// flusher thread cannot be spawned.
+    pub fn flush_every(self: &Arc<Self>, period: Duration, path: &Path) -> io::Result<FlushHandle> {
+        let file = std::fs::File::create(path)?;
+        let mut out = BufWriter::new(file);
+        let registry = Arc::clone(self);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop_in_thread = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("h2p-metrics-flush".to_owned())
+            .spawn(move || -> io::Result<u64> {
+                let mut seq = 0u64;
+                loop {
+                    let (lock, cvar) = &*stop_in_thread;
+                    let stopped = {
+                        let guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                        if *guard {
+                            true
+                        } else {
+                            let (guard, _) = cvar
+                                .wait_timeout(guard, period)
+                                .unwrap_or_else(PoisonError::into_inner);
+                            *guard
+                        }
+                    };
+                    let snap = registry.snapshot();
+                    let body = snap.to_json();
+                    // Splice a sequence number into the object so a
+                    // reader can detect dropped or reordered lines.
+                    let rest = body.strip_prefix('{').unwrap_or(&body);
+                    writeln!(out, "{{\"seq\":{seq},{rest}")?;
+                    out.flush()?;
+                    seq += 1;
+                    if stopped {
+                        return Ok(seq);
+                    }
+                }
+            })?;
+        Ok(FlushHandle {
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a background metrics flusher started by
+/// [`MetricsRegistry::flush_every`]. Call [`FlushHandle::stop`] for the
+/// line count and any deferred I/O error; dropping the handle stops the
+/// flusher too (final snapshot included) but swallows both.
+#[derive(Debug)]
+pub struct FlushHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<io::Result<u64>>>,
+}
+
+impl FlushHandle {
+    fn signal(&self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        cvar.notify_all();
+    }
+
+    /// Stops the flusher: signals the thread, which writes one final
+    /// snapshot line and exits, then joins it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error the flusher hit while writing; on success
+    /// yields the number of snapshot lines written.
+    pub fn stop(mut self) -> io::Result<u64> {
+        self.signal();
+        match self.thread.take().map(JoinHandle::join) {
+            Some(Ok(result)) => result,
+            Some(Err(_)) => Err(io::Error::other("metrics flusher thread panicked")),
+            None => Ok(0),
+        }
+    }
+}
+
+impl Drop for FlushHandle {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.signal();
+            let _ = thread.join();
         }
     }
 }
@@ -293,6 +393,59 @@ mod tests {
         assert!(m.snapshot().is_empty());
         m.inc("x");
         assert!(!m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn flush_every_writes_periodic_and_final_snapshots() {
+        let path = std::env::temp_dir().join(format!("h2p-flush-{}.jsonl", std::process::id()));
+        let m = Arc::new(MetricsRegistry::new());
+        m.inc("flush.start");
+        let handle = m
+            .flush_every(Duration::from_millis(5), &path)
+            .expect("flusher starts");
+        std::thread::sleep(Duration::from_millis(30));
+        m.inc("flush.late");
+        let lines = handle.stop().expect("flusher stops cleanly");
+        assert!(lines >= 2, "expected periodic + final lines, got {lines}");
+        let text = std::fs::read_to_string(&path).expect("file readable");
+        let rows: Vec<&str> = text.lines().collect();
+        assert_eq!(rows.len() as u64, lines);
+        for (i, row) in rows.iter().enumerate() {
+            assert!(
+                row.starts_with(&format!("{{\"seq\":{i},")),
+                "row {i}: {row}"
+            );
+            assert!(row.ends_with('}'), "row {i} truncated");
+        }
+        // The final line is written after stop() and must see the last
+        // increment.
+        let last = rows.last().expect("at least one row");
+        assert!(last.contains("\"flush.late\":1"), "final line: {last}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_handle_drop_stops_thread_and_writes_final_line() {
+        let path = std::env::temp_dir().join(format!("h2p-flushdrop-{}.jsonl", std::process::id()));
+        let m = Arc::new(MetricsRegistry::new());
+        m.gauge("g", 1.0);
+        {
+            let _handle = m
+                .flush_every(Duration::from_secs(3600), &path)
+                .expect("flusher starts");
+            // Dropping immediately must not hang for the full period.
+        }
+        let text = std::fs::read_to_string(&path).expect("file readable");
+        assert!(text.lines().count() >= 1);
+        assert!(text.contains("\"g\":1"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_every_surfaces_unwritable_path() {
+        let m = Arc::new(MetricsRegistry::new());
+        let bad = Path::new("/nonexistent-h2p-dir/metrics.jsonl");
+        assert!(m.flush_every(Duration::from_millis(5), bad).is_err());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs the planner perf-trajectory suite and writes BENCH_planner.json at
-# the workspace root (median ns/iter per case, thread counts, and the
-# parallel-vs-sequential speedup measured in the same run).
+# the workspace root (median ns/iter per case, thread counts, the
+# parallel-vs-sequential speedup, and the recovery re-plan latency after
+# a processor dropout — case "recovery/replan_drop1/8" — all measured in
+# the same run).
 #
 #   scripts/bench.sh           # full sampling (local profiling)
 #   scripts/bench.sh --quick   # shrunk sampling (CI; finishes in seconds)

@@ -47,6 +47,36 @@ for class in overlap stretch; do
     fi
 done
 
+echo "== h2p trace --faults (one scenario per fault class)"
+# Every fault class must run to a recovered-or-typed-degraded end with
+# every recovery round passing its faulted audit (nonzero exit means an
+# audit violation, a panic, or a hang — none are acceptable).
+for spec in "drop:NPU@5" "throttle:CPU_B@2..60x0.4" "flaky:0x2" "mispredict:1.5"; do
+    $H2P trace --faults "$spec" bert resnet50 > /dev/null || {
+        echo "fault scenario failed: $spec" >&2; exit 1; }
+done
+
+echo "== h2p chaos --seeds 8 (seeded fault-recovery sweep)"
+# Random fault scenarios: every seed must end recovered audit-clean or
+# in a typed degraded outcome, with bounded retries and no task ever
+# starting on a down processor.
+$H2P chaos --seeds 8 > /dev/null
+
+echo "== h2p events (hardened event-log ingestion)"
+# A real event log round-trips through the typed parser and the replay
+# reconciliation; a log with a non-finite timestamp is rejected with a
+# line-numbered error and nonzero exit.
+EVENTS_OUT=$(mktemp)
+$H2P trace --events "$EVENTS_OUT" bert > /dev/null 2>&1
+$H2P events "$EVENTS_OUT" > /dev/null
+echo '{"event":"finish","time_ms":NaN,"task":0,"processor":1,"duration_ms":3,"slowdown":0}' > "$EVENTS_OUT"
+if $H2P events "$EVENTS_OUT" > /dev/null 2>&1; then
+    echo "event-log parser accepted a non-finite timestamp" >&2
+    rm -f "$EVENTS_OUT"
+    exit 1
+fi
+rm -f "$EVENTS_OUT"
+
 echo "== h2p export (chrome trace + metrics snapshot)"
 # The exporter must emit schema-valid Chrome Trace JSON and a non-empty
 # metrics snapshot for the full pipeline scheme.

@@ -16,6 +16,9 @@
 //! h2p lint  --json --deny-warnings bert  # machine-readable, strict
 //! h2p lint  --corrupt drop-layer bert    # exits nonzero (lint demo)
 //! h2p export --trace t.json --metrics m.json bert resnet50
+//! h2p trace --faults drop:NPU@5 bert resnet50   # fault-injected run
+//! h2p chaos --seeds 8                    # seeded fault-recovery sweep
+//! h2p events log.jsonl                   # parse + replay an event log
 //! ```
 
 use std::sync::Arc;
@@ -24,14 +27,19 @@ use h2p_analyze::Mutation;
 use h2p_baselines::{pipe_it, Scheme};
 use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::ModelId;
+use h2p_simulator::eventlog::{self, json_escape};
 use h2p_simulator::export::{
     add_audit_instants, add_planner_spans, chrome_trace, record_trace_metrics, ENGINE_PID,
 };
-use h2p_simulator::{audit, SocSpec};
+use h2p_simulator::faults::parse_fault_specs;
+use h2p_simulator::{audit, EngineEvent, FaultSpec, SocSpec};
 use h2p_telemetry::{MetricsRegistry, Telemetry};
 use hetero2pipe::executor::request_slices;
 use hetero2pipe::planner::{Planner, PlannerConfig};
+use hetero2pipe::recovery::{chaos_faults, run_with_recovery, RecoveryOutcome, RecoveryPolicy};
 use hetero2pipe::report::{PlanSummary, ReportSummary};
+use hetero2pipe::workload::random_models;
+use hetero2pipe::PlanError;
 
 fn parse_soc(name: &str) -> Option<SocSpec> {
     match name
@@ -74,7 +82,7 @@ fn parse_scheme(name: &str) -> Option<Scheme> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--summary]\n            [--corrupt [CLASS]] [--events PATH|-] MODEL...\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n  h2p export [--soc NAME] [--scheme NAME] [--trace PATH|-]\n            [--metrics PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts,\n                  including the event-log replay reconciliation; exit\n                  nonzero on any violation\n  --summary       print the per-processor metrics snapshot table\n                  (busy/idle/bubble/stretch ms)\n  --corrupt [CLASS] deliberately corrupt the trace before auditing\n                  (demo); CLASS is overlap (default) or stretch — an\n                  in-envelope duration corruption only the replay\n                  reconciliation catches\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan\n\nexport flags:\n  --trace PATH    write the run as Chrome Trace Event JSON, loadable in\n                  chrome://tracing or ui.perfetto.dev ('-' = stdout)\n  --metrics PATH  write the metrics snapshot JSON ('-' = stdout)"
+        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--summary]\n            [--corrupt [CLASS]] [--events PATH|-] [--faults SPEC] MODEL...\n  h2p chaos [--soc NAME] --seeds N\n  h2p events PATH|-\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n  h2p export [--soc NAME] [--scheme NAME] [--trace PATH|-]\n            [--metrics PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts,\n                  including the event-log replay reconciliation; exit\n                  nonzero on any violation\n  --summary       print the per-processor metrics snapshot table\n                  (busy/idle/bubble/stretch ms)\n  --corrupt [CLASS] deliberately corrupt the trace before auditing\n                  (demo); CLASS is overlap (default) or stretch — an\n                  in-envelope duration corruption only the replay\n                  reconciliation catches\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n  --faults SPEC   run under scripted faults with recovery (h2p scheme\n                  only); SPEC is comma-separated:\n                    drop:<PROC>@<t>                   processor dropout\n                    throttle:<PROC>@<from>..<until>x<f>  rate throttle\n                    flaky:<request>x<count>           transient failures\n                    mispredict:<scale>                cost misprediction\n\nchaos flags:\n  --seeds N       run N seeded random fault scenarios through the\n                  recovery runner; every scenario must end recovered\n                  with audit-clean rounds or in a typed degraded\n                  outcome — exit nonzero otherwise\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan\n\nexport flags:\n  --trace PATH    write the run as Chrome Trace Event JSON, loadable in\n                  chrome://tracing or ui.perfetto.dev ('-' = stdout)\n  --metrics PATH  write the metrics snapshot JSON ('-' = stdout)"
     );
     std::process::exit(2);
 }
@@ -104,6 +112,7 @@ struct Args {
     summary: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    faults: Option<String>,
 }
 
 /// Parses the common tail of the argument list. `lint` switches
@@ -123,6 +132,7 @@ fn parse_args(rest: &[String], lint: bool) -> Args {
     let mut summary = false;
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut faults = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -202,6 +212,13 @@ fn parse_args(rest: &[String], lint: bool) -> Args {
                     usage()
                 }));
             }
+            "--faults" => {
+                i += 1;
+                faults = Some(rest.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--faults needs a comma-separated fault spec");
+                    usage()
+                }));
+            }
             m => match parse_model(m) {
                 Some(id) => models.push(id),
                 None => {
@@ -230,6 +247,7 @@ fn parse_args(rest: &[String], lint: bool) -> Args {
         summary,
         trace_out,
         metrics_out,
+        faults,
     }
 }
 
@@ -326,6 +344,10 @@ fn main() {
         }
         "trace" => {
             let args = parse_args(&argv[1..], false);
+            if let Some(spec) = args.faults.clone() {
+                run_trace_faulted(&args, &spec);
+                return;
+            }
             // Every scheme lowers through `Scheme::lower -> LoweredPlan`,
             // so the trace-audit gate covers the baselines too, not just
             // the Hetero²Pipe planner.
@@ -389,7 +411,7 @@ fn main() {
                 for (i, t) in tasks.iter().enumerate() {
                     lines.push_str(&format!(
                         "{{\"event\":\"task\",\"task\":{i},\"label\":\"{}\",\"processor\":{},\"solo_ms\":{}}}\n",
-                        t.label,
+                        json_escape(&t.label),
                         t.processor.index(),
                         t.solo_ms
                     ));
@@ -521,6 +543,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "chaos" => {
+            run_chaos(&argv[1..]);
+        }
+        "events" => {
+            run_events(&argv[1..]);
+        }
         "lint" => {
             let args = parse_args(&argv[1..], true);
             let diags = run_lint(&args);
@@ -534,6 +562,327 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+}
+
+/// Human-readable description of one scripted fault, with processor
+/// names resolved against the target SoC.
+fn fault_desc(soc: &SocSpec, f: &FaultSpec) -> String {
+    let proc_name = |p: h2p_simulator::ProcessorId| {
+        soc.processors
+            .get(p.index())
+            .map_or_else(|| format!("processor {}", p.index()), |s| s.name.clone())
+    };
+    match f {
+        FaultSpec::ProcessorDropout { processor, at_ms } => {
+            format!("drop {} at {at_ms:.1} ms", proc_name(*processor))
+        }
+        FaultSpec::ThermalThrottle {
+            processor,
+            from_ms,
+            until_ms,
+            factor,
+        } => format!(
+            "throttle {} to {factor:.2}x over {from_ms:.1}..{until_ms:.1} ms",
+            proc_name(*processor)
+        ),
+        FaultSpec::TransientFailure { request, failures } => {
+            format!("fail request {request} transiently {failures} time(s)")
+        }
+        FaultSpec::CostMisprediction { scale } => {
+            format!("scale every real task duration by {scale:.2}x")
+        }
+    }
+}
+
+/// Returns a copy of `e` with its timestamp shifted by `offset_ms`,
+/// used to splice per-round (time-zero-based) recovery logs onto the
+/// global timeline.
+fn shift_event(e: &EngineEvent, offset_ms: f64) -> EngineEvent {
+    let mut e = e.clone();
+    match &mut e {
+        EngineEvent::Ready { time_ms, .. }
+        | EngineEvent::Start { time_ms, .. }
+        | EngineEvent::Rate { time_ms, .. }
+        | EngineEvent::Finish { time_ms, .. }
+        | EngineEvent::ProcessorDown { time_ms, .. }
+        | EngineEvent::Throttle { time_ms, .. }
+        | EngineEvent::TaskFailed { time_ms, .. } => *time_ms += offset_ms,
+    }
+    e
+}
+
+/// `h2p trace --faults SPEC`: run the request set through the recovery
+/// runner under scripted faults, print the per-round recovery story,
+/// and exit nonzero only if any round's faulted audit found a contract
+/// violation (a typed degraded outcome is a valid, reported terminal
+/// state).
+fn run_trace_faulted(args: &Args, spec: &str) {
+    if args.scheme != Scheme::Hetero2Pipe {
+        eprintln!(
+            "--faults recovers through the h2p planner; --scheme {} is not supported",
+            args.scheme.name()
+        );
+        usage()
+    }
+    let faults = match parse_fault_specs(spec, &args.soc) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("bad --faults spec: {err}");
+            usage()
+        }
+    };
+    println!(
+        "injecting {} scripted fault(s) on {}:",
+        faults.len(),
+        args.soc.name
+    );
+    for f in &faults {
+        println!("  - {}", fault_desc(&args.soc, f));
+    }
+    let planner = Planner::new(&args.soc).expect("planner");
+    let report = run_with_recovery(
+        &planner,
+        &graphs(&args.models),
+        &faults,
+        &RecoveryPolicy::default(),
+    )
+    .expect("recovery");
+    for (i, round) in report.rounds.iter().enumerate() {
+        println!(
+            "round {i}: starts at {:.2} ms, {} events, {} request(s) completed, \
+             {} fault(s), audit {}",
+            round.offset_ms,
+            round.events.len(),
+            round.completed,
+            round.faults,
+            if round.audit_clean { "clean" } else { "DIRTY" }
+        );
+    }
+    let completed = report.completed.iter().filter(|&&c| c).count();
+    println!(
+        "{} replan(s), {} retry(ies), {} fault(s), {:.2} ms elapsed, {}/{} requests completed",
+        report.replans,
+        report.retries,
+        report.faults,
+        report.elapsed_ms,
+        completed,
+        report.completed.len()
+    );
+    match &report.outcome {
+        RecoveryOutcome::Recovered => println!("outcome: recovered"),
+        RecoveryOutcome::Degraded(e) => println!("outcome: degraded — {e}"),
+    }
+    if let Some(path) = &args.events {
+        // Concatenate the per-round logs on the global timeline. Task
+        // ids restart per round, so the log documents the recovery
+        // story rather than a single replayable run.
+        let mut lines = String::new();
+        for round in &report.rounds {
+            for e in &round.events {
+                lines.push_str(&shift_event(e, round.offset_ms).json_line());
+                lines.push('\n');
+            }
+        }
+        if path == "-" {
+            print!("{lines}");
+        } else {
+            std::fs::write(path, lines).expect("write events");
+            eprintln!("event log written to {path}");
+        }
+    }
+    if !report.all_rounds_audit_clean() {
+        eprintln!("audit violation in at least one recovery round");
+        std::process::exit(1);
+    }
+}
+
+/// Checks one chaos scenario's report against the sweep's invariants;
+/// returns a violation description, or `None` if the scenario is
+/// acceptable (recovered audit-clean, or degraded with a typed reason).
+fn chaos_violation(
+    report: &hetero2pipe::recovery::RecoveryReport,
+    policy: &RecoveryPolicy,
+    n_req: usize,
+) -> Option<String> {
+    if !report.all_rounds_audit_clean() {
+        return Some("a recovery round failed its faulted audit".to_owned());
+    }
+    if let RecoveryOutcome::Degraded(e) = &report.outcome {
+        let typed = matches!(
+            e,
+            PlanError::RetriesExhausted { .. }
+                | PlanError::DeadlineExceeded { .. }
+                | PlanError::NoSurvivingProcessors
+        );
+        if !typed {
+            return Some(format!("untyped degraded outcome: {e}"));
+        }
+    }
+    if report.retries > policy.max_retries * n_req {
+        return Some(format!(
+            "retry budget breached: {} retries granted for {} request(s)",
+            report.retries, n_req
+        ));
+    }
+    // No task may ever start on a processor that dropped out — within a
+    // round or in any later round.
+    let mut down_before: Vec<bool> = Vec::new();
+    for round in &report.rounds {
+        let mut down = down_before.clone();
+        for e in &round.events {
+            match e {
+                EngineEvent::ProcessorDown { processor, .. } => {
+                    let p = processor.index();
+                    if down.len() <= p {
+                        down.resize(p + 1, false);
+                    }
+                    down[p] = true;
+                }
+                EngineEvent::Start {
+                    processor, task, ..
+                } if down.get(processor.index()).copied().unwrap_or(false) => {
+                    return Some(format!(
+                        "task {task} started on down processor {}",
+                        processor.index()
+                    ));
+                }
+                _ => {}
+            }
+        }
+        down_before = down;
+    }
+    None
+}
+
+/// `h2p chaos --seeds N`: run N seeded random fault scenarios through
+/// the recovery runner and assert every one ends recovered audit-clean
+/// or in a typed degraded outcome — never a panic, an audit violation,
+/// an unbounded retry storm, or a task on a down processor.
+fn run_chaos(rest: &[String]) {
+    let mut soc = SocSpec::kirin_990();
+    let mut seeds: Option<u64> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--soc" => {
+                i += 1;
+                soc = rest.get(i).and_then(|s| parse_soc(s)).unwrap_or_else(|| {
+                    eprintln!("unknown soc");
+                    usage()
+                });
+            }
+            "--seeds" => {
+                i += 1;
+                seeds = Some(
+                    rest.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--seeds needs a positive integer");
+                            usage()
+                        }),
+                );
+            }
+            other => {
+                eprintln!("unknown chaos flag: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    let Some(seeds) = seeds else {
+        eprintln!("chaos needs --seeds N");
+        usage()
+    };
+    let planner = Planner::new(&soc).expect("planner");
+    let policy = RecoveryPolicy::default();
+    let mut failures = 0usize;
+    for seed in 0..seeds {
+        let len = 2 + (seed % 3) as usize;
+        let models = random_models(seed.wrapping_mul(0x9E37).wrapping_add(17), len);
+        let reqs = graphs(&models);
+        let faults = chaos_faults(&soc, reqs.len(), seed);
+        let verdict = match run_with_recovery(&planner, &reqs, &faults, &policy) {
+            Err(e) => Some(format!("hard planning error: {e}")),
+            Ok(report) => {
+                let violation = chaos_violation(&report, &policy, reqs.len());
+                if violation.is_none() {
+                    let outcome = match &report.outcome {
+                        RecoveryOutcome::Recovered => "recovered".to_owned(),
+                        RecoveryOutcome::Degraded(e) => format!("degraded ({e})"),
+                    };
+                    println!(
+                        "seed {seed:>3}: {} request(s), {} fault(s), {} round(s), \
+                         {} replan(s), {} retry(ies) — {outcome}",
+                        reqs.len(),
+                        faults.len(),
+                        report.rounds.len(),
+                        report.replans,
+                        report.retries,
+                    );
+                }
+                violation
+            }
+        };
+        if let Some(why) = verdict {
+            println!("seed {seed:>3}: FAIL — {why}");
+            failures += 1;
+        }
+    }
+    println!(
+        "chaos sweep on {}: {}/{} scenario(s) ok",
+        soc.name,
+        seeds - failures as u64,
+        seeds
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `h2p events PATH|-`: parse a JSON-lines event log with the hardened
+/// typed parser and reconcile it through the audit replay. Exits
+/// nonzero on any parse error (with its line number).
+fn run_events(rest: &[String]) {
+    let Some(path) = rest.first() else {
+        eprintln!("events needs a path (or '-')");
+        usage()
+    };
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut s).expect("read stdin");
+        s
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let log = match eventlog::parse_event_log(&text) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{} task header(s), {} event(s), {} task id(s)",
+        log.tasks.len(),
+        log.events.len(),
+        log.task_count()
+    );
+    match audit::replay(log.task_count(), &log.events) {
+        Ok(spans) => {
+            let done: Vec<_> = spans.iter().flatten().collect();
+            let last = done.iter().map(|s| s.end_ms).fold(0.0f64, f64::max);
+            println!(
+                "replay: {} of {} task(s) completed, last finish at {last:.2} ms",
+                done.len(),
+                log.task_count()
+            );
+        }
+        Err(e) => println!("replay: not reconstructible ({e})"),
     }
 }
 
