@@ -98,6 +98,18 @@ fn bench_online_replan(c: &mut Criterion) {
     c.bench_function("online/replan_w4/16", |b| {
         b.iter(|| online.plan(&graphs).expect("plan"))
     });
+    // The incremental path on unchanged windows: the first call below
+    // warms the window cache, so the measured steady state is the online
+    // deployment's common case — every window's key (models, contention
+    // classes, processor availability) unchanged since the last
+    // invocation, every plan served from the memo. Release builds skip
+    // the debug-only hit-equivalence replan, so this measures the cache.
+    online
+        .plan_incremental(&graphs)
+        .expect("warm the window cache");
+    c.bench_function("online/replan_incremental/16", |b| {
+        b.iter(|| online.plan_incremental(&graphs).expect("plan"))
+    });
 }
 
 fn bench_recovery_replan(c: &mut Criterion) {
@@ -161,12 +173,30 @@ fn write_json(results: &[BenchResult]) {
         ),
         _ => "  \"speedup\": null".to_owned(),
     };
+    let scratch = median_of(results, "online/replan_w4/16");
+    let incremental = median_of(results, "online/replan_incremental/16");
+    let replan = match (scratch, incremental) {
+        (Some(scratch), Some(incremental)) if incremental > 0.0 => format!(
+            concat!(
+                "  \"replan\": {{\n",
+                "    \"scratch_median_ns\": {scratch:.1},\n",
+                "    \"incremental_median_ns\": {incremental:.1},\n",
+                "    \"incremental_vs_scratch\": {ratio:.3}\n",
+                "  }}"
+            ),
+            scratch = scratch,
+            incremental = incremental,
+            ratio = scratch / incremental,
+        ),
+        _ => "  \"replan\": null".to_owned(),
+    };
     let json = format!(
-        "{{\n  \"schema\": \"h2p-bench-planner/v1\",\n  \"quick\": {},\n  \"available_parallelism\": {},\n  \"cases\": [\n{}\n  ],\n{}\n}}\n",
+        "{{\n  \"schema\": \"h2p-bench-planner/v1\",\n  \"quick\": {},\n  \"available_parallelism\": {},\n  \"cases\": [\n{}\n  ],\n{},\n{}\n}}\n",
         criterion::quick_mode(),
         par::available_parallelism(),
         cases.join(",\n"),
         speedup,
+        replan,
     );
     match std::fs::write(&out, &json) {
         Ok(()) => println!("\nwrote {out}"),

@@ -1,12 +1,25 @@
 //! Validates `BENCH_planner.json` (written by the `planner_scaling`
 //! bench) and gates the perf trajectory: the schema must match, the
-//! required cases must be present with positive medians, and the parallel
+//! required cases must be present with positive medians, the parallel
 //! planner must not be slower than the sequential baseline on the
-//! 8-request workload.
+//! 8-request workload, and the incremental online replan must beat the
+//! from-scratch window replan.
 //!
 //! ```text
-//! bench_check [path] [--min-speedup X]
+//! bench_check [path] [--min-speedup X] [--min-replan-speedup X]
+//!             [--require-parallel]
 //! ```
+//!
+//! A speedup block measured on a host with `available_parallelism <
+//! threads` is **refused**: its thread-vs-thread ratios measure scoped
+//! threads time-slicing one core, not parallelism, so the block is
+//! reported as advisory and the parallel gates are skipped (the
+//! committed snapshot records which host class produced it). Passing
+//! `--require-parallel` (what `scripts/ci.sh` does on hosts with enough
+//! cores) turns that refusal into a failure and additionally asserts
+//! `t4_vs_t1 >= 1.0` — t4 must strictly not lose to t1 where the
+//! hardware can actually run 4 workers. The replan gate is algorithmic
+//! (cache hit vs re-solve) and therefore valid on any host.
 //!
 //! Exits non-zero with a diagnostic on any violation. The parser is a
 //! deliberately small field extractor over the file this workspace itself
@@ -43,6 +56,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = "BENCH_planner.json".to_owned();
     let mut min_speedup = 1.0f64;
+    let mut min_replan_speedup = 3.0f64;
+    let mut require_parallel = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -55,6 +70,20 @@ fn main() {
                         std::process::exit(2);
                     });
                 i += 2;
+            }
+            "--min-replan-speedup" => {
+                min_replan_speedup =
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--min-replan-speedup needs a number");
+                            std::process::exit(2);
+                        });
+                i += 2;
+            }
+            "--require-parallel" => {
+                require_parallel = true;
+                i += 1;
             }
             other => {
                 path = other.to_owned();
@@ -86,6 +115,7 @@ fn main() {
         "plan/t1/8",
         "plan/t4/8",
         "online/replan_w4/16",
+        "online/replan_incremental/16",
         "recovery/replan_drop1/8",
     ];
     for name in required_cases {
@@ -96,18 +126,73 @@ fn main() {
         }
     }
 
-    match number_field(&json, "t4_vs_reference") {
-        Some(speedup) if speedup >= min_speedup => {
+    // The speedup block is only meaningful where the host could actually
+    // run the benched thread count concurrently: with
+    // available_parallelism < threads, "t4" measures scoped threads
+    // time-slicing one another, so the block is refused and reported as
+    // advisory instead of validated.
+    let parallelism = number_field(&json, "available_parallelism");
+    let bench_threads = number_field(&json, "threads");
+    let parallel_host = match (parallelism, bench_threads) {
+        (Some(p), Some(t)) => p >= t,
+        _ => false,
+    };
+    if !parallel_host {
+        let (p, t) = (parallelism.unwrap_or(0.0), bench_threads.unwrap_or(0.0));
+        if require_parallel {
+            failures.push(format!(
+                "--require-parallel: speedup block measured with \
+                 available_parallelism {p:.0} < threads {t:.0} is invalid"
+            ));
+        } else {
             println!(
-                "bench_check: parallel planner speedup {speedup:.3}x vs sequential reference \
-                 (gate: >= {min_speedup:.3}x) -- ok"
+                "bench_check: ADVISORY speedup block -- available_parallelism {p:.0} < \
+                 threads {t:.0}, thread-vs-thread ratios measure time-slicing, not \
+                 parallelism; parallel gates skipped"
             );
         }
-        Some(speedup) => failures.push(format!(
-            "parallel planner is too slow: {speedup:.3}x vs sequential reference \
-             (gate: >= {min_speedup:.3}x)"
+    } else {
+        match number_field(&json, "t4_vs_reference") {
+            Some(speedup) if speedup >= min_speedup => {
+                println!(
+                    "bench_check: parallel planner speedup {speedup:.3}x vs sequential reference \
+                     (gate: >= {min_speedup:.3}x) -- ok"
+                );
+            }
+            Some(speedup) => failures.push(format!(
+                "parallel planner is too slow: {speedup:.3}x vs sequential reference \
+                 (gate: >= {min_speedup:.3}x)"
+            )),
+            None => failures.push("missing speedup block (t4_vs_reference)".to_owned()),
+        }
+        if require_parallel {
+            match number_field(&json, "t4_vs_t1") {
+                Some(ratio) if ratio >= 1.0 => {
+                    println!("bench_check: t4 vs t1 {ratio:.3}x (gate: >= 1.000x) -- ok");
+                }
+                Some(ratio) => failures.push(format!(
+                    "t4 loses to t1 on a parallel host: {ratio:.3}x (gate: >= 1.000x)"
+                )),
+                None => failures.push("missing speedup block (t4_vs_t1)".to_owned()),
+            }
+        }
+    }
+
+    // The incremental-replan gate compares a cache hit against a
+    // from-scratch window re-solve — purely algorithmic, valid on any
+    // host class.
+    match number_field(&json, "incremental_vs_scratch") {
+        Some(ratio) if ratio >= min_replan_speedup => {
+            println!(
+                "bench_check: incremental replan {ratio:.3}x faster than from-scratch \
+                 (gate: >= {min_replan_speedup:.3}x) -- ok"
+            );
+        }
+        Some(ratio) => failures.push(format!(
+            "incremental replan too slow: {ratio:.3}x vs from-scratch windows \
+             (gate: >= {min_replan_speedup:.3}x)"
         )),
-        None => failures.push("missing speedup block (t4_vs_reference)".to_owned()),
+        None => failures.push("missing replan block (incremental_vs_scratch)".to_owned()),
     }
 
     if failures.is_empty() {

@@ -4,8 +4,9 @@
 //! subsystem attached and reports the accumulated phase timings
 //! (prepare = per-request DP partitioning, assemble = candidate-order
 //! evaluation with work stealing and tail search), the DP pruning hit
-//! rate, and the LAP work counters — the observability counterpart of
-//! the `planner_scaling` wall-clock suite. The raw metrics snapshot is
+//! rate, the LAP work counters, and the cross-invocation estimate-table
+//! cache hit/miss counters — the observability counterpart of the
+//! `planner_scaling` wall-clock suite. The raw metrics snapshot is
 //! written as JSON for trend tracking across commits.
 //!
 //! Arguments: `--requests N` (default 8), `--seed S` (default 7),
@@ -72,6 +73,18 @@ fn main() {
         count("lap.augment_steps"),
         count("mitigation.passes"),
         count("mitigation.moves"),
+    );
+    // The cross-invocation estimate-table cache: the first plan misses
+    // once per distinct (model, pipeline) pair, every later plan hits.
+    let hits = count("planner.tables.cache_hits");
+    let misses = count("planner.tables.cache_misses");
+    let hit_rate = if hits + misses > 0 {
+        100.0 * hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    println!(
+        "tables cache: {hits} hits, {misses} misses across {iters} plans ({hit_rate:.1}% hit rate)"
     );
 
     std::fs::write(&out, snap.to_json()).expect("write metrics snapshot");

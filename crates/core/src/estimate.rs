@@ -40,6 +40,13 @@ use crate::plan::{StagePlan, StageRun};
 /// share a base name).
 type IntensityMemo = HashMap<String, Vec<(Arc<ModelGraph>, f64, ContentionClass)>>;
 
+/// Cross-invocation memo for [`Estimator::tables_cached`]: per model name,
+/// the `(graph, pipeline processors, tables)` triples already built. The
+/// pipeline-processor list is part of the key because it encodes processor
+/// availability (a dropped or depth-truncated slot changes the list), and
+/// the graph is compared in full because names alone are not unique.
+type TablesMemo = HashMap<String, Vec<(Arc<ModelGraph>, Vec<ProcessorId>, Arc<RequestTables>)>>;
+
 /// Bundles the cost model and the trained contention-intensity model.
 #[derive(Debug, Clone)]
 pub struct Estimator {
@@ -50,6 +57,10 @@ pub struct Estimator {
     /// clones of this estimator (planning the same model zoo repeatedly
     /// — the online re-planning case — hits the memo).
     intensity_memo: Arc<Mutex<IntensityMemo>>,
+    /// Cross-invocation memo for [`Estimator::tables_cached`]; shared by
+    /// clones. Re-planning the same model set every window reuses its
+    /// prefix-sum cost tables via `Arc` instead of rebuilding them.
+    tables_memo: Arc<Mutex<TablesMemo>>,
 }
 
 impl Estimator {
@@ -87,6 +98,7 @@ impl Estimator {
             intensity,
             pmu_proc,
             intensity_memo: Arc::new(Mutex::new(HashMap::new())),
+            tables_memo: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -111,6 +123,7 @@ impl Estimator {
             intensity,
             pmu_proc,
             intensity_memo: Arc::new(Mutex::new(HashMap::new())),
+            tables_memo: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -139,6 +152,12 @@ impl Estimator {
     /// exactly as correct as recomputing; repeated planning of the same
     /// models (the online case) skips the regression entirely.
     pub fn intensity_and_class(&self, graph: &Arc<ModelGraph>) -> (f64, ContentionClass) {
+        self.intensity_and_class_of(graph)
+    }
+
+    /// [`Estimator::intensity_and_class`] for a borrowed graph: the same
+    /// memo, cloning the graph into the memo only on a miss.
+    pub fn intensity_and_class_of(&self, graph: &ModelGraph) -> (f64, ContentionClass) {
         let mut memo = match self.intensity_memo.lock() {
             Ok(guard) => guard,
             // The memo is a pure cache: a panic while holding the lock
@@ -146,12 +165,12 @@ impl Estimator {
             Err(poisoned) => poisoned.into_inner(),
         };
         let entries = memo.entry(graph.name().to_owned()).or_default();
-        if let Some((_, i, c)) = entries.iter().find(|(g, _, _)| **g == **graph) {
+        if let Some((_, i, c)) = entries.iter().find(|(g, _, _)| **g == *graph) {
             return (*i, *c);
         }
         let i = self.predict_intensity(graph);
         let c = self.classify(graph);
-        entries.push((Arc::clone(graph), i, c));
+        entries.push((Arc::new(graph.clone()), i, c));
         (i, c)
     }
 
@@ -244,6 +263,51 @@ impl Estimator {
             copy_pairs,
             fallback,
         }
+    }
+
+    /// The cross-invocation cached variant of [`Estimator::tables`]: the
+    /// same model planned over the same pipeline-processor list (the same
+    /// contention class follows, since the class is a pure function of the
+    /// graph) reuses its shared tables via `Arc` instead of rebuilding
+    /// them — the online re-planning case, where every window re-plans
+    /// the same model set. Returns `(tables, hit)` so callers can record
+    /// cache telemetry. A hit is exactly as correct as rebuilding: the
+    /// memo key is the model name, verified with a full graph equality
+    /// check plus an exact processor-list match (the processor list
+    /// encodes availability — a dropped or depth-truncated slot changes
+    /// it and therefore misses).
+    pub fn tables_cached(
+        &self,
+        graph: &ModelGraph,
+        pipeline_procs: &[ProcessorId],
+    ) -> (Arc<RequestTables>, bool) {
+        let mut memo = match self.tables_memo.lock() {
+            Ok(guard) => guard,
+            // Pure cache: a panic while holding the lock cannot leave
+            // partial state, so a poisoned lock is usable.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let entries = memo.entry(graph.name().to_owned()).or_default();
+        if let Some((_, _, tables)) = entries
+            .iter()
+            .find(|(g, procs, _)| procs == pipeline_procs && **g == *graph)
+        {
+            return (Arc::clone(tables), true);
+        }
+        let shared_graph = Arc::new(graph.clone());
+        let tables = Arc::new(self.tables(Arc::clone(&shared_graph), pipeline_procs));
+        entries.push((shared_graph, pipeline_procs.to_vec(), Arc::clone(&tables)));
+        (tables, false)
+    }
+
+    /// Drops every cached [`RequestTables`] (shared by clones of this
+    /// estimator). Subsequent lookups rebuild and re-populate.
+    pub fn clear_tables_cache(&self) {
+        let mut memo = match self.tables_memo.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        memo.clear();
     }
 }
 

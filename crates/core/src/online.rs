@@ -8,8 +8,36 @@
 //! windows as they arrive — mitigation re-ordering and work stealing are
 //! scoped to a window, bounding per-invocation planning latency while the
 //! pipeline keeps streaming.
+//!
+//! # Incremental window replanning
+//!
+//! An online deployment re-plans the *same* model set window after window
+//! as contention shifts; re-solving every window from scratch is exactly
+//! the overhead the paper's operational note warns about.
+//! [`OnlinePlanner::plan_incremental`] memoizes finished window plans in a
+//! cross-invocation cache and re-plans only windows whose key changed.
+//! The key has three components, each pinning one way a cached plan can
+//! go stale:
+//!
+//! * the **window's model graphs** (full equality — names alone are not
+//!   unique),
+//! * the **contention class** of every request (re-checked against the
+//!   estimator on every lookup, so a reclassification invalidates),
+//! * the **pipeline processor list** (processor availability — a dropped
+//!   or depth-truncated slot changes the list and invalidates).
+//!
+//! Window granularity is the correctness-preserving unit: mitigation
+//! re-ordering and work stealing couple the requests *within* a window,
+//! so per-request memoization below that would not stay bit-identical.
+//! Any window that misses falls back to planning from scratch (the
+//! planner's normal path), and in debug builds every cache hit is
+//! re-planned and asserted bit-identical to the from-scratch plan.
 
+use std::sync::{Arc, Mutex};
+
+use h2p_contention::ContentionClass;
 use h2p_models::graph::ModelGraph;
+use h2p_simulator::ProcessorId;
 use h2p_telemetry::span;
 
 use crate::error::PlanError;
@@ -17,11 +45,42 @@ use crate::par;
 use crate::plan::PipelinePlan;
 use crate::planner::{PlannedPipeline, Planner};
 
+/// One memoized window: the key components and the finished plan (with
+/// window-local request indices).
+#[derive(Debug, Clone)]
+struct WindowEntry {
+    graphs: Vec<ModelGraph>,
+    classes: Vec<ContentionClass>,
+    procs: Vec<ProcessorId>,
+    planned: PlannedPipeline,
+}
+
+impl WindowEntry {
+    /// Whether this entry covers the given window under the given
+    /// contention classes and processor availability. Every component of
+    /// the cache key is compared: a change to any one of them — model
+    /// set, contention class, or processor list — misses.
+    fn matches(
+        &self,
+        graphs: &[ModelGraph],
+        classes: &[ContentionClass],
+        procs: &[ProcessorId],
+    ) -> bool {
+        self.procs == procs
+            && self.classes == classes
+            && self.graphs.len() == graphs.len()
+            && self.graphs.iter().zip(graphs).all(|(a, b)| a == b)
+    }
+}
+
 /// A planner invoked once per arrival window.
 #[derive(Debug, Clone)]
 pub struct OnlinePlanner {
     planner: Planner,
     window: usize,
+    /// Cross-invocation window-plan cache for
+    /// [`OnlinePlanner::plan_incremental`]; shared by clones.
+    window_cache: Arc<Mutex<Vec<WindowEntry>>>,
 }
 
 impl OnlinePlanner {
@@ -32,7 +91,11 @@ impl OnlinePlanner {
     /// Panics if `window == 0`.
     pub fn new(planner: Planner, window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        OnlinePlanner { planner, window }
+        OnlinePlanner {
+            planner,
+            window,
+            window_cache: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// The wrapped planner.
@@ -80,6 +143,12 @@ impl OnlinePlanner {
             span!(telemetry.spans, "window:{}", w);
             self.planner.plan_with_threads(chunk, inner_threads)
         })?;
+        self.combine(window_plans)
+    }
+
+    /// Concatenates per-window plans (window-local request indices) into
+    /// one executable pipeline plan with global submission-order indices.
+    fn combine(&self, window_plans: Vec<PlannedPipeline>) -> Result<PlannedPipeline, PlanError> {
         let mut combined: Option<PlannedPipeline> = None;
         let mut tail_merges = 0usize;
         for (w, mut planned) in window_plans.into_iter().enumerate() {
@@ -115,6 +184,135 @@ impl OnlinePlanner {
             );
         }
         Ok(out)
+    }
+
+    /// [`OnlinePlanner::plan`] with incremental window replanning: windows
+    /// whose cache key — model graphs, contention classes, and the
+    /// pipeline processor list — is unchanged since a previous invocation
+    /// reuse their memoized plan; only changed windows are re-planned
+    /// (from scratch, on the planner's normal path). The combined plan is
+    /// **bit-identical** to [`OnlinePlanner::plan`] on the same requests:
+    /// the planner is deterministic, so equal inputs produce equal window
+    /// plans, and in debug builds every cache hit re-plans its window and
+    /// asserts exactly that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if any window fails to plan.
+    pub fn plan_incremental(&self, requests: &[ModelGraph]) -> Result<PlannedPipeline, PlanError> {
+        if requests.is_empty() {
+            return Err(PlanError::EmptyRequestSet);
+        }
+        let telemetry = self.planner.telemetry();
+        span!(telemetry.spans, "online-inc:{}req", requests.len());
+        let chunks: Vec<&[ModelGraph]> = requests.chunks(self.window).collect();
+        telemetry.metrics.inc("online.invocations");
+        telemetry.metrics.add("online.windows", chunks.len() as u64);
+        let procs = self.planner.pipeline_procs();
+        let estimator = self.planner.estimator();
+        // Key component 2: the *current* contention class of every
+        // request, re-derived (memoized) on every lookup so a
+        // reclassified model invalidates its windows.
+        let classes: Vec<Vec<ContentionClass>> = chunks
+            .iter()
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|g| estimator.intensity_and_class_of(g).1)
+                    .collect()
+            })
+            .collect();
+
+        // Phase 1: serve hits from the cache, collect the misses.
+        let mut window_plans: Vec<Option<PlannedPipeline>> = vec![None; chunks.len()];
+        let mut missed: Vec<usize> = Vec::new();
+        {
+            let cache = match self.window_cache.lock() {
+                Ok(guard) => guard,
+                // Pure cache: a poisoned lock cannot hold partial state.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for (w, chunk) in chunks.iter().enumerate() {
+                let hit = cache.iter().find(|e| e.matches(chunk, &classes[w], &procs));
+                match hit {
+                    Some(entry) => window_plans[w] = Some(entry.planned.clone()),
+                    None => missed.push(w),
+                }
+            }
+        }
+        telemetry.metrics.add(
+            "online.window_cache.hits",
+            (chunks.len() - missed.len()) as u64,
+        );
+        telemetry
+            .metrics
+            .add("online.window_cache.misses", missed.len() as u64);
+
+        // Debug-build equivalence gate: every hit re-plans its window
+        // from scratch and must match the memoized plan bit for bit.
+        #[cfg(debug_assertions)]
+        for (w, chunk) in chunks.iter().enumerate() {
+            if let Some(cached) = &window_plans[w] {
+                let fresh = self.planner.plan_with_threads(chunk, 1)?;
+                debug_assert!(
+                    fresh.plan == cached.plan && fresh.tail_merges == cached.tail_merges,
+                    "window {w}: memoized plan diverged from the from-scratch plan"
+                );
+            }
+        }
+
+        // Phase 2: plan the missed windows exactly as `plan` would (same
+        // fan-out rules), then memoize them.
+        if !missed.is_empty() {
+            let outer_threads = self.planner.config().effective_threads();
+            let inner_threads = if missed.len() > 1 && outer_threads > 1 {
+                1
+            } else {
+                outer_threads
+            };
+            let fresh = par::try_map(outer_threads, &missed, |_, &w| {
+                span!(telemetry.spans, "window:{}", w);
+                self.planner.plan_with_threads(chunks[w], inner_threads)
+            })?;
+            let mut cache = match self.window_cache.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for (&w, planned) in missed.iter().zip(fresh) {
+                cache.push(WindowEntry {
+                    graphs: chunks[w].to_vec(),
+                    classes: classes[w].clone(),
+                    procs: procs.clone(),
+                    planned: planned.clone(),
+                });
+                window_plans[w] = Some(planned);
+            }
+        }
+
+        let window_plans: Vec<PlannedPipeline> = window_plans
+            .into_iter()
+            .map(|p| p.ok_or(PlanError::EmptyRequestSet))
+            .collect::<Result<_, _>>()?;
+        self.combine(window_plans)
+    }
+
+    /// Drops every memoized window plan. Subsequent
+    /// [`OnlinePlanner::plan_incremental`] calls re-plan from scratch and
+    /// re-populate the cache.
+    pub fn clear_window_cache(&self) {
+        let mut cache = match self.window_cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        cache.clear();
+    }
+
+    /// Number of memoized window plans currently held.
+    pub fn window_cache_len(&self) -> usize {
+        match self.window_cache.lock() {
+            Ok(guard) => guard.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
     }
 
     /// Plans and returns only the [`PipelinePlan`] (convenience).
@@ -239,6 +437,102 @@ mod tests {
                 .filter(|s| s.name.starts_with("window:"))
                 .count(),
             3
+        );
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_and_hits_on_repeat() {
+        let soc = SocSpec::kirin_990();
+        let online = OnlinePlanner::new(Planner::new(&soc).unwrap(), 4);
+        let reqs = stream(); // 8 requests → 2 windows of 4
+        let scratch = online.plan(&reqs).unwrap();
+        // Cold: every window misses, gets planned and memoized.
+        let first = online.plan_incremental(&reqs).unwrap();
+        assert_eq!(first.plan, scratch.plan);
+        assert_eq!(first.tail_merges, scratch.tail_merges);
+        assert_eq!(online.window_cache_len(), 2);
+        // Warm: every window hits; the combined plan is bit-identical.
+        let second = online.plan_incremental(&reqs).unwrap();
+        assert_eq!(second.plan, scratch.plan);
+        assert_eq!(
+            second.plan.estimated_makespan_ms().to_bits(),
+            scratch.plan.estimated_makespan_ms().to_bits()
+        );
+        assert_eq!(online.window_cache_len(), 2, "no duplicate entries");
+        let snap = online.planner().telemetry().metrics.snapshot();
+        assert_eq!(snap.counter("online.window_cache.misses"), Some(2));
+        assert_eq!(snap.counter("online.window_cache.hits"), Some(2));
+    }
+
+    #[test]
+    fn incremental_replans_only_changed_windows() {
+        let soc = SocSpec::kirin_990();
+        let online = OnlinePlanner::new(Planner::new(&soc).unwrap(), 4);
+        let reqs = stream();
+        online.plan_incremental(&reqs).unwrap(); // 2 windows memoized
+                                                 // Change the second window only: its key misses, the first hits.
+        let mut shifted = reqs.clone();
+        shifted[6] = ModelId::InceptionV4.graph();
+        let out = online.plan_incremental(&shifted).unwrap();
+        assert_eq!(out.plan, online.plan(&shifted).unwrap().plan);
+        let snap = online.planner().telemetry().metrics.snapshot();
+        assert_eq!(snap.counter("online.window_cache.hits"), Some(1));
+        assert_eq!(snap.counter("online.window_cache.misses"), Some(3));
+        assert_eq!(online.window_cache_len(), 3);
+    }
+
+    #[test]
+    fn clear_window_cache_forces_replanning() {
+        let soc = SocSpec::kirin_990();
+        let online = OnlinePlanner::new(Planner::new(&soc).unwrap(), 4);
+        let reqs = stream();
+        online.plan_incremental(&reqs).unwrap();
+        assert_eq!(online.window_cache_len(), 2);
+        online.clear_window_cache();
+        assert_eq!(online.window_cache_len(), 0);
+        let out = online.plan_incremental(&reqs).unwrap();
+        assert_eq!(out.plan, online.plan(&reqs).unwrap().plan);
+    }
+
+    /// Pins cache invalidation on each key component independently: a
+    /// change to the model set, the contention classes, or the processor
+    /// list must each miss on its own.
+    #[test]
+    fn window_key_invalidates_on_each_component() {
+        use h2p_contention::ContentionClass;
+        let soc = SocSpec::kirin_990();
+        let planner = Planner::new(&soc).unwrap();
+        let win = graphs(&[ModelId::ResNet50, ModelId::SqueezeNet]);
+        let classes = vec![ContentionClass::Low, ContentionClass::High];
+        let procs = planner.pipeline_procs();
+        let planned = planner.plan(&win).unwrap();
+        let entry = WindowEntry {
+            graphs: win.clone(),
+            classes: classes.clone(),
+            procs: procs.clone(),
+            planned,
+        };
+        assert!(entry.matches(&win, &classes, &procs), "unchanged key hits");
+        // Component 1: model set (a different graph, same length).
+        let other = graphs(&[ModelId::ResNet50, ModelId::AlexNet]);
+        assert!(!entry.matches(&other, &classes, &procs));
+        // ...and a different window length.
+        assert!(!entry.matches(&win[..1], &classes[..1], &procs));
+        // Component 2: contention class of any request.
+        let flipped = vec![ContentionClass::Low, ContentionClass::Low];
+        assert!(!entry.matches(&win, &flipped, &procs));
+        // Component 3: processor availability (a dropped tail slot).
+        let degraded = procs[..procs.len() - 1].to_vec();
+        assert!(!entry.matches(&win, &classes, &degraded));
+    }
+
+    #[test]
+    fn empty_incremental_stream_is_rejected() {
+        let soc = SocSpec::kirin_990();
+        let online = OnlinePlanner::new(Planner::new(&soc).unwrap(), 4);
+        assert_eq!(
+            online.plan_incremental(&[]).unwrap_err(),
+            PlanError::EmptyRequestSet
         );
     }
 

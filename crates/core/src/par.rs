@@ -29,6 +29,36 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// Below this many items a map takes the sequential path outright: a
+/// scoped-thread spawn costs tens of microseconds, so fanning out a
+/// single item can only lose.
+pub const MIN_PARALLEL_ITEMS: usize = 2;
+
+/// The number of workers a map over `items` items actually spawns when
+/// asked for `threads`: never more workers than items (a worker with
+/// nothing to claim is pure spawn overhead), and never more than the
+/// machine's available parallelism (oversubscribed scoped threads only
+/// time-slice one another — the measured `plan/t4`-loses-to-`plan/t1`
+/// regression on single-core hosts). `1` means the caller runs the loop
+/// sequentially with zero thread-scope setup.
+pub fn worker_count(threads: usize, items: usize) -> usize {
+    if items < MIN_PARALLEL_ITEMS {
+        return 1;
+    }
+    threads.min(items).min(available_parallelism()).max(1)
+}
+
+/// How many contiguous items a worker claims per cursor fetch. Small maps
+/// (the planner's: a handful of requests or candidate orders, each worth
+/// hundreds of microseconds) claim one item at a time for best load
+/// balance; large maps claim runs of items so the shared cursor is
+/// touched O(workers) times instead of O(items). Chunks are contiguous
+/// and the cursor is monotone, so the claimed set is always a prefix of
+/// the items regardless of chunk size.
+fn chunk_size(items: usize, workers: usize) -> usize {
+    (items / (workers * 8)).max(1)
+}
+
 /// Applies `f` to every item and returns the results in item order.
 ///
 /// With `threads <= 1` (or fewer than two items) this is a plain
@@ -42,19 +72,24 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = threads.min(items.len());
+    let workers = worker_count(threads, items.len());
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
+    let chunk = chunk_size(items.len(), workers);
     let cursor = AtomicUsize::new(0);
     let run = |_worker: usize| {
         let mut local: Vec<(usize, R)> = Vec::new();
         loop {
-            let idx = cursor.fetch_add(1, Ordering::Relaxed);
-            if idx >= items.len() {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= items.len() {
                 break;
             }
-            local.push((idx, f(idx, &items[idx])));
+            let end = (start + chunk).min(items.len());
+            for (idx, item) in items[start..end].iter().enumerate() {
+                let idx = start + idx;
+                local.push((idx, f(idx, item)));
+            }
         }
         local
     };
@@ -102,7 +137,7 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
-    let workers = threads.min(items.len());
+    let workers = worker_count(threads, items.len());
     if workers <= 1 {
         return items
             .iter()
@@ -110,6 +145,7 @@ where
             .map(|(i, x)| f(i, x))
             .collect::<Result<Vec<R>, E>>();
     }
+    let chunk = chunk_size(items.len(), workers);
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let run = |_worker: usize| {
@@ -118,15 +154,22 @@ where
             if failed.load(Ordering::Relaxed) {
                 break;
             }
-            let idx = cursor.fetch_add(1, Ordering::Relaxed);
-            if idx >= items.len() {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= items.len() {
                 break;
             }
-            let out = f(idx, &items[idx]);
-            if out.is_err() {
-                failed.store(true, Ordering::Relaxed);
+            // A claimed chunk runs to completion even if another worker
+            // fails meanwhile — the claimed set stays a prefix of the
+            // items, which is what makes the lowest-index rule exact.
+            let end = (start + chunk).min(items.len());
+            for (idx, item) in items[start..end].iter().enumerate() {
+                let idx = start + idx;
+                let out = f(idx, item);
+                if out.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                local.push((idx, out));
             }
-            local.push((idx, out));
         }
         local
     };
@@ -231,5 +274,29 @@ mod tests {
     #[test]
     fn available_parallelism_is_positive() {
         assert!(available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn worker_count_clamps_to_items_and_parallelism() {
+        // Fewer than MIN_PARALLEL_ITEMS items: always sequential.
+        assert_eq!(worker_count(8, 0), 1);
+        assert_eq!(worker_count(8, 1), 1);
+        // Never more workers than items...
+        assert!(worker_count(4, 2) <= 2);
+        assert!(worker_count(64, 3) <= 3);
+        // ...or than the machine can actually run concurrently.
+        assert!(worker_count(64, 1000) <= available_parallelism());
+        // Zero threads degrades to sequential, not a panic.
+        assert_eq!(worker_count(0, 8), 1);
+    }
+
+    #[test]
+    fn chunk_size_balances_small_maps_per_item() {
+        // Planner-scale maps claim one item at a time.
+        assert_eq!(chunk_size(4, 4), 1);
+        assert_eq!(chunk_size(16, 4), 1);
+        // Large maps amortize the cursor without starving workers.
+        let chunk = chunk_size(10_000, 4);
+        assert!(chunk > 1 && chunk * 4 <= 10_000);
     }
 }

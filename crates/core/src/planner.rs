@@ -396,7 +396,12 @@ impl Planner {
         let procs = self.pipeline_procs();
         let cost = self.estimator.cost();
         let k = procs.len();
-        let tables = self.estimator.tables(Arc::new(graph.clone()), &procs);
+        let (tables, hit) = self.estimator.tables_cached(graph, &procs);
+        self.telemetry.metrics.inc(if hit {
+            "planner.tables.cache_hits"
+        } else {
+            "planner.tables.cache_misses"
+        });
         let (ctx, splits, _) = self.plan_request_cached(&tables)?;
         let stages =
             ctx.build_stages(cost, &splits, k)
@@ -448,6 +453,15 @@ impl Planner {
         if requests.is_empty() {
             return Err(PlanError::EmptyRequestSet);
         }
+        // Fan-out clamp: never ask for more workers than there are
+        // requests — the candidate-order map below always has four
+        // items, so without this a 2-request plan at `threads = 4`
+        // spawns four workers for two requests' worth of work and the
+        // spawn overhead eats the gain. With `threads == 1` every map
+        // takes the sequential path with zero thread-scope setup, making
+        // `plan_with_threads(reqs, 1)` and the t1 bench case the same
+        // code path (plans are bit-identical at any value regardless).
+        let threads = threads.min(requests.len());
         let total_start = Instant::now();
         span!(self.telemetry.spans, "plan:{}req", requests.len());
         let procs = self.pipeline_procs();

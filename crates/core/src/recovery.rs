@@ -240,7 +240,17 @@ pub fn replan_on_survivors(
     let mut ctxs: Vec<RequestContext> = Vec::with_capacity(graphs.len());
     let mut requests: Vec<RequestPlan> = Vec::with_capacity(pending.len());
     for (r, graph) in graphs.iter().enumerate() {
-        let tables = estimator.tables(Arc::clone(graph), &procs);
+        // Survivor replans reuse the cross-invocation tables cache: the
+        // tables are keyed on the *full* pipeline-processor list (the
+        // availability mask below only restricts which slots the DP may
+        // use), so a replan after a dropout hits the tables built by the
+        // original plan instead of rebuilding them mid-recovery.
+        let (tables, hit) = estimator.tables_cached(graph, &procs);
+        planner.telemetry().metrics.inc(if hit {
+            "planner.tables.cache_hits"
+        } else {
+            "planner.tables.cache_misses"
+        });
         let n = graph.len();
         // An NPU stage lowers its unsupported operators onto the
         // fallback CPU (Sec. IV), so when that CPU is down the NPU slot

@@ -93,9 +93,24 @@ grep -q '"counters"' "$METRICS_OUT" || {
     echo "exported metrics snapshot is empty" >&2; exit 1; }
 
 echo "== planner bench (quick) + BENCH_planner.json gate"
-# Runs the perf-trajectory suite, validates the JSON schema, and fails
-# if the parallel planner is slower than the sequential reference on the
-# 8-request workload (bench_check's default gate).
+# Runs the perf-trajectory suite, validates the JSON schema, and gates
+# the incremental-replan win (>= 3x vs from-scratch windows — an
+# algorithmic ratio, valid on any host).
 scripts/bench.sh --quick
+
+echo "== bench-sanity gate"
+# On hosts that can actually run the benched 4 workers concurrently, the
+# parallel gates become hard failures: t4 must beat the sequential
+# reference and must not lose to t1. On smaller hosts the speedup block
+# is recorded advisory-only (bench_check already skipped its gates above)
+# and this step records the host class instead of asserting.
+CORES=$(nproc)
+if [ "$CORES" -ge 4 ]; then
+    cargo run --release -q -p h2p-bench --bin bench_check -- \
+        BENCH_planner.json --require-parallel
+else
+    echo "   host has $CORES core(s) < 4: parallel speedup recorded" \
+         "advisory-only; replan gate already enforced"
+fi
 
 echo "CI gate passed."
