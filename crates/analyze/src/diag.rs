@@ -72,38 +72,163 @@ pub enum DiagCode {
     /// (dropped out or administratively excluded): recovery replans must
     /// never route work onto a dead processor.
     ProcessorDown,
+    /// H2P010 — source determinism: iteration over a `HashMap`/`HashSet`
+    /// in plan-affecting code — hash order is nondeterministic across
+    /// runs, so anything it feeds can differ bit-for-bit.
+    NondetIteration,
+    /// H2P011 — source determinism: wall-clock read (`Instant::now`,
+    /// `SystemTime`) in a planning path; plans must be pure functions of
+    /// their inputs.
+    WallClock,
+    /// H2P012 — source determinism: a float reduction (`sum`/`product`/
+    /// `fold`) over an unordered hash iteration — float addition is not
+    /// associative, so the result depends on iteration order.
+    UnorderedReduction,
+    /// H2P013 — source determinism: unseeded RNG (`thread_rng`,
+    /// `from_entropy`, `rand::random`) in library code; randomness must
+    /// be seeded to stay replayable.
+    UnseededRng,
 }
 
+/// The single source of truth for every diagnostic code: variant,
+/// stable `H2Pnnn` string, default severity, and one-line meaning —
+/// indexed by discriminant and used by [`DiagCode::code`],
+/// [`DiagCode::severity`], [`DiagCode::summary`], [`DiagCode::parse_code`]
+/// (and, through `code()`, by `Display` and the JSON serialization).
+const CODE_TABLE: &[(DiagCode, &str, Severity, &str)] = &[
+    (
+        DiagCode::EmptyPlan,
+        "H2P000",
+        Severity::Warn,
+        "the plan or task graph is empty",
+    ),
+    (
+        DiagCode::LayerCoverage,
+        "H2P001",
+        Severity::Error,
+        "stages do not tile the model contiguously and exactly once",
+    ),
+    (
+        DiagCode::SlotConflict,
+        "H2P002",
+        Severity::Error,
+        "duplicate processors across slots or malformed stage vector",
+    ),
+    (
+        DiagCode::ProcFeasibility,
+        "H2P003",
+        Severity::Error,
+        "invalid processor assignment or broken NPU-fallback rules",
+    ),
+    (
+        DiagCode::MemoryBudget,
+        "H2P004",
+        Severity::Warn,
+        "peak concurrent footprint exceeds physical memory (paging)",
+    ),
+    (
+        DiagCode::DagOrder,
+        "H2P005",
+        Severity::Error,
+        "request indices or task dependencies inconsistent",
+    ),
+    (
+        DiagCode::ContentionWindow,
+        "H2P006",
+        Severity::Warn,
+        "two high-contention requests inside one window of K positions",
+    ),
+    (
+        DiagCode::BoundViolation,
+        "H2P007",
+        Severity::Error,
+        "claimed makespan/bubbles outside the statically derived envelope",
+    ),
+    (
+        DiagCode::NonFiniteCost,
+        "H2P008",
+        Severity::Error,
+        "a cost, duration, intensity or rate is NaN/infinite/negative",
+    ),
+    (
+        DiagCode::ProcessorDown,
+        "H2P009",
+        Severity::Error,
+        "the plan references a processor marked unavailable",
+    ),
+    (
+        DiagCode::NondetIteration,
+        "H2P010",
+        Severity::Error,
+        "HashMap/HashSet iteration feeding plan-affecting output",
+    ),
+    (
+        DiagCode::WallClock,
+        "H2P011",
+        Severity::Error,
+        "wall-clock read (Instant/SystemTime) in a planning path",
+    ),
+    (
+        DiagCode::UnorderedReduction,
+        "H2P012",
+        Severity::Error,
+        "float reduction over an unordered hash iteration",
+    ),
+    (
+        DiagCode::UnseededRng,
+        "H2P013",
+        Severity::Error,
+        "unseeded RNG in library code (thread_rng/from_entropy/random)",
+    ),
+];
+
 impl DiagCode {
+    /// Every code, in `H2P000..` order.
+    pub const ALL: [DiagCode; 14] = [
+        DiagCode::EmptyPlan,
+        DiagCode::LayerCoverage,
+        DiagCode::SlotConflict,
+        DiagCode::ProcFeasibility,
+        DiagCode::MemoryBudget,
+        DiagCode::DagOrder,
+        DiagCode::ContentionWindow,
+        DiagCode::BoundViolation,
+        DiagCode::NonFiniteCost,
+        DiagCode::ProcessorDown,
+        DiagCode::NondetIteration,
+        DiagCode::WallClock,
+        DiagCode::UnorderedReduction,
+        DiagCode::UnseededRng,
+    ];
+
+    fn entry(self) -> &'static (DiagCode, &'static str, Severity, &'static str) {
+        // The table is discriminant-ordered (pinned by a unit test), so
+        // the lookup is a direct index.
+        &CODE_TABLE[self as usize]
+    }
+
     /// The stable `H2Pnnn` code string.
     pub fn code(self) -> &'static str {
-        match self {
-            DiagCode::EmptyPlan => "H2P000",
-            DiagCode::LayerCoverage => "H2P001",
-            DiagCode::SlotConflict => "H2P002",
-            DiagCode::ProcFeasibility => "H2P003",
-            DiagCode::MemoryBudget => "H2P004",
-            DiagCode::DagOrder => "H2P005",
-            DiagCode::ContentionWindow => "H2P006",
-            DiagCode::BoundViolation => "H2P007",
-            DiagCode::NonFiniteCost => "H2P008",
-            DiagCode::ProcessorDown => "H2P009",
-        }
+        self.entry().1
     }
 
     /// The severity this code reports at.
     pub fn severity(self) -> Severity {
-        match self {
-            DiagCode::EmptyPlan => Severity::Warn,
-            DiagCode::LayerCoverage
-            | DiagCode::SlotConflict
-            | DiagCode::ProcFeasibility
-            | DiagCode::DagOrder
-            | DiagCode::BoundViolation
-            | DiagCode::NonFiniteCost
-            | DiagCode::ProcessorDown => Severity::Error,
-            DiagCode::MemoryBudget | DiagCode::ContentionWindow => Severity::Warn,
-        }
+        self.entry().2
+    }
+
+    /// One-line meaning, for tables and `--help`-style listings.
+    pub fn summary(self) -> &'static str {
+        self.entry().3
+    }
+
+    /// Parses a stable code string (`"H2P010"`, case-insensitive) back
+    /// to its variant — used by the source-lint allowlist annotations.
+    pub fn parse_code(s: &str) -> Option<DiagCode> {
+        CODE_TABLE
+            .iter()
+            .find(|e| e.1.eq_ignore_ascii_case(s.trim()))
+            .map(|e| e.0)
     }
 }
 
@@ -302,24 +427,58 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_distinct() {
-        let all = [
-            DiagCode::EmptyPlan,
-            DiagCode::LayerCoverage,
-            DiagCode::SlotConflict,
-            DiagCode::ProcFeasibility,
-            DiagCode::MemoryBudget,
-            DiagCode::DagOrder,
-            DiagCode::ContentionWindow,
-            DiagCode::BoundViolation,
-            DiagCode::NonFiniteCost,
-            DiagCode::ProcessorDown,
-        ];
-        let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
+        let mut codes: Vec<&str> = DiagCode::ALL.iter().map(|c| c.code()).collect();
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), all.len(), "codes must be unique");
+        assert_eq!(codes.len(), DiagCode::ALL.len(), "codes must be unique");
+        assert_eq!(DiagCode::ALL.len(), 14);
         assert_eq!(DiagCode::LayerCoverage.code(), "H2P001");
         assert_eq!(DiagCode::ProcessorDown.code(), "H2P009");
+        assert_eq!(DiagCode::NondetIteration.code(), "H2P010");
+        assert_eq!(DiagCode::WallClock.code(), "H2P011");
+        assert_eq!(DiagCode::UnorderedReduction.code(), "H2P012");
+        assert_eq!(DiagCode::UnseededRng.code(), "H2P013");
+    }
+
+    #[test]
+    fn code_table_is_discriminant_ordered() {
+        // `DiagCode::entry` indexes the table by discriminant: every row
+        // must sit at its own variant's index, and each stable string
+        // must be `H2P{index:03}`.
+        for (i, code) in DiagCode::ALL.iter().enumerate() {
+            assert_eq!(*code as usize, i, "ALL out of discriminant order at {i}");
+            assert_eq!(code.code(), format!("H2P{i:03}"), "table row {i} misplaced");
+            assert!(!code.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_code_round_trips() {
+        for code in DiagCode::ALL {
+            assert_eq!(DiagCode::parse_code(code.code()), Some(code));
+        }
+        assert_eq!(
+            DiagCode::parse_code("h2p010"),
+            Some(DiagCode::NondetIteration)
+        );
+        assert_eq!(
+            DiagCode::parse_code(" H2P013 "),
+            Some(DiagCode::UnseededRng)
+        );
+        assert_eq!(DiagCode::parse_code("H2P099"), None);
+        assert_eq!(DiagCode::parse_code(""), None);
+    }
+
+    #[test]
+    fn new_determinism_codes_are_errors() {
+        for code in [
+            DiagCode::NondetIteration,
+            DiagCode::WallClock,
+            DiagCode::UnorderedReduction,
+            DiagCode::UnseededRng,
+        ] {
+            assert_eq!(code.severity(), Severity::Error, "{code:?}");
+        }
     }
 
     #[test]

@@ -30,10 +30,12 @@ pub mod checks;
 pub mod diag;
 pub mod ir;
 pub mod mutate;
+pub mod source;
 pub mod tasks;
 
 pub use checks::lint_plan;
 pub use diag::{DiagCode, Diagnostic, Diagnostics, Severity};
 pub use ir::{PlanIr, RequestIr, RunIr, StageIr};
-pub use mutate::{apply, Mutation};
+pub use mutate::{apply, Mutation, SourceMutation};
+pub use source::{lint_source, lint_workspace};
 pub use tasks::{lint_tasks, lint_tasks_available};

@@ -1,0 +1,713 @@
+//! Source-level determinism lints (`h2p lint --source`).
+//!
+//! A line-based static pass over the workspace's library sources that
+//! flags constructs known to make plans or recovery decisions
+//! nondeterministic:
+//!
+//! * **H2P010** — iteration over a `HashMap`/`HashSet`: hash order is
+//!   randomized per process, so anything the loop feeds can differ
+//!   between runs.
+//! * **H2P011** — wall-clock reads (`Instant::now`, `SystemTime::…`) in
+//!   planning paths; plans must be pure functions of their inputs.
+//!   Telemetry and bench crates are exempt (measuring time is their
+//!   job).
+//! * **H2P012** — a float reduction (`sum`/`product`/`fold`/`reduce`)
+//!   driven by an unordered hash iteration: float addition is not
+//!   associative, so the result depends on iteration order. Takes
+//!   precedence over H2P010 on the same line.
+//! * **H2P013** — unseeded RNG (`thread_rng`, `from_entropy`,
+//!   `rand::random`): unreplayable randomness in library code.
+//!
+//! Findings can be waived inline with an allowlist annotation that
+//! **must** carry a justification:
+//!
+//! ```text
+//! // h2p-lint: allow(H2P011) — phase timing is telemetry-only
+//! ```
+//!
+//! placed on the offending line or the line directly above it. An
+//! annotation without a justification is itself an error — the waiver
+//! is the reviewable artifact, not a mute button.
+//!
+//! The pass is deliberately heuristic (no parser in the workspace): it
+//! strips comments and string-literal bodies before matching, tracks
+//! identifiers declared with hash-container types per file, and skips
+//! each file's `#[cfg(test)]` tail. Entry points: [`lint_workspace`]
+//! for the whole repo and [`lint_source`] for one file's text (the
+//! unit-test and mutant surface).
+
+use crate::diag::{DiagCode, Diagnostic, Diagnostics};
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+// Every needle below is assembled with `concat!` from split halves so
+// the scanner's own source never contains a contiguous hazard token —
+// otherwise `h2p lint --source` would flag the lint itself.
+const HASH_MAP: &str = concat!("Hash", "Map");
+const HASH_SET: &str = concat!("Hash", "Set");
+const ANNOT_MARKER: &str = concat!("h2p-", "lint:");
+const ALLOW_OPEN: &str = concat!("all", "ow(");
+const WALL_CLOCK: &[&str] = &[concat!("Instant", "::now"), concat!("System", "Time::")];
+const UNSEEDED_RNG: &[&str] = &[
+    concat!("thread_", "rng("),
+    concat!("from_", "entropy("),
+    concat!("rand::", "random"),
+];
+const ITER_METHODS: &[&str] = &[
+    concat!(".it", "er()"),
+    concat!(".ke", "ys()"),
+    concat!(".val", "ues()"),
+    concat!(".dra", "in("),
+    concat!(".into_", "iter()"),
+];
+const REDUCTIONS: &[&str] = &[
+    concat!(".su", "m()"),
+    concat!(".prod", "uct()"),
+    concat!(".fo", "ld("),
+    concat!(".red", "uce("),
+];
+
+/// Crates (by directory name under `crates/`) exempt from the
+/// wall-clock lint: their whole purpose is measuring real time.
+const WALL_CLOCK_EXEMPT: &[&str] = &["telemetry", "bench"];
+
+/// One parsed `h2p-lint: allow(H2P0xx)` annotation.
+struct Allow {
+    /// Line index (0-based) the waiver applies to.
+    target: usize,
+    /// Source line the annotation itself sits on (1-based, for messages).
+    at_line: usize,
+    code: DiagCode,
+    justified: bool,
+}
+
+/// Blanks comment text and string-literal bodies so hazard needles only
+/// match real code. Keeps the line's length roughly stable (content is
+/// replaced by spaces) so findings still quote a recognizable line.
+fn sanitize(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    let mut escaped = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+                out.push('"');
+                continue;
+            }
+            out.push(' ');
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push('"');
+            }
+            '\'' => {
+                // Char literal (or lifetime — a lone quote). Swallow a
+                // possible escaped/plain char followed by a closing
+                // quote; otherwise treat as a lifetime tick.
+                let mut clone = chars.clone();
+                let body = clone.next();
+                let close = if body == Some('\\') {
+                    clone.next();
+                    clone.next()
+                } else {
+                    clone.next()
+                };
+                if close == Some('\'') {
+                    chars = clone;
+                    out.push_str("' '");
+                } else {
+                    out.push('\'');
+                }
+            }
+            '/' => {
+                if chars.peek() == Some(&'/') {
+                    break; // comment tail
+                }
+                out.push('/');
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Extracts the identifier ending right before byte `end` (exclusive),
+/// skipping trailing whitespace first.
+fn ident_ending_at(line: &str, end: usize) -> Option<&str> {
+    let head = line.get(..end)?.trim_end();
+    let stop = head.rfind(|c: char| !is_ident_char(c)).map_or(0, |p| {
+        p + head[p..].chars().next().map_or(1, char::len_utf8)
+    });
+    let ident = &head[stop..];
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Strips reference/lifetime/`mut` type prefixes so `m: &mut HashMap<…>`
+/// still resolves to `m`: trailing `&`, `mut` and `'a` tokens are
+/// removed from the text preceding the container name.
+fn strip_type_prefix(before: &str) -> &str {
+    let mut b = before.trim_end();
+    loop {
+        let t = b.trim_end();
+        if let Some(s) = t.strip_suffix("mut") {
+            if !s.chars().next_back().is_some_and(is_ident_char) {
+                b = s;
+                continue;
+            }
+        }
+        if let Some(s) = t.strip_suffix('&') {
+            b = s;
+            continue;
+        }
+        // Lifetime token: `'a`
+        if let Some(p) = t.rfind('\'') {
+            let tail = &t[p + 1..];
+            if !tail.is_empty() && tail.chars().all(is_ident_char) {
+                b = &t[..p];
+                continue;
+            }
+        }
+        return t;
+    }
+}
+
+/// Collects identifiers declared with a hash-container type in the
+/// given (sanitized) lines: `name: HashMap<…>` (bindings, fields,
+/// params) and `name = HashMap::new()`-style constructor bindings.
+fn hash_idents(lines: &[String]) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    for line in lines {
+        for pat in [HASH_MAP, HASH_SET] {
+            let mut from = 0;
+            while let Some(rel) = line[from..].find(pat) {
+                let pos = from + rel;
+                from = pos + pat.len();
+                // Word boundary on the left (don't match FooHashMap).
+                if pos > 0 && line[..pos].chars().next_back().is_some_and(is_ident_char) {
+                    continue;
+                }
+                let before = strip_type_prefix(&line[..pos]);
+                let name = if before.ends_with(':') {
+                    // `name: [&[mut]] HashMap<…>`
+                    ident_ending_at(before, before.len() - 1)
+                } else if before.ends_with('=') && !before.ends_with("==") {
+                    // `name = HashMap::new()`
+                    ident_ending_at(before, before.len() - 1)
+                } else {
+                    None
+                };
+                if let Some(n) = name {
+                    if n != "mut" && n != "let" && n != "pub" {
+                        idents.insert(n.to_owned());
+                    }
+                }
+            }
+        }
+    }
+    idents
+}
+
+/// True when `line` iterates one of the hash-typed identifiers:
+/// `ident.iter()`-style method calls or a `for … in [&[mut ]]ident`
+/// loop header.
+fn iterates_hash(line: &str, idents: &BTreeSet<String>) -> bool {
+    for ident in idents {
+        for method in ITER_METHODS {
+            let needle = format!("{ident}{method}");
+            let mut from = 0;
+            while let Some(rel) = line[from..].find(&needle) {
+                let pos = from + rel;
+                from = pos + needle.len();
+                let bounded =
+                    pos == 0 || !line[..pos].chars().next_back().is_some_and(is_ident_char);
+                if bounded {
+                    return true;
+                }
+            }
+        }
+        if let Some(for_pos) = line.find("for ") {
+            if let Some(rel) = line[for_pos..].find(" in ") {
+                let mut rest = line[for_pos + rel + 4..].trim_start();
+                rest = rest.strip_prefix('&').unwrap_or(rest);
+                rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+                if rest.starts_with(ident.as_str())
+                    && !rest[ident.len()..].starts_with(is_ident_char)
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Parses the `h2p-lint:` annotations in `lines` (raw, comments
+/// intact). Returns the waivers plus diagnostics for annotations that
+/// are malformed or missing their justification.
+fn parse_annotations(label: &str, lines: &[&str]) -> (Vec<Allow>, Diagnostics) {
+    let mut allows = Vec::new();
+    let mut diags = Diagnostics::default();
+    for (i, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        // Doc comments only *document* the annotation syntax.
+        if trimmed.starts_with("//!") || trimmed.starts_with("///") {
+            continue;
+        }
+        let Some(mark) = raw.find(ANNOT_MARKER) else {
+            continue;
+        };
+        let target = if raw.trim_start().starts_with("//") {
+            // Comment-only line: the waiver applies to the next code
+            // line (the annotation may wrap across comment lines).
+            let mut t = i + 1;
+            while t < lines.len() {
+                let trimmed = lines[t].trim_start();
+                if trimmed.is_empty() || trimmed.starts_with("//") {
+                    t += 1;
+                } else {
+                    break;
+                }
+            }
+            t
+        } else {
+            i // trailing comment waives its own line
+        };
+        let tail = &raw[mark + ANNOT_MARKER.len()..];
+        let parsed = tail.trim_start().strip_prefix(ALLOW_OPEN).and_then(|t| {
+            let close = t.find(')')?;
+            let code = DiagCode::parse_code(&t[..close])?;
+            Some((code, &t[close + 1..]))
+        });
+        let Some((code, after)) = parsed else {
+            diags.push(Diagnostic::new(
+                DiagCode::NondetIteration,
+                format!(
+                    "{label}:{}: malformed {ANNOT_MARKER} annotation \
+                     (expected `{ANNOT_MARKER} {ALLOW_OPEN}H2P0xx) — why`): `{}`",
+                    i + 1,
+                    raw.trim()
+                ),
+            ));
+            continue;
+        };
+        let justification = after
+            .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+            .trim();
+        let justified = !justification.is_empty();
+        if !justified {
+            diags.push(Diagnostic::new(
+                code,
+                format!(
+                    "{label}:{}: allowlist annotation for {} lacks a justification \
+                     — say why the waiver is sound",
+                    i + 1,
+                    code.code()
+                ),
+            ));
+        }
+        allows.push(Allow {
+            target,
+            at_line: i + 1,
+            code,
+            justified,
+        });
+    }
+    (allows, diags)
+}
+
+/// Lints one file's text. `label` prefixes messages (usually the
+/// repo-relative path), `crate_name` selects per-crate exemptions
+/// (`telemetry`/`bench` skip the wall-clock lint).
+pub fn lint_source(label: &str, crate_name: &str, text: &str) -> Diagnostics {
+    let raw_lines: Vec<&str> = text.lines().collect();
+    // Scan stops at the unit-test tail: test code may legitimately use
+    // clocks and RNG.
+    let test_start = raw_lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(raw_lines.len());
+    let scanned = &raw_lines[..test_start];
+    let sanitized: Vec<String> = scanned.iter().map(|l| sanitize(l)).collect();
+
+    let (allows, mut diags) = parse_annotations(label, scanned);
+    let idents = hash_idents(&sanitized);
+    let wall_exempt = WALL_CLOCK_EXEMPT.contains(&crate_name);
+
+    // An unjustified waiver still suppresses the underlying finding —
+    // the missing-justification error (already pushed above) is the one
+    // actionable report, and it fails the run on its own.
+    let waived = |line_ix: usize, code: DiagCode| {
+        allows.iter().any(|a| a.target == line_ix && a.code == code)
+    };
+
+    for (i, line) in sanitized.iter().enumerate() {
+        let mut fired: Vec<(DiagCode, String)> = Vec::new();
+        if UNSEEDED_RNG.iter().any(|p| line.contains(p)) {
+            fired.push((
+                DiagCode::UnseededRng,
+                "unseeded RNG — seed it so runs replay".to_owned(),
+            ));
+        }
+        if !wall_exempt && WALL_CLOCK.iter().any(|p| line.contains(p)) {
+            fired.push((
+                DiagCode::WallClock,
+                "wall-clock read in a planning path".to_owned(),
+            ));
+        }
+        if iterates_hash(line, &idents) {
+            if REDUCTIONS.iter().any(|p| line.contains(p)) {
+                // The reduction subsumes the plain iteration finding.
+                fired.push((
+                    DiagCode::UnorderedReduction,
+                    "float reduction over an unordered hash iteration".to_owned(),
+                ));
+            } else {
+                fired.push((
+                    DiagCode::NondetIteration,
+                    "iteration order of a hash container is nondeterministic".to_owned(),
+                ));
+            }
+        }
+        for (code, why) in fired {
+            if waived(i, code) {
+                continue;
+            }
+            diags.push(Diagnostic::new(
+                code,
+                format!("{label}:{}: {why}: `{}`", i + 1, raw_lines[i].trim()),
+            ));
+        }
+    }
+
+    // Waivers pointing at a line that fires nothing are stale — flag
+    // them so annotations can't rot silently. (Unjustified ones were
+    // already reported above.)
+    for a in allows.iter().filter(|a| a.justified) {
+        let target_fires = sanitized.get(a.target).is_some_and(|line| {
+            match a.code {
+                DiagCode::UnseededRng => UNSEEDED_RNG.iter().any(|p| line.contains(p)),
+                DiagCode::WallClock => WALL_CLOCK.iter().any(|p| line.contains(p)),
+                DiagCode::NondetIteration | DiagCode::UnorderedReduction => {
+                    iterates_hash(line, &idents)
+                }
+                _ => true, // non-source codes: not ours to judge
+            }
+        });
+        if !target_fires {
+            diags.push(Diagnostic::new(
+                a.code,
+                format!(
+                    "{label}:{}: stale allowlist annotation — {} does not fire on \
+                     the waived line anymore",
+                    a.at_line,
+                    a.code.code()
+                ),
+            ));
+        }
+    }
+
+    // One check family per lint class.
+    for _ in 0..4 {
+        diags.record_check();
+    }
+    diags
+}
+
+fn is_skipped_dir(name: &str) -> bool {
+    matches!(name, "vendor" | "target" | "tests" | "benches" | ".git")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort(); // deterministic walk order
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !is_skipped_dir(name) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The crate a workspace-relative path belongs to: `crates/<name>/…`
+/// maps to `<name>`, everything else (the root `src/`) to `suite`.
+fn crate_of(rel: &Path) -> &str {
+    let mut parts = rel.iter().filter_map(|c| c.to_str());
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("suite"),
+        _ => "suite",
+    }
+}
+
+/// Lints every library source in the workspace rooted at `root`: the
+/// root `src/` plus each `crates/*/src/`, skipping `vendor`, `target`,
+/// `tests` and `benches` directories. Files are visited in sorted
+/// order so output is stable.
+pub fn lint_workspace(root: &Path) -> io::Result<Diagnostics> {
+    let mut files = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rs(&src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for member in members {
+            let member_src = member.join("src");
+            if member_src.is_dir() {
+                collect_rs(&member_src, &mut files)?;
+            }
+        }
+    }
+    let mut diags = Diagnostics::default();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let label = rel.display().to_string();
+        let crate_name = crate_of(rel).to_owned();
+        let text = fs::read_to_string(&path)?;
+        diags.merge(lint_source(&label, &crate_name, &text));
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Test fixtures assemble hazard tokens with `concat!` purely so
+    // this file stays clean under its own lint; the *strings fed to
+    // `lint_source`* contain the contiguous hazards.
+
+    fn codes(d: &Diagnostics) -> Vec<DiagCode> {
+        d.diags.iter().map(|x| x.code).collect()
+    }
+
+    #[test]
+    fn clean_file_is_clean() {
+        let text = "pub fn add(a: u32, b: u32) -> u32 {\n    a + b\n}\n";
+        let d = lint_source("x.rs", "core", text);
+        assert!(d.is_clean(), "{d:?}");
+        assert_eq!(d.checks, 4);
+    }
+
+    #[test]
+    fn hash_iteration_fires_h2p010() {
+        let text = concat!(
+            "use std::collections::Hash",
+            "Map;\n",
+            "fn f(m: &Hash",
+            "Map<u32, u32>) -> Vec<u32> {\n",
+            "    let mut out = Vec::new();\n",
+            "    for (k, _) in m { out.push(*k); }\n",
+            "    out\n",
+            "}\n",
+        );
+        let d = lint_source("x.rs", "core", text);
+        assert_eq!(codes(&d), vec![DiagCode::NondetIteration], "{d:?}");
+        assert!(d.diags[0].message.contains("x.rs:4"), "{d:?}");
+    }
+
+    #[test]
+    fn method_iteration_and_self_fields_fire() {
+        let text = concat!(
+            "struct S { seen: Hash",
+            "Set<u32> }\n",
+            "impl S {\n",
+            "    fn dump(&self) -> Vec<u32> {\n",
+            "        self.seen.it",
+            "er().copied().collect()\n",
+            "    }\n",
+            "}\n",
+        );
+        let d = lint_source("x.rs", "core", text);
+        assert_eq!(codes(&d), vec![DiagCode::NondetIteration], "{d:?}");
+    }
+
+    #[test]
+    fn wall_clock_fires_h2p011_except_in_telemetry() {
+        let text = concat!("let t0 = std::time::Instant", "::now();\n");
+        let d = lint_source("x.rs", "core", text);
+        assert_eq!(codes(&d), vec![DiagCode::WallClock], "{d:?}");
+        let t = lint_source("x.rs", "telemetry", text);
+        assert!(t.is_clean(), "{t:?}");
+        let b = lint_source("x.rs", "bench", text);
+        assert!(b.is_clean(), "{b:?}");
+    }
+
+    #[test]
+    fn hash_reduction_fires_h2p012_and_suppresses_h2p010() {
+        let text = concat!(
+            "let weights: Hash",
+            "Map<u32, f64> = build();\n",
+            "let total: f64 = weights.val",
+            "ues().su",
+            "m();\n",
+        );
+        let d = lint_source("x.rs", "core", text);
+        assert_eq!(codes(&d), vec![DiagCode::UnorderedReduction], "{d:?}");
+    }
+
+    #[test]
+    fn unseeded_rng_fires_h2p013() {
+        let text = concat!("let mut rng = rand::thread_", "rng();\n");
+        let d = lint_source("x.rs", "core", text);
+        assert_eq!(codes(&d), vec![DiagCode::UnseededRng], "{d:?}");
+    }
+
+    #[test]
+    fn justified_annotation_waives_preceding_and_same_line() {
+        let preceding = concat!(
+            "// h2p-",
+            "lint: all",
+            "ow(H2P011) — phase timing is telemetry-only\n",
+            "let t0 = Instant",
+            "::now();\n",
+        );
+        let d = lint_source("x.rs", "core", preceding);
+        assert!(d.is_clean(), "{d:?}");
+        let trailing = concat!(
+            "let t0 = Instant",
+            "::now(); ",
+            "// h2p-",
+            "lint: all",
+            "ow(H2P011) — phase timing is telemetry-only\n",
+        );
+        let d = lint_source("x.rs", "core", trailing);
+        assert!(d.is_clean(), "{d:?}");
+    }
+
+    #[test]
+    fn unjustified_annotation_is_an_error() {
+        let text = concat!(
+            "// h2p-",
+            "lint: all",
+            "ow(H2P011)\n",
+            "let t0 = Instant",
+            "::now();\n",
+        );
+        let d = lint_source("x.rs", "core", text);
+        assert_eq!(codes(&d), vec![DiagCode::WallClock], "{d:?}");
+        assert!(
+            d.diags[0].message.contains("lacks a justification"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_code_annotation_does_not_waive() {
+        let text = concat!(
+            "// h2p-",
+            "lint: all",
+            "ow(H2P013) — wrong code entirely\n",
+            "let t0 = Instant",
+            "::now();\n",
+        );
+        let d = lint_source("x.rs", "core", text);
+        // The wall-clock finding still fires, and the H2P013 waiver is
+        // reported stale (it waives nothing).
+        assert_eq!(
+            codes(&d),
+            vec![DiagCode::WallClock, DiagCode::UnseededRng],
+            "{d:?}"
+        );
+        assert!(d.diags[1].message.contains("stale"), "{d:?}");
+    }
+
+    #[test]
+    fn malformed_annotation_is_an_error() {
+        let text = concat!("// h2p-", "lint: suppress everything please\n");
+        let d = lint_source("x.rs", "core", text);
+        assert_eq!(d.diags.len(), 1, "{d:?}");
+        assert!(d.diags[0].message.contains("malformed"), "{d:?}");
+    }
+
+    #[test]
+    fn stale_annotation_is_an_error() {
+        let text = concat!(
+            "// h2p-",
+            "lint: all",
+            "ow(H2P011) — timing moved away\n",
+            "let x = 1 + 1;\n",
+        );
+        let d = lint_source("x.rs", "core", text);
+        assert_eq!(d.diags.len(), 1, "{d:?}");
+        assert!(d.diags[0].message.contains("stale"), "{d:?}");
+    }
+
+    #[test]
+    fn cfg_test_tail_is_skipped() {
+        let text = concat!(
+            "pub fn f() -> u32 { 1 }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { let mut rng = rand::thread_",
+            "rng(); }\n",
+            "}\n",
+        );
+        let d = lint_source("x.rs", "core", text);
+        assert!(d.is_clean(), "{d:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let text = concat!(
+            "// mentions Instant",
+            "::now in prose\n",
+            "let s = \"Instant",
+            "::now and thread_",
+            "rng( in a string\";\n",
+        );
+        let d = lint_source("x.rs", "core", text);
+        assert!(d.is_clean(), "{d:?}");
+    }
+
+    #[test]
+    fn workspace_lint_runs_clean_on_this_repo() {
+        // The repo root is two levels above this crate's manifest.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let d = lint_workspace(&root).unwrap();
+        let errs: Vec<&Diagnostic> = d
+            .diags
+            .iter()
+            .filter(|x| x.severity >= crate::diag::Severity::Error)
+            .collect();
+        assert!(errs.is_empty(), "workspace must lint clean: {errs:#?}");
+        assert!(d.checks > 40, "expected many files scanned: {}", d.checks);
+    }
+}

@@ -1,0 +1,314 @@
+//! Schedule exploration engines on top of
+//! [`hetero2pipe::sync::model::run_schedule`].
+//!
+//! Two strategies, matching the tentpole spec:
+//!
+//! * **Exhaustive DFS** — replays a recorded choice prefix, extends it
+//!   greedily with choice 0, and backtracks over the last branchable
+//!   decision. Because thread ids and runnable sets are deterministic
+//!   functions of the decision sequence (spawn rendezvous in the shim),
+//!   the enumeration covers *every* distinct interleaving of the yield
+//!   points, up to a schedule cap.
+//! * **PCT-style randomized** — per-seed random thread priorities with a
+//!   few random change points that demote the currently-preferred
+//!   thread, the classic probabilistic concurrency-testing shape for
+//!   configurations too large to enumerate.
+//!
+//! Scenario closures assert their invariants; the engines convert
+//! panics, deadlocks, budget exhaustion and replay divergence into
+//! recorded violations.
+
+use hetero2pipe::sync::model::{run_schedule, InjectedFault};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Once};
+
+/// Hard per-schedule yield budget: generous (the largest standard
+/// scenario takes a few hundred steps) so hitting it means a livelock.
+const STEP_LIMIT: usize = 50_000;
+
+/// How many violation messages a report keeps verbatim.
+const SAMPLE_CAP: usize = 6;
+
+/// Outcome of exploring one model (one scenario × one strategy).
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Scenario name, e.g. `cursor_map(w=2,n=4)`.
+    pub name: String,
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// Total yield points across all schedules.
+    pub steps: usize,
+    /// For DFS: the enumeration finished below the cap (every
+    /// interleaving was visited). Always true for PCT (it ran all seeds).
+    pub complete: bool,
+    /// Number of schedules that violated an invariant.
+    pub violations: usize,
+    /// First few violation messages, verbatim.
+    pub samples: Vec<String>,
+}
+
+impl ModelReport {
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// How many explorations are currently running (panic output is
+/// suppressed while > 0: scenario panics are *expected* — they are the
+/// violation signal, and their messages land in the report samples).
+static SUPPRESS_PANICS: AtomicUsize = AtomicUsize::new(0);
+static PANIC_HOOK: Once = Once::new();
+
+fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    PANIC_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SUPPRESS_PANICS.load(Ordering::Relaxed) == 0 {
+                prev(info);
+            }
+        }));
+    });
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SUPPRESS_PANICS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    SUPPRESS_PANICS.fetch_add(1, Ordering::Relaxed);
+    let _guard = Guard;
+    f()
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        "scenario panicked with a non-string payload".to_owned()
+    }
+}
+
+struct Dfs {
+    /// Decision prefix to replay on the next schedule.
+    prefix: Vec<usize>,
+    /// `(choice, options)` actually taken this schedule.
+    trace: Vec<(usize, usize)>,
+    /// A replayed choice exceeded the runnable count — the schedule
+    /// space itself is nondeterministic, which is a finding of its own.
+    diverged: bool,
+}
+
+fn record_violation(report: &mut ModelReport, msg: String) {
+    report.violations += 1;
+    if report.samples.len() < SAMPLE_CAP {
+        report.samples.push(msg);
+    }
+}
+
+fn harvest<T>(report: &mut ModelReport, run: &hetero2pipe::sync::model::RunReport<T>) -> bool {
+    let mut violated = false;
+    if let Err(payload) = &run.result {
+        record_violation(report, panic_message(payload.as_ref()));
+        violated = true;
+    }
+    if run.deadlock {
+        record_violation(report, "schedule deadlocked: no runnable thread".to_owned());
+        violated = true;
+    }
+    if run.budget_exhausted {
+        record_violation(
+            report,
+            format!("schedule exceeded the {STEP_LIMIT}-step budget (livelock?)"),
+        );
+        violated = true;
+    }
+    violated
+}
+
+/// Exhaustive DFS over every interleaving of `scenario`'s yield points,
+/// with `vpar` virtual cores and an optional injected fault. Stops at
+/// `cap` schedules (reported as incomplete) or, when `stop_on_violation`
+/// is set, at the first violating schedule.
+pub fn explore_exhaustive<S>(
+    name: &str,
+    vpar: usize,
+    fault: Option<InjectedFault>,
+    cap: usize,
+    stop_on_violation: bool,
+    scenario: S,
+) -> ModelReport
+where
+    S: Fn() + Sync,
+{
+    quiet_panics(move || {
+        let mut report = ModelReport {
+            name: name.to_owned(),
+            schedules: 0,
+            steps: 0,
+            complete: false,
+            violations: 0,
+            samples: Vec::new(),
+        };
+        let shared = Arc::new(Mutex::new(Dfs {
+            prefix: Vec::new(),
+            trace: Vec::new(),
+            diverged: false,
+        }));
+        loop {
+            let decide_state = Arc::clone(&shared);
+            let decide = move |runnable: &[usize]| -> usize {
+                let mut d = lock(&decide_state);
+                let pos = d.trace.len();
+                let mut choice = if pos < d.prefix.len() {
+                    d.prefix[pos]
+                } else {
+                    0
+                };
+                if choice >= runnable.len() {
+                    d.diverged = true;
+                    choice = runnable.len() - 1;
+                }
+                d.trace.push((choice, runnable.len()));
+                choice
+            };
+            let run = run_schedule(vpar, fault, STEP_LIMIT, decide, &scenario);
+            report.schedules += 1;
+            report.steps += run.steps;
+            let violated = harvest(&mut report, &run);
+            let mut d = lock(&shared);
+            if d.diverged {
+                record_violation(
+                    &mut report,
+                    "schedule replay diverged: runnable set is not a deterministic \
+                 function of the decision sequence"
+                        .to_owned(),
+                );
+                return report;
+            }
+            // Backtrack: flip the deepest decision that still has an
+            // untried option; exhausted means full coverage.
+            let mut next = std::mem::take(&mut d.trace);
+            let mut found = false;
+            while let Some((choice, options)) = next.pop() {
+                if choice + 1 < options {
+                    next.push((choice + 1, options));
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                report.complete = true;
+                return report;
+            }
+            d.prefix = next.iter().map(|(c, _)| *c).collect();
+            drop(d);
+            if violated && stop_on_violation {
+                return report;
+            }
+            if report.schedules >= cap {
+                return report;
+            }
+        }
+    })
+}
+
+struct Pct {
+    rng: StdRng,
+    /// Priority per thread id, assigned on first sight. Base priorities
+    /// live in `1_000_000..2_000_000`; change-point demotions hand out
+    /// strictly decreasing values below that band.
+    priorities: Vec<u64>,
+    next_low: u64,
+    change_points: [usize; 3],
+    step: usize,
+}
+
+impl Pct {
+    fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let change_points = [
+            rng.gen_range(1usize..40),
+            rng.gen_range(1usize..120),
+            rng.gen_range(1usize..240),
+        ];
+        Self {
+            rng,
+            priorities: Vec::new(),
+            next_low: 999_999,
+            change_points,
+            step: 0,
+        }
+    }
+
+    fn decide(&mut self, runnable: &[usize]) -> usize {
+        self.step += 1;
+        let max_id = runnable.iter().copied().max().unwrap_or(0);
+        while self.priorities.len() <= max_id {
+            let p = self.rng.gen_range(1_000_000u64..2_000_000);
+            self.priorities.push(p);
+        }
+        if self.change_points.contains(&self.step) {
+            // Demote the thread that would have run: the PCT "priority
+            // change point" that surfaces ordering bugs needing a
+            // specific preemption.
+            if let Some(pos) = self.best(runnable) {
+                self.priorities[runnable[pos]] = self.next_low;
+                self.next_low = self.next_low.saturating_sub(1);
+            }
+        }
+        self.best(runnable).unwrap_or(0)
+    }
+
+    fn best(&self, runnable: &[usize]) -> Option<usize> {
+        (0..runnable.len()).max_by_key(|&i| self.priorities.get(runnable[i]).copied())
+    }
+}
+
+/// Randomized PCT-style exploration: `seeds` schedules, each fully
+/// determined by its seed (deterministic priorities + change points).
+pub fn explore_pct<S>(
+    name: &str,
+    vpar: usize,
+    fault: Option<InjectedFault>,
+    seeds: u64,
+    base_seed: u64,
+    stop_on_violation: bool,
+    scenario: S,
+) -> ModelReport
+where
+    S: Fn() + Sync,
+{
+    quiet_panics(move || {
+        let mut report = ModelReport {
+            name: name.to_owned(),
+            schedules: 0,
+            steps: 0,
+            complete: true,
+            violations: 0,
+            samples: Vec::new(),
+        };
+        for i in 0..seeds {
+            let mut pct = Pct::new(base_seed.wrapping_add(i.wrapping_mul(0x9e37_79b9)));
+            let decide = move |runnable: &[usize]| pct.decide(runnable);
+            let run = run_schedule(vpar, fault, STEP_LIMIT, decide, &scenario);
+            report.schedules += 1;
+            report.steps += run.steps;
+            let violated = harvest(&mut report, &run);
+            if violated && stop_on_violation {
+                report.complete = false;
+                return report;
+            }
+        }
+        report
+    })
+}

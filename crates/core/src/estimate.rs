@@ -22,8 +22,8 @@
 //!   `stage_cost`/`copy_in_ms` are pure O(1) lookups. Both paths produce
 //!   bit-identical stage costs.
 
+use crate::sync::{Arc, Mutex};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 use h2p_contention::{ContentionClass, IntensityModel};
 use h2p_models::cost::{CostModel, CostTable};

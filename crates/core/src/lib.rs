@@ -65,6 +65,7 @@ pub mod planner;
 pub mod recovery;
 pub mod report;
 pub mod searchspace;
+pub mod sync;
 pub mod workload;
 pub mod worksteal;
 

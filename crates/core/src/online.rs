@@ -33,7 +33,7 @@
 //! planner's normal path), and in debug builds every cache hit is
 //! re-planned and asserted bit-identical to the from-scratch plan.
 
-use std::sync::{Arc, Mutex};
+use crate::sync::{Arc, Mutex};
 
 use h2p_contention::ContentionClass;
 use h2p_models::graph::ModelGraph;

@@ -4,7 +4,10 @@
 //! candidate-order evaluation and per-window online planning — are
 //! embarrassingly parallel: every item is computed from shared read-only
 //! state and the results are combined by index. This module provides
-//! exactly that shape on top of [`std::thread::scope`]:
+//! exactly that shape on top of scoped threads, with every primitive
+//! (cursor atomics, stop flag, spawn/join) routed through the
+//! [`crate::sync`] shim so the `h2p-check` model checker can explore
+//! schedules of these exact loops:
 //!
 //! * no `unsafe`, no new dependencies, no thread pool — workers live only
 //!   for the duration of one call;
@@ -19,14 +22,15 @@
 //! A worker panic propagates out of the scope and aborts the whole map,
 //! exactly like a panic in the equivalent sequential loop.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{self, AtomicBool, AtomicUsize, Ordering};
 
 /// The number of worker threads to use by default: the machine's
-/// available parallelism, or 1 if it cannot be queried.
+/// available parallelism, or 1 if it cannot be queried. Routed through
+/// the [`sync`] shim so a model-check exploration can present a virtual
+/// core count (fan-out must happen even on a single-core host for the
+/// checker to have schedules to explore).
 pub fn available_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    sync::available_parallelism()
 }
 
 /// Below this many items a map takes the sequential path outright: a
@@ -93,7 +97,7 @@ where
         }
         local
     };
-    let mut produced: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let mut produced: Vec<Vec<(usize, R)>> = sync::scope(|scope| {
         let handles: Vec<_> = (1..workers).map(|w| scope.spawn(move || run(w))).collect();
         let mut all = vec![run(0)];
         for h in handles {
@@ -173,7 +177,7 @@ where
         }
         local
     };
-    let mut produced: Vec<Vec<(usize, Result<R, E>)>> = std::thread::scope(|scope| {
+    let mut produced: Vec<Vec<(usize, Result<R, E>)>> = sync::scope(|scope| {
         let handles: Vec<_> = (1..workers).map(|w| scope.spawn(move || run(w))).collect();
         let mut all = vec![run(0)];
         for h in handles {

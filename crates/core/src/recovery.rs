@@ -35,8 +35,8 @@
 //! plus exact event replay — and the plan lint with availability mask
 //! (H2P009: no task may target a down processor).
 
+use crate::sync::Arc;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use h2p_models::graph::ModelGraph;
 use h2p_simulator::audit;

@@ -317,6 +317,8 @@ impl TraceDoc {
         for e in self.events.iter().filter(|e| e.ph == 'X') {
             tracks.entry((e.pid, e.tid)).or_default().push(e);
         }
+        // h2p-lint: allow(H2P010) — validation verdict is order-independent; only
+        // which track's error surfaces first varies
         for ((pid, tid), slices) in &tracks {
             let mut prev_ts = f64::NEG_INFINITY;
             let mut stack: Vec<f64> = Vec::new(); // open slice end times
@@ -375,6 +377,8 @@ impl TraceDoc {
                 _ => {}
             }
         }
+        // h2p-lint: allow(H2P010) — any unbalanced async slice is an error; which
+        // one is named in the message is immaterial
         if let Some(((cat, id), _)) = open.iter().find(|(_, begins)| !begins.is_empty()) {
             return Err(format!("async begin without end: cat={cat} id=0x{id:x}"));
         }

@@ -31,6 +31,31 @@ for class in drop-layer duplicate-slot bad-proc inflate-makespan; do
     fi
 done
 
+echo "== h2p lint --source (workspace determinism lints)"
+# The workspace must be free of determinism hazards (H2P010-H2P013):
+# hash-order iteration, wall-clock reads in planning paths, unordered
+# float reductions, unseeded RNG. Waivers require a justification.
+$H2P lint --source --deny-warnings > /dev/null
+# Every seeded source-hazard class must be caught with a nonzero exit.
+for class in hash-iteration wall-clock unordered-reduction unseeded-rng; do
+    if $H2P lint --source --mutant "$class" > /dev/null 2>&1; then
+        echo "source lint MISSED hazard class: $class" >&2
+        exit 1
+    fi
+done
+
+echo "== h2p modelcheck --exhaustive (schedule-space model checker)"
+# Exhaustive DFS over the cursor/partition, error-rule, tables-cache,
+# planner bit-identity and recovery-round models: every explored
+# interleaving must satisfy the determinism invariants, and the sweep
+# must cover at least 1000 distinct schedules.
+$H2P modelcheck --exhaustive --min-schedules 1000 > /dev/null
+# The checker must catch both seeded cursor-claim bugs: the dropped
+# claim (skip-claim) and the torn claim (split-claim, which only
+# misbehaves under an adversarial interleaving).
+$H2P modelcheck --inject skip-claim --expect-violation > /dev/null
+$H2P modelcheck --inject split-claim --expect-violation > /dev/null
+
 echo "== h2p trace --audit (baselines included)"
 # Every scheme lowers through Scheme::lower -> LoweredPlan, so the
 # post-execution trace audit gates the baselines too.
@@ -56,11 +81,20 @@ for spec in "drop:NPU@5" "throttle:CPU_B@2..60x0.4" "flaky:0x2" "mispredict:1.5"
         echo "fault scenario failed: $spec" >&2; exit 1; }
 done
 
-echo "== h2p chaos --seeds 8 (seeded fault-recovery sweep)"
+echo "== h2p chaos --seeds 8 --json (seeded fault-recovery sweep)"
 # Random fault scenarios: every seed must end recovered audit-clean or
 # in a typed degraded outcome, with bounded retries and no task ever
-# starting on a down processor.
-$H2P chaos --seeds 8 > /dev/null
+# starting on a down processor. The machine-readable output must carry
+# a per-seed object for every seed plus a clean summary object.
+CHAOS_OUT=$(mktemp)
+$H2P chaos --seeds 8 --json > "$CHAOS_OUT"
+grep -q '"summary":true,"soc":"Kirin 990","seeds":8,"failures":0' "$CHAOS_OUT" || {
+    echo "chaos --json summary missing or reported failures" >&2
+    rm -f "$CHAOS_OUT"; exit 1; }
+[ "$(grep -c '"seed":' "$CHAOS_OUT")" -eq 8 ] || {
+    echo "chaos --json did not emit one object per seed" >&2
+    rm -f "$CHAOS_OUT"; exit 1; }
+rm -f "$CHAOS_OUT"
 
 echo "== h2p events (hardened event-log ingestion)"
 # A real event log round-trips through the typed parser and the replay

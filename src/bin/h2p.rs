@@ -18,13 +18,20 @@
 //! h2p export --trace t.json --metrics m.json bert resnet50
 //! h2p trace --faults drop:NPU@5 bert resnet50   # fault-injected run
 //! h2p chaos --seeds 8                    # seeded fault-recovery sweep
+//! h2p chaos --seeds 8 --json             # machine-readable per-seed
 //! h2p events log.jsonl                   # parse + replay an event log
+//! h2p lint --source --deny-warnings      # workspace determinism lints
+//! h2p lint --source --mutant wall-clock  # exits nonzero (lint demo)
+//! h2p modelcheck --exhaustive            # schedule-space model checker
+//! h2p modelcheck --inject skip-claim --expect-violation
 //! ```
 
+use std::path::Path;
 use std::sync::Arc;
 
-use h2p_analyze::Mutation;
+use h2p_analyze::{Mutation, SourceMutation};
 use h2p_baselines::{pipe_it, Scheme};
+use h2p_check::{CheckOptions, InjectedFault};
 use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::ModelId;
 use h2p_simulator::eventlog::{self, json_escape};
@@ -82,7 +89,7 @@ fn parse_scheme(name: &str) -> Option<Scheme> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--summary]\n            [--corrupt [CLASS]] [--events PATH|-] [--faults SPEC] MODEL...\n  h2p chaos [--soc NAME] --seeds N\n  h2p events PATH|-\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n  h2p export [--soc NAME] [--scheme NAME] [--trace PATH|-]\n            [--metrics PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts,\n                  including the event-log replay reconciliation; exit\n                  nonzero on any violation\n  --summary       print the per-processor metrics snapshot table\n                  (busy/idle/bubble/stretch ms)\n  --corrupt [CLASS] deliberately corrupt the trace before auditing\n                  (demo); CLASS is overlap (default) or stretch — an\n                  in-envelope duration corruption only the replay\n                  reconciliation catches\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n  --faults SPEC   run under scripted faults with recovery (h2p scheme\n                  only); SPEC is comma-separated:\n                    drop:<PROC>@<t>                   processor dropout\n                    throttle:<PROC>@<from>..<until>x<f>  rate throttle\n                    flaky:<request>x<count>           transient failures\n                    mispredict:<scale>                cost misprediction\n\nchaos flags:\n  --seeds N       run N seeded random fault scenarios through the\n                  recovery runner; every scenario must end recovered\n                  with audit-clean rounds or in a typed degraded\n                  outcome — exit nonzero otherwise\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan\n\nexport flags:\n  --trace PATH    write the run as Chrome Trace Event JSON, loadable in\n                  chrome://tracing or ui.perfetto.dev ('-' = stdout)\n  --metrics PATH  write the metrics snapshot JSON ('-' = stdout)"
+        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--summary]\n            [--corrupt [CLASS]] [--events PATH|-] [--faults SPEC] MODEL...\n  h2p chaos [--soc NAME] --seeds N [--json]\n  h2p events PATH|-\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n  h2p lint  --source [--deny-warnings] [--json] [--mutant CLASS] [ROOT]\n  h2p modelcheck [--exhaustive] [--seeds N] [--min-schedules N]\n            [--inject CLASS] [--expect-violation]\n  h2p export [--soc NAME] [--scheme NAME] [--trace PATH|-]\n            [--metrics PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts,\n                  including the event-log replay reconciliation; exit\n                  nonzero on any violation\n  --summary       print the per-processor metrics snapshot table\n                  (busy/idle/bubble/stretch ms)\n  --corrupt [CLASS] deliberately corrupt the trace before auditing\n                  (demo); CLASS is overlap (default) or stretch — an\n                  in-envelope duration corruption only the replay\n                  reconciliation catches\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n  --faults SPEC   run under scripted faults with recovery (h2p scheme\n                  only); SPEC is comma-separated:\n                    drop:<PROC>@<t>                   processor dropout\n                    throttle:<PROC>@<from>..<until>x<f>  rate throttle\n                    flaky:<request>x<count>           transient failures\n                    mispredict:<scale>                cost misprediction\n\nchaos flags:\n  --seeds N       run N seeded random fault scenarios through the\n                  recovery runner; every scenario must end recovered\n                  with audit-clean rounds or in a typed degraded\n                  outcome — exit nonzero otherwise\n  --json          one JSON object per seed plus a summary object\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan\n  --source          lint workspace sources for determinism hazards\n                    (H2P010-H2P013) instead of linting a plan; ROOT\n                    defaults to '.'\n  --mutant CLASS    lint a seeded hazard snippet instead of the\n                    workspace (demo; must exit nonzero); CLASS is one\n                    of: hash-iteration, wall-clock, unordered-reduction,\n                    unseeded-rng\n\nmodelcheck flags:\n  --exhaustive      full DFS enumeration of the standard model suite\n                    (cursor partition/error-rule, tables cache, planner\n                    bit-identity, recovery rounds)\n  --seeds N         PCT schedules for the randomized models (default 24)\n  --min-schedules N exit nonzero unless at least N distinct schedules\n                    were explored in total\n  --inject CLASS    seed a claim bug into the cursor path; CLASS is\n                    skip-claim (dropped claim) or split-claim (torn\n                    claim)\n  --expect-violation invert the exit code: succeed only if the injected\n                    bug was caught (self-test of the checker)\n\nexport flags:\n  --trace PATH    write the run as Chrome Trace Event JSON, loadable in\n                  chrome://tracing or ui.perfetto.dev ('-' = stdout)\n  --metrics PATH  write the metrics snapshot JSON ('-' = stdout)"
     );
     std::process::exit(2);
 }
@@ -550,6 +557,12 @@ fn main() {
             run_events(&argv[1..]);
         }
         "lint" => {
+            // `--source` switches to the workspace determinism lints,
+            // which take no models — intercept before the common parser
+            // (it requires at least one model).
+            if argv[1..].iter().any(|a| a == "--source") {
+                run_source_lint(&argv[1..]);
+            }
             let args = parse_args(&argv[1..], true);
             let diags = run_lint(&args);
             if args.json {
@@ -560,6 +573,9 @@ fn main() {
             if diags.should_fail(args.deny_warnings) {
                 std::process::exit(1);
             }
+        }
+        "modelcheck" => {
+            run_modelcheck(&argv[1..]);
         }
         _ => usage(),
     }
@@ -762,6 +778,7 @@ fn chaos_violation(
 fn run_chaos(rest: &[String]) {
     let mut soc = SocSpec::kirin_990();
     let mut seeds: Option<u64> = None;
+    let mut json = false;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -784,6 +801,7 @@ fn run_chaos(rest: &[String]) {
                         }),
                 );
             }
+            "--json" => json = true,
             other => {
                 eprintln!("unknown chaos flag: {other}");
                 usage()
@@ -812,32 +830,251 @@ fn run_chaos(rest: &[String]) {
                         RecoveryOutcome::Recovered => "recovered".to_owned(),
                         RecoveryOutcome::Degraded(e) => format!("degraded ({e})"),
                     };
-                    println!(
-                        "seed {seed:>3}: {} request(s), {} fault(s), {} round(s), \
-                         {} replan(s), {} retry(ies) — {outcome}",
-                        reqs.len(),
-                        faults.len(),
-                        report.rounds.len(),
-                        report.replans,
-                        report.retries,
-                    );
+                    if json {
+                        println!(
+                            "{{\"seed\":{seed},\"ok\":true,\"requests\":{},\
+                             \"faults\":{},\"rounds\":{},\"replans\":{},\
+                             \"retries\":{},\"outcome\":\"{}\"}}",
+                            reqs.len(),
+                            faults.len(),
+                            report.rounds.len(),
+                            report.replans,
+                            report.retries,
+                            json_escape(&outcome),
+                        );
+                    } else {
+                        println!(
+                            "seed {seed:>3}: {} request(s), {} fault(s), {} round(s), \
+                             {} replan(s), {} retry(ies) — {outcome}",
+                            reqs.len(),
+                            faults.len(),
+                            report.rounds.len(),
+                            report.replans,
+                            report.retries,
+                        );
+                    }
                 }
                 violation
             }
         };
         if let Some(why) = verdict {
-            println!("seed {seed:>3}: FAIL — {why}");
+            if json {
+                println!(
+                    "{{\"seed\":{seed},\"ok\":false,\"why\":\"{}\"}}",
+                    json_escape(&why)
+                );
+            } else {
+                println!("seed {seed:>3}: FAIL — {why}");
+            }
             failures += 1;
         }
     }
-    println!(
-        "chaos sweep on {}: {}/{} scenario(s) ok",
-        soc.name,
-        seeds - failures as u64,
-        seeds
-    );
+    if json {
+        println!(
+            "{{\"summary\":true,\"soc\":\"{}\",\"seeds\":{seeds},\"failures\":{failures}}}",
+            json_escape(&soc.name)
+        );
+    } else {
+        println!(
+            "chaos sweep on {}: {}/{} scenario(s) ok",
+            soc.name,
+            seeds - failures as u64,
+            seeds
+        );
+    }
     if failures > 0 {
         std::process::exit(1);
+    }
+}
+
+/// `h2p lint --source`: the workspace determinism lint pass
+/// (H2P010–H2P013), or — with `--mutant CLASS` — a seeded hazard
+/// snippet that must make the lint exit nonzero.
+fn run_source_lint(rest: &[String]) -> ! {
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut mutant: Option<SourceMutation> = None;
+    let mut root: Option<String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--source" => {}
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            "--mutant" => {
+                i += 1;
+                mutant = Some(
+                    rest.get(i)
+                        .and_then(|s| SourceMutation::parse(s))
+                        .unwrap_or_else(|| {
+                            eprintln!(
+                                "unknown source mutant class (want hash-iteration, \
+                                 wall-clock, unordered-reduction or unseeded-rng)"
+                            );
+                            usage()
+                        }),
+                );
+            }
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown lint --source flag: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    let diags = if let Some(m) = mutant {
+        eprintln!(
+            "linting seeded '{}' hazard (expecting {})",
+            m.name(),
+            m.expected_code().code()
+        );
+        h2p_analyze::lint_source(&format!("<mutant:{}>", m.name()), "core", m.snippet())
+    } else {
+        let root = root.unwrap_or_else(|| ".".to_owned());
+        match h2p_analyze::lint_workspace(Path::new(&root)) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("source lint failed reading {root}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    if json {
+        print!("{}", diags.to_json_lines());
+    } else {
+        print!("{diags}");
+    }
+    std::process::exit(i32::from(diags.should_fail(deny_warnings)));
+}
+
+/// `h2p modelcheck`: run the schedule-space model suite (cursor
+/// partition/error rule, tables cache, planner bit-identity, recovery
+/// rounds) under the controlled scheduler, or — with `--inject` — seed
+/// a claim bug and verify the checker catches it.
+fn run_modelcheck(rest: &[String]) -> ! {
+    let mut exhaustive = false;
+    let mut seeds: Option<u64> = None;
+    let mut min_schedules = 0usize;
+    let mut inject: Option<InjectedFault> = None;
+    let mut expect_violation = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--exhaustive" => exhaustive = true,
+            "--expect-violation" => expect_violation = true,
+            "--seeds" => {
+                i += 1;
+                seeds = Some(
+                    rest.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--seeds needs a positive integer");
+                            usage()
+                        }),
+                );
+            }
+            "--min-schedules" => {
+                i += 1;
+                min_schedules = rest.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--min-schedules needs an integer");
+                    usage()
+                });
+            }
+            "--inject" => {
+                i += 1;
+                inject = Some(
+                    rest.get(i)
+                        .and_then(|s| InjectedFault::parse(s))
+                        .unwrap_or_else(|| {
+                            eprintln!("unknown fault (want skip-claim or split-claim)");
+                            usage()
+                        }),
+                );
+            }
+            other => {
+                eprintln!("unknown modelcheck flag: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    let mut opts = if exhaustive {
+        CheckOptions::default()
+    } else {
+        // Quick mode: capped DFS plus a lean PCT pass.
+        CheckOptions {
+            exhaustive_cap: 2_000,
+            pct_seeds: 8,
+            ..CheckOptions::default()
+        }
+    };
+    if let Some(s) = seeds {
+        opts.pct_seeds = s;
+    }
+
+    if let Some(fault) = inject {
+        let report = h2p_check::run_injected(fault, opts);
+        print_model_report(&report);
+        let caught = report.violations > 0;
+        if expect_violation {
+            if caught {
+                println!(
+                    "injected '{}' bug caught after {} schedule(s) — checker is live",
+                    fault.name(),
+                    report.schedules
+                );
+                std::process::exit(0);
+            }
+            println!(
+                "injected '{}' bug was NOT caught in {} schedule(s)",
+                fault.name(),
+                report.schedules
+            );
+            std::process::exit(1);
+        }
+        std::process::exit(i32::from(caught));
+    }
+
+    let reports = h2p_check::run_standard(opts);
+    let mut schedules = 0usize;
+    let mut steps = 0usize;
+    let mut violations = 0usize;
+    for r in &reports {
+        print_model_report(r);
+        schedules += r.schedules;
+        steps += r.steps;
+        violations += r.violations;
+    }
+    println!(
+        "model check: {schedules} schedule(s), {steps} step(s), \
+         {violations} violation(s) across {} model(s)",
+        reports.len()
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+    if schedules < min_schedules {
+        eprintln!("model check explored {schedules} schedule(s) < required {min_schedules}");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+fn print_model_report(r: &h2p_check::ModelReport) {
+    println!(
+        "{:<36} {:>7} schedule(s) {:>9} step(s)  {}  {} violation(s)",
+        r.name,
+        r.schedules,
+        r.steps,
+        if r.complete { "complete" } else { "capped  " },
+        r.violations,
+    );
+    for s in &r.samples {
+        println!("    sample: {s}");
     }
 }
 
