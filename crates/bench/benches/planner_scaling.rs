@@ -35,23 +35,44 @@ fn workload(m: usize) -> Vec<ModelGraph> {
 }
 
 fn bench_partition_dp(c: &mut Criterion) {
+    // The steady-state DP path a warm planner runs per (request, subset):
+    // flat prefix-sum kernel over arena-backed scratch, no allocation.
     let soc = SocSpec::kirin_990();
     let planner = Planner::new(&soc).expect("planner");
     let procs = soc.processors_by_power();
     let mut group = c.benchmark_group("partition_dp");
+    let mut scratch = partition::DpScratch::new();
     for id in [ModelId::Vgg16, ModelId::Bert] {
         let graph = id.graph();
-        let ctx = planner.estimator().context(&graph, &procs, vec![1, 2, 3]);
-        let cost = planner.estimator().cost();
+        let tables = planner.estimator().tables(Arc::new(graph.clone()), &procs);
         let n = graph.len();
-        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &n, |b, &n| {
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &n, |b, _| {
             b.iter(|| {
-                partition::min_max_partition(n, 3, |a, i, j| ctx.stage_cost(cost, a, i, j))
+                tables
+                    .partition_into(&[1, 2, 3], 1, &mut scratch)
                     .expect("feasible")
             })
         });
     }
     group.finish();
+}
+
+fn bench_plan_single(c: &mut Criterion) {
+    // One BERT request planned end-to-end: the single-request path hands
+    // the full thread budget to the intra-request subset fan-out, so this
+    // case tracks the tentpole kernel plus the mask-parallel evaluate-all
+    // path (sequential on 1-core hosts — `available_parallelism` in the
+    // JSON says which regime a snapshot measured).
+    let soc = SocSpec::kirin_990();
+    let planner = Planner::new(&soc).expect("planner");
+    let graphs = [ModelId::Bert.graph()];
+    c.bench_function("plan_single/BERT", |b| {
+        b.iter(|| {
+            planner
+                .plan_with_threads(&graphs, PAR_THREADS)
+                .expect("plan")
+        })
+    });
 }
 
 fn bench_lap(c: &mut Criterion) {
@@ -210,6 +231,7 @@ fn write_json(results: &[BenchResult]) {
 fn main() {
     let mut criterion = Criterion::default();
     bench_partition_dp(&mut criterion);
+    bench_plan_single(&mut criterion);
     bench_lap(&mut criterion);
     bench_plan_scaling(&mut criterion);
     bench_online_replan(&mut criterion);

@@ -35,7 +35,9 @@ pub fn run_standard(opts: CheckOptions) -> Vec<ModelReport> {
         scenarios::cursor_try_map(2, 4, vec![1, 3], opts),
         scenarios::cursor_try_map(3, 3, vec![0], opts),
         scenarios::tables_cache(opts),
+        scenarios::scratch_pool(opts),
         scenarios::planner_bits(opts),
+        scenarios::intra_request_bits(opts),
         scenarios::recovery_rounds(),
     ]
 }

@@ -249,6 +249,104 @@ pub fn planner_bits(opts: CheckOptions) -> ModelReport {
 /// request completions and processor dropouts (up to 2 drops), calling
 /// the real `replan_on_survivors` at every state and asserting no
 /// surviving plan ever assigns work to a down processor.
+/// Exhaustive model of the planner's pooled-scratch pattern
+/// (`Planner::with_plan_scratch`): workers fanning out over `par::map`
+/// each pop a reusable buffer from a shared `sync::Mutex` pool (or
+/// allocate on a miss), stamp it with checkout-local state, derive
+/// their result from the buffer, and push it back for reuse. The
+/// invariant is exclusivity — a pool bug handing one buffer to two
+/// concurrent checkouts would tear the stamped pattern — plus the
+/// standing rule that the map output equals the sequential result, and
+/// that the pool never grows past the worker high-water mark.
+pub fn scratch_pool(opts: CheckOptions) -> ModelReport {
+    let name = "scratch_pool(w=2,n=3)";
+    let items: Vec<usize> = vec![3, 5, 7];
+    let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+    explore_exhaustive(
+        name,
+        2,
+        None,
+        opts.exhaustive_cap,
+        opts.stop_on_violation,
+        move || {
+            let pool: sync::Mutex<Vec<Vec<usize>>> = sync::Mutex::new(Vec::new());
+            let out = par::map(2, &items, |idx, &x| {
+                let stamp = (idx + 1) * 1000 + x;
+                let mut buf = {
+                    let mut guard = match pool.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.pop()
+                }
+                .unwrap_or_default();
+                buf.clear();
+                buf.resize(8, stamp);
+                let result = (buf[0] - (idx + 1) * 1000) * x; // x * x
+                assert!(
+                    buf.iter().all(|&v| v == stamp),
+                    "scratch shared between concurrent checkouts"
+                );
+                let mut guard = match pool.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard.push(buf);
+                drop(guard);
+                result
+            });
+            assert_eq!(out, expected, "pooled-scratch map diverged from sequential");
+            let pooled = match pool.lock() {
+                Ok(guard) => guard.len(),
+                Err(poisoned) => poisoned.into_inner().len(),
+            };
+            assert!(
+                pooled <= 2,
+                "pool grew past the worker high-water mark: {pooled}"
+            );
+        },
+    )
+}
+
+/// PCT model of the intra-request subset-DP fan-out: a single BERT
+/// request (62 layers, past `INTRA_DP_MIN_LAYERS`) planned at 2 virtual
+/// workers routes the whole thread budget into the per-subset DP
+/// fan-out inside `plan_request_cached` — concurrent kernel runs on
+/// pooled scratches followed by the sequential selection replay. The
+/// plan must stay bit-identical to the frozen sequential reference
+/// under every explored schedule.
+pub fn intra_request_bits(opts: CheckOptions) -> ModelReport {
+    let name = "intra_request_bits(BERT, 2 threads)";
+    let soc = SocSpec::kirin_990();
+    let planner = match Planner::new(&soc) {
+        Ok(p) => p,
+        Err(e) => return setup_failure(name, &e),
+    };
+    let requests: Vec<ModelGraph> = vec![ModelId::Bert.graph()];
+    let reference = match planner.plan_reference(&requests) {
+        Ok(p) => p,
+        Err(e) => return setup_failure(name, &e),
+    };
+    explore_pct(
+        name,
+        2,
+        None,
+        opts.pct_seeds,
+        0x4450_4b46, // "DPKF"
+        opts.stop_on_violation,
+        || {
+            let planned = match planner.plan_with_threads(&requests, 2) {
+                Ok(p) => p,
+                Err(e) => panic!("plan_with_threads failed under schedule: {e}"),
+            };
+            assert!(
+                planned.plan == reference.plan,
+                "single-request plan bits diverged from plan_reference under this schedule"
+            );
+        },
+    )
+}
+
 pub fn recovery_rounds() -> ModelReport {
     let name = "recovery_rounds(3 requests, <=2 drops)";
     let mut report = ModelReport {

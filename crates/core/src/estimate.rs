@@ -33,6 +33,7 @@ use h2p_simulator::processor::{ProcessorId, ProcessorKind};
 use h2p_simulator::soc::SocSpec;
 
 use crate::error::PlanError;
+use crate::partition::{self, DpScratch, PrefixStage};
 use crate::plan::{StagePlan, StageRun};
 
 /// Memoized intensity predictions, keyed by model name with a full graph
@@ -256,11 +257,28 @@ impl Estimator {
                 copy_pairs[p * k + q] = Arc::new(curve);
             }
         }
+        // Feasibility lowered for the branch-free DP kernel: per slot,
+        // feas_from[j] is one past the last unsupported layer at or
+        // before j, so feasible slice starts ending at j form the
+        // suffix [feas_from[j], j] (see PrefixStage::Plain).
+        let mut feas_from = vec![0u32; k * n];
+        for (slot, row) in feas_from.chunks_mut(n).enumerate() {
+            let un = table.unsupported_row(slot);
+            let mut from = 0u32;
+            for (i, cell) in row.iter_mut().enumerate() {
+                if un[i + 1] - un[i] > 0 {
+                    from = (i + 1) as u32;
+                }
+                *cell = from;
+            }
+        }
         RequestTables {
             graph,
             pipeline_procs: pipeline_procs.to_vec(),
             table,
             copy_pairs,
+            feas_from,
+            zero_copy: vec![0.0; n],
             fallback,
         }
     }
@@ -334,6 +352,14 @@ pub struct RequestTables {
     /// from slot `p`'s processor to slot `q`'s. Unused pairs hold an
     /// empty curve.
     copy_pairs: Vec<Arc<Vec<f64>>>,
+    /// `feas_from[slot * n + j]`: the smallest feasible start layer for
+    /// a slice ending at `j` on `slot` (one past the last unsupported
+    /// layer ≤ `j`), lowered from the unsupported prefix counts for the
+    /// branch-free DP kernel.
+    feas_from: Vec<u32>,
+    /// `n` zeros: the stage-0 copy-in curve (the literal `+ 0.0` keeps
+    /// the kernel's float-op order identical to the oracle path).
+    zero_copy: Vec<f64>,
     /// `(pipeline slot of the NPU, fallback arrays)`, if the pipeline
     /// includes an NPU.
     fallback: Option<(usize, Arc<NpuFallback>)>,
@@ -360,9 +386,54 @@ impl RequestTables {
         self.fallback.as_ref().map(|(s, core)| (*s, core.as_ref()))
     }
 
-    /// The copy-in curve for a stage on slot `q` receiving from slot `p`.
-    pub(crate) fn copy_curve(&self, p: usize, q: usize) -> &Arc<Vec<f64>> {
-        &self.copy_pairs[p * self.pipeline_procs.len() + q]
+    /// Lowers pipeline stage `a` of the ordered `slots` subset into the
+    /// branch-free prefix slices the DP kernel consumes.
+    fn dp_stage(&self, slots: &[usize], a: usize) -> PrefixStage<'_> {
+        let n = self.graph.len();
+        let k = self.pipeline_procs.len();
+        let slot = slots[a];
+        let copy: &[f64] = if a == 0 {
+            &self.zero_copy
+        } else {
+            self.copy_pairs[slots[a - 1] * k + slot].as_slice()
+        };
+        match &self.fallback {
+            Some((fb_slot, fb)) if *fb_slot == slot => PrefixStage::Fallback {
+                lp: &fb.lat_prefix,
+                cp: &fb.copy_prefix,
+                copy,
+            },
+            _ => PrefixStage::Plain {
+                pm: self.table.prefix_row(slot),
+                feas_from: &self.feas_from[slot * n..(slot + 1) * n],
+                copy,
+            },
+        }
+    }
+
+    /// Runs the flat DP kernel ([`partition::min_max_partition_prefix`])
+    /// for the ordered active-slot subset `slots`, directly over these
+    /// tables' prefix arrays — no per-cell closure, no `Option`, no
+    /// allocation once `scratch` is warm. Returns the minimized makespan
+    /// and leaves the split points in [`DpScratch::splits`].
+    ///
+    /// Bit-identical to [`crate::partition::min_max_partition`] over
+    /// `RequestContext::stage_cost` of [`RequestTables::context`] on the
+    /// same slots (pinned by unit tests and planner debug assertions).
+    /// `threads` bounds the intra-row fan-out; `1` is fully sequential.
+    pub fn partition_into(
+        &self,
+        slots: &[usize],
+        threads: usize,
+        scratch: &mut DpScratch,
+    ) -> Option<f64> {
+        partition::min_max_partition_prefix(
+            self.graph.len(),
+            slots.len(),
+            threads,
+            |a| self.dp_stage(slots, a),
+            scratch,
+        )
     }
 
     /// Derives the context for the given active slots, sharing every
@@ -779,6 +850,49 @@ mod tests {
                             }
                         }
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_into_matches_oracle_dp_bit_for_bit() {
+        // The flat kernel over the lowered prefix slices must equal the
+        // Option-oracle reference DP over the derived context: same
+        // feasibility, same split points, same makespan bits — for
+        // plain, NPU-fallback (BERT's embedding) and unsupported-range
+        // (YOLO's plain NPU row) stages alike.
+        let (soc, est) = setup();
+        let procs = soc.processors_by_power();
+        let mut scratch = crate::partition::DpScratch::new();
+        for id in [ModelId::ResNet50, ModelId::Bert, ModelId::YoloV4] {
+            let g = id.graph();
+            let n = g.len();
+            let tables = est.tables(Arc::new(g.clone()), &procs);
+            for slots in [
+                vec![0usize],
+                vec![1],
+                vec![0, 1],
+                vec![1, 3],
+                vec![0, 2, 3],
+                vec![0, 1, 2, 3],
+            ] {
+                let ctx = tables.context(slots.clone());
+                let oracle = crate::partition::min_max_partition(n, slots.len(), |a, i, j| {
+                    ctx.stage_cost(est.cost(), a, i, j)
+                });
+                let kernel = tables.partition_into(&slots, 1, &mut scratch);
+                match (oracle, kernel) {
+                    (None, None) => {}
+                    (Some(p), Some(ms)) => {
+                        assert_eq!(
+                            p.makespan_ms.to_bits(),
+                            ms.to_bits(),
+                            "{id} slots {slots:?}: makespan bits"
+                        );
+                        assert_eq!(p.splits, scratch.splits(), "{id} slots {slots:?}: splits");
+                    }
+                    (o, k) => panic!("{id} slots {slots:?}: feasibility diverged: {o:?} vs {k:?}"),
                 }
             }
         }

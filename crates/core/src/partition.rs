@@ -8,7 +8,7 @@
 //! S*(j, k) = min_i max( S*(i-1, k-1), T_k(i, j) )
 //! ```
 //!
-//! Two implementations are provided:
+//! Three implementations are provided:
 //!
 //! * [`min_max_partition`] — the reference O(n²K) dynamic program. It
 //!   accepts *any* cost oracle, including ones with inter-processor copy
@@ -16,13 +16,28 @@
 //! * [`min_max_partition_fast`] — the paper's optimized O(nK log n)
 //!   variant exploiting Property 2 (monotonicity): the inner minimization
 //!   becomes a binary search for the balance point between
-//!   `S*(i-1, k-1)` and `T_k(i, j)`. Exact for homogeneous stage costs;
-//!   a fast heuristic for heterogeneous ones (see the function's
-//!   exactness caveat — a finding of this reproduction about the paper's
+//!   `S*(i-1, k-1)` and `T_k(i, j)`, and the per-row search window only
+//!   moves right as `j` grows. Exact for homogeneous stage costs; a fast
+//!   heuristic for heterogeneous ones (see the function's exactness
+//!   caveat — a finding of this reproduction about the paper's
 //!   complexity claim).
+//! * [`min_max_partition_prefix`] — the planner's production kernel: the
+//!   same recurrence specialized for branch-free prefix-sum stage costs
+//!   ([`PrefixStage`]), running over a flat arena ([`DpScratch`]) so the
+//!   steady state touches no allocator, with an optional row fan-out
+//!   over the [`crate::par`] runtime. Bit-identical to
+//!   [`min_max_partition`] over the equivalent oracle by construction
+//!   (same candidate order, same float-op order), pinned by debug
+//!   assertions in the planner and by the kernel proptests.
 //!
-//! The test suite cross-checks all three implementations exhaustively
-//! and property-based.
+//! All DP state is flat and row-major — `s[kk * n + j]` — so one warm
+//! [`DpScratch`] plans any request without allocating, and the inner loop
+//! walks contiguous memory.
+//!
+//! The test suite cross-checks all implementations exhaustively and
+//! property-based.
+
+use crate::{par, sync};
 
 /// Result of partitioning one model across `K` pipeline stages.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +70,306 @@ impl Partition {
     }
 }
 
+/// Reusable flat DP state: one contiguous `f64` arena plus the
+/// backtracking table, grown on demand and never shrunk, so a warm
+/// scratch plans any same-sized-or-smaller request without touching the
+/// allocator (the planner pools these — see `Planner`).
+///
+/// Layout is row-major by slot count: cell `(kk, j)` lives at
+/// `kk * n + j` for `kk` in `1..=k` (row 0 is unused padding so the
+/// index needs no offset arithmetic). Rows are only *written* for
+/// `j >= kk - 1` and only *read* at indices a previous row has written,
+/// so stale values from an earlier, differently-shaped run are never
+/// observed.
+#[derive(Debug, Default, Clone)]
+pub struct DpScratch {
+    /// Flat DP table, `s[kk * n + j]` = best makespan of layers `0..=j`
+    /// over the first `kk` pipeline slots.
+    s: Vec<f64>,
+    /// Backtracking choices, same indexing: the `i` realizing `s`.
+    choice: Vec<u32>,
+    /// Split points of the most recent successful kernel run.
+    splits: Vec<usize>,
+    /// Inner-loop candidate evaluations accumulated since the last
+    /// [`DpScratch::take_cells`] (telemetry: `planner.dp.cells`).
+    cells: u64,
+}
+
+impl DpScratch {
+    /// A fresh, empty scratch. Buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Split points of the most recent successful kernel run
+    /// (`k - 1` ascending entries).
+    pub fn splits(&self) -> &[usize] {
+        &self.splits
+    }
+
+    /// Drains the inner-loop candidate-evaluation counter.
+    pub fn take_cells(&mut self) -> u64 {
+        std::mem::take(&mut self.cells)
+    }
+
+    /// Grows the arena to cover an `(n, k)` problem. Never shrinks;
+    /// after the first call at the high-water shape, subsequent calls
+    /// are allocation-free (`splits` is resized within capacity).
+    fn ensure(&mut self, n: usize, k: usize) {
+        let need = (k + 1) * n;
+        if self.s.len() < need {
+            self.s.resize(need, 0.0);
+            self.choice.resize(need, 0);
+        }
+        self.splits.clear();
+        self.splits.resize(k.saturating_sub(1), 0);
+    }
+}
+
+/// One pipeline stage's cost function, lowered to branch-free prefix-sum
+/// slices for [`min_max_partition_prefix`]. Infeasibility is encoded in
+/// the data (`feas_from`), not in an `Option` per cell, so the DP inner
+/// loop has no branches beyond the loop bounds and the running-min
+/// compare.
+#[derive(Debug, Clone, Copy)]
+pub enum PrefixStage<'a> {
+    /// A directly-supported processor slot. The stage cost of layers
+    /// `[i, j]` is `(pm[j + 1] - pm[i]) + copy[i]` — the exact float-op
+    /// order of `CostTable::slice_ms` plus the copy-in term, so results
+    /// are bit-identical to the `Option` oracle path.
+    Plain {
+        /// Latency prefix sums, `n + 1` entries (`pm[0] == 0`).
+        pm: &'a [f64],
+        /// `feas_from[j]` = smallest `i` such that every layer in
+        /// `[i, j]` is supported on this slot: one past the last
+        /// unsupported layer at or before `j` (`j + 1` when layer `j`
+        /// itself is unsupported, making the candidate range empty).
+        /// Feasible start points for a slice ending at `j` form the
+        /// suffix `[feas_from[j], j]`.
+        feas_from: &'a [u32],
+        /// Copy-in cost when the slice starts at layer `i`; an all-zeros
+        /// slice for stage 0 (the literal `+ 0.0` keeps the float-op
+        /// order of the reference, which is bit-exact because every
+        /// cost in the domain is finite and non-negative).
+        copy: &'a [f64],
+    },
+    /// The NPU slot of a model with unsupported operators: unsupported
+    /// runs detour to the fallback processor, so every slice is feasible
+    /// and costs `(((lp[j + 1] - lp[i]) + cp[j]) - cp[i]) + copy[i]` —
+    /// the exact op order of `NpuFallback::slice_ms` plus copy-in.
+    Fallback {
+        /// Mixed NPU/fallback latency prefix, `n + 1` entries.
+        lp: &'a [f64],
+        /// Prefix of detour copy penalties, `n` entries.
+        cp: &'a [f64],
+        /// Copy-in cost by start layer (see [`PrefixStage::Plain`]).
+        copy: &'a [f64],
+    },
+}
+
+/// Minimum inner-row width (number of `j` cells in one `kk` frontier)
+/// before [`min_max_partition_prefix`] fans the row out across worker
+/// threads. One cell is a handful of nanoseconds, so below roughly this
+/// many cells a scoped-thread spawn (tens of microseconds) can only
+/// lose; the zoo's largest model (BERT, 62 layers) stays sequential and
+/// relies on the per-subset fan-out in the planner instead.
+pub const DP_ROW_PAR_MIN: usize = 512;
+
+/// The planner's production DP kernel: the recurrence of
+/// [`min_max_partition`] specialized for [`PrefixStage`] cost rows over
+/// a flat, reusable [`DpScratch`] arena.
+///
+/// `stage(a)` resolves the cost rows of pipeline stage `a` (called once
+/// per row, not per cell). On success returns the minimized makespan and
+/// leaves the `k - 1` split points in [`DpScratch::splits`]; returns
+/// `None` when no feasible `k`-way partition exists or the shape is
+/// degenerate (`n == 0`, `k == 0`, `k > n`) — the same contract as
+/// [`min_max_partition`].
+///
+/// **Bit-identity.** For every cell the kernel evaluates the same
+/// candidates in the same order with the same float-op order as
+/// [`min_max_partition`] over the equivalent `Option` oracle, and the
+/// returned makespan equals the `max` fold the oracle path computes in
+/// `finish` (IEEE `max` returns one of its operands unchanged, and the
+/// domain has no NaNs: prefixes are finite, infinities only encode
+/// infeasibility and never reach a successful backtrack).
+///
+/// With `threads > 1` and a row frontier of at least [`DP_ROW_PAR_MIN`]
+/// cells, each row is split into contiguous spans computed by scoped
+/// workers ([`par::span_bounds`]); cells within a row are independent
+/// (they read only the previous row), so the fan-out is trivially
+/// bit-identical to the sequential row and the `h2p-check` model
+/// explores its schedules.
+pub fn min_max_partition_prefix<'a, F>(
+    n: usize,
+    k: usize,
+    threads: usize,
+    stage: F,
+    scratch: &mut DpScratch,
+) -> Option<f64>
+where
+    F: Fn(usize) -> PrefixStage<'a>,
+{
+    if n == 0 || k == 0 || k > n {
+        return None;
+    }
+    scratch.ensure(n, k);
+    let mut cells = 0u64;
+    // Row 1: single stage over layers 0..=j.
+    {
+        let row = &mut scratch.s[n..2 * n];
+        match stage(0) {
+            PrefixStage::Plain {
+                pm,
+                feas_from,
+                copy,
+            } => {
+                for (j, out) in row.iter_mut().enumerate() {
+                    *out = if feas_from[j] == 0 {
+                        (pm[j + 1] - pm[0]) + copy[0]
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+            }
+            PrefixStage::Fallback { lp, cp, copy } => {
+                for (j, out) in row.iter_mut().enumerate() {
+                    *out = (((lp[j + 1] - lp[0]) + cp[j]) - cp[0]) + copy[0];
+                }
+            }
+        }
+        cells += n as u64;
+    }
+    for kk in 2..=k {
+        let st = stage(kk - 1);
+        let (head, tail) = scratch.s.split_at_mut(kk * n);
+        let prev = &head[(kk - 1) * n..];
+        let cur = &mut tail[..n];
+        let ch = &mut scratch.choice[kk * n..(kk + 1) * n];
+        let lo_j = kk - 1;
+        let width = n - lo_j;
+        let workers = if width >= DP_ROW_PAR_MIN {
+            par::worker_count(threads, width)
+        } else {
+            1
+        };
+        if workers <= 1 {
+            cells += dp_row_span(st, prev, &mut cur[lo_j..], &mut ch[lo_j..], lo_j, kk);
+        } else {
+            // Carve the row into disjoint contiguous spans, one per
+            // worker; each cell depends only on the (shared, read-only)
+            // previous row, so any schedule produces the sequential row.
+            let mut spans: Vec<(usize, &mut [f64], &mut [u32])> = Vec::with_capacity(workers);
+            let mut rest_c = &mut cur[lo_j..];
+            let mut rest_h = &mut ch[lo_j..];
+            for (b0, b1) in par::span_bounds(width, workers) {
+                let (c0, c1) = rest_c.split_at_mut(b1 - b0);
+                let (h0, h1) = rest_h.split_at_mut(b1 - b0);
+                spans.push((lo_j + b0, c0, h0));
+                rest_c = c1;
+                rest_h = h1;
+            }
+            let span_cells: Vec<u64> = sync::scope(|scope| {
+                let mut iter = spans.into_iter();
+                let first = iter.next();
+                let handles: Vec<_> = iter
+                    .map(|(j0, c, h)| scope.spawn(move || dp_row_span(st, prev, c, h, j0, kk)))
+                    .collect();
+                let mut all = Vec::with_capacity(workers);
+                if let Some((j0, c, h)) = first {
+                    all.push(dp_row_span(st, prev, c, h, j0, kk));
+                }
+                for handle in handles {
+                    match handle.join() {
+                        Ok(c) => all.push(c),
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
+                }
+                all
+            });
+            cells += span_cells.iter().sum::<u64>();
+        }
+    }
+    scratch.cells += cells;
+    let best = scratch.s[k * n + (n - 1)];
+    if !best.is_finite() {
+        return None;
+    }
+    let mut j = n - 1;
+    for kk in (2..=k).rev() {
+        let i = scratch.choice[kk * n + j] as usize;
+        scratch.splits[kk - 2] = i;
+        j = i - 1;
+    }
+    Some(best)
+}
+
+/// Computes one contiguous span of a DP row: `out[off]` is cell
+/// `j = j0 + off` of row `kk`, minimizing over start points `i` with the
+/// exact candidate order and float-op order of the reference DP. Returns
+/// the number of candidates evaluated.
+fn dp_row_span(
+    st: PrefixStage<'_>,
+    prev: &[f64],
+    out: &mut [f64],
+    ch: &mut [u32],
+    j0: usize,
+    kk: usize,
+) -> u64 {
+    const INF: f64 = f64::INFINITY;
+    let mut cells = 0u64;
+    match st {
+        PrefixStage::Plain {
+            pm,
+            feas_from,
+            copy,
+        } => {
+            for (off, (o, c)) in out.iter_mut().zip(ch.iter_mut()).enumerate() {
+                let j = j0 + off;
+                // Feasible starts form the suffix [feas_from[j], j];
+                // infeasible candidates would be INF and can never win,
+                // so skipping them preserves the reference's winner
+                // (strict `<` never fires on INF) and its tie-breaks.
+                let lo = (feas_from[j] as usize).max(kk - 1);
+                let end = pm[j + 1];
+                let mut best = INF;
+                let mut best_i = 0u32;
+                for i in lo..=j {
+                    let v = prev[i - 1].max((end - pm[i]) + copy[i]);
+                    if v < best {
+                        best = v;
+                        best_i = i as u32;
+                    }
+                }
+                cells += (j + 1).saturating_sub(lo) as u64;
+                *o = best;
+                *c = best_i;
+            }
+        }
+        PrefixStage::Fallback { lp, cp, copy } => {
+            for (off, (o, c)) in out.iter_mut().zip(ch.iter_mut()).enumerate() {
+                let j = j0 + off;
+                let lo = kk - 1;
+                let end = lp[j + 1];
+                let cpj = cp[j];
+                let mut best = INF;
+                let mut best_i = 0u32;
+                for i in lo..=j {
+                    let v = prev[i - 1].max((((end - lp[i]) + cpj) - cp[i]) + copy[i]);
+                    if v < best {
+                        best = v;
+                        best_i = i as u32;
+                    }
+                }
+                cells += (j + 1 - lo) as u64;
+                *o = best;
+                *c = best_i;
+            }
+        }
+    }
+    cells
+}
+
 /// Reference O(n²K) dynamic program. `cost(slot, i, j)` returns the stage
 /// cost of layers `[i, j]` on processor slot `slot`, or `None` if that
 /// placement is infeasible (unsupported operator). Returns `None` when no
@@ -73,54 +388,74 @@ pub fn min_max_partition<F>(n: usize, k: usize, cost: F) -> Option<Partition>
 where
     F: Fn(usize, usize, usize) -> Option<f64>,
 {
+    min_max_partition_in(n, k, cost, &mut DpScratch::new())
+}
+
+/// [`min_max_partition`] over a caller-provided [`DpScratch`], so warm
+/// callers (tests, baselines re-partitioning in a loop) skip the arena
+/// allocation entirely.
+pub fn min_max_partition_in<F>(
+    n: usize,
+    k: usize,
+    cost: F,
+    scratch: &mut DpScratch,
+) -> Option<Partition>
+where
+    F: Fn(usize, usize, usize) -> Option<f64>,
+{
     if n == 0 || k == 0 || k > n {
         return None;
     }
     const INF: f64 = f64::INFINITY;
-    // s[j][kk] = best makespan for layers 0..=j on the first kk slots.
-    let mut s = vec![vec![INF; k + 1]; n];
-    let mut choice = vec![vec![0usize; k + 1]; n];
-    for (j, row) in s.iter_mut().enumerate() {
-        row[1] = cost(0, 0, j).unwrap_or(INF);
+    scratch.ensure(n, k);
+    // s[kk * n + j] = best makespan for layers 0..=j on the first kk
+    // slots (flat row-major arena — see DpScratch).
+    for (j, out) in scratch.s[n..2 * n].iter_mut().enumerate() {
+        *out = cost(0, 0, j).unwrap_or(INF);
     }
     for kk in 2..=k {
-        for j in (kk - 1)..n {
+        let (head, tail) = scratch.s.split_at_mut(kk * n);
+        let prev = &head[(kk - 1) * n..];
+        let cur = &mut tail[..n];
+        for (j, out) in cur.iter_mut().enumerate().skip(kk - 1) {
             let mut best = INF;
-            let mut best_i = 0;
+            let mut best_i = 0u32;
             // No early termination: for arbitrary oracles (restricted
             // split points, infeasible ranges, copy costs) the prefix
             // table is not monotone in i, so every candidate must be
             // scanned. The optimized variant below exploits monotonicity
             // when it does hold.
             for i in (kk - 1)..=j {
-                let prev = s[i - 1][kk - 1];
+                let prev_ms = prev[i - 1];
                 let c = cost(kk - 1, i, j).unwrap_or(INF);
-                let v = prev.max(c);
+                let v = prev_ms.max(c);
                 if v < best {
                     best = v;
-                    best_i = i;
+                    best_i = i as u32;
                 }
             }
-            s[j][kk] = best;
-            choice[j][kk] = best_i;
+            *out = best;
+            scratch.choice[kk * n + j] = best_i;
         }
     }
-    if !s[n - 1][k].is_finite() {
+    if !scratch.s[k * n + (n - 1)].is_finite() {
         return None;
     }
     // Backtrack split points.
-    let mut splits = vec![0usize; k - 1];
     let mut j = n - 1;
     for kk in (2..=k).rev() {
-        let i = choice[j][kk];
-        splits[kk - 2] = i;
+        let i = scratch.choice[kk * n + j] as usize;
+        scratch.splits[kk - 2] = i;
         j = i - 1;
     }
-    finish(n, k, splits, cost)
+    finish(n, k, scratch.splits.clone(), cost)
 }
 
 /// The optimized variant of Algorithm 1: O(nK log n) via binary search on
-/// the balance point (Property 2).
+/// the balance point (Property 2), with the per-row search window
+/// shrunk monotonically — the crossing point can only move right as `j`
+/// grows when the cost oracle is monotone, so each row's binary search
+/// starts where the previous cell's landed.
 ///
 /// **Exactness caveat.** The balance-point argument requires the prefix
 /// optimum `S(j, k)` to be non-decreasing in `j`. With *homogeneous*
@@ -131,8 +466,22 @@ where
 /// it, and `S(j, k)` may *decrease* as `j` grows (a concrete 7-layer,
 /// 4-processor counterexample lives in the test suite). In that regime
 /// this variant is a fast heuristic; the planner therefore uses the
-/// reference [`min_max_partition`], which is exact for any oracle.
+/// reference recurrence (as the [`min_max_partition_prefix`] kernel),
+/// which is exact for any oracle.
 pub fn min_max_partition_fast<F>(n: usize, k: usize, cost: F) -> Option<Partition>
+where
+    F: Fn(usize, usize, usize) -> Option<f64>,
+{
+    min_max_partition_fast_in(n, k, cost, &mut DpScratch::new())
+}
+
+/// [`min_max_partition_fast`] over a caller-provided [`DpScratch`].
+pub fn min_max_partition_fast_in<F>(
+    n: usize,
+    k: usize,
+    cost: F,
+    scratch: &mut DpScratch,
+) -> Option<Partition>
 where
     F: Fn(usize, usize, usize) -> Option<f64>,
 {
@@ -141,25 +490,31 @@ where
     }
     const INF: f64 = f64::INFINITY;
     let get = |slot: usize, i: usize, j: usize| cost(slot, i, j).unwrap_or(INF);
-    let mut s = vec![vec![INF; k + 1]; n];
-    let mut choice = vec![vec![0usize; k + 1]; n];
-    for (j, row) in s.iter_mut().enumerate() {
-        row[1] = get(0, 0, j);
+    scratch.ensure(n, k);
+    for (j, out) in scratch.s[n..2 * n].iter_mut().enumerate() {
+        *out = get(0, 0, j);
     }
     for kk in 2..=k {
-        for j in (kk - 1)..n {
-            // Find the smallest i in [kk-1, j] with
-            // s[i-1][kk-1] >= cost(kk-1, i, j); the optimum is at that i
+        let (head, tail) = scratch.s.split_at_mut(kk * n);
+        let prev = &head[(kk - 1) * n..];
+        let cur = &mut tail[..n];
+        // The balance point is non-decreasing in j for monotone oracles,
+        // so the search window's left edge ratchets forward across the
+        // row instead of restarting at kk-1 for every cell.
+        let mut win_lo = kk - 1;
+        for (j, out) in cur.iter_mut().enumerate().skip(kk - 1) {
+            // Find the smallest i in [win_lo, j] with
+            // prev[i-1] >= cost(kk-1, i, j); the optimum is at that i
             // or the one before (the "balance point" of Algorithm 1).
-            let (mut lo, mut hi) = (kk - 1, j);
+            let (mut lo, mut hi) = (win_lo, j);
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                let prev = s[mid - 1][kk - 1];
-                let cur = get(kk - 1, mid, j);
+                let prev_ms = prev[mid - 1];
+                let cur_ms = get(kk - 1, mid, j);
                 // With INF on both sides the predicate treats INF >= INF
                 // as true, steering towards smaller i, which is safe: the
                 // candidate scan below evaluates real values.
-                if prev >= cur {
+                if prev_ms >= cur_ms {
                     hi = mid;
                 } else {
                     lo = mid + 1;
@@ -170,27 +525,27 @@ where
             // Evaluate the crossing point and its neighbours.
             let lo_cand = lo.saturating_sub(1).max(kk - 1);
             for i in lo_cand..=(lo + 1).min(j) {
-                let v = s[i - 1][kk - 1].max(get(kk - 1, i, j));
+                let v = prev[i - 1].max(get(kk - 1, i, j));
                 if v < best {
                     best = v;
                     best_i = i;
                 }
             }
-            s[j][kk] = best;
-            choice[j][kk] = best_i;
+            *out = best;
+            scratch.choice[kk * n + j] = best_i as u32;
+            win_lo = lo;
         }
     }
-    if !s[n - 1][k].is_finite() {
+    if !scratch.s[k * n + (n - 1)].is_finite() {
         return None;
     }
-    let mut splits = vec![0usize; k - 1];
     let mut j = n - 1;
     for kk in (2..=k).rev() {
-        let i = choice[j][kk];
-        splits[kk - 2] = i;
+        let i = scratch.choice[kk * n + j] as usize;
+        scratch.splits[kk - 2] = i;
         j = i - 1;
     }
-    finish(n, k, splits, cost)
+    finish(n, k, scratch.splits.clone(), cost)
 }
 
 /// Evaluates the stage times of `splits` under `cost` and assembles the
@@ -218,9 +573,45 @@ where
     })
 }
 
+/// Upper bound on the number of split-point combinations
+/// ([`split_combinations`], i.e. C(n-1, k-1)) that
+/// [`min_max_partition_exhaustive`] will enumerate. Above this the call
+/// panics immediately instead of silently running for hours: at roughly
+/// 100 ns per combination the budget caps a single call near a minute,
+/// which is already far beyond any legitimate test or baseline sweep
+/// (the Fig. 8a baseline tops out around C(61, 3) ≈ 36k).
+pub const EXHAUSTIVE_COMBINATION_BUDGET: u64 = 5_000_000;
+
+/// The number of split-point combinations a brute-force `(n, k)`
+/// enumeration visits: C(n - 1, k - 1), saturating at `u64::MAX`.
+pub fn split_combinations(n: usize, k: usize) -> u64 {
+    if n == 0 || k == 0 || k > n {
+        return 0;
+    }
+    let (n, k) = (n - 1, k - 1);
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // Multiply-then-divide keeps every intermediate an exact
+        // integer (C(n, i+1) = C(n, i) * (n - i) / (i + 1)).
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
 /// Brute-force optimal min-max partition by enumerating every split-point
 /// combination. Exponential; exposed for tests and the exhaustive-search
 /// baseline (Fig. 8a).
+///
+/// # Panics
+///
+/// Panics when the enumeration would visit more than
+/// [`EXHAUSTIVE_COMBINATION_BUDGET`] combinations ([`split_combinations`]
+/// of the shape) — a guard against test misuse wedging CI; use
+/// [`min_max_partition`] for anything that large.
 pub fn min_max_partition_exhaustive<F>(n: usize, k: usize, cost: F) -> Option<Partition>
 where
     F: Fn(usize, usize, usize) -> Option<f64>,
@@ -228,6 +619,14 @@ where
     if n == 0 || k == 0 || k > n {
         return None;
     }
+    let combos = split_combinations(n, k);
+    assert!(
+        combos <= EXHAUSTIVE_COMBINATION_BUDGET,
+        "min_max_partition_exhaustive(n={n}, k={k}): C({}, {}) = {combos} split combinations \
+         exceeds the budget of {EXHAUSTIVE_COMBINATION_BUDGET}; use min_max_partition instead",
+        n - 1,
+        k - 1,
+    );
     let mut best: Option<Partition> = None;
     let mut splits = vec![0usize; k - 1];
     enumerate(n, k, 0, 1, &mut splits, &cost, &mut best);
@@ -285,6 +684,55 @@ mod tests {
         }
     }
 
+    /// Runs the prefix kernel over per-slot layer times with optional
+    /// per-slot unsupported layers and per-stage copy curves, mirroring
+    /// how the planner lowers `RequestTables`.
+    fn run_prefix_kernel(
+        times: &[Vec<f64>],
+        unsupported: &[Vec<usize>],
+        copies: &[Vec<f64>],
+        threads: usize,
+        scratch: &mut DpScratch,
+    ) -> Option<f64> {
+        let n = times[0].len();
+        let k = times.len();
+        let pm: Vec<Vec<f64>> = times
+            .iter()
+            .map(|row| {
+                let mut p = vec![0.0];
+                for &t in row {
+                    p.push(p.last().unwrap() + t);
+                }
+                p
+            })
+            .collect();
+        let feas: Vec<Vec<u32>> = unsupported
+            .iter()
+            .map(|un| {
+                let mut row = vec![0u32; n];
+                let mut from = 0u32;
+                for (i, slot) in row.iter_mut().enumerate() {
+                    if un.contains(&i) {
+                        from = (i + 1) as u32;
+                    }
+                    *slot = from;
+                }
+                row
+            })
+            .collect();
+        min_max_partition_prefix(
+            n,
+            k,
+            threads,
+            |a| PrefixStage::Plain {
+                pm: &pm[a],
+                feas_from: &feas[a],
+                copy: &copies[a],
+            },
+            scratch,
+        )
+    }
+
     #[test]
     fn balances_uniform_layers_on_identical_processors() {
         // 6 identical layers on 3 identical processors: 2+2+2.
@@ -326,6 +774,127 @@ mod tests {
                     "n={n} k={k}: dp {} vs exhaustive {}",
                     dp.makespan_ms,
                     ex.makespan_ms
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_kernel_matches_reference_bit_for_bit() {
+        // Randomized heterogeneous times, unsupported layers and copy
+        // curves: kernel makespan and splits must be bit-identical to
+        // the Option-oracle reference over the equivalent oracle.
+        let mut seed = 11u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as usize
+        };
+        let mut scratch = DpScratch::new();
+        for trial in 0..200 {
+            let n = 2 + next() % 12;
+            let k = 1 + next() % n.min(4);
+            let times: Vec<Vec<f64>> = (0..k)
+                .map(|_| (0..n).map(|_| (next() % 997 + 1) as f64 / 10.0).collect())
+                .collect();
+            // Sprinkle unsupported layers on some slots (never making
+            // stage feasibility trivially empty on every slot).
+            let unsupported: Vec<Vec<usize>> = (0..k)
+                .map(|s| {
+                    if s % 2 == 1 && next() % 2 == 0 {
+                        vec![next() % n]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let copies: Vec<Vec<f64>> = (0..k)
+                .map(|s| {
+                    if s == 0 {
+                        vec![0.0; n]
+                    } else {
+                        (0..n).map(|_| (next() % 53) as f64 / 100.0).collect()
+                    }
+                })
+                .collect();
+            // The equivalent Option oracle.
+            let pm: Vec<Vec<f64>> = times
+                .iter()
+                .map(|row| {
+                    let mut p = vec![0.0];
+                    for &t in row {
+                        p.push(p.last().unwrap() + t);
+                    }
+                    p
+                })
+                .collect();
+            let un = unsupported.clone();
+            let cp = copies.clone();
+            let c = move |slot: usize, i: usize, j: usize| -> Option<f64> {
+                if un[slot].iter().any(|&u| i <= u && u <= j) {
+                    return None;
+                }
+                Some((pm[slot][j + 1] - pm[slot][i]) + cp[slot][i])
+            };
+            let reference = min_max_partition(n, k, &c);
+            let kernel = run_prefix_kernel(&times, &unsupported, &copies, 1, &mut scratch);
+            match (reference, kernel) {
+                (None, None) => {}
+                (Some(r), Some(ms)) => {
+                    assert_eq!(
+                        r.makespan_ms.to_bits(),
+                        ms.to_bits(),
+                        "trial {trial}: makespan bits n={n} k={k}"
+                    );
+                    assert_eq!(r.splits, scratch.splits(), "trial {trial}: splits");
+                }
+                (r, k) => panic!("trial {trial}: feasibility diverged: {r:?} vs {k:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_kernel_row_fanout_is_bit_identical() {
+        // A row wide enough to cross DP_ROW_PAR_MIN: the fanned-out rows
+        // must reproduce the sequential kernel exactly.
+        let n = DP_ROW_PAR_MIN + 37;
+        let mut seed = 3u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) % 997 + 1) as f64 / 10.0
+        };
+        let times: Vec<Vec<f64>> = (0..3).map(|_| (0..n).map(|_| next()).collect()).collect();
+        let unsupported = vec![Vec::new(), vec![n / 2], Vec::new()];
+        let copies = vec![vec![0.0; n], vec![0.25; n], vec![0.5; n]];
+        let mut seq = DpScratch::new();
+        let seq_ms = run_prefix_kernel(&times, &unsupported, &copies, 1, &mut seq).unwrap();
+        for threads in [2, 4] {
+            let mut par_scratch = DpScratch::new();
+            let par_ms =
+                run_prefix_kernel(&times, &unsupported, &copies, threads, &mut par_scratch)
+                    .unwrap();
+            assert_eq!(seq_ms.to_bits(), par_ms.to_bits(), "threads={threads}");
+            assert_eq!(seq.splits(), par_scratch.splits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_clean() {
+        // A big run followed by smaller ones must not observe stale
+        // state from the earlier shape.
+        let mut scratch = DpScratch::new();
+        let big = oracle(vec![vec![1.0; 24]; 4]);
+        let p_big = min_max_partition_in(24, 4, &big, &mut scratch).unwrap();
+        assert_eq!(p_big.makespan_ms, 6.0);
+        for n in 2..10 {
+            for k in 1..=n.min(4) {
+                let c = oracle(vec![vec![1.0; n]; k]);
+                let fresh = min_max_partition(n, k, &c).unwrap();
+                let reused = min_max_partition_in(n, k, &c, &mut scratch).unwrap();
+                assert_eq!(fresh.splits, reused.splits, "n={n} k={k}");
+                assert_eq!(
+                    fresh.makespan_ms.to_bits(),
+                    reused.makespan_ms.to_bits(),
+                    "n={n} k={k}"
                 );
             }
         }
@@ -408,11 +977,33 @@ mod tests {
     }
 
     #[test]
+    fn prefix_kernel_fully_infeasible_returns_none() {
+        // Every layer unsupported on the only slot.
+        let times = vec![vec![1.0; 4]];
+        let unsupported = vec![vec![0, 1, 2, 3]];
+        let copies = vec![vec![0.0; 4]];
+        let mut scratch = DpScratch::new();
+        assert!(run_prefix_kernel(&times, &unsupported, &copies, 1, &mut scratch).is_none());
+    }
+
+    #[test]
     fn degenerate_sizes_are_rejected() {
         let c = |_: usize, i: usize, j: usize| Some((j - i + 1) as f64);
         assert!(min_max_partition(0, 1, c).is_none());
         assert!(min_max_partition(3, 0, c).is_none());
         assert!(min_max_partition(3, 4, c).is_none());
+        let mut scratch = DpScratch::new();
+        let pm = [0.0, 1.0, 2.0, 3.0];
+        let feas = [0u32; 3];
+        let copy = [0.0; 3];
+        let stage = |_a: usize| PrefixStage::Plain {
+            pm: &pm,
+            feas_from: &feas,
+            copy: &copy,
+        };
+        assert!(min_max_partition_prefix(0, 1, 1, stage, &mut scratch).is_none());
+        assert!(min_max_partition_prefix(3, 0, 1, stage, &mut scratch).is_none());
+        assert!(min_max_partition_prefix(3, 4, 1, stage, &mut scratch).is_none());
     }
 
     #[test]
@@ -431,5 +1022,36 @@ mod tests {
         assert_eq!(p.stage_range(0, 6), (0, 1));
         assert_eq!(p.stage_range(1, 6), (2, 3));
         assert_eq!(p.stage_range(2, 6), (4, 5));
+    }
+
+    #[test]
+    fn split_combinations_counts_choose() {
+        assert_eq!(split_combinations(6, 3), 10); // C(5, 2)
+        assert_eq!(split_combinations(8, 1), 1);
+        assert_eq!(split_combinations(8, 8), 1);
+        assert_eq!(split_combinations(62, 4), 35990); // C(61, 3): Fig. 8a scale
+        assert_eq!(split_combinations(0, 1), 0);
+        assert_eq!(split_combinations(128, 64), u64::MAX); // saturates
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the budget")]
+    fn exhaustive_rejects_oversized_enumerations() {
+        // C(199, 99) is astronomically past the budget: the guard must
+        // fire before any recursion happens.
+        let c = |_: usize, i: usize, j: usize| Some((j - i + 1) as f64);
+        let _ = min_max_partition_exhaustive(200, 100, c);
+    }
+
+    #[test]
+    fn cells_counter_accumulates_and_drains() {
+        let times = vec![vec![1.0; 6]; 3];
+        let unsupported = vec![Vec::new(); 3];
+        let copies = vec![vec![0.0; 6]; 3];
+        let mut scratch = DpScratch::new();
+        run_prefix_kernel(&times, &unsupported, &copies, 1, &mut scratch).unwrap();
+        let cells = scratch.take_cells();
+        assert!(cells > 0, "kernel evaluated no cells?");
+        assert_eq!(scratch.take_cells(), 0, "drain must reset");
     }
 }

@@ -31,7 +31,7 @@
 //! clone-per-mask implementation as the recorded perf baseline (see
 //! `scripts/bench.sh`) and as the oracle for the equivalence proptest.
 
-use crate::sync::Arc;
+use crate::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use h2p_models::graph::ModelGraph;
@@ -43,9 +43,41 @@ use crate::error::PlanError;
 use crate::estimate::{Estimator, RequestContext, RequestTables};
 use crate::mitigation::{self, MitigationOutcome};
 use crate::par;
-use crate::partition::min_max_partition;
+use crate::partition::{min_max_partition, DpScratch};
 use crate::plan::{PipelinePlan, RequestPlan};
 use crate::worksteal::{self, StealReport};
+
+/// Layer-count cutoff below which a single request's subset DP stays
+/// sequential even when spare workers exist. One DP over a CNN-sized
+/// model (VGG16: 22 layers, ≈ 6 µs for all 15 subsets) is cheaper than
+/// one scoped-thread spawn (tens of microseconds), so fanning out only
+/// pays once the per-subset DPs are BERT-sized (62 layers, ≈ 46 µs
+/// total on the committed pre-kernel baseline). Measured on the bench
+/// host; the threshold splits the zoo between those two scales.
+pub const INTRA_DP_MIN_LAYERS: usize = 48;
+
+/// Pooled per-request planning buffers: the flat DP kernel arena plus
+/// the mask-loop buffers of `Planner::plan_request_cached`. Checked out
+/// of the planner's pool ([`Planner::with_plan_scratch`]) so
+/// steady-state planning reuses warm allocations — after the first
+/// request of a given high-water size, the sequential DP path touches
+/// the allocator zero times (pinned by the counting-allocator test).
+#[derive(Debug, Default)]
+pub(crate) struct PlanScratch {
+    /// The DP kernel arena (table, backtracking, splits).
+    pub(crate) dp: DpScratch,
+    /// Flat per-slot per-layer latency (`lat[s * n + i]`, ∞ where
+    /// unsupported) for the subset lower bound.
+    lat: Vec<f64>,
+    /// Per-layer minimum over the active slots' latencies.
+    mins: Vec<f64>,
+    /// The active-slot subset of the mask being evaluated.
+    slots: Vec<usize>,
+    /// The winning subset so far.
+    best_slots: Vec<usize>,
+    /// The winning split points so far.
+    best_splits: Vec<usize>,
+}
 
 /// Feature switches and limits for the planner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,6 +166,11 @@ pub struct Planner {
     /// bit-identical-output contract is untouched. Clones of a planner
     /// share the sink.
     telemetry: Arc<Telemetry>,
+    /// Pool of warm [`PlanScratch`] buffers (shared by clones, like the
+    /// tables cache): every planning path checks one out per request so
+    /// the steady-state DP is allocation-free. Pool misses allocate and
+    /// bump `planner.dp.scratch_allocs`.
+    scratch_pool: Arc<Mutex<Vec<PlanScratch>>>,
 }
 
 /// Everything step 1 produces for one request, computed independently
@@ -168,7 +205,37 @@ impl Planner {
             estimator: Estimator::with_precision(soc, config.precision)?,
             config,
             telemetry: Arc::new(Telemetry::new()),
+            scratch_pool: Arc::new(Mutex::new(Vec::new())),
         })
+    }
+
+    /// Checks a [`PlanScratch`] out of the pool (allocating a fresh one
+    /// only on a pool miss), runs `f`, and returns the scratch for
+    /// reuse. Concurrent callers — the per-request fan-out, or the
+    /// per-subset fan-out within one request — each get their own
+    /// scratch; the pool grows to the high-water concurrency and stays
+    /// there.
+    pub(crate) fn with_plan_scratch<R>(&self, f: impl FnOnce(&mut PlanScratch) -> R) -> R {
+        let popped = {
+            let mut pool = match self.scratch_pool.lock() {
+                Ok(guard) => guard,
+                // The pool holds only reusable buffers: a panic while a
+                // scratch was checked out cannot corrupt the ones here.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            pool.pop()
+        };
+        let mut scratch = popped.unwrap_or_else(|| {
+            self.telemetry.metrics.inc("planner.dp.scratch_allocs");
+            PlanScratch::default()
+        });
+        let out = f(&mut scratch);
+        let mut pool = match self.scratch_pool.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        pool.push(scratch);
+        out
     }
 
     /// The planner's telemetry sink (metrics registry + span recorder).
@@ -251,146 +318,206 @@ impl Planner {
     }
 
     /// The cached equivalent of [`Planner::plan_request`]: every
-    /// processor-subset DP reads the request's shared prefix-sum tables,
-    /// and subsets whose exact lower bound cannot beat the incumbent are
-    /// pruned without running the DP. Masks are visited in the same order
-    /// with the same strict-improvement epsilon, and the bound never
-    /// exceeds the true optimum of a mask, so the selected subset, splits
-    /// and makespan are bit-identical to the reference.
+    /// processor-subset DP runs the flat prefix kernel
+    /// ([`RequestTables::partition_into`]) straight over the request's
+    /// shared tables — no per-cell closure, no `Option`, no allocation
+    /// once the pooled [`PlanScratch`] is warm — and subsets whose exact
+    /// lower bound cannot beat the incumbent are pruned without running
+    /// the DP. Masks are visited in the same order with the same
+    /// strict-improvement epsilon, and the bound never exceeds the true
+    /// optimum of a mask, so the selected subset, splits and makespan
+    /// are bit-identical to the reference (re-checked against the
+    /// oracle DP in debug builds).
+    ///
+    /// With `threads > 1` and a model of at least [`INTRA_DP_MIN_LAYERS`]
+    /// layers, the per-subset DPs fan out over the [`par`] runtime:
+    /// every statically-feasible subset is evaluated concurrently (each
+    /// worker on its own pooled scratch) and the winner is selected by a
+    /// sequential replay in ascending mask order. The replay sees the
+    /// same candidates in the same order as the sequential loop, and a
+    /// subset the sequential loop would have pruned can never win — its
+    /// true makespan is at least its bound, which already failed the
+    /// strict `+1e-12` improvement test — so the fan-out is
+    /// bit-identical too (the `h2p-check` intra-request model explores
+    /// its schedules).
     fn plan_request_cached(
         &self,
         tables: &RequestTables,
+        threads: usize,
     ) -> Result<(RequestContext, Vec<usize>, f64), PlanError> {
-        /// Per-slot slice-cost source: plain prefix rows, or the NPU
-        /// operator-fallback arrays.
-        enum Row<'a> {
-            Plain { pm: &'a [f64], un: &'a [u32] },
-            Fallback { lp: &'a [f64], cp: &'a [f64] },
-        }
         let graph = tables.graph();
         let n = graph.len();
         let k_slots = tables.slot_count();
         let table = tables.table();
         let fallback = tables.fallback();
-        let rows: Vec<Row> = (0..k_slots)
-            .map(|s| match fallback {
-                Some((fs, fb)) if fs == s => Row::Fallback {
-                    lp: &fb.lat_prefix,
-                    cp: &fb.copy_prefix,
-                },
-                _ => Row::Plain {
-                    pm: table.prefix_row(s),
-                    un: table.unsupported_row(s),
-                },
-            })
-            .collect();
-        // Per-slot per-layer latency (∞ where unsupported), for the
-        // pruning lower bound.
-        let lat: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|row| match row {
-                Row::Plain { pm, un } => (0..n)
-                    .map(|i| {
-                        if un[i + 1] - un[i] > 0 {
-                            f64::INFINITY
-                        } else {
-                            pm[i + 1] - pm[i]
-                        }
-                    })
-                    .collect(),
-                Row::Fallback { lp, .. } => (0..n).map(|i| lp[i + 1] - lp[i]).collect(),
-            })
-            .collect();
+        let mask_count = (1usize << k_slots) - 1;
 
-        // Telemetry: count locally, flush once at the end — the DP loop
-        // must never contend on the shared registry lock.
-        let mut masks_evaluated = 0u64;
-        let mut masks_pruned = 0u64;
-        let cells = std::cell::Cell::new(0u64);
-
-        let mut best: Option<(Vec<usize>, Vec<usize>, f64)> = None; // (slots, splits, ms)
-        for mask in 1u32..(1 << k_slots) {
-            let slots: Vec<usize> = (0..k_slots).filter(|&s| mask & (1 << s) != 0).collect();
-            if slots.len() > n {
-                continue;
-            }
-            // Exact lower bound on this subset's optimal makespan: every
-            // layer costs at least its cheapest active slot, stage costs
-            // only add copies on top, and the max stage is at least both
-            // the largest single layer and the average share of the
-            // total. Pruning on it can never drop a subset that would
-            // have won under the strict `+1e-12` improvement rule.
-            let mut mins = vec![f64::INFINITY; n];
-            for &s in &slots {
-                for (m, &v) in mins.iter_mut().zip(&lat[s]) {
+        // Statically-feasible check + exact lower bound for one subset:
+        // every layer costs at least its cheapest active slot, stage
+        // costs only add copies on top, and the max stage is at least
+        // both the largest single layer and the average share of the
+        // total. Returns `None` when some layer runs on no active slot
+        // (the DP could not have found a partition either). Pruning on
+        // the bound can never drop a subset that would have won under
+        // the strict `+1e-12` improvement rule.
+        fn subset_bound(
+            lat: &[f64],
+            n: usize,
+            slots: &[usize],
+            mins: &mut Vec<f64>,
+        ) -> Option<f64> {
+            mins.clear();
+            mins.resize(n, f64::INFINITY);
+            for &s in slots {
+                for (m, &v) in mins.iter_mut().zip(&lat[s * n..(s + 1) * n]) {
                     *m = m.min(v);
                 }
             }
             if mins.iter().any(|m| !m.is_finite()) {
-                continue; // some layer runs on no active slot: the DP
-                          // could not have found a partition either
+                return None;
             }
             let sum: f64 = mins.iter().sum();
             let max_single = mins.iter().copied().fold(0.0f64, f64::max);
-            let bound = max_single.max(sum / slots.len() as f64);
-            if let Some((_, _, ms)) = &best {
-                if bound + 1e-12 >= *ms {
-                    masks_pruned += 1;
-                    continue;
+            Some(max_single.max(sum / slots.len() as f64))
+        }
+
+        let best = self.with_plan_scratch(|ps| {
+            // Per-slot per-layer latency (∞ where unsupported) for the
+            // pruning lower bound, flat in the pooled buffer.
+            ps.lat.clear();
+            for s in 0..k_slots {
+                match fallback {
+                    Some((fs, fb)) if fs == s => {
+                        ps.lat
+                            .extend((0..n).map(|i| fb.lat_prefix[i + 1] - fb.lat_prefix[i]));
+                    }
+                    _ => {
+                        let pm = table.prefix_row(s);
+                        let un = table.unsupported_row(s);
+                        ps.lat.extend((0..n).map(|i| {
+                            if un[i + 1] - un[i] > 0 {
+                                f64::INFINITY
+                            } else {
+                                pm[i + 1] - pm[i]
+                            }
+                        }));
+                    }
                 }
             }
-            masks_evaluated += 1;
-            // Tight oracle over the shared tables; arithmetic matches
-            // `RequestContext::stage_cost` operation for operation.
-            let stage_rows: Vec<&Row> = slots.iter().map(|&s| &rows[s]).collect();
-            let copy_curves: Vec<&[f64]> = std::iter::once(&[] as &[f64])
-                .chain(
-                    slots
-                        .windows(2)
-                        .map(|w| tables.copy_curve(w[0], w[1]).as_slice()),
-                )
-                .collect();
-            let oracle = |a: usize, i: usize, j: usize| -> Option<f64> {
-                cells.set(cells.get() + 1);
-                let exec = match stage_rows[a] {
-                    Row::Plain { pm, un } => {
-                        if un[j + 1] - un[i] > 0 {
-                            return None;
-                        }
-                        pm[j + 1] - pm[i]
+
+            // Telemetry: count locally, flush once at the end — the DP
+            // loop must never contend on the shared registry lock.
+            let mut masks_evaluated = 0u64;
+            let mut masks_pruned = 0u64;
+            let mut cells = 0u64;
+
+            let mut best_ms: Option<f64> = None; // winner in ps.best_*
+            let workers = par::worker_count(threads, mask_count);
+            if workers > 1 && n >= INTRA_DP_MIN_LAYERS {
+                // Fan-out path: evaluate every statically-feasible
+                // subset concurrently, then replay the selection
+                // sequentially in ascending mask order (see the method
+                // docs for why pruning is unnecessary for identity).
+                let masks: Vec<u32> = (1u32..(1 << k_slots))
+                    .filter(|&mask| {
+                        ps.slots.clear();
+                        ps.slots
+                            .extend((0..k_slots).filter(|&s| mask & (1 << s) != 0));
+                        ps.slots.len() <= n
+                            && subset_bound(&ps.lat, n, &ps.slots, &mut ps.mins).is_some()
+                    })
+                    .collect();
+                masks_evaluated = masks.len() as u64;
+                let evaluated = par::map(threads, &masks, |_, &mask| {
+                    let slots: Vec<usize> =
+                        (0..k_slots).filter(|&s| mask & (1 << s) != 0).collect();
+                    self.with_plan_scratch(|ws| {
+                        let found = tables
+                            .partition_into(&slots, 1, &mut ws.dp)
+                            .map(|ms| (slots.clone(), ws.dp.splits().to_vec(), ms));
+                        (found, ws.dp.take_cells())
+                    })
+                });
+                for (found, worker_cells) in evaluated {
+                    cells += worker_cells;
+                    let Some((slots, splits, ms)) = found else {
+                        continue;
+                    };
+                    if best_ms.is_none_or(|b| ms + 1e-12 < b) {
+                        best_ms = Some(ms);
+                        ps.best_slots.clone_from(&slots);
+                        ps.best_splits.clone_from(&splits);
                     }
-                    Row::Fallback { lp, cp } => lp[j + 1] - lp[i] + cp[j] - cp[i],
-                };
-                let copy = if a == 0 { 0.0 } else { copy_curves[a][i] };
-                Some(exec + copy)
-            };
-            let Some(p) = min_max_partition(n, slots.len(), oracle) else {
-                continue;
-            };
-            if best
-                .as_ref()
-                .is_none_or(|(_, _, ms)| p.makespan_ms + 1e-12 < *ms)
-            {
-                best = Some((slots, p.splits, p.makespan_ms));
+                }
+            } else {
+                for mask in 1u32..(1 << k_slots) {
+                    ps.slots.clear();
+                    ps.slots
+                        .extend((0..k_slots).filter(|&s| mask & (1 << s) != 0));
+                    if ps.slots.len() > n {
+                        continue;
+                    }
+                    let Some(bound) = subset_bound(&ps.lat, n, &ps.slots, &mut ps.mins) else {
+                        continue;
+                    };
+                    if let Some(ms) = best_ms {
+                        if bound + 1e-12 >= ms {
+                            masks_pruned += 1;
+                            continue;
+                        }
+                    }
+                    masks_evaluated += 1;
+                    let Some(ms) = tables.partition_into(&ps.slots, threads, &mut ps.dp) else {
+                        continue;
+                    };
+                    if best_ms.is_none_or(|b| ms + 1e-12 < b) {
+                        best_ms = Some(ms);
+                        ps.best_slots.clone_from(&ps.slots);
+                        ps.best_splits.clear();
+                        ps.best_splits.extend_from_slice(ps.dp.splits());
+                    }
+                }
+            }
+            let m = &self.telemetry.metrics;
+            m.add("planner.dp.masks_evaluated", masks_evaluated);
+            m.add("planner.dp.masks_pruned", masks_pruned);
+            m.add("planner.dp.cells", cells + ps.dp.take_cells());
+            best_ms.map(|ms| (ps.best_slots.clone(), ps.best_splits.clone(), ms))
+        });
+
+        let Some((slots, splits, ms)) = best else {
+            return Err(PlanError::NoFeasiblePipeline {
+                model: graph.name().to_owned(),
+            });
+        };
+        #[cfg(debug_assertions)]
+        {
+            // The kernel winner must equal the Option-oracle reference
+            // DP on the winning subset — the bit-identity contract the
+            // equivalence proptests pin end-to-end.
+            let ctx = tables.context(slots.clone());
+            let cost = self.estimator.cost();
+            match min_max_partition(n, slots.len(), |a, i, j| ctx.stage_cost(cost, a, i, j)) {
+                Some(p) => {
+                    debug_assert_eq!(p.makespan_ms.to_bits(), ms.to_bits(), "kernel makespan");
+                    debug_assert_eq!(p.splits, splits, "kernel splits");
+                }
+                None => panic!("kernel found a partition the oracle DP rejects"),
             }
         }
-        let m = &self.telemetry.metrics;
-        m.add("planner.dp.masks_evaluated", masks_evaluated);
-        m.add("planner.dp.masks_pruned", masks_pruned);
-        m.add("planner.dp.cells", cells.get());
-
-        let (slots, splits, ms) = best.ok_or_else(|| PlanError::NoFeasiblePipeline {
-            model: graph.name().to_owned(),
-        })?;
         Ok((tables.context(slots), splits, ms))
     }
 
     /// Step 1 for one request on the cached tables, producing the context,
-    /// the request plan and the tail-collapse candidates.
+    /// the request plan and the tail-collapse candidates. `dp_threads`
+    /// bounds the *intra*-request subset fan-out: when many requests are
+    /// planned the per-request map already saturates the workers and
+    /// this is 1; a single-request plan hands the whole budget here.
     fn prepare_request(
         &self,
         idx: usize,
         graph: &ModelGraph,
+        dp_threads: usize,
     ) -> Result<PreparedRequest, PlanError> {
         span!(self.telemetry.spans, "prepare:{}:{}", idx, graph.name());
         let procs = self.pipeline_procs();
@@ -402,7 +529,7 @@ impl Planner {
         } else {
             "planner.tables.cache_misses"
         });
-        let (ctx, splits, _) = self.plan_request_cached(&tables)?;
+        let (ctx, splits, _) = self.plan_request_cached(&tables, dp_threads)?;
         let stages =
             ctx.build_stages(cost, &splits, k)
                 .ok_or_else(|| PlanError::NoFeasiblePipeline {
@@ -461,6 +588,16 @@ impl Planner {
         // takes the sequential path with zero thread-scope setup, making
         // `plan_with_threads(reqs, 1)` and the t1 bench case the same
         // code path (plans are bit-identical at any value regardless).
+        //
+        // With a single request the request-level map has nothing to fan
+        // out, so the thread budget goes to the *intra*-request subset
+        // DP instead (`plan_request_cached`'s fan-out path) — the
+        // single-large-model replanning case. Bit-identical either way.
+        let dp_threads = if requests.len() == 1 {
+            threads.max(1)
+        } else {
+            1
+        };
         let threads = threads.min(requests.len());
         // h2p-lint: allow(H2P011) — phase timing feeds gauges only, never plan bits
         let total_start = Instant::now();
@@ -476,7 +613,7 @@ impl Planner {
         let prepared = {
             span!(self.telemetry.spans, "prepare");
             par::try_map(threads, requests, |idx, graph| {
-                self.prepare_request(idx, graph)
+                self.prepare_request(idx, graph, dp_threads)
             })?
         };
         self.telemetry.metrics.gauge_add(

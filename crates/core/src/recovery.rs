@@ -51,7 +51,6 @@ use rand::{Rng, SeedableRng};
 use crate::error::PlanError;
 use crate::estimate::RequestContext;
 use crate::executor::lower_with_arrivals;
-use crate::partition::min_max_partition;
 use crate::plan::{PipelinePlan, RequestPlan};
 use crate::planner::Planner;
 use crate::worksteal;
@@ -265,40 +264,43 @@ pub fn replan_on_survivors(
                     .unwrap_or(false))
             .then_some(slot)
         });
-        let mut best: Option<(f64, RequestContext, Vec<usize>)> = None;
-        for mask in 1u32..(1 << surviving.len()) {
-            let slots: Vec<usize> = surviving
-                .iter()
-                .enumerate()
-                .filter(|(b, _)| mask & (1 << b) != 0)
-                .map(|(_, &s)| s)
-                .collect();
-            if slots.len() > n {
-                continue;
+        // Survivor-subset search on the flat DP kernel over the cached
+        // tables (bit-identical to the oracle DP), with a pooled scratch
+        // so mid-recovery replans stay allocation-free after warmup; the
+        // winning context is derived once after the loop.
+        let best = planner.with_plan_scratch(|ps| {
+            let mut best: Option<(f64, Vec<usize>, Vec<usize>)> = None;
+            for mask in 1u32..(1 << surviving.len()) {
+                let slots: Vec<usize> = surviving
+                    .iter()
+                    .enumerate()
+                    .filter(|(b, _)| mask & (1 << b) != 0)
+                    .map(|(_, &s)| s)
+                    .collect();
+                if slots.len() > n {
+                    continue;
+                }
+                if blocked_slot.is_some_and(|b| slots.contains(&b)) {
+                    continue;
+                }
+                let Some(ms) = tables.partition_into(&slots, 1, &mut ps.dp) else {
+                    continue;
+                };
+                // Strict improvement keeps the subset choice
+                // deterministic under cost ties (first ascending mask
+                // wins).
+                if best.as_ref().is_none_or(|(m, _, _)| ms < m - 1e-12) {
+                    best = Some((ms, slots, ps.dp.splits().to_vec()));
+                }
             }
-            if blocked_slot.is_some_and(|b| slots.contains(&b)) {
-                continue;
-            }
-            let ctx = tables.context(slots);
-            let Some(part) = min_max_partition(n, ctx.stage_count(), |a, i, j| {
-                ctx.stage_cost(cost, a, i, j)
-            }) else {
-                continue;
-            };
-            // Strict improvement keeps the subset choice deterministic
-            // under cost ties (first ascending mask wins).
-            if best
-                .as_ref()
-                .is_none_or(|(m, _, _)| part.makespan_ms < m - 1e-12)
-            {
-                best = Some((part.makespan_ms, ctx, part.splits));
-            }
-        }
-        let Some((_, ctx, splits)) = best else {
+            best
+        });
+        let Some((_, slots, splits)) = best else {
             return Err(PlanError::NoFeasiblePipeline {
                 model: graph.name().to_owned(),
             });
         };
+        let ctx = tables.context(slots);
         if pending.contains(&r) {
             let stages = ctx
                 .build_stages(cost, &splits, procs.len())

@@ -315,30 +315,31 @@ mod tests {
     use h2p_models::zoo::ModelId;
     use h2p_simulator::SocSpec;
 
-    use crate::partition::min_max_partition;
+    use crate::partition::DpScratch;
     use crate::plan::RequestPlan;
 
-    /// Builds a simple plan: every request min-max partitioned over all
-    /// four Kirin slots (falling back to CPU-feasible slot sets).
+    /// Builds a simple plan: every request min-max partitioned (via the
+    /// production DP kernel over shared tables) across all four Kirin
+    /// slots (falling back to CPU-feasible slot sets).
     fn build_plan(models: &[ModelId]) -> (PipelinePlan, Vec<RequestContext>, Estimator) {
         let soc = SocSpec::kirin_990();
         let est = Estimator::new(&soc).unwrap();
         let procs = soc.processors_by_power();
         let mut ctxs = Vec::new();
         let mut requests = Vec::new();
+        let mut scratch = DpScratch::new();
         for (idx, id) in models.iter().enumerate() {
             let graph = id.graph();
+            let tables = est.tables(std::sync::Arc::new(graph.clone()), &procs);
             // Choose all slots if feasible, else skip the NPU slot (0).
             let candidates: Vec<Vec<usize>> = vec![vec![0, 1, 2, 3], vec![1, 2, 3]];
             let mut placed = false;
             for slots in candidates {
-                let ctx = est.context(&graph, &procs, slots);
-                let n = ctx.layer_count();
-                let k = ctx.stage_count();
                 let cost = est.cost();
-                if let Some(p) = min_max_partition(n, k, |a, i, j| ctx.stage_cost(cost, a, i, j)) {
+                if tables.partition_into(&slots, 1, &mut scratch).is_some() {
+                    let ctx = tables.context(slots);
                     let stages = ctx
-                        .build_stages(cost, &p.splits, procs.len())
+                        .build_stages(cost, scratch.splits(), procs.len())
                         .expect("partition is feasible");
                     requests.push(RequestPlan {
                         request: idx,

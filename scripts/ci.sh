@@ -46,10 +46,20 @@ done
 
 echo "== h2p modelcheck --exhaustive (schedule-space model checker)"
 # Exhaustive DFS over the cursor/partition, error-rule, tables-cache,
-# planner bit-identity and recovery-round models: every explored
-# interleaving must satisfy the determinism invariants, and the sweep
-# must cover at least 1000 distinct schedules.
-$H2P modelcheck --exhaustive --min-schedules 1000 > /dev/null
+# scratch-pool, planner bit-identity and recovery-round models: every
+# explored interleaving must satisfy the determinism invariants, and the
+# sweep must cover at least 1000 distinct schedules. The report must
+# list the DP scratch-pool model and the intra-request fan-out model —
+# a registry regression that silently drops either must fail here, not
+# pass by omission.
+MODELCHECK_OUT=$(mktemp)
+$H2P modelcheck --exhaustive --min-schedules 1000 > "$MODELCHECK_OUT"
+for model in scratch_pool intra_request; do
+    grep -q "$model" "$MODELCHECK_OUT" || {
+        echo "modelcheck report is missing the $model model" >&2
+        rm -f "$MODELCHECK_OUT"; exit 1; }
+done
+rm -f "$MODELCHECK_OUT"
 # The checker must catch both seeded cursor-claim bugs: the dropped
 # claim (skip-claim) and the torn claim (split-claim, which only
 # misbehaves under an adversarial interleaving).
