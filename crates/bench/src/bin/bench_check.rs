@@ -8,7 +8,17 @@
 //! ```text
 //! bench_check [path] [--min-speedup X] [--min-replan-speedup X]
 //!             [--require-parallel]
+//! bench_check --diff OLD.json NEW.json [--threshold F]
 //! ```
+//!
+//! `--diff` is the perf-regression sentinel: it compares two snapshots
+//! case by case and exits nonzero if any case's median regressed by
+//! more than the threshold (default 0.10 = 10%), or if a case present
+//! in OLD is missing from NEW. Improvements and new cases are reported
+//! but never fail. If either snapshot is stamped advisory, cross-host
+//! medians are not comparable — the diff is printed for information
+//! and the gate is skipped (exit 0), mirroring how the validation mode
+//! treats advisory stamps.
 //!
 //! A speedup block measured on a host with `available_parallelism <
 //! threads` is **refused**: its thread-vs-thread ratios measure scoped
@@ -73,15 +83,156 @@ fn case_median_ns(json: &str, name: &str) -> Option<f64> {
     number_field(&json[start..], "median_ns")
 }
 
+/// Every case name in the snapshot, in file order.
+fn case_names(json: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\": \"") {
+        rest = &rest[pos + "\"name\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        names.push(rest[..end].to_owned());
+        rest = &rest[end..];
+    }
+    names
+}
+
+/// Reads a snapshot file or exits with a diagnostic.
+fn read_snapshot(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `bench_check --diff OLD NEW`: the perf-regression sentinel. Flags a
+/// per-case median regression beyond `threshold` (fractional, e.g. 0.10
+/// = 10%) and any case that disappeared; exits nonzero on either unless
+/// a snapshot is stamped advisory (cross-host medians are not
+/// comparable, so the diff is reported without gating).
+fn run_diff(old_path: &str, new_path: &str, threshold: f64) -> ! {
+    let old = read_snapshot(old_path);
+    let new = read_snapshot(new_path);
+
+    let advisory = |json: &str, path: &str| -> bool {
+        if bool_field(json, "advisory") == Some(true) {
+            let reason = string_field(json, "advisory_reason")
+                .unwrap_or_else(|| "no reason recorded".to_owned());
+            println!("bench_check: {path} is stamped ADVISORY -- {reason}");
+            true
+        } else {
+            false
+        }
+    };
+    let any_advisory = advisory(&old, old_path) | advisory(&new, new_path);
+
+    let mut regressions: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for name in case_names(&old) {
+        let Some(old_ns) = case_median_ns(&old, &name).filter(|&ns| ns > 0.0) else {
+            continue;
+        };
+        checked += 1;
+        match case_median_ns(&new, &name) {
+            None => regressions.push(format!(
+                "case {name}: present in {old_path}, missing from {new_path}"
+            )),
+            Some(new_ns) => {
+                let ratio = new_ns / old_ns;
+                if ratio > 1.0 + threshold {
+                    regressions.push(format!(
+                        "case {name}: median regressed {old_ns:.1} -> {new_ns:.1} ns \
+                         ({:+.1}%, gate: <= +{:.1}%)",
+                        (ratio - 1.0) * 100.0,
+                        threshold * 100.0
+                    ));
+                } else if ratio < 1.0 - threshold {
+                    println!(
+                        "bench_check: case {name}: improved {old_ns:.1} -> {new_ns:.1} ns \
+                         ({:+.1}%)",
+                        (ratio - 1.0) * 100.0
+                    );
+                }
+            }
+        }
+    }
+    for name in case_names(&new) {
+        if case_median_ns(&old, &name).is_none() {
+            println!("bench_check: case {name}: new in {new_path}");
+        }
+    }
+    if checked == 0 {
+        eprintln!("bench_check: {old_path} has no benchmark cases to compare");
+        std::process::exit(1);
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "bench_check: diff {old_path} -> {new_path}: {checked} case(s) within \
+             +{:.1}% -- ok",
+            threshold * 100.0
+        );
+        std::process::exit(0);
+    }
+    for r in &regressions {
+        if any_advisory {
+            println!("bench_check: (advisory) {r}");
+        } else {
+            eprintln!("bench_check: {r}");
+        }
+    }
+    if any_advisory {
+        println!(
+            "bench_check: {} regression(s) reported, not gated (advisory snapshot)",
+            regressions.len()
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "bench_check: {} regression(s) beyond +{:.1}%",
+        regressions.len(),
+        threshold * 100.0
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = "BENCH_planner.json".to_owned();
     let mut min_speedup = 1.0f64;
     let mut min_replan_speedup = 3.0f64;
     let mut require_parallel = false;
+    let mut diff: Option<(String, String)> = None;
+    let mut threshold = 0.10f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--diff" => {
+                let (old, new) = match (args.get(i + 1), args.get(i + 2)) {
+                    (Some(o), Some(n)) if !o.starts_with("--") && !n.starts_with("--") => {
+                        (o.clone(), n.clone())
+                    }
+                    _ => {
+                        eprintln!("--diff needs OLD.json and NEW.json");
+                        std::process::exit(2);
+                    }
+                };
+                diff = Some((old, new));
+                i += 3;
+            }
+            "--threshold" => {
+                threshold = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threshold needs a positive fraction (e.g. 0.10)");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
             "--min-speedup" => {
                 min_speedup = args
                     .get(i + 1)
@@ -111,6 +262,10 @@ fn main() {
                 i += 1;
             }
         }
+    }
+
+    if let Some((old, new)) = diff {
+        run_diff(&old, &new, threshold);
     }
 
     let json = match std::fs::read_to_string(&path) {

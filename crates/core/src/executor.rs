@@ -12,9 +12,10 @@
 
 use std::collections::HashSet;
 
-use h2p_simulator::engine::{EngineEvent, Simulation, TaskId, TaskSpec};
+use h2p_simulator::engine::{request_of_label, EngineEvent, Simulation, TaskId, TaskSpec};
 use h2p_simulator::soc::SocSpec;
 use h2p_simulator::timeline::Trace;
+use h2p_telemetry::lifecycle::{LifecycleLog, LifecycleStage, RequestId, TraceId};
 
 use crate::error::PlanError;
 use crate::plan::PipelinePlan;
@@ -249,14 +250,9 @@ impl LoweredPlan {
 /// chrome exporter draws — or `None` for indices the trace never
 /// mentions (and for spans with foreign labels).
 pub fn request_slices(trace: &Trace) -> Vec<Option<(f64, f64)>> {
-    let parse = |label: &str| -> Option<usize> {
-        let (_, rest) = label.rsplit_once('#')?;
-        let (req, _) = rest.split_once('@')?;
-        req.parse().ok()
-    };
     let mut out: Vec<Option<(f64, f64)>> = Vec::new();
     for span in &trace.spans {
-        let Some(r) = parse(&span.label) else {
+        let Some(r) = request_of_label(&span.label) else {
             continue;
         };
         if out.len() <= r {
@@ -268,6 +264,43 @@ pub fn request_slices(trace: &Trace) -> Vec<Option<(f64, f64)>> {
         });
     }
     out
+}
+
+/// Emits execute/complete lifecycle events for every request visible in
+/// an execution report, under `trace_id`. The execute event carries the
+/// request's first span start and the completion its last span end (the
+/// same envelope [`request_slices`] computes), all in simulated
+/// milliseconds shifted by `offset_ms` — a recovery round replaying at
+/// a later offset passes its round start so the global lifecycle stream
+/// stays monotone per request. `latency_ms` on the completion is the
+/// end-to-end latency since admission at time zero (i.e. the shifted
+/// completion time), matching
+/// [`ExecutionReport::request_latency_ms`] when `offset_ms` is zero.
+pub fn record_request_lifecycle(
+    log: &LifecycleLog,
+    trace_id: TraceId,
+    report: &ExecutionReport,
+    offset_ms: f64,
+) {
+    for (r, slice) in request_slices(&report.trace).iter().enumerate() {
+        let Some((start, end)) = *slice else {
+            continue;
+        };
+        log.record(
+            trace_id,
+            RequestId(r),
+            offset_ms + start,
+            LifecycleStage::Execute,
+        );
+        log.record(
+            trace_id,
+            RequestId(r),
+            offset_ms + end,
+            LifecycleStage::Complete {
+                latency_ms: offset_ms + end,
+            },
+        );
+    }
 }
 
 /// Lowers `plan` onto a fresh simulation of `soc` without running it.

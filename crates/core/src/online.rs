@@ -38,6 +38,7 @@ use crate::sync::{Arc, Mutex};
 use h2p_contention::ContentionClass;
 use h2p_models::graph::ModelGraph;
 use h2p_simulator::ProcessorId;
+use h2p_telemetry::lifecycle::{LifecycleStage, RequestId, TraceId};
 use h2p_telemetry::span;
 
 use crate::error::PlanError;
@@ -173,6 +174,37 @@ impl OnlinePlanner {
         // Window-local passes already ran; the combined plan keeps them.
         out.mitigation = None;
         out.steal = None;
+        // Lifecycle: re-admit every request under the *full-set* trace id
+        // (per-window planner invocations recorded their own window-local
+        // streams; reports filter by trace id) and record the contention
+        // window each request landed in. Names are ordered by global
+        // request index so the id matches what a one-shot planner
+        // invocation over the same batch would derive.
+        {
+            let mut by_request: Vec<(usize, &str)> = out
+                .plan
+                .requests
+                .iter()
+                .map(|r| (r.request, r.model.as_str()))
+                .collect();
+            by_request.sort_unstable_by_key(|&(r, _)| r);
+            let trace_id = TraceId::of_names(by_request.iter().map(|&(_, name)| name));
+            let lifecycle = &self.planner.telemetry().lifecycle;
+            for &(r, _) in &by_request {
+                lifecycle.record(trace_id, RequestId(r), 0.0, LifecycleStage::Admit);
+            }
+            for &(r, _) in &by_request {
+                lifecycle.record(trace_id, RequestId(r), 0.0, LifecycleStage::Plan);
+                lifecycle.record(
+                    trace_id,
+                    RequestId(r),
+                    0.0,
+                    LifecycleStage::Window {
+                        window: r / self.window,
+                    },
+                );
+            }
+        }
         // The per-window plans were already gated inside `Planner::plan`;
         // re-lint the concatenation, whose indices and claims are new.
         #[cfg(debug_assertions)]

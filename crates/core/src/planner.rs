@@ -37,6 +37,7 @@ use std::time::Instant;
 use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::ModelId;
 use h2p_simulator::soc::SocSpec;
+use h2p_telemetry::lifecycle::{LifecycleStage, RequestId, TraceId};
 use h2p_telemetry::{span, Telemetry};
 
 use crate::error::PlanError;
@@ -758,6 +759,24 @@ impl Planner {
         let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
         metrics.gauge_add("planner.phase.total_ms", total_ms);
         metrics.observe("planner.plan_ms", total_ms);
+
+        // Lifecycle: every request in this invocation was admitted and
+        // now has a plan. Events carry simulated time 0 (planning
+        // precedes the simulated clock; wall time would break replay
+        // determinism), and the trace id derives from the ordered model
+        // names, so recovery rounds and report reconstruction land on
+        // the same id for the same batch.
+        let trace_id = TraceId::of_names(requests.iter().map(ModelGraph::name));
+        for r in 0..requests.len() {
+            self.telemetry
+                .lifecycle
+                .record(trace_id, RequestId(r), 0.0, LifecycleStage::Admit);
+        }
+        for r in 0..requests.len() {
+            self.telemetry
+                .lifecycle
+                .record(trace_id, RequestId(r), 0.0, LifecycleStage::Plan);
+        }
 
         let planned = PlannedPipeline {
             plan,

@@ -40,10 +40,11 @@ use std::collections::BTreeMap;
 
 use h2p_models::graph::ModelGraph;
 use h2p_simulator::audit;
-use h2p_simulator::engine::{EngineEvent, Simulation};
+use h2p_simulator::engine::{EngineEvent, Simulation, TaskSpec};
 use h2p_simulator::faults::{FaultInjector, FaultKind, FaultSpec};
 use h2p_simulator::processor::ProcessorId;
 use h2p_simulator::soc::SocSpec;
+use h2p_telemetry::lifecycle::{LifecycleStage, RequestId, TraceId};
 use h2p_telemetry::span;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,6 +102,10 @@ pub struct RoundLog {
     pub offset_ms: f64,
     /// The round's engine event log (round-local times).
     pub events: Vec<EngineEvent>,
+    /// Task labels in submission order (task id → label), so consumers
+    /// can replay `events` and map spans back to requests via
+    /// `engine::request_of_label` without re-lowering the round's plan.
+    pub labels: Vec<String>,
     /// Requests that completed in this round.
     pub completed: usize,
     /// Faults the engine observed in this round.
@@ -354,6 +359,18 @@ pub fn run_with_recovery(
     let mut attempts = vec![0usize; m];
     let mut delay = vec![0.0f64; m];
     let mut elapsed = 0.0f64;
+    // Lifecycle: the recovery loop owns the requests' histories on the
+    // global timeline, under the same content-derived trace id the
+    // planner emits for this batch (the round-0 `planner.plan` call
+    // records its own admit/plan pair under the identical id — duplicate
+    // admissions are legal re-admissions). Admitting up front keeps the
+    // stream causal even when round 0 degrades before planning.
+    let trace_id = TraceId::of_names(requests.iter().map(ModelGraph::name));
+    for r in 0..m {
+        telemetry
+            .lifecycle
+            .record(trace_id, RequestId(r), 0.0, LifecycleStage::Admit);
+    }
     let mut report = RecoveryReport {
         outcome: RecoveryOutcome::Recovered,
         rounds: Vec::new(),
@@ -401,6 +418,14 @@ pub fn run_with_recovery(
             } else {
                 telemetry.metrics.inc("recovery.replans");
                 report.replans += 1;
+                for &r in &pending {
+                    telemetry.lifecycle.record(
+                        trace_id,
+                        RequestId(r),
+                        elapsed,
+                        LifecycleStage::Recover { round },
+                    );
+                }
                 match replan_on_survivors(planner, &graphs, &pending, &down) {
                     Ok((plan, _)) => plan,
                     Err(
@@ -488,6 +513,34 @@ pub fn run_with_recovery(
                     *d = true;
                 }
             }
+            // Per-request execution envelope over this round's completed
+            // spans, keyed through the lowering labels — the lifecycle
+            // execute instant and the completion latency both come from
+            // here, on the global timeline.
+            let mut envelope: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
+            for (t, span) in sim_outcome.spans.iter().enumerate() {
+                let (Some(span), Some(r)) = (
+                    span,
+                    tasks_for_audit.get(t).and_then(TaskSpec::request_index),
+                ) else {
+                    continue;
+                };
+                envelope
+                    .entry(r)
+                    .and_modify(|(s, e)| {
+                        *s = s.min(span.start_ms);
+                        *e = e.max(span.end_ms);
+                    })
+                    .or_insert((span.start_ms, span.end_ms));
+            }
+            for (&r, &(start, _)) in &envelope {
+                telemetry.lifecycle.record(
+                    trace_id,
+                    RequestId(r),
+                    round_offset + start,
+                    LifecycleStage::Execute,
+                );
+            }
             let mut round_completed = 0usize;
             for &r in &pending {
                 let finished = final_task
@@ -500,6 +553,15 @@ pub fn run_with_recovery(
                     done[r] = true;
                     delay[r] = 0.0;
                     round_completed += 1;
+                    let end = envelope.get(&r).map_or(sim_outcome.halt_ms, |&(_, e)| e);
+                    telemetry.lifecycle.record(
+                        trace_id,
+                        RequestId(r),
+                        round_offset + end,
+                        LifecycleStage::Complete {
+                            latency_ms: round_offset + end,
+                        },
+                    );
                 }
             }
             let round_faults = sim_outcome.failed.len();
@@ -537,6 +599,7 @@ pub fn run_with_recovery(
             report.rounds.push(RoundLog {
                 offset_ms: round_offset,
                 events,
+                labels: tasks_for_audit.iter().map(|t| t.label.clone()).collect(),
                 completed: round_completed,
                 faults: round_faults,
                 audit_clean: audit_report.is_clean(),
@@ -559,10 +622,41 @@ pub fn run_with_recovery(
     };
 
     telemetry.metrics.gauge("recovery.elapsed_ms", elapsed);
+    // Degraded runs abandon every incomplete request: close their
+    // lifecycle with a typed degradation reason so no history is left
+    // dangling (validation treats degrade as terminal).
+    if let RecoveryOutcome::Degraded(e) = &outcome {
+        let reason = degrade_reason(e);
+        for (r, &d) in done.iter().enumerate() {
+            if !d {
+                telemetry.lifecycle.record(
+                    trace_id,
+                    RequestId(r),
+                    elapsed,
+                    LifecycleStage::Degrade {
+                        reason: reason.to_owned(),
+                    },
+                );
+            }
+        }
+    }
     report.outcome = outcome;
     report.completed = done;
     report.down = down;
     Ok(report)
+}
+
+/// Compact stable tag for a degraded outcome's cause, used in lifecycle
+/// events (full details stay on the typed [`PlanError`]).
+fn degrade_reason(e: &PlanError) -> &'static str {
+    match e {
+        PlanError::RetriesExhausted { .. } => "retries_exhausted",
+        PlanError::DeadlineExceeded { .. } => "deadline_exceeded",
+        PlanError::NoSurvivingProcessors => "no_surviving_processors",
+        PlanError::NoFeasiblePipeline { .. } => "no_feasible_pipeline",
+        PlanError::Simulation(_) => "simulation_error",
+        _ => "degraded",
+    }
 }
 
 /// Generates a seeded random fault scenario over `n_req` requests on

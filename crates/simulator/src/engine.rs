@@ -117,6 +117,25 @@ impl TaskSpec {
         self.release_ms = release_ms;
         self
     }
+
+    /// The request index encoded in this task's label, if any
+    /// ([`request_of_label`]).
+    pub fn request_index(&self) -> Option<usize> {
+        request_of_label(&self.label)
+    }
+}
+
+/// Extracts the request index from a planner-lowered task label. The
+/// planner encodes request identity as `{model}#{request}@s{slot}`
+/// (optionally with a `rN` run suffix); auxiliary labels without that
+/// shape (relocation stubs, raw engine tests) yield `None`. This is the
+/// single source of truth for label → request mapping — the executor's
+/// latency envelopes and the lifecycle reconstruction both use it, so
+/// they can never disagree.
+pub fn request_of_label(label: &str) -> Option<usize> {
+    let (_, rest) = label.rsplit_once('#')?;
+    let (req, _) = rest.split_once('@')?;
+    req.parse().ok()
 }
 
 #[derive(Debug, Clone)]

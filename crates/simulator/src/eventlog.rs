@@ -16,6 +16,8 @@
 
 use std::fmt;
 
+use h2p_telemetry::lifecycle::{LifecycleEvent, LifecycleStage, RequestId, TraceId};
+
 use crate::engine::EngineEvent;
 use crate::faults::FaultKind;
 use crate::processor::ProcessorId;
@@ -121,6 +123,10 @@ pub struct ParsedLog {
     pub tasks: Vec<TaskHeader>,
     /// Engine events, in file order.
     pub events: Vec<EngineEvent>,
+    /// Request lifecycle events (`"event":"lifecycle"` lines), in file
+    /// order — the causal request history interleaved with the engine
+    /// stream by the `--events` writers.
+    pub lifecycle: Vec<LifecycleEvent>,
 }
 
 impl ParsedLog {
@@ -393,6 +399,43 @@ pub fn parse_event_log(text: &str) -> Result<ParsedLog, ParseError> {
                 processor: ProcessorId(f.index("processor")?),
                 factor: f.num("factor")?,
             }),
+            "lifecycle" => {
+                let trace =
+                    TraceId::parse(f.str("trace")?).ok_or_else(|| ParseError::Malformed {
+                        line,
+                        detail: "field `trace` must be 16 hex digits".to_owned(),
+                    })?;
+                let stage = match f.str("stage")? {
+                    "admit" => LifecycleStage::Admit,
+                    "plan" => LifecycleStage::Plan,
+                    "window" => LifecycleStage::Window {
+                        window: f.index("window")?,
+                    },
+                    "execute" => LifecycleStage::Execute,
+                    "recover" => LifecycleStage::Recover {
+                        round: f.index("round")?,
+                    },
+                    "degrade" => LifecycleStage::Degrade {
+                        reason: f.str("reason")?.to_owned(),
+                    },
+                    "complete" => LifecycleStage::Complete {
+                        latency_ms: f.time("latency_ms")?,
+                    },
+                    other => {
+                        return Err(ParseError::Malformed {
+                            line,
+                            detail: format!("unknown lifecycle stage `{other}`"),
+                        })
+                    }
+                };
+                log.lifecycle.push(LifecycleEvent {
+                    trace,
+                    request: RequestId(f.index("request")?),
+                    seq: f.index("seq")? as u64,
+                    at_ms: f.time("at_ms")?,
+                    stage,
+                });
+            }
             "task_failed" => log.events.push(EngineEvent::TaskFailed {
                 time_ms: f.time("time_ms")?,
                 task: f.index("task")?,
@@ -517,6 +560,51 @@ mod tests {
         ] {
             let err = parse_event_log(bad).expect_err(bad);
             assert!(matches!(err, ParseError::NonFinite { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn round_trips_lifecycle_lines() {
+        use h2p_telemetry::lifecycle::LifecycleLog;
+        let lc = LifecycleLog::new();
+        let t = TraceId::of_names(["bert", "vit"]);
+        lc.record(t, RequestId(0), 0.0, LifecycleStage::Admit);
+        lc.record(t, RequestId(0), 0.0, LifecycleStage::Plan);
+        lc.record(t, RequestId(0), 0.0, LifecycleStage::Window { window: 1 });
+        lc.record(t, RequestId(0), 2.5, LifecycleStage::Execute);
+        lc.record(t, RequestId(1), 3.0, LifecycleStage::Recover { round: 2 });
+        lc.record(
+            t,
+            RequestId(1),
+            4.0,
+            LifecycleStage::Degrade {
+                reason: "deadline \"burst\"".into(),
+            },
+        );
+        lc.record(
+            t,
+            RequestId(0),
+            9.5,
+            LifecycleStage::Complete { latency_ms: 9.5 },
+        );
+        let text: String = lc.json_lines().iter().map(|l| l.clone() + "\n").collect();
+        let log = parse_event_log(&text).expect("parses");
+        assert_eq!(log.lifecycle, lc.records());
+        // Mixed with engine lines, both streams survive.
+        let (engine_text, n_tasks, events) = logged_lines();
+        let mixed = format!("{engine_text}{text}");
+        let log = parse_event_log(&mixed).expect("parses mixed");
+        assert_eq!(log.tasks.len(), n_tasks);
+        assert_eq!(log.events, events);
+        assert_eq!(log.lifecycle.len(), 7);
+        // Malformed lifecycle lines fail typed.
+        for bad in [
+            "{\"event\":\"lifecycle\",\"trace\":\"xyz\",\"request\":0,\"seq\":0,\"at_ms\":0,\"stage\":\"admit\"}",
+            "{\"event\":\"lifecycle\",\"trace\":\"0000000000000abc\",\"request\":0,\"seq\":0,\"at_ms\":0,\"stage\":\"nonsense\"}",
+            "{\"event\":\"lifecycle\",\"trace\":\"0000000000000abc\",\"request\":0,\"seq\":0,\"at_ms\":0,\"stage\":\"window\"}",
+        ] {
+            let err = parse_event_log(bad).expect_err(bad);
+            assert!(matches!(err, ParseError::Malformed { .. }), "{bad}: {err}");
         }
     }
 

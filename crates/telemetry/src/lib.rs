@@ -1,14 +1,23 @@
 //! Zero-dependency observability primitives for the Hetero2Pipe suite.
 //!
-//! Three layers, each usable on its own:
+//! Five layers, each usable on its own:
 //!
 //! - [`metrics`] — a thread-safe registry of counters, gauges, and
-//!   fixed-bucket histograms, snapshot-able to hand-written JSON or a
-//!   human-readable table. Designed for coarse-grained recording: hot
-//!   loops count locally and flush once, so instrumentation never sits
-//!   on a planner hot path.
+//!   log-bucketed histograms with exact-rank quantiles and mergeable
+//!   snapshots, renderable to hand-written JSON or a human-readable
+//!   table. Designed for coarse-grained recording: hot loops count
+//!   locally and flush once, so instrumentation never sits on a planner
+//!   hot path.
 //! - [`span`] — RAII phase spans with deterministic content-derived ids
 //!   and per-thread lanes, recording the planner's phase tree.
+//! - [`lifecycle`] — the causal request-lifecycle model: typed
+//!   admit → plan → window → execute → recover/degrade → complete
+//!   events keyed by stable [`RequestId`]/[`TraceId`], JSONL-renderable
+//!   so any request's history is reconstructible from the event log.
+//! - [`analytics`] — derived run-level views over executed spans and
+//!   lifecycle events: per-processor utilization/bubble timelines,
+//!   contention-window occupancy, latency profiles (p50/p95/p99), and
+//!   deadline/SLO burn-rate accounting.
 //! - [`chrome`] — a structured Chrome Trace Event Format document
 //!   (`chrome://tracing` / Perfetto-loadable JSON) with a schema
 //!   validator, fed by the simulator's engine event log and the span
@@ -19,19 +28,23 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod analytics;
 pub mod chrome;
+pub mod lifecycle;
 pub mod metrics;
 pub mod span;
 
+pub use lifecycle::{LifecycleEvent, LifecycleLog, LifecycleStage, QosClass, RequestId, TraceId};
 pub use metrics::{FlushHandle, MetricsRegistry, MetricsSnapshot};
 pub use span::{SpanGuard, SpanRecord, SpanRecorder};
 
-/// Bundle of the two recording layers, shared behind an `Arc` by the
+/// Bundle of the recording layers, shared behind an `Arc` by the
 /// planner, the online planner, and the CLI exporter.
 #[derive(Debug, Default)]
 pub struct Telemetry {
     pub metrics: MetricsRegistry,
     pub spans: SpanRecorder,
+    pub lifecycle: LifecycleLog,
 }
 
 impl Telemetry {

@@ -1,0 +1,497 @@
+//! Causal request-lifecycle model: typed events tracing each request
+//! from admission through planning, window assignment, execution, and
+//! recovery to completion (or degradation), keyed by a stable
+//! [`RequestId`] and a content-derived [`TraceId`].
+//!
+//! Events carry *simulated* time (the engine's millisecond clock) and a
+//! global sequence number assigned at record time — never wall-clock
+//! time, so a replayed run emits a byte-identical lifecycle stream
+//! (determinism lint H2P011). The JSONL rendering interleaves with the
+//! engine event log: each line is a flat object with
+//! `"event":"lifecycle"`, so the existing hardened event-log parser can
+//! ingest mixed streams.
+//!
+//! Validation ([`validate`]) checks the causal ordering per request:
+//! the first event must be an admission, nothing may follow a terminal
+//! completion/degradation, and a completion must be preceded by an
+//! execution or recovery on the same request. Duplicate admissions are
+//! allowed — a request re-admitted by a recovery round is still one
+//! request.
+
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+
+use crate::{json_escape, json_num};
+
+/// Stable per-request identity: the request's index in the batch handed
+/// to the planner. Survives replanning, recovery rounds, and window
+/// splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub usize);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Content-derived trace identity for one planning invocation: FNV-1a
+/// over the ordered model names, so the same workload always yields the
+/// same trace id (no wall clock, no RNG) and the planner, the online
+/// planner, and the recovery loop independently derive matching ids for
+/// the same batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// FNV-1a over the ordered model names, with a separator byte so
+    /// `["ab","c"]` and `["a","bc"]` differ.
+    pub fn of_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for name in names {
+            for b in name.as_ref().bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TraceId(h)
+    }
+
+    /// Parses the 16-hex-digit rendering produced by `Display`.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Quality-of-service class a request is accounted under. Derived
+/// deterministically from workload size at report time (small models
+/// are interactive, heavyweight ones are batch) until an ingestion
+/// layer assigns classes explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QosClass {
+    /// Latency-critical (e.g. keyboard/vision UX models).
+    Interactive,
+    /// Default class.
+    Standard,
+    /// Throughput-oriented background work.
+    Batch,
+}
+
+impl QosClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Standard => "standard",
+            QosClass::Batch => "batch",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "interactive" => Some(QosClass::Interactive),
+            "standard" => Some(QosClass::Standard),
+            "batch" => Some(QosClass::Batch),
+            _ => None,
+        }
+    }
+
+    /// All classes, in display order.
+    pub const ALL: [QosClass; 3] = [QosClass::Interactive, QosClass::Standard, QosClass::Batch];
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One stage of a request's lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleStage {
+    /// Request entered a planning invocation.
+    Admit,
+    /// A plan covering this request was produced.
+    Plan,
+    /// Request was assigned to contention window `window`.
+    Window { window: usize },
+    /// Request began executing on the simulated SoC.
+    Execute,
+    /// A recovery round replanned this request after a fault.
+    Recover { round: usize },
+    /// Request was abandoned with a typed reason (deadline exceeded,
+    /// retries exhausted, no surviving processors).
+    Degrade { reason: String },
+    /// Request finished; `latency_ms` is its end-to-end simulated
+    /// latency.
+    Complete { latency_ms: f64 },
+}
+
+impl LifecycleStage {
+    /// Stable lowercase tag used in the JSONL rendering.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LifecycleStage::Admit => "admit",
+            LifecycleStage::Plan => "plan",
+            LifecycleStage::Window { .. } => "window",
+            LifecycleStage::Execute => "execute",
+            LifecycleStage::Recover { .. } => "recover",
+            LifecycleStage::Degrade { .. } => "degrade",
+            LifecycleStage::Complete { .. } => "complete",
+        }
+    }
+
+    /// Terminal stages end a request's history; nothing may follow.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            LifecycleStage::Complete { .. } | LifecycleStage::Degrade { .. }
+        )
+    }
+}
+
+/// One lifecycle event: stage `stage` of request `request` in trace
+/// `trace`, at simulated time `at_ms`, with a global record-order
+/// sequence number `seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleEvent {
+    pub trace: TraceId,
+    pub request: RequestId,
+    pub seq: u64,
+    /// Simulated milliseconds (0.0 for plan-time stages, which precede
+    /// the simulated clock).
+    pub at_ms: f64,
+    pub stage: LifecycleStage,
+}
+
+impl LifecycleEvent {
+    /// Renders the event as one flat JSONL object, shaped to interleave
+    /// with the engine event log:
+    /// `{"event":"lifecycle","trace":"<16 hex>","request":0,"seq":3,"at_ms":1.5,"stage":"window","window":2}`.
+    pub fn json_line(&self) -> String {
+        let mut extra = String::new();
+        match &self.stage {
+            LifecycleStage::Window { window } => {
+                extra = format!(",\"window\":{window}");
+            }
+            LifecycleStage::Recover { round } => {
+                extra = format!(",\"round\":{round}");
+            }
+            LifecycleStage::Degrade { reason } => {
+                extra = format!(",\"reason\":\"{}\"", json_escape(reason));
+            }
+            LifecycleStage::Complete { latency_ms } => {
+                extra = format!(",\"latency_ms\":{}", json_num(*latency_ms));
+            }
+            LifecycleStage::Admit | LifecycleStage::Plan | LifecycleStage::Execute => {}
+        }
+        format!(
+            "{{\"event\":\"lifecycle\",\"trace\":\"{}\",\"request\":{},\"seq\":{},\"at_ms\":{},\"stage\":\"{}\"{}}}",
+            self.trace,
+            self.request.0,
+            self.seq,
+            json_num(self.at_ms),
+            self.stage.tag(),
+            extra
+        )
+    }
+}
+
+/// Causal-order violation found by [`validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleViolation {
+    /// A request's first event was not an admission.
+    MissingAdmit { request: RequestId },
+    /// An event followed a terminal complete/degrade on the same
+    /// request.
+    AfterTerminal { request: RequestId, seq: u64 },
+    /// A completion with no prior execute/recover on the request.
+    CompleteWithoutExecute { request: RequestId, seq: u64 },
+}
+
+impl fmt::Display for LifecycleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleViolation::MissingAdmit { request } => {
+                write!(f, "request {request}: first lifecycle event is not admit")
+            }
+            LifecycleViolation::AfterTerminal { request, seq } => {
+                write!(f, "request {request}: event seq {seq} after terminal stage")
+            }
+            LifecycleViolation::CompleteWithoutExecute { request, seq } => {
+                write!(
+                    f,
+                    "request {request}: complete at seq {seq} without execute"
+                )
+            }
+        }
+    }
+}
+
+/// Checks the per-request causal ordering of a lifecycle stream (any
+/// interleaving across requests is legal; order within a request is
+/// `seq`-ascending as recorded). Histories are keyed on
+/// `(trace, request)`, so a log that interleaves several batches —
+/// e.g. per-window planner streams under window-local trace ids — is
+/// validated per batch rather than falsely cross-linked.
+pub fn validate(events: &[LifecycleEvent]) -> Vec<LifecycleViolation> {
+    use std::collections::BTreeMap;
+    #[derive(Default)]
+    struct ReqState {
+        admitted: bool,
+        executed: bool,
+        terminal: bool,
+    }
+    let mut states: BTreeMap<(u64, usize), ReqState> = BTreeMap::new();
+    let mut violations = Vec::new();
+    for e in events {
+        let st = states.entry((e.trace.0, e.request.0)).or_default();
+        if st.terminal {
+            violations.push(LifecycleViolation::AfterTerminal {
+                request: e.request,
+                seq: e.seq,
+            });
+            continue;
+        }
+        if !st.admitted {
+            if !matches!(e.stage, LifecycleStage::Admit) {
+                violations.push(LifecycleViolation::MissingAdmit { request: e.request });
+            }
+            // Treat as implicitly admitted so one missing admit doesn't
+            // cascade into a violation per event.
+            st.admitted = true;
+        }
+        match &e.stage {
+            LifecycleStage::Execute | LifecycleStage::Recover { .. } => st.executed = true,
+            LifecycleStage::Complete { .. } => {
+                if !st.executed {
+                    violations.push(LifecycleViolation::CompleteWithoutExecute {
+                        request: e.request,
+                        seq: e.seq,
+                    });
+                }
+                st.terminal = true;
+            }
+            LifecycleStage::Degrade { .. } => st.terminal = true,
+            LifecycleStage::Admit | LifecycleStage::Plan | LifecycleStage::Window { .. } => {}
+        }
+    }
+    violations
+}
+
+/// Append-only, thread-safe log of lifecycle events. Sequence numbers
+/// are assigned under the lock in record order, so a single log yields
+/// a totally ordered stream even when planner threads record
+/// concurrently.
+#[derive(Debug, Default)]
+pub struct LifecycleLog {
+    events: Mutex<Vec<LifecycleEvent>>,
+}
+
+impl LifecycleLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event, assigning the next sequence number.
+    pub fn record(&self, trace: TraceId, request: RequestId, at_ms: f64, stage: LifecycleStage) {
+        let mut events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        let seq = events.len() as u64;
+        events.push(LifecycleEvent {
+            trace,
+            request,
+            seq,
+            at_ms,
+            stage,
+        });
+    }
+
+    /// Copies the recorded events out, in sequence order.
+    pub fn records(&self) -> Vec<LifecycleEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all recorded events (e.g. between planning invocations in
+    /// a long-lived process).
+    pub fn clear(&self) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Renders every event as a JSONL line, in sequence order.
+    pub fn json_lines(&self) -> Vec<String> {
+        self.records()
+            .iter()
+            .map(LifecycleEvent::json_line)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_is_content_deterministic() {
+        let a = TraceId::of_names(["bert", "vit"]);
+        let b = TraceId::of_names(["bert", "vit"]);
+        assert_eq!(a, b);
+        assert_ne!(a, TraceId::of_names(["vit", "bert"]));
+        // Separator prevents concatenation collisions.
+        assert_ne!(
+            TraceId::of_names(["ab", "c"]),
+            TraceId::of_names(["a", "bc"])
+        );
+        let rendered = a.to_string();
+        assert_eq!(rendered.len(), 16);
+        assert_eq!(TraceId::parse(&rendered), Some(a));
+        assert_eq!(TraceId::parse("xyz"), None);
+    }
+
+    #[test]
+    fn log_assigns_sequence_numbers_in_record_order() {
+        let log = LifecycleLog::new();
+        let t = TraceId::of_names(["m"]);
+        log.record(t, RequestId(0), 0.0, LifecycleStage::Admit);
+        log.record(t, RequestId(1), 0.0, LifecycleStage::Admit);
+        log.record(t, RequestId(0), 0.0, LifecycleStage::Plan);
+        let events = log.records();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(log.len(), 3);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn json_lines_are_flat_and_tagged() {
+        let log = LifecycleLog::new();
+        let t = TraceId(0xabc);
+        log.record(t, RequestId(2), 0.0, LifecycleStage::Admit);
+        log.record(t, RequestId(2), 0.0, LifecycleStage::Window { window: 3 });
+        log.record(
+            t,
+            RequestId(2),
+            1.5,
+            LifecycleStage::Degrade {
+                reason: "deadline \"exceeded\"".into(),
+            },
+        );
+        log.record(
+            t,
+            RequestId(2),
+            9.25,
+            LifecycleStage::Complete { latency_ms: 9.25 },
+        );
+        let lines = log.json_lines();
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"lifecycle\",\"trace\":\"0000000000000abc\",\"request\":2,\"seq\":0,\"at_ms\":0,\"stage\":\"admit\"}"
+        );
+        assert!(lines[1].contains("\"stage\":\"window\",\"window\":3"));
+        assert!(lines[2].contains("\"reason\":\"deadline \\\"exceeded\\\"\""));
+        assert!(lines[3].contains("\"latency_ms\":9.25"));
+    }
+
+    #[test]
+    fn validate_flags_causal_violations() {
+        let t = TraceId(1);
+        let ev = |request: usize, seq: u64, stage: LifecycleStage| LifecycleEvent {
+            trace: t,
+            request: RequestId(request),
+            seq,
+            at_ms: 0.0,
+            stage,
+        };
+        // Clean history: admit → plan → execute → complete.
+        let ok = vec![
+            ev(0, 0, LifecycleStage::Admit),
+            ev(0, 1, LifecycleStage::Plan),
+            ev(0, 2, LifecycleStage::Execute),
+            ev(0, 3, LifecycleStage::Complete { latency_ms: 1.0 }),
+        ];
+        assert!(validate(&ok).is_empty());
+        // Duplicate admit (recovery re-admission) is legal.
+        let readmit = vec![
+            ev(0, 0, LifecycleStage::Admit),
+            ev(0, 1, LifecycleStage::Admit),
+            ev(0, 2, LifecycleStage::Recover { round: 1 }),
+            ev(0, 3, LifecycleStage::Complete { latency_ms: 2.0 }),
+        ];
+        assert!(validate(&readmit).is_empty());
+        // First event not admit.
+        let v = validate(&[ev(1, 0, LifecycleStage::Plan)]);
+        assert_eq!(
+            v,
+            vec![LifecycleViolation::MissingAdmit {
+                request: RequestId(1)
+            }]
+        );
+        // Event after terminal.
+        let v = validate(&[
+            ev(0, 0, LifecycleStage::Admit),
+            ev(0, 1, LifecycleStage::Degrade { reason: "x".into() }),
+            ev(0, 2, LifecycleStage::Plan),
+        ]);
+        assert_eq!(
+            v,
+            vec![LifecycleViolation::AfterTerminal {
+                request: RequestId(0),
+                seq: 2
+            }]
+        );
+        // Complete without execute.
+        let v = validate(&[
+            ev(0, 0, LifecycleStage::Admit),
+            ev(0, 1, LifecycleStage::Complete { latency_ms: 1.0 }),
+        ]);
+        assert_eq!(
+            v,
+            vec![LifecycleViolation::CompleteWithoutExecute {
+                request: RequestId(0),
+                seq: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn qos_class_roundtrips() {
+        for c in QosClass::ALL {
+            assert_eq!(QosClass::parse(c.name()), Some(c));
+        }
+        assert_eq!(QosClass::parse("bogus"), None);
+    }
+}

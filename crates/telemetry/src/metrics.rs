@@ -1,11 +1,20 @@
-//! Thread-safe metrics registry: counters, gauges, and fixed-bucket
-//! histograms with a JSON- and table-renderable snapshot.
+//! Thread-safe metrics registry: counters, gauges, and histograms with
+//! a JSON- and table-renderable snapshot.
+//!
+//! Histograms are log-bucketed by default (HDR-style geometric bounds
+//! spanning microseconds to minutes) with exact-rank quantile
+//! extraction, and two histograms over the same bucket layout merge
+//! exactly — snapshot merging is how per-shard registries fold into a
+//! fleet view. Explicit fixed bounds remain available via
+//! [`MetricsRegistry::observe_with`].
 //!
 //! Recording is mutex-guarded and intended to be coarse-grained —
 //! callers in hot loops accumulate into locals and flush once per
 //! request or phase. The registry never panics: a poisoned lock is
 //! recovered (metrics are monotone aggregates, so a panicking writer
-//! cannot leave them logically inconsistent).
+//! cannot leave them logically inconsistent), and observing a
+//! non-finite value is counted separately instead of corrupting the
+//! running sum.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufWriter, Write};
@@ -16,22 +25,80 @@ use std::time::Duration;
 
 use crate::{json_escape, json_num};
 
-/// Default histogram bucket upper bounds, in milliseconds. Chosen to
-/// straddle planner phase timings (sub-ms DP slices up to multi-second
-/// full plans).
+/// Legacy fixed bucket upper bounds, in milliseconds. Kept for callers
+/// that want the old coarse layout via
+/// [`MetricsRegistry::observe_with`]; the default [`observe`] path now
+/// uses the log-bucketed layout from [`log_bounds`].
+///
+/// [`observe`]: MetricsRegistry::observe
 pub const DEFAULT_MS_BUCKETS: [f64; 12] = [
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
 ];
 
-/// A fixed-bucket histogram: `counts[i]` holds observations `<=
-/// bounds[i]` (and greater than the previous bound); the final slot is
-/// the overflow bucket.
+/// Lower edge of the default log-bucketed layout, in ms (1 µs).
+pub const LOG_MIN_MS: f64 = 1e-3;
+/// Upper edge of the default log-bucketed layout, in ms (one minute).
+pub const LOG_MAX_MS: f64 = 60_000.0;
+/// Sub-buckets per power of two in the default log layout: relative
+/// quantile error is bounded by `2^(1/4) - 1 ≈ 19%` per bucket.
+pub const LOG_SUB_BUCKETS: u32 = 4;
+
+/// Geometric bucket upper bounds from `min` to at least `max` with
+/// `per_octave` sub-buckets per power of two — the HDR-style layout the
+/// default histograms use. Deterministic for fixed arguments, so every
+/// registry (and every shard of a fleet) lands on identical, mergeable
+/// buckets.
+pub fn log_bounds(min: f64, max: f64, per_octave: u32) -> Vec<f64> {
+    let per_octave = per_octave.max(1);
+    let mut bounds = Vec::new();
+    let mut i = 0u32;
+    loop {
+        let b = min * 2f64.powf(f64::from(i) / f64::from(per_octave));
+        bounds.push(b);
+        if b >= max || i > 4096 {
+            return bounds;
+        }
+        i += 1;
+    }
+}
+
+/// Two histograms with different bucket layouts cannot merge: counts
+/// would land in buckets with different meanings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeError {
+    /// Name of the offending histogram, when merging via a snapshot.
+    pub name: String,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "histogram bucket layouts differ")
+        } else {
+            write!(f, "histogram `{}`: bucket layouts differ", self.name)
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// A bucketed histogram: `counts[i]` holds observations `<= bounds[i]`
+/// (and greater than the previous bound); the final slot is the
+/// overflow bucket. The default layout is log-bucketed
+/// ([`Histogram::log_bucketed`]); explicit bounds remain available via
+/// [`Histogram::new`]. Tracks the running min/max so quantiles at the
+/// distribution edges report observed values, not bucket edges, and
+/// counts non-finite observations separately so they can never corrupt
+/// the sum.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<u64>,
     sum: f64,
     count: u64,
+    nonfinite: u64,
+    min: f64,
+    max: f64,
 }
 
 impl Histogram {
@@ -41,10 +108,28 @@ impl Histogram {
             counts: vec![0; bounds.len() + 1],
             sum: 0.0,
             count: 0,
+            nonfinite: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
         }
     }
 
+    /// The default log-bucketed layout: geometric bounds from
+    /// [`LOG_MIN_MS`] to [`LOG_MAX_MS`] with [`LOG_SUB_BUCKETS`]
+    /// sub-buckets per octave (~104 buckets).
+    pub fn log_bucketed() -> Self {
+        Self::new(&log_bounds(LOG_MIN_MS, LOG_MAX_MS, LOG_SUB_BUCKETS))
+    }
+
+    /// Records one observation. Non-finite values (NaN, ±inf) are
+    /// tallied in [`Histogram::nonfinite`] and never touch the buckets,
+    /// the sum, or the min/max — a single bad measurement cannot poison
+    /// every later quantile.
     pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.nonfinite += 1;
+            return;
+        }
         let slot = self
             .bounds
             .iter()
@@ -53,6 +138,8 @@ impl Histogram {
         self.counts[slot] += 1;
         self.sum += value;
         self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
     }
 
     pub fn bounds(&self) -> &[f64] {
@@ -71,12 +158,83 @@ impl Histogram {
         self.count
     }
 
+    /// Observations rejected for being NaN or infinite.
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite
+    }
+
+    /// Smallest finite observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest finite observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Exact-rank quantile over the bucketed distribution: the value at
+    /// nearest rank `⌈q·count⌉` (1-based), reported as the upper bound
+    /// of the bucket holding that rank, clamped into the observed
+    /// `[min, max]` range (so `quantile(0.0)` ≈ min, `quantile(1.0)` =
+    /// max exactly, and a bucket's edge never over-reports the tail).
+    /// Returns `None` on an empty histogram. `q` outside `[0, 1]` is
+    /// clamped.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank, 1-based; q = 0 means the first observation.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let edge = self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    // Rank landed in the overflow bucket: the max is the
+                    // only honest upper estimate available.
+                    .unwrap_or(self.max);
+                return Some(edge.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds `other`'s observations into `self`. Counts merge exactly;
+    /// the sums add in call order (floating-point addition, so merge
+    /// order can perturb the last ulps of [`Histogram::sum`] — never
+    /// the counts, quantiles, min or max).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError`] if the bucket layouts differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        if self.bounds != other.bounds {
+            return Err(MergeError {
+                name: String::new(),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.nonfinite += other.nonfinite;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
     }
 }
 
@@ -126,9 +284,14 @@ impl MetricsRegistry {
     }
 
     /// Records an observation into a histogram with the default
-    /// millisecond buckets.
+    /// log-bucketed millisecond layout ([`Histogram::log_bucketed`]).
     pub fn observe(&self, name: &str, value: f64) {
-        self.observe_with(name, &DEFAULT_MS_BUCKETS, value);
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(Histogram::log_bucketed)
+            .observe(value);
     }
 
     /// Records an observation into a histogram with explicit bucket
@@ -158,7 +321,10 @@ impl MetricsRegistry {
     /// truncating any existing file first. Stopping the returned
     /// [`FlushHandle`] (explicitly or by drop) wakes the flusher, writes
     /// one final snapshot so the last line always reflects the registry
-    /// state at shutdown, and joins the thread.
+    /// state at shutdown, and joins the thread. A transient write
+    /// failure mid-stream does not kill the flusher: it keeps
+    /// snapshotting (so the final line is still attempted at stop time)
+    /// and [`FlushHandle::stop`] reports the first error it hit.
     ///
     /// # Errors
     ///
@@ -174,6 +340,7 @@ impl MetricsRegistry {
             .name("h2p-metrics-flush".to_owned())
             .spawn(move || -> io::Result<u64> {
                 let mut seq = 0u64;
+                let mut deferred: Option<io::Error> = None;
                 loop {
                     let (lock, cvar) = &*stop_in_thread;
                     let stopped = {
@@ -192,11 +359,22 @@ impl MetricsRegistry {
                     // Splice a sequence number into the object so a
                     // reader can detect dropped or reordered lines.
                     let rest = body.strip_prefix('{').unwrap_or(&body);
-                    writeln!(out, "{{\"seq\":{seq},{rest}")?;
-                    out.flush()?;
-                    seq += 1;
+                    match writeln!(out, "{{\"seq\":{seq},{rest}").and_then(|()| out.flush()) {
+                        Ok(()) => seq += 1,
+                        // A transient write failure must not kill the
+                        // stream: remember the first error and keep
+                        // flushing, so the final snapshot at stop time
+                        // is still attempted and the metrics tail is
+                        // only lost if the sink stays broken.
+                        Err(e) => {
+                            deferred.get_or_insert(e);
+                        }
+                    }
                     if stopped {
-                        return Ok(seq);
+                        return match deferred {
+                            Some(e) => Err(e),
+                            None => Ok(seq),
+                        };
                     }
                 }
             })?;
@@ -271,8 +449,47 @@ impl MetricsSnapshot {
         self.gauges.get(name).copied()
     }
 
-    /// Renders the snapshot as a JSON object:
-    /// `{"counters":{...},"gauges":{...},"histograms":{name:{bounds,counts,sum,count}}}`.
+    /// Exact-rank quantile of a named histogram
+    /// ([`Histogram::quantile`]); `None` if the histogram is missing or
+    /// empty.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.histograms.get(name).and_then(|h| h.quantile(q))
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take `other`'s
+    /// value (last write wins, matching the registry's own gauge
+    /// semantics), histograms merge bucket-by-bucket. Merging shard
+    /// snapshots in any grouping yields identical counts and quantiles
+    /// (sums are float-additive; see [`Histogram::merge`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError`] naming the first histogram whose bucket
+    /// layout differs; `self` keeps the already-merged prefix.
+    pub fn merge(&mut self, other: &MetricsSnapshot) -> Result<(), MergeError> {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h).map_err(|_| MergeError { name: k.clone() })?,
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the snapshot as a JSON object with deterministically
+    /// sorted keys (the maps are `BTreeMap`s, so identical snapshots
+    /// always render byte-identical JSON):
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{bounds,counts,sum,count,nonfinite,min,max}}}`.
+    /// Metric names are escaped, so adversarial names (quotes,
+    /// backslashes, control characters) still produce valid JSON.
     pub fn to_json(&self) -> String {
         let counters = self
             .counters
@@ -303,12 +520,17 @@ impl MetricsSnapshot {
                     .collect::<Vec<_>>()
                     .join(",");
                 format!(
-                    "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+                    "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{},\"nonfinite\":{},\"min\":{},\"max\":{}}}",
                     json_escape(k),
                     bounds,
                     counts,
                     json_num(h.sum()),
-                    h.count()
+                    h.count(),
+                    h.nonfinite(),
+                    // Empty histograms render min/max as null rather than
+                    // the ±inf sentinels (json_num maps non-finite to null).
+                    json_num(h.min().unwrap_or(f64::NAN)),
+                    json_num(h.max().unwrap_or(f64::NAN)),
                 )
             })
             .collect::<Vec<_>>()
@@ -350,6 +572,137 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// Minimal recursive-descent JSON validator for the adversarial-name
+    /// tests (the workspace has no JSON parser by design). Returns the
+    /// remaining input after one complete value, or `None` on malformed
+    /// input.
+    fn json_value(s: &[u8]) -> Option<&[u8]> {
+        let s = skip_ws(s);
+        match s.first()? {
+            b'{' => {
+                let mut s = skip_ws(&s[1..]);
+                if s.first() == Some(&b'}') {
+                    return Some(&s[1..]);
+                }
+                loop {
+                    s = json_string(skip_ws(s))?;
+                    s = skip_ws(s);
+                    s = s.strip_prefix(b":")?;
+                    s = json_value(s)?;
+                    s = skip_ws(s);
+                    match s.first()? {
+                        b',' => s = &s[1..],
+                        b'}' => return Some(&s[1..]),
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                let mut s = skip_ws(&s[1..]);
+                if s.first() == Some(&b']') {
+                    return Some(&s[1..]);
+                }
+                loop {
+                    s = json_value(s)?;
+                    s = skip_ws(s);
+                    match s.first()? {
+                        b',' => s = &s[1..],
+                        b']' => return Some(&s[1..]),
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => json_string(s),
+            b't' => s.strip_prefix(b"true"),
+            b'f' => s.strip_prefix(b"false"),
+            b'n' => s.strip_prefix(b"null"),
+            _ => json_number(s),
+        }
+    }
+
+    fn skip_ws(s: &[u8]) -> &[u8] {
+        let n = s
+            .iter()
+            .take_while(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+            .count();
+        &s[n..]
+    }
+
+    fn json_string(s: &[u8]) -> Option<&[u8]> {
+        let mut s = s.strip_prefix(b"\"")?;
+        loop {
+            match *s.first()? {
+                b'"' => return Some(&s[1..]),
+                b'\\' => match *s.get(1)? {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => s = &s[2..],
+                    b'u' => {
+                        if s.len() < 6 || !s[2..6].iter().all(u8::is_ascii_hexdigit) {
+                            return None;
+                        }
+                        s = &s[6..];
+                    }
+                    _ => return None,
+                },
+                c if c < 0x20 => return None,
+                _ => s = &s[1..],
+            }
+        }
+    }
+
+    fn json_number(s: &[u8]) -> Option<&[u8]> {
+        let mut s = s.strip_prefix(b"-").unwrap_or(s);
+        let digits = s.iter().take_while(|b| b.is_ascii_digit()).count();
+        if digits == 0 {
+            return None;
+        }
+        s = &s[digits..];
+        if let Some(rest) = s.strip_prefix(b".") {
+            let frac = rest.iter().take_while(|b| b.is_ascii_digit()).count();
+            if frac == 0 {
+                return None;
+            }
+            s = &rest[frac..];
+        }
+        if matches!(s.first(), Some(b'e' | b'E')) {
+            let mut rest = &s[1..];
+            if matches!(rest.first(), Some(b'+' | b'-')) {
+                rest = &rest[1..];
+            }
+            let exp = rest.iter().take_while(|b| b.is_ascii_digit()).count();
+            if exp == 0 {
+                return None;
+            }
+            s = &rest[exp..];
+        }
+        Some(s)
+    }
+
+    /// True iff `text` is exactly one well-formed JSON value.
+    fn is_valid_json(text: &str) -> bool {
+        matches!(json_value(text.as_bytes()), Some(rest) if skip_ws(rest).is_empty())
+    }
+
+    #[test]
+    fn json_validator_self_check() {
+        assert!(is_valid_json(
+            r#"{"a":[1,2.5,-3e4],"b":{"c":"d\n"},"e":null}"#
+        ));
+        assert!(is_valid_json("  [true, false] "));
+        for bad in [
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            "[1,2",
+            r#""unterminated"#,
+            "01x",
+            "{\"raw\tcontrol\":1}",
+            r#"{"bad\q":1}"#,
+            "1 2",
+        ] {
+            assert!(!is_valid_json(bad), "accepted malformed: {bad:?}");
+        }
+    }
 
     #[test]
     fn counters_gauges_histograms_roundtrip() {
@@ -459,5 +812,276 @@ mod tests {
         assert!(table.contains("gauge.two"));
         assert!(table.contains("hist.three"));
         assert!(table.contains("count=1"));
+    }
+
+    #[test]
+    fn log_bounds_are_geometric_and_cover_range() {
+        let bounds = log_bounds(LOG_MIN_MS, LOG_MAX_MS, LOG_SUB_BUCKETS);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds not sorted");
+        assert!((bounds[0] - LOG_MIN_MS).abs() < 1e-12);
+        assert!(*bounds.last().unwrap() >= LOG_MAX_MS);
+        // Geometric ratio: per_octave sub-buckets per power of two.
+        let ratio = bounds[1] / bounds[0];
+        assert!((ratio - 2f64.powf(1.0 / f64::from(LOG_SUB_BUCKETS))).abs() < 1e-9);
+        // ~104 buckets for µs..minute at 4/octave; layouts must agree
+        // across registries so shard snapshots merge.
+        assert_eq!(bounds, log_bounds(LOG_MIN_MS, LOG_MAX_MS, LOG_SUB_BUCKETS));
+    }
+
+    #[test]
+    fn quantile_goldens_at_bucket_edges() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        // Each observation sits exactly on its bucket's upper edge, so
+        // exact-rank quantiles reproduce the observed values.
+        assert_eq!(h.quantile(0.25), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(0.75), Some(4.0));
+        // The top rank lands in the overflow bucket → observed max.
+        assert_eq!(h.quantile(1.0), Some(8.0));
+        // q=0 means "first observation" (rank clamps to 1), and
+        // out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(-3.0), Some(1.0));
+        assert_eq!(h.quantile(7.0), Some(8.0));
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_range() {
+        // A single observation below the first bound: the bucket edge
+        // (1.0) would over-report, so the clamp returns the observation.
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(0.5);
+        assert_eq!(h.quantile(0.5), Some(0.5));
+        assert_eq!(h.quantile(1.0), Some(0.5));
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(0.5));
+        // Empty histogram has no quantiles and no min/max.
+        let empty = Histogram::log_bucketed();
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+    }
+
+    #[test]
+    fn log_bucketed_quantile_within_relative_error() {
+        let mut h = Histogram::log_bucketed();
+        for i in 1..=1000u32 {
+            h.observe(f64::from(i) * 0.1); // 0.1 .. 100 ms
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let exact = 50.0;
+        // One sub-bucket at 4/octave is a 2^(1/4)-1 ≈ 19% ratio.
+        assert!(
+            (p50 / exact - 1.0).abs() < 0.19,
+            "p50 {p50} strays from {exact}"
+        );
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 / 99.0 - 1.0).abs() < 0.19, "p99 {p99}");
+    }
+
+    #[test]
+    fn observe_nonfinite_never_corrupts() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.5);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            h.observe(bad);
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.nonfinite(), 3);
+        assert!(h.sum().is_finite());
+        assert_eq!(h.quantile(0.5), Some(1.5));
+        assert_eq!(h.min(), Some(1.5));
+        assert_eq!(h.max(), Some(1.5));
+        // Registry path: a histogram fed only non-finite values stays
+        // empty but renders valid JSON with null min/max.
+        let m = MetricsRegistry::new();
+        m.observe("h", f64::NAN);
+        let snap = m.snapshot();
+        assert_eq!(snap.histograms["h"].count(), 0);
+        assert_eq!(snap.histograms["h"].nonfinite(), 1);
+        let json = snap.to_json();
+        assert!(json.contains("\"nonfinite\":1"));
+        assert!(json.contains("\"min\":null,\"max\":null"));
+        assert!(is_valid_json(&json), "bad JSON: {json}");
+    }
+
+    #[test]
+    fn merge_requires_identical_layouts() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let b = Histogram::new(&[1.0, 3.0]);
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(err.to_string(), "histogram bucket layouts differ");
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms.insert("h".into(), Histogram::new(&[1.0]));
+        let mut other = MetricsSnapshot::default();
+        other.histograms.insert("h".into(), Histogram::new(&[2.0]));
+        let err = snap.merge(&other).unwrap_err();
+        assert_eq!(err.name, "h");
+        assert!(err.to_string().contains("`h`"));
+    }
+
+    #[test]
+    fn snapshot_merge_folds_all_kinds() {
+        let a = MetricsRegistry::new();
+        a.add("c", 2);
+        a.gauge("g", 1.0);
+        a.observe("h", 5.0);
+        let b = MetricsRegistry::new();
+        b.add("c", 3);
+        b.inc("only_b");
+        b.gauge("g", 9.0);
+        b.observe("h", 7.0);
+        b.observe("h2", 1.0);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot()).unwrap();
+        assert_eq!(merged.counter("c"), Some(5));
+        assert_eq!(merged.counter("only_b"), Some(1));
+        // Gauges are last-write-wins; `other` is the later shard.
+        assert_eq!(merged.gauge("g"), Some(9.0));
+        assert_eq!(merged.histograms["h"].count(), 2);
+        assert_eq!(merged.histograms["h"].min(), Some(5.0));
+        assert_eq!(merged.histograms["h"].max(), Some(7.0));
+        assert_eq!(merged.histograms["h2"].count(), 1);
+        assert_eq!(merged.quantile("h", 1.0), Some(7.0));
+        // p50 reports the upper edge of the log bucket holding 5.0
+        // (within one sub-bucket, ≈19% relative error).
+        let p50 = merged.quantile("h", 0.5).unwrap();
+        assert!((5.0..5.0 * 1.19).contains(&p50), "p50 {p50}");
+        assert_eq!(merged.quantile("missing", 0.5), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Merging shard histograms in any grouping yields identical
+        /// counts, quantiles, and min/max — the property that makes
+        /// fleet-level aggregation order-insensitive. (Sums are
+        /// float-additive, so they only agree to tolerance.)
+        #[test]
+        fn merge_is_associative(
+            xs in prop::collection::vec((0u32..3, 1u32..100_000), 0..48),
+        ) {
+            let mut shards = [
+                Histogram::log_bucketed(),
+                Histogram::log_bucketed(),
+                Histogram::log_bucketed(),
+            ];
+            for &(shard, v) in &xs {
+                // Spread microseconds..hundreds of ms across buckets.
+                shards[shard as usize].observe(f64::from(v) * 1e-3);
+            }
+            let [a, b, c] = shards;
+            let mut left = a.clone();
+            left.merge(&b).unwrap();
+            left.merge(&c).unwrap();
+            let mut bc = b.clone();
+            bc.merge(&c).unwrap();
+            let mut right = a.clone();
+            right.merge(&bc).unwrap();
+            prop_assert_eq!(left.counts(), right.counts());
+            prop_assert_eq!(left.count(), right.count());
+            prop_assert_eq!(left.nonfinite(), right.nonfinite());
+            prop_assert_eq!(left.min(), right.min());
+            prop_assert_eq!(left.max(), right.max());
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                prop_assert_eq!(left.quantile(q), right.quantile(q));
+            }
+            prop_assert!((left.sum() - right.sum()).abs() <= 1e-9 * (1.0 + left.sum().abs()));
+        }
+
+        /// Quantiles bracket the observed range and never panic, for any
+        /// mix of finite and non-finite observations.
+        #[test]
+        fn quantiles_stay_in_observed_range(
+            xs in prop::collection::vec((1u32..1_000_000, any::<bool>()), 1..64),
+        ) {
+            let mut h = Histogram::log_bucketed();
+            let mut finite = 0u64;
+            for &(v, poison) in &xs {
+                if poison {
+                    h.observe(f64::NAN);
+                } else {
+                    h.observe(f64::from(v) * 1e-4);
+                    finite += 1;
+                }
+            }
+            prop_assert_eq!(h.count(), finite);
+            prop_assert_eq!(h.nonfinite(), xs.len() as u64 - finite);
+            if finite == 0 {
+                prop_assert_eq!(h.quantile(0.5), None);
+            } else {
+                let (min, max) = (h.min().unwrap(), h.max().unwrap());
+                for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    let v = h.quantile(q).unwrap();
+                    prop_assert!(v >= min && v <= max, "q{q} = {v} outside [{min}, {max}]");
+                }
+                prop_assert_eq!(h.quantile(1.0), Some(max));
+            }
+        }
+
+        /// Adversarial metric names — quotes, backslashes, control
+        /// characters, non-ASCII — always render valid JSON, and
+        /// identical snapshots render byte-identically (sorted keys).
+        #[test]
+        fn adversarial_names_render_valid_json(
+            raw in prop::collection::vec(0u32..0x250, 0..12),
+            kind in 0u32..3,
+        ) {
+            let mut name: String = raw
+                .iter()
+                .filter_map(|&c| char::from_u32(c))
+                .collect();
+            // Make sure the truly nasty bytes appear even in short names.
+            name.push_str("\"\\\u{0}\n\u{1f}");
+            let m = MetricsRegistry::new();
+            match kind {
+                0 => m.inc(&name),
+                1 => m.gauge(&name, 0.5),
+                _ => m.observe(&name, 1.0),
+            }
+            m.inc("plain");
+            let snap = m.snapshot();
+            let json = snap.to_json();
+            prop_assert!(is_valid_json(&json), "invalid JSON for name {name:?}: {json}");
+            prop_assert_eq!(&json, &snap.clone().to_json());
+            // Merging with itself must keep the JSON valid too.
+            let mut doubled = snap.clone();
+            doubled.merge(&snap).unwrap();
+            prop_assert!(is_valid_json(&doubled.to_json()));
+        }
+    }
+
+    #[test]
+    fn flush_stop_writes_final_snapshot_despite_long_period() {
+        // Regression: with an hour-long flush period, everything recorded
+        // after the last periodic tick exists only in the final snapshot
+        // that stop() forces out. Losing it would silently truncate the
+        // metrics tail of every short-lived run.
+        let path = std::env::temp_dir().join(format!(
+            "h2p-flushtail-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let m = Arc::new(MetricsRegistry::new());
+        let handle = m
+            .flush_every(Duration::from_secs(3600), &path)
+            .expect("flusher starts");
+        // Recorded strictly after the flusher started: no periodic tick
+        // will ever see it within the test's lifetime.
+        m.inc("tail.counter");
+        m.observe("tail.ms", 4.2);
+        let lines = handle.stop().expect("flusher stops cleanly");
+        assert!(lines >= 1, "final snapshot line missing");
+        let text = std::fs::read_to_string(&path).expect("file readable");
+        let last = text.lines().last().expect("at least one line");
+        assert!(
+            last.contains("\"tail.counter\":1"),
+            "metrics tail lost: {last}"
+        );
+        assert!(last.contains("tail.ms"), "histogram tail lost: {last}");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -136,6 +136,61 @@ grep -q '"ph":"X"' "$TRACE_OUT" || {
 grep -q '"counters"' "$METRICS_OUT" || {
     echo "exported metrics snapshot is empty" >&2; exit 1; }
 
+echo "== h2p report (serving report + three-way reconciliation)"
+# The report must reconcile the audit replay, the engine trace and the
+# lifecycle stream on a live run (nonzero exit means the three
+# accountings disagree), and the machine-readable form must carry the
+# schema stamp and a clean reconciliation verdict.
+REPORT_OUT=$(mktemp)
+$H2P report bert resnet50 mobilenetv2 > "$REPORT_OUT"
+grep -q "replay and lifecycle reconcile" "$REPORT_OUT" || {
+    echo "report did not declare reconciliation" >&2
+    rm -f "$REPORT_OUT"; exit 1; }
+$H2P report --json bert resnet50 > "$REPORT_OUT"
+for field in '"schema":"h2p-report/v1"' '"reconciled":true' '"p99_ms":' '"burn_rate":'; do
+    grep -q "$field" "$REPORT_OUT" || {
+        echo "report --json is missing $field" >&2
+        rm -f "$REPORT_OUT"; exit 1; }
+done
+# A chaos scenario (faults + recovery rounds) must also reconcile, and a
+# saved event log must replay into a clean report.
+$H2P report --chaos-seed 3 > /dev/null
+$H2P trace --events "$REPORT_OUT" bert resnet50 > /dev/null 2>&1
+$H2P report --from "$REPORT_OUT" > /dev/null
+rm -f "$REPORT_OUT"
+
+echo "== bench_check --diff (perf-regression sentinel self-test)"
+# Identical snapshots must pass; a 20% median regression must be caught
+# with a nonzero exit; an advisory stamp downgrades the verdict to
+# report-only.
+DIFF_OLD=$(mktemp)
+DIFF_NEW=$(mktemp)
+DIFF_ADV=$(mktemp)
+BENCH_CHECK="cargo run --release -q -p h2p-bench --bin bench_check --"
+cat > "$DIFF_OLD" <<'EOF'
+{
+  "schema": "h2p-bench-planner/v1",
+  "cases": [
+    { "name": "plan_3x", "median_ns": 100000.0 },
+    { "name": "replan_window", "median_ns": 40000.0 }
+  ]
+}
+EOF
+sed 's/100000.0/101000.0/' "$DIFF_OLD" > "$DIFF_NEW"
+$BENCH_CHECK --diff "$DIFF_OLD" "$DIFF_NEW" > /dev/null || {
+    echo "bench_check --diff flagged a within-threshold change" >&2
+    rm -f "$DIFF_OLD" "$DIFF_NEW" "$DIFF_ADV"; exit 1; }
+sed 's/100000.0/120001.0/' "$DIFF_OLD" > "$DIFF_NEW"
+if $BENCH_CHECK --diff "$DIFF_OLD" "$DIFF_NEW" > /dev/null 2>&1; then
+    echo "bench_check --diff MISSED a 20% median regression" >&2
+    rm -f "$DIFF_OLD" "$DIFF_NEW" "$DIFF_ADV"; exit 1
+fi
+sed 's/"schema"/"advisory": true, "schema"/' "$DIFF_NEW" > "$DIFF_ADV"
+$BENCH_CHECK --diff "$DIFF_OLD" "$DIFF_ADV" > /dev/null || {
+    echo "bench_check --diff gated an advisory snapshot" >&2
+    rm -f "$DIFF_OLD" "$DIFF_NEW" "$DIFF_ADV"; exit 1; }
+rm -f "$DIFF_OLD" "$DIFF_NEW" "$DIFF_ADV"
+
 echo "== planner bench (quick) + BENCH_planner.json gate"
 # Runs the perf-trajectory suite, validates the JSON schema, and gates
 # the incremental-replan win (>= 3x vs from-scratch windows — an

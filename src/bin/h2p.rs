@@ -17,6 +17,9 @@
 //! h2p lint  --corrupt drop-layer bert    # exits nonzero (lint demo)
 //! h2p export --trace t.json --metrics m.json bert resnet50
 //! h2p trace --faults drop:NPU@5 bert resnet50   # fault-injected run
+//! h2p report --soc kirin990 bert resnet50 mobilenetv2  # serving report
+//! h2p report --chaos-seed 3 --json       # report on a chaos scenario
+//! h2p report --from log.jsonl            # report from an event log
 //! h2p chaos --seeds 8                    # seeded fault-recovery sweep
 //! h2p chaos --seeds 8 --json             # machine-readable per-seed
 //! h2p events log.jsonl                   # parse + replay an event log
@@ -34,14 +37,19 @@ use h2p_baselines::{pipe_it, Scheme};
 use h2p_check::{CheckOptions, InjectedFault};
 use h2p_models::graph::ModelGraph;
 use h2p_models::zoo::ModelId;
+use h2p_simulator::engine::request_of_label;
 use h2p_simulator::eventlog::{self, json_escape};
 use h2p_simulator::export::{
     add_audit_instants, add_planner_spans, chrome_trace, record_trace_metrics, ENGINE_PID,
 };
 use h2p_simulator::faults::parse_fault_specs;
-use h2p_simulator::{audit, EngineEvent, FaultSpec, SocSpec};
+use h2p_simulator::{audit, EngineEvent, FaultSpec, SocSpec, TaskSpec};
+use h2p_telemetry::analytics::{
+    ExecSpan, LatencyProfile, OccupancyProfile, SloEntry, SloSummary, UtilizationTimeline,
+};
+use h2p_telemetry::lifecycle::{self, LifecycleLog, LifecycleStage, QosClass, RequestId, TraceId};
 use h2p_telemetry::{MetricsRegistry, Telemetry};
-use hetero2pipe::executor::request_slices;
+use hetero2pipe::executor::{record_request_lifecycle, request_slices};
 use hetero2pipe::planner::{Planner, PlannerConfig};
 use hetero2pipe::recovery::{chaos_faults, run_with_recovery, RecoveryOutcome, RecoveryPolicy};
 use hetero2pipe::report::{PlanSummary, ReportSummary};
@@ -89,7 +97,7 @@ fn parse_scheme(name: &str) -> Option<Scheme> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--summary]\n            [--corrupt [CLASS]] [--events PATH|-] [--faults SPEC] MODEL...\n  h2p chaos [--soc NAME] --seeds N [--json]\n  h2p events PATH|-\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n  h2p lint  --source [--deny-warnings] [--json] [--mutant CLASS] [ROOT]\n  h2p modelcheck [--exhaustive] [--seeds N] [--min-schedules N]\n            [--inject CLASS] [--expect-violation]\n  h2p export [--soc NAME] [--scheme NAME] [--trace PATH|-]\n            [--metrics PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts,\n                  including the event-log replay reconciliation; exit\n                  nonzero on any violation\n  --summary       print the per-processor metrics snapshot table\n                  (busy/idle/bubble/stretch ms)\n  --corrupt [CLASS] deliberately corrupt the trace before auditing\n                  (demo); CLASS is overlap (default) or stretch — an\n                  in-envelope duration corruption only the replay\n                  reconciliation catches\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n  --faults SPEC   run under scripted faults with recovery (h2p scheme\n                  only); SPEC is comma-separated:\n                    drop:<PROC>@<t>                   processor dropout\n                    throttle:<PROC>@<from>..<until>x<f>  rate throttle\n                    flaky:<request>x<count>           transient failures\n                    mispredict:<scale>                cost misprediction\n\nchaos flags:\n  --seeds N       run N seeded random fault scenarios through the\n                  recovery runner; every scenario must end recovered\n                  with audit-clean rounds or in a typed degraded\n                  outcome — exit nonzero otherwise\n  --json          one JSON object per seed plus a summary object\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan\n  --source          lint workspace sources for determinism hazards\n                    (H2P010-H2P013) instead of linting a plan; ROOT\n                    defaults to '.'\n  --mutant CLASS    lint a seeded hazard snippet instead of the\n                    workspace (demo; must exit nonzero); CLASS is one\n                    of: hash-iteration, wall-clock, unordered-reduction,\n                    unseeded-rng\n\nmodelcheck flags:\n  --exhaustive      full DFS enumeration of the standard model suite\n                    (cursor partition/error-rule, tables cache, DP\n                    scratch pool, planner bit-identity, intra-request\n                    fan-out, recovery rounds)\n  --seeds N         PCT schedules for the randomized models (default 24)\n  --min-schedules N exit nonzero unless at least N distinct schedules\n                    were explored in total\n  --inject CLASS    seed a claim bug into the cursor path; CLASS is\n                    skip-claim (dropped claim) or split-claim (torn\n                    claim)\n  --expect-violation invert the exit code: succeed only if the injected\n                    bug was caught (self-test of the checker)\n\nexport flags:\n  --trace PATH    write the run as Chrome Trace Event JSON, loadable in\n                  chrome://tracing or ui.perfetto.dev ('-' = stdout)\n  --metrics PATH  write the metrics snapshot JSON ('-' = stdout)"
+        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--summary]\n            [--corrupt [CLASS]] [--events PATH|-] [--faults SPEC] MODEL...\n  h2p report [--soc NAME] [--scheme NAME] [--json] [--slo-budget F] MODEL...\n  h2p report --chaos-seed N [--soc NAME] [--json]\n  h2p report --faults SPEC [--soc NAME] [--json] MODEL...\n  h2p report --from PATH|- [--soc NAME] [--json]\n  h2p chaos [--soc NAME] --seeds N [--json]\n  h2p events PATH|-\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n  h2p lint  --source [--deny-warnings] [--json] [--mutant CLASS] [ROOT]\n  h2p modelcheck [--exhaustive] [--seeds N] [--min-schedules N]\n            [--inject CLASS] [--expect-violation]\n  h2p export [--soc NAME] [--scheme NAME] [--trace PATH|-]\n            [--metrics PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts,\n                  including the event-log replay reconciliation; exit\n                  nonzero on any violation\n  --summary       print the per-processor metrics snapshot table\n                  (busy/idle/bubble/stretch ms)\n  --corrupt [CLASS] deliberately corrupt the trace before auditing\n                  (demo); CLASS is overlap (default) or stretch — an\n                  in-envelope duration corruption only the replay\n                  reconciliation catches\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n  --faults SPEC   run under scripted faults with recovery (h2p scheme\n                  only); SPEC is comma-separated:\n                    drop:<PROC>@<t>                   processor dropout\n                    throttle:<PROC>@<from>..<until>x<f>  rate throttle\n                    flaky:<request>x<count>           transient failures\n                    mispredict:<scale>                cost misprediction\n\nreport flags:\n  Serving-grade observability: per-QoS-class latency quantiles\n  (p50/p95/p99), per-processor utilization and bubble timelines,\n  contention-window occupancy, and deadline/SLO burn-rate accounting.\n  Every number is cross-checked against the audit replay of the run's\n  event log — a reconciliation mismatch or a causally invalid request\n  lifecycle exits nonzero.\n  --chaos-seed N  report on chaos scenario N (same workload and faults\n                  as seed N of `h2p chaos`), through the recovery\n                  runner\n  --faults SPEC   report on a scripted-fault recovery run (spec syntax\n                  as under `h2p trace --faults`)\n  --from PATH     report from a saved `--events` JSON-lines log instead\n                  of a live run ('-' = stdin)\n  --slo-budget F  allowed deadline-miss fraction per class (default\n                  0.01, i.e. a 99% on-deadline objective)\n  --json          one `h2p-report/v1` JSON object instead of the tables\n\nchaos flags:\n  --seeds N       run N seeded random fault scenarios through the\n                  recovery runner; every scenario must end recovered\n                  with audit-clean rounds or in a typed degraded\n                  outcome — exit nonzero otherwise\n  --json          one JSON object per seed plus a summary object\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan\n  --source          lint workspace sources for determinism hazards\n                    (H2P010-H2P013) instead of linting a plan; ROOT\n                    defaults to '.'\n  --mutant CLASS    lint a seeded hazard snippet instead of the\n                    workspace (demo; must exit nonzero); CLASS is one\n                    of: hash-iteration, wall-clock, unordered-reduction,\n                    unseeded-rng\n\nmodelcheck flags:\n  --exhaustive      full DFS enumeration of the standard model suite\n                    (cursor partition/error-rule, tables cache, DP\n                    scratch pool, planner bit-identity, intra-request\n                    fan-out, recovery rounds)\n  --seeds N         PCT schedules for the randomized models (default 24)\n  --min-schedules N exit nonzero unless at least N distinct schedules\n                    were explored in total\n  --inject CLASS    seed a claim bug into the cursor path; CLASS is\n                    skip-claim (dropped claim) or split-claim (torn\n                    claim)\n  --expect-violation invert the exit code: succeed only if the injected\n                    bug was caught (self-test of the checker)\n\nexport flags:\n  --trace PATH    write the run as Chrome Trace Event JSON, loadable in\n                  chrome://tracing or ui.perfetto.dev ('-' = stdout)\n  --metrics PATH  write the metrics snapshot JSON ('-' = stdout)"
     );
     std::process::exit(2);
 }
@@ -427,6 +435,20 @@ fn main() {
                     lines.push_str(&e.json_line());
                     lines.push('\n');
                 }
+                // The causal request lifecycle for the same run, so a
+                // saved log carries enough history for `h2p report
+                // --from` to rebuild latency and SLO accounting.
+                let lifecycle_log = LifecycleLog::new();
+                let trace_id = TraceId::of_names(args.models.iter().map(|m| m.name()));
+                for r in 0..args.models.len() {
+                    lifecycle_log.record(trace_id, RequestId(r), 0.0, LifecycleStage::Admit);
+                    lifecycle_log.record(trace_id, RequestId(r), 0.0, LifecycleStage::Plan);
+                }
+                record_request_lifecycle(&lifecycle_log, trace_id, &report, 0.0);
+                for line in lifecycle_log.json_lines() {
+                    lines.push_str(&line);
+                    lines.push('\n');
+                }
                 if path == "-" {
                     print!("{lines}");
                 } else {
@@ -549,6 +571,9 @@ fn main() {
                 print!("{audit_report}");
                 std::process::exit(1);
             }
+        }
+        "report" => {
+            run_report(&argv[1..]);
         }
         "chaos" => {
             run_chaos(&argv[1..]);
@@ -699,6 +724,14 @@ fn run_trace_faulted(args: &Args, spec: &str) {
                 lines.push_str(&shift_event(e, round.offset_ms).json_line());
                 lines.push('\n');
             }
+        }
+        // The recovery runner records the causal request lifecycle
+        // (admit → plan → recover → execute → complete/degrade) into the
+        // planner's telemetry; append it so the log tells the whole
+        // per-request story, not just the engine's task view.
+        for line in planner.telemetry().lifecycle.json_lines() {
+            lines.push_str(&line);
+            lines.push('\n');
         }
         if path == "-" {
             print!("{lines}");
@@ -885,6 +918,921 @@ fn run_chaos(rest: &[String]) {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// Tolerance for reconciling replayed completions against the trace's
+/// and lifecycle's completion times: both derive from the same engine
+/// floats, so anything beyond rounding noise is a real discrepancy.
+const RECONCILE_EPS: f64 = 1e-6;
+
+/// QoS class a request serves, by model compute size: small models are
+/// interactive traffic, mid-size standard, heavyweights batch.
+fn qos_class(flops: f64) -> QosClass {
+    if flops < 2e9 {
+        QosClass::Interactive
+    } else if flops < 15e9 {
+        QosClass::Standard
+    } else {
+        QosClass::Batch
+    }
+}
+
+/// Deadline slack per class, as a multiple of the request's summed solo
+/// time (its zero-contention service time). Interactive requests get
+/// the tightest envelope, batch the loosest.
+fn slo_multiplier(class: QosClass) -> f64 {
+    match class {
+        QosClass::Interactive => 2.0,
+        QosClass::Standard => 3.0,
+        QosClass::Batch => 5.0,
+    }
+}
+
+/// Per-request deadlines from a lowered task graph: each request's solo
+/// time sum scaled by its class multiplier. Requests that lowered to
+/// nothing get no deadline.
+fn deadlines_from_tasks(tasks: &[TaskSpec], classes: &[QosClass]) -> Vec<Option<f64>> {
+    let mut solo = vec![0.0f64; classes.len()];
+    for t in tasks {
+        if let Some(r) = request_of_label(&t.label) {
+            if r < solo.len() {
+                solo[r] += t.solo_ms;
+            }
+        }
+    }
+    classes
+        .iter()
+        .zip(&solo)
+        .map(|(&c, &s)| (s > 0.0).then(|| slo_multiplier(c) * s))
+        .collect()
+}
+
+/// Everything `h2p report` renders, assembled per source mode (live
+/// run, recovery run, or saved event log).
+struct ReportData {
+    /// One-line description of where the numbers came from.
+    source: String,
+    processor_names: Vec<String>,
+    /// Replayed execution spans (global timeline).
+    spans: Vec<ExecSpan>,
+    /// Per-request model names.
+    names: Vec<String>,
+    classes: Vec<QosClass>,
+    /// Completion time per request; `None` = never completed.
+    latencies: Vec<Option<f64>>,
+    deadlines: Vec<Option<f64>>,
+    /// Audit-replay totals: tasks reconstructed / tasks described, and
+    /// the last replayed finish instant.
+    replay_done: usize,
+    replay_total: usize,
+    replay_last_ms: f64,
+    lifecycle_events: usize,
+    lifecycle_violations: Vec<String>,
+    /// Reconciliation failures between the replay, the trace, and the
+    /// lifecycle stream (empty = everything reconciles).
+    mismatches: Vec<String>,
+    /// Non-fatal caveats (e.g. a log without task headers).
+    notes: Vec<String>,
+}
+
+/// Folds a span's end into the per-request completion envelope.
+fn fold_request_ends(ends: &mut [Option<f64>], spans: &[ExecSpan]) {
+    for s in spans {
+        if let Some(r) = s.request {
+            if let Some(slot) = ends.get_mut(r) {
+                *slot = Some(slot.map_or(s.end_ms, |e| e.max(s.end_ms)));
+            }
+        }
+    }
+}
+
+/// Report source: one live batch run (any scheme), reconciled three
+/// ways — trace completions, audit-replayed spans, and the lifecycle
+/// stream must all agree.
+fn report_from_live(soc: &SocSpec, scheme: Scheme, models: &[ModelId]) -> ReportData {
+    let reqs = graphs(models);
+    let lowered = scheme.lower(soc, &reqs).expect("lower");
+    let tasks = lowered.simulation().tasks().to_vec();
+    let (report, events) = lowered.execute_logged().expect("execute");
+    let replayed = match audit::replay(tasks.len(), &events) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("report: event-log replay failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut spans = Vec::new();
+    let mut replay_done = 0usize;
+    let mut replay_last_ms = 0.0f64;
+    for (t, rs) in replayed.iter().enumerate() {
+        let Some(rs) = rs else { continue };
+        replay_done += 1;
+        replay_last_ms = replay_last_ms.max(rs.end_ms);
+        spans.push(ExecSpan {
+            request: request_of_label(&tasks[t].label),
+            processor: tasks[t].processor.index(),
+            start_ms: rs.start_ms,
+            end_ms: rs.end_ms,
+        });
+    }
+    let n = reqs.len();
+    let mut latencies: Vec<Option<f64>> = vec![None; n];
+    fold_request_ends(&mut latencies, &spans);
+    let mut mismatches = Vec::new();
+    for (r, lat) in latencies.iter().enumerate() {
+        let reported = report.request_latency_ms.get(r).copied().unwrap_or(0.0);
+        match lat {
+            Some(l) if (l - reported).abs() > RECONCILE_EPS => mismatches.push(format!(
+                "request {r}: replayed completion {l:.6} ms != trace completion {reported:.6} ms"
+            )),
+            None => mismatches.push(format!(
+                "request {r}: no replayed spans but trace completed at {reported:.6} ms"
+            )),
+            _ => {}
+        }
+    }
+
+    // The same lifecycle stream the `--events` writer emits, validated
+    // and reconciled against the replay.
+    let lifecycle_log = LifecycleLog::new();
+    let trace_id = TraceId::of_names(models.iter().map(|m| m.name()));
+    for r in 0..n {
+        lifecycle_log.record(trace_id, RequestId(r), 0.0, LifecycleStage::Admit);
+        lifecycle_log.record(trace_id, RequestId(r), 0.0, LifecycleStage::Plan);
+    }
+    record_request_lifecycle(&lifecycle_log, trace_id, &report, 0.0);
+    let lf = lifecycle_log.records();
+    let lifecycle_violations: Vec<String> = lifecycle::validate(&lf)
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    for e in &lf {
+        if let LifecycleStage::Complete { latency_ms } = e.stage {
+            match latencies.get(e.request.0).copied().flatten() {
+                Some(l) if (l - latency_ms).abs() <= RECONCILE_EPS => {}
+                _ => mismatches.push(format!(
+                    "request {}: lifecycle completion {latency_ms:.6} ms does not \
+                     reconcile with the replay",
+                    e.request.0
+                )),
+            }
+        }
+    }
+
+    let classes: Vec<QosClass> = reqs.iter().map(|g| qos_class(g.total_flops())).collect();
+    let deadlines = deadlines_from_tasks(&tasks, &classes);
+    ReportData {
+        source: format!("{} on {} ({} request(s))", scheme.name(), soc.name, n),
+        processor_names: soc.processors.iter().map(|p| p.name.clone()).collect(),
+        spans,
+        names: models.iter().map(|m| m.name().to_owned()).collect(),
+        classes,
+        latencies,
+        deadlines,
+        replay_done,
+        replay_total: tasks.len(),
+        replay_last_ms,
+        lifecycle_events: lf.len(),
+        lifecycle_violations,
+        mismatches,
+        notes: Vec::new(),
+    }
+}
+
+/// Report source: a recovery run under faults (scripted or chaos).
+/// Every round's event log is replayed independently and spliced onto
+/// the global timeline through the round offsets; the lifecycle stream
+/// the recovery runner recorded is the authority for completions and
+/// must reconcile with the replayed span envelopes exactly.
+fn report_from_recovery(
+    soc: &SocSpec,
+    models: &[ModelId],
+    faults: &[FaultSpec],
+    source: String,
+) -> ReportData {
+    let reqs = graphs(models);
+    let planner = Planner::new(soc).expect("planner");
+    let report =
+        run_with_recovery(&planner, &reqs, faults, &RecoveryPolicy::default()).expect("recovery");
+    let lf = planner.telemetry().lifecycle.records();
+    let lifecycle_violations: Vec<String> = lifecycle::validate(&lf)
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    let mut spans = Vec::new();
+    let mut replay_done = 0usize;
+    let mut replay_total = 0usize;
+    let mut replay_last_ms = 0.0f64;
+    let mut mismatches = Vec::new();
+    for (i, round) in report.rounds.iter().enumerate() {
+        let replayed = match audit::replay(round.labels.len(), &round.events) {
+            Ok(r) => r,
+            Err(e) => {
+                mismatches.push(format!("round {i}: event-log replay failed: {e}"));
+                continue;
+            }
+        };
+        let mut proc_of = vec![0usize; round.labels.len()];
+        for e in &round.events {
+            if let EngineEvent::Start {
+                task, processor, ..
+            } = e
+            {
+                if let Some(slot) = proc_of.get_mut(*task) {
+                    *slot = processor.index();
+                }
+            }
+        }
+        replay_total += replayed.len();
+        for (t, rs) in replayed.iter().enumerate() {
+            let Some(rs) = rs else { continue };
+            replay_done += 1;
+            let end = round.offset_ms + rs.end_ms;
+            replay_last_ms = replay_last_ms.max(end);
+            spans.push(ExecSpan {
+                request: round.labels.get(t).and_then(|l| request_of_label(l)),
+                processor: proc_of[t],
+                start_ms: round.offset_ms + rs.start_ms,
+                end_ms: end,
+            });
+        }
+    }
+
+    let n = reqs.len();
+    let mut latencies: Vec<Option<f64>> = vec![None; n];
+    for e in &lf {
+        if let LifecycleStage::Complete { latency_ms } = e.stage {
+            if let Some(slot) = latencies.get_mut(e.request.0) {
+                *slot = Some(latency_ms);
+            }
+        }
+    }
+    // Reconcile the lifecycle completions against the per-round replay
+    // envelopes and the runner's own completion flags.
+    let mut span_ends: Vec<Option<f64>> = vec![None; n];
+    fold_request_ends(&mut span_ends, &spans);
+    for r in 0..n {
+        match (latencies[r], span_ends[r]) {
+            (Some(c), Some(e)) if (c - e).abs() > RECONCILE_EPS => mismatches.push(format!(
+                "request {r}: lifecycle completion {c:.6} ms != replayed last span end {e:.6} ms"
+            )),
+            (Some(c), None) => mismatches.push(format!(
+                "request {r}: lifecycle completion {c:.6} ms but no replayed spans"
+            )),
+            _ => {}
+        }
+        if report.completed.get(r).copied().unwrap_or(false) != latencies[r].is_some() {
+            mismatches.push(format!(
+                "request {r}: recovery runner and lifecycle disagree on completion"
+            ));
+        }
+    }
+
+    // Deadline basis: the fault-free lowering of the same workload (a
+    // separate planner so its lifecycle stream stays untouched).
+    let classes: Vec<QosClass> = reqs.iter().map(|g| qos_class(g.total_flops())).collect();
+    let basis = Planner::new(soc)
+        .expect("planner")
+        .plan(&reqs)
+        .expect("plan")
+        .lower(soc)
+        .expect("lower");
+    let deadlines = deadlines_from_tasks(basis.simulation().tasks(), &classes);
+
+    let mut notes = Vec::new();
+    match &report.outcome {
+        RecoveryOutcome::Recovered => {}
+        RecoveryOutcome::Degraded(e) => notes.push(format!("degraded outcome: {e}")),
+    }
+    ReportData {
+        source,
+        processor_names: soc.processors.iter().map(|p| p.name.clone()).collect(),
+        spans,
+        names: models.iter().map(|m| m.name().to_owned()).collect(),
+        classes,
+        latencies,
+        deadlines,
+        replay_done,
+        replay_total,
+        replay_last_ms,
+        lifecycle_events: lf.len(),
+        lifecycle_violations,
+        mismatches,
+        notes,
+    }
+}
+
+/// Report source: a saved `--events` JSON-lines log. Batch logs replay
+/// fully (task headers + engine events + lifecycle). Recovery logs
+/// concatenate rounds with restarting task ids, so their engine stream
+/// is not replayable — the report then falls back to the lifecycle
+/// completions and says so.
+fn report_from_log(soc: &SocSpec, path: &str) -> ReportData {
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut s).expect("read stdin");
+        s
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let log = match eventlog::parse_event_log(&text) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let n_tasks = log.task_count();
+    let mut headers: Vec<Option<&eventlog::TaskHeader>> = vec![None; n_tasks];
+    for h in &log.tasks {
+        if let Some(slot) = headers.get_mut(h.task) {
+            *slot = Some(h);
+        }
+    }
+    let lifecycle_violations: Vec<String> = lifecycle::validate(&log.lifecycle)
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    // Request universe: everything the labels or the lifecycle mention.
+    let mut n = log
+        .lifecycle
+        .iter()
+        .map(|e| e.request.0 + 1)
+        .max()
+        .unwrap_or(0);
+    for h in log.tasks.iter() {
+        if let Some(r) = request_of_label(&h.label) {
+            n = n.max(r + 1);
+        }
+    }
+    let mut names: Vec<String> = (0..n).map(|r| format!("request{r}")).collect();
+    let mut classes: Vec<QosClass> = vec![QosClass::Standard; n];
+    let mut solo_known = false;
+    for h in &log.tasks {
+        if let Some(r) = request_of_label(&h.label) {
+            if r < n {
+                solo_known = true;
+                let model = h.label.split('#').next().unwrap_or("");
+                names[r] = model.to_owned();
+                if let Some(id) = parse_model(model) {
+                    classes[r] = qos_class(id.graph().total_flops());
+                }
+            }
+        }
+    }
+    let header_specs: Vec<TaskSpec> = log
+        .tasks
+        .iter()
+        .map(|h| TaskSpec::new(h.label.clone(), h.processor, h.solo_ms))
+        .collect();
+    let deadlines = if solo_known {
+        deadlines_from_tasks(&header_specs, &classes)
+    } else {
+        vec![None; n]
+    };
+
+    let mut notes = Vec::new();
+    let mut mismatches = Vec::new();
+    let mut spans = Vec::new();
+    let mut replay_done = 0usize;
+    let mut replay_last_ms = 0.0f64;
+    let mut latencies: Vec<Option<f64>> = vec![None; n];
+    for e in &log.lifecycle {
+        if let LifecycleStage::Complete { latency_ms } = e.stage {
+            if let Some(slot) = latencies.get_mut(e.request.0) {
+                *slot = Some(latency_ms);
+            }
+        }
+    }
+    match audit::replay(n_tasks, &log.events) {
+        Ok(replayed) => {
+            let mut proc_of: Vec<usize> = headers
+                .iter()
+                .map(|h| h.map_or(0, |h| h.processor.index()))
+                .collect();
+            for e in &log.events {
+                if let EngineEvent::Start {
+                    task, processor, ..
+                } = e
+                {
+                    if let Some(slot) = proc_of.get_mut(*task) {
+                        *slot = processor.index();
+                    }
+                }
+            }
+            for (t, rs) in replayed.iter().enumerate() {
+                let Some(rs) = rs else { continue };
+                replay_done += 1;
+                replay_last_ms = replay_last_ms.max(rs.end_ms);
+                spans.push(ExecSpan {
+                    request: headers
+                        .get(t)
+                        .copied()
+                        .flatten()
+                        .and_then(|h| request_of_label(&h.label)),
+                    processor: proc_of.get(t).copied().unwrap_or(0),
+                    start_ms: rs.start_ms,
+                    end_ms: rs.end_ms,
+                });
+            }
+            let mut span_ends: Vec<Option<f64>> = vec![None; n];
+            fold_request_ends(&mut span_ends, &spans);
+            if log.lifecycle.is_empty() {
+                // Pre-lifecycle log: the replay envelopes are all there is.
+                latencies = span_ends;
+                notes.push("log has no lifecycle stream; completions from replay".to_owned());
+            } else {
+                for r in 0..n {
+                    match (latencies[r], span_ends[r]) {
+                        (Some(c), Some(e)) if (c - e).abs() > RECONCILE_EPS => {
+                            mismatches.push(format!(
+                                "request {r}: lifecycle completion {c:.6} ms != replayed \
+                                 last span end {e:.6} ms"
+                            ));
+                        }
+                        (Some(c), None) => mismatches.push(format!(
+                            "request {r}: lifecycle completion {c:.6} ms but no replayed spans"
+                        )),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            notes.push(format!(
+                "engine stream not replayable ({e}); utilization omitted, \
+                 completions from the lifecycle stream"
+            ));
+        }
+    }
+
+    // Without task headers there is no solo-time basis for deadlines.
+    if !solo_known && n > 0 {
+        notes.push("log has no task headers; no deadline basis, QoS class defaults".to_owned());
+    }
+    let proc_count = spans.iter().map(|s| s.processor + 1).max().unwrap_or(0);
+    let processor_names: Vec<String> = (0..proc_count)
+        .map(|p| {
+            soc.processors
+                .get(p)
+                .map_or_else(|| format!("proc{p}"), |s| s.name.clone())
+        })
+        .collect();
+    ReportData {
+        source: format!("event log {path} ({n} request(s))"),
+        processor_names,
+        spans,
+        names,
+        classes,
+        latencies,
+        deadlines,
+        replay_done,
+        replay_total: n_tasks,
+        replay_last_ms,
+        lifecycle_events: log.lifecycle.len(),
+        lifecycle_violations,
+        mismatches,
+        notes,
+    }
+}
+
+/// `h2p report`: the serving-grade observability report — per-QoS-class
+/// latency quantiles, per-processor utilization/bubble timelines,
+/// occupancy, and deadline/SLO accounting, every number cross-checked
+/// against the audit replay. Exits nonzero on a reconciliation mismatch
+/// or a causally invalid lifecycle stream.
+fn run_report(rest: &[String]) -> ! {
+    let mut soc = SocSpec::kirin_990();
+    let mut scheme = Scheme::Hetero2Pipe;
+    let mut models: Vec<ModelId> = Vec::new();
+    let mut json = false;
+    let mut from: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut faults: Option<String> = None;
+    let mut budget = SloSummary::DEFAULT_BUDGET;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--soc" => {
+                i += 1;
+                soc = rest.get(i).and_then(|s| parse_soc(s)).unwrap_or_else(|| {
+                    eprintln!("unknown soc");
+                    usage()
+                });
+            }
+            "--scheme" => {
+                i += 1;
+                scheme = rest
+                    .get(i)
+                    .and_then(|s| parse_scheme(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown scheme");
+                        usage()
+                    });
+            }
+            "--json" => json = true,
+            "--from" => {
+                i += 1;
+                from = Some(rest.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--from needs a path (or '-')");
+                    usage()
+                }));
+            }
+            "--chaos-seed" => {
+                i += 1;
+                chaos_seed = Some(rest.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--chaos-seed needs a non-negative integer");
+                    usage()
+                }));
+            }
+            "--faults" => {
+                i += 1;
+                faults = Some(rest.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--faults needs a comma-separated fault spec");
+                    usage()
+                }));
+            }
+            "--slo-budget" => {
+                i += 1;
+                budget = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&b: &f64| b > 0.0 && b <= 1.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--slo-budget needs a fraction in (0, 1]");
+                        usage()
+                    });
+            }
+            m => match parse_model(m) {
+                Some(id) => models.push(id),
+                None => {
+                    eprintln!("unknown model: {m}");
+                    usage()
+                }
+            },
+        }
+        i += 1;
+    }
+
+    let data = if let Some(path) = from {
+        if !models.is_empty() || faults.is_some() || chaos_seed.is_some() {
+            eprintln!("--from reports on a saved log; drop the models/faults flags");
+            usage()
+        }
+        report_from_log(&soc, &path)
+    } else if let Some(seed) = chaos_seed {
+        if !models.is_empty() || faults.is_some() {
+            eprintln!("--chaos-seed derives its workload from the seed; drop the models");
+            usage()
+        }
+        // Exactly the scenario `h2p chaos` runs for this seed.
+        let len = 2 + (seed % 3) as usize;
+        let models = random_models(seed.wrapping_mul(0x9E37).wrapping_add(17), len);
+        let fault_list = chaos_faults(&soc, models.len(), seed);
+        let source = format!(
+            "chaos seed {seed} on {} ({} request(s), {} fault(s))",
+            soc.name,
+            models.len(),
+            fault_list.len()
+        );
+        report_from_recovery(&soc, &models, &fault_list, source)
+    } else if let Some(spec) = faults {
+        if models.is_empty() {
+            eprintln!("no models given");
+            usage()
+        }
+        let fault_list = match parse_fault_specs(&spec, &soc) {
+            Ok(f) => f,
+            Err(err) => {
+                eprintln!("bad --faults spec: {err}");
+                usage()
+            }
+        };
+        let source = format!(
+            "faulted h2p on {} ({} request(s), {} scripted fault(s))",
+            soc.name,
+            models.len(),
+            fault_list.len()
+        );
+        report_from_recovery(&soc, &models, &fault_list, source)
+    } else {
+        if models.is_empty() {
+            eprintln!("no models given");
+            usage()
+        }
+        report_from_live(&soc, scheme, &models)
+    };
+
+    if json {
+        println!("{}", render_report_json(&data, budget));
+    } else {
+        print_report_text(&data, budget);
+    }
+    let ok = data.mismatches.is_empty() && data.lifecycle_violations.is_empty();
+    if !ok {
+        for m in &data.mismatches {
+            eprintln!("report: reconciliation: {m}");
+        }
+        for v in &data.lifecycle_violations {
+            eprintln!("report: lifecycle: {v}");
+        }
+    }
+    std::process::exit(i32::from(!ok));
+}
+
+/// Per-class completed-latency samples, in [`QosClass::ALL`] order.
+fn class_samples(data: &ReportData) -> Vec<(QosClass, Vec<f64>)> {
+    QosClass::ALL
+        .iter()
+        .map(|&class| {
+            let sample: Vec<f64> = data
+                .classes
+                .iter()
+                .zip(&data.latencies)
+                .filter(|&(&c, _)| c == class)
+                .filter_map(|(_, l)| *l)
+                .collect();
+            (class, sample)
+        })
+        .collect()
+}
+
+/// SLO entries for [`SloSummary::compute`], one per request.
+fn slo_entries(data: &ReportData) -> Vec<SloEntry> {
+    data.classes
+        .iter()
+        .zip(&data.latencies)
+        .zip(&data.deadlines)
+        .map(|((&class, &latency_ms), &deadline_ms)| SloEntry {
+            class,
+            latency_ms,
+            deadline_ms,
+        })
+        .collect()
+}
+
+/// Renders the human-readable report tables.
+fn print_report_text(data: &ReportData, budget: f64) {
+    println!("report: {}", data.source);
+    for note in &data.notes {
+        println!("note: {note}");
+    }
+
+    println!("requests:");
+    for r in 0..data.names.len() {
+        let deadline = data.deadlines[r].map_or_else(
+            || "no deadline".to_owned(),
+            |d| format!("{d:>9.2} ms deadline"),
+        );
+        let (latency, verdict) = match data.latencies[r] {
+            Some(l) => {
+                let miss = data.deadlines[r].is_some_and(|d| l > d + RECONCILE_EPS);
+                (format!("{l:>9.2} ms"), if miss { "MISS" } else { "ok" })
+            }
+            None => ("  degraded —".to_owned(), "MISS"),
+        };
+        println!(
+            "  r{r:<3} {:<14} {:<12} {latency}  {deadline}  {verdict}",
+            data.names[r],
+            data.classes[r].name(),
+        );
+    }
+
+    println!("latency quantiles by QoS class (ms):");
+    println!(
+        "  {:<12} {:>4} {:>9} {:>9} {:>9} {:>9}",
+        "class", "n", "p50", "p95", "p99", "max"
+    );
+    for (class, sample) in class_samples(data) {
+        match LatencyProfile::compute(&sample) {
+            Some(p) => println!(
+                "  {:<12} {:>4} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                class.name(),
+                p.count,
+                p.p50_ms,
+                p.p95_ms,
+                p.p99_ms,
+                p.max_ms
+            ),
+            None => println!(
+                "  {:<12} {:>4}         —         —         —         —",
+                class.name(),
+                0
+            ),
+        }
+    }
+
+    let slo = SloSummary::compute(&slo_entries(data), budget);
+    println!("slo (budget {budget}):");
+    println!(
+        "  {:<12} {:>9} {:>7} {:>8} {:>8}",
+        "class", "deadlines", "misses", "miss%", "burn"
+    );
+    for s in &slo {
+        println!(
+            "  {:<12} {:>9} {:>7} {:>7.1}% {:>7.2}x",
+            s.class.name(),
+            s.with_deadline,
+            s.misses,
+            s.miss_rate * 100.0,
+            s.burn_rate
+        );
+    }
+    let total_misses: usize = slo.iter().map(|s| s.misses).sum();
+    let total_deadlines: usize = slo.iter().map(|s| s.with_deadline).sum();
+    println!("  total: {total_misses} miss(es) across {total_deadlines} deadline(s)");
+
+    let timeline = UtilizationTimeline::compute(&data.spans, data.processor_names.len());
+    if !data.spans.is_empty() {
+        println!("utilization:");
+        for u in &timeline.processors {
+            let bubble: f64 = timeline
+                .bubbles
+                .iter()
+                .filter(|b| b.processor == u.processor)
+                .fold(0.0, |a, b| a + b.duration_ms());
+            println!(
+                "  {:<8} busy {:>9.2} ms  util {:>5.1}%  spans {:>3}  bubble {:>8.2} ms",
+                data.processor_names[u.processor],
+                u.busy_ms,
+                u.utilization * 100.0,
+                u.span_count,
+                bubble
+            );
+        }
+        let top = timeline.top_bubbles(5);
+        if top.is_empty() {
+            println!("top bubbles: none");
+        } else {
+            println!("top bubbles:");
+            for b in top {
+                println!(
+                    "  {:<8} {:>9.2} .. {:>9.2} ms  ({:>7.2} ms)",
+                    data.processor_names[b.processor],
+                    b.start_ms,
+                    b.end_ms,
+                    b.duration_ms()
+                );
+            }
+        }
+        let occ = OccupancyProfile::compute(&data.spans, data.processor_names.len());
+        println!(
+            "occupancy: co-execution {:.1}%, idle {:.1}%, horizon {:.2} ms, \
+             total bubble {:.2} ms",
+            occ.co_execution_fraction() * 100.0,
+            occ.idle_fraction() * 100.0,
+            occ.horizon_ms,
+            timeline.total_bubble_ms()
+        );
+    }
+
+    println!(
+        "replay: {}/{} task(s) reconstructed, last finish {:.2} ms",
+        data.replay_done, data.replay_total, data.replay_last_ms
+    );
+    println!(
+        "lifecycle: {} event(s), {} violation(s); {}",
+        data.lifecycle_events,
+        data.lifecycle_violations.len(),
+        if data.mismatches.is_empty() {
+            "replay and lifecycle reconcile"
+        } else {
+            "RECONCILIATION FAILED"
+        }
+    );
+}
+
+/// Renders a float for JSON: finite values verbatim, everything else
+/// `null`.
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders `Option<f64>` for JSON.
+fn jopt(x: Option<f64>) -> String {
+    x.map_or_else(|| "null".to_owned(), jnum)
+}
+
+/// Renders the machine-readable `h2p-report/v1` object.
+fn render_report_json(data: &ReportData, budget: f64) -> String {
+    let mut out = String::from("{\"schema\":\"h2p-report/v1\"");
+    out.push_str(&format!(",\"source\":\"{}\"", json_escape(&data.source)));
+
+    out.push_str(",\"requests\":[");
+    for r in 0..data.names.len() {
+        if r > 0 {
+            out.push(',');
+        }
+        let miss = match (data.latencies[r], data.deadlines[r]) {
+            (_, None) => false,
+            (None, Some(_)) => true,
+            (Some(l), Some(d)) => l > d + RECONCILE_EPS,
+        };
+        out.push_str(&format!(
+            "{{\"request\":{r},\"model\":\"{}\",\"class\":\"{}\",\"latency_ms\":{},\
+             \"deadline_ms\":{},\"miss\":{miss}}}",
+            json_escape(&data.names[r]),
+            data.classes[r].name(),
+            jopt(data.latencies[r]),
+            jopt(data.deadlines[r]),
+        ));
+    }
+    out.push(']');
+
+    let slo = SloSummary::compute(&slo_entries(data), budget);
+    out.push_str(",\"classes\":[");
+    for (i, ((class, sample), s)) in class_samples(data).iter().zip(&slo).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let p = LatencyProfile::compute(sample);
+        out.push_str(&format!(
+            "{{\"class\":\"{}\",\"count\":{},\"completed\":{},\"p50_ms\":{},\"p95_ms\":{},\
+             \"p99_ms\":{},\"max_ms\":{},\"with_deadline\":{},\"misses\":{},\
+             \"miss_rate\":{},\"burn_rate\":{}}}",
+            class.name(),
+            s.total,
+            sample.len(),
+            jopt(p.as_ref().map(|p| p.p50_ms)),
+            jopt(p.as_ref().map(|p| p.p95_ms)),
+            jopt(p.as_ref().map(|p| p.p99_ms)),
+            jopt(p.as_ref().map(|p| p.max_ms)),
+            s.with_deadline,
+            s.misses,
+            jnum(s.miss_rate),
+            jnum(s.burn_rate),
+        ));
+    }
+    out.push(']');
+
+    let timeline = UtilizationTimeline::compute(&data.spans, data.processor_names.len());
+    out.push_str(",\"processors\":[");
+    for (i, u) in timeline.processors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"processor\":{},\"name\":\"{}\",\"busy_ms\":{},\"utilization\":{},\
+             \"spans\":{}}}",
+            u.processor,
+            json_escape(&data.processor_names[u.processor]),
+            jnum(u.busy_ms),
+            jnum(u.utilization),
+            u.span_count,
+        ));
+    }
+    out.push(']');
+
+    out.push_str(",\"top_bubbles\":[");
+    for (i, b) in timeline.top_bubbles(5).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"processor\":{},\"start_ms\":{},\"end_ms\":{}}}",
+            b.processor,
+            jnum(b.start_ms),
+            jnum(b.end_ms),
+        ));
+    }
+    out.push(']');
+
+    let occ = OccupancyProfile::compute(&data.spans, data.processor_names.len());
+    out.push_str(&format!(
+        ",\"total_bubble_ms\":{},\"co_execution_fraction\":{},\"idle_fraction\":{},\
+         \"horizon_ms\":{}",
+        jnum(timeline.total_bubble_ms()),
+        jnum(occ.co_execution_fraction()),
+        jnum(occ.idle_fraction()),
+        jnum(occ.horizon_ms),
+    ));
+
+    out.push_str(&format!(
+        ",\"replay\":{{\"tasks_done\":{},\"task_count\":{},\"last_finish_ms\":{}}}",
+        data.replay_done,
+        data.replay_total,
+        jnum(data.replay_last_ms),
+    ));
+    out.push_str(&format!(
+        ",\"lifecycle\":{{\"events\":{},\"violations\":{}}}",
+        data.lifecycle_events,
+        data.lifecycle_violations.len(),
+    ));
+    out.push_str(&format!(
+        ",\"slo_budget\":{},\"reconciled\":{}}}",
+        jnum(budget),
+        data.mismatches.is_empty(),
+    ));
+    out
 }
 
 /// `h2p lint --source`: the workspace determinism lint pass
@@ -1105,11 +2053,20 @@ fn run_events(rest: &[String]) {
         }
     };
     println!(
-        "{} task header(s), {} event(s), {} task id(s)",
+        "{} task header(s), {} event(s), {} task id(s), {} lifecycle event(s)",
         log.tasks.len(),
         log.events.len(),
-        log.task_count()
+        log.task_count(),
+        log.lifecycle.len()
     );
+    let violations = lifecycle::validate(&log.lifecycle);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("lifecycle: {v}");
+        }
+        eprintln!("{} lifecycle violation(s)", violations.len());
+        std::process::exit(1);
+    }
     match audit::replay(log.task_count(), &log.events) {
         Ok(spans) => {
             let done: Vec<_> = spans.iter().flatten().collect();
