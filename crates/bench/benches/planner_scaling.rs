@@ -153,6 +153,27 @@ fn bench_recovery_replan(c: &mut Criterion) {
     });
 }
 
+fn bench_serve_sweep(c: &mut Criterion) {
+    // The serving front-end at overload: 16 requests offered well past
+    // kirin-990 saturation (~1.5 served/s), driven through admission,
+    // deadline shedding, batching, incremental window planning and
+    // execution. `Server::new` runs the measured calibration pass (a
+    // solo execution per zoo model) once, outside the measurement, so
+    // the case tracks the steady-state cost of absorbing one overloaded
+    // arrival burst end to end.
+    let soc = SocSpec::kirin_990();
+    let server = h2p_serve::Server::new(&soc, 4).expect("server");
+    let cfg = h2p_serve::ServeConfig {
+        qps: 8.0,
+        requests: 16,
+        seed: 7,
+        ..h2p_serve::ServeConfig::default()
+    };
+    c.bench_function("serve/sweep_qps/16", |b| {
+        b.iter(|| server.run(&cfg).expect("serve"))
+    });
+}
+
 fn median_of(results: &[BenchResult], name: &str) -> Option<f64> {
     results.iter().find(|r| r.name == name).map(|r| r.median_ns)
 }
@@ -236,5 +257,6 @@ fn main() {
     bench_plan_scaling(&mut criterion);
     bench_online_replan(&mut criterion);
     bench_recovery_replan(&mut criterion);
+    bench_serve_sweep(&mut criterion);
     write_json(&criterion::take_results());
 }

@@ -73,6 +73,21 @@ pub struct RecoveryPolicy {
     pub max_rounds: usize,
 }
 
+impl RecoveryPolicy {
+    /// Backoff delay before retry attempt `attempt` (1-based):
+    /// `backoff_base_ms * 2^(attempt-1)`, capped at `backoff_cap_ms`.
+    /// Attempt 0 (no retry yet) waits nothing. This is the single
+    /// backoff schedule shared by the recovery runner and the serving
+    /// front-end's dispatch retry loop.
+    pub fn backoff_ms(&self, attempt: usize) -> f64 {
+        if attempt == 0 {
+            return 0.0;
+        }
+        let exp = (attempt - 1).min(32) as u32;
+        (self.backoff_base_ms * f64::from(2u32.pow(exp.min(20)))).min(self.backoff_cap_ms)
+    }
+}
+
 impl Default for RecoveryPolicy {
     fn default() -> Self {
         RecoveryPolicy {
@@ -592,9 +607,7 @@ pub fn run_with_recovery(
                 }
                 report.retries += 1;
                 telemetry.metrics.inc("recovery.retries");
-                let exp = (attempts[r] - 1).min(32) as u32;
-                delay[r] = (policy.backoff_base_ms * f64::from(2u32.pow(exp.min(20))))
-                    .min(policy.backoff_cap_ms);
+                delay[r] = policy.backoff_ms(attempts[r]);
             }
             report.rounds.push(RoundLog {
                 offset_ms: round_offset,
@@ -714,6 +727,17 @@ mod tests {
 
     fn small_set() -> Vec<ModelGraph> {
         graphs(&[ModelId::SqueezeNet, ModelId::MobileNetV2, ModelId::AlexNet])
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let policy = RecoveryPolicy::default();
+        assert_eq!(policy.backoff_ms(0), 0.0);
+        assert_eq!(policy.backoff_ms(1), 1.0);
+        assert_eq!(policy.backoff_ms(2), 2.0);
+        assert_eq!(policy.backoff_ms(3), 4.0);
+        assert_eq!(policy.backoff_ms(6), 32.0); // cap
+        assert_eq!(policy.backoff_ms(500), 32.0); // exponent clamp, no overflow
     }
 
     #[test]

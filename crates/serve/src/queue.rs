@@ -1,0 +1,247 @@
+//! The admission queue: bounded per-QoS-class depths, arrival-order
+//! dispatch, and deadline-aware shedding.
+//!
+//! All state lives behind one [`hetero2pipe::sync::Mutex`], so under
+//! `cfg(feature = "model-check")` every operation is a yield point of
+//! the controlled scheduler and the `h2p-check` `serve_admit_shed`
+//! model can exhaustively interleave a concurrent admitter against a
+//! concurrent shedder. The serving loop itself is single-threaded; the
+//! model check proves the queue's accounting invariants (depth never
+//! exceeds its limit, every admitted entry leaves exactly once, the
+//! per-class counters always sum to the entry count) hold under *any*
+//! interleaving, not just the one the loop happens to produce.
+
+use std::sync::PoisonError;
+
+use h2p_models::zoo::ModelId;
+use h2p_telemetry::lifecycle::QosClass;
+use hetero2pipe::sync::Mutex;
+
+use crate::class_index;
+
+/// One admitted, queued request awaiting dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest {
+    /// Stable request id (arrival index).
+    pub id: usize,
+    pub model: ModelId,
+    pub class: QosClass,
+    /// Arrival instant, ms.
+    pub arrival_ms: f64,
+    /// Solo (zero-contention) critical path, ms — the calibration
+    /// estimate shedding compares remaining slack against.
+    pub solo_ms: f64,
+    /// Deadline relative to arrival, ms.
+    pub deadline_ms: f64,
+}
+
+impl QueuedRequest {
+    /// Remaining slack at `now`: time left until the absolute deadline.
+    pub fn slack_ms(&self, now_ms: f64) -> f64 {
+        self.arrival_ms + self.deadline_ms - now_ms
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Queued entries in arrival order.
+    entries: Vec<QueuedRequest>,
+    /// Current depth per class, always `== entries` partitioned.
+    depth: [usize; 3],
+    /// High-water marks for the bounded-depth invariant report.
+    max_total: usize,
+    max_class: [usize; 3],
+}
+
+/// Bounded multi-class admission queue. `limits` caps each class's
+/// depth; [`AdmitQueue::try_admit`] refuses (returning the request to
+/// the caller) rather than ever growing past a limit.
+#[derive(Debug)]
+pub struct AdmitQueue {
+    limits: [usize; 3],
+    inner: Mutex<Inner>,
+}
+
+impl AdmitQueue {
+    pub fn new(limits: [usize; 3]) -> Self {
+        AdmitQueue {
+            limits,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Per-class depth limits, in [`QosClass::ALL`] order.
+    pub fn limits(&self) -> [usize; 3] {
+        self.limits
+    }
+
+    fn lock(&self) -> impl std::ops::DerefMut<Target = Inner> + '_ {
+        // The queue holds plain data; a panic while the lock was held
+        // cannot leave it logically corrupt, so poisoning is cleared.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current depth of one class.
+    pub fn class_depth(&self, class: QosClass) -> usize {
+        self.lock().depth[class_index(class)]
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of queued solo times — the backlog estimate admission uses
+    /// to predict whether a new request could still meet its deadline.
+    pub fn backlog_solo_ms(&self) -> f64 {
+        self.lock().entries.iter().map(|q| q.solo_ms).sum()
+    }
+
+    /// Admits `req` if its class has depth headroom; otherwise returns
+    /// it to the caller (the caller records the typed rejection — the
+    /// queue never drops anything silently).
+    pub fn try_admit(&self, req: QueuedRequest) -> Result<(), QueuedRequest> {
+        let mut inner = self.lock();
+        let c = class_index(req.class);
+        if inner.depth[c] >= self.limits[c] {
+            return Err(req);
+        }
+        inner.depth[c] += 1;
+        inner.entries.push(req);
+        let total = inner.entries.len();
+        inner.max_total = inner.max_total.max(total);
+        inner.max_class[c] = inner.max_class[c].max(inner.depth[c]);
+        debug_assert!(inner.depth[c] <= self.limits[c]);
+        Ok(())
+    }
+
+    /// Evicts every queued request whose remaining slack at `now_ms`
+    /// is below its solo critical path — it could not finish on time
+    /// even if dispatched alone, immediately. Returns the evicted
+    /// requests oldest-lowest-class first (batch before standard
+    /// before interactive, arrival order within a class), the order
+    /// their `shed` lifecycle events are recorded in.
+    pub fn shed_expired(&self, now_ms: f64) -> Vec<QueuedRequest> {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let mut shed = Vec::new();
+        for class in QosClass::ALL.iter().rev() {
+            let c = class_index(*class);
+            let mut kept = Vec::with_capacity(inner.entries.len());
+            for q in inner.entries.drain(..) {
+                if q.class == *class && q.slack_ms(now_ms) < q.solo_ms {
+                    inner.depth[c] -= 1;
+                    shed.push(q);
+                } else {
+                    kept.push(q);
+                }
+            }
+            inner.entries = kept;
+        }
+        shed
+    }
+
+    /// Pops up to `max` requests in arrival order for dispatch.
+    pub fn pop_batch(&self, max: usize) -> Vec<QueuedRequest> {
+        let mut inner = self.lock();
+        let take = max.min(inner.entries.len());
+        let batch: Vec<QueuedRequest> = inner.entries.drain(..take).collect();
+        for q in &batch {
+            inner.depth[class_index(q.class)] -= 1;
+        }
+        batch
+    }
+
+    /// High-water marks observed so far: `(max total depth, max depth
+    /// per class)`.
+    pub fn high_water(&self) -> (usize, [usize; 3]) {
+        let inner = self.lock();
+        (inner.max_total, inner.max_class)
+    }
+
+    /// Internal-consistency check for the model checker: the per-class
+    /// counters must partition the entry list and respect the limits.
+    /// Returns a description of the first inconsistency, if any.
+    pub fn check_consistency(&self) -> Option<String> {
+        let inner = self.lock();
+        let mut counted = [0usize; 3];
+        for q in &inner.entries {
+            counted[class_index(q.class)] += 1;
+        }
+        if counted != inner.depth {
+            return Some(format!(
+                "class counters {:?} disagree with entries {counted:?}",
+                inner.depth
+            ));
+        }
+        for (c, (&d, &l)) in inner.depth.iter().zip(&self.limits).enumerate() {
+            if d > l {
+                return Some(format!("class {c} depth {d} exceeds limit {l}"));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: usize, class: QosClass, arrival: f64, solo: f64, deadline: f64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            model: ModelId::SqueezeNet,
+            class,
+            arrival_ms: arrival,
+            solo_ms: solo,
+            deadline_ms: deadline,
+        }
+    }
+
+    #[test]
+    fn admission_respects_per_class_limits() {
+        let q = AdmitQueue::new([1, 2, 1]);
+        assert!(q
+            .try_admit(req(0, QosClass::Interactive, 0.0, 1.0, 10.0))
+            .is_ok());
+        // Interactive is full; standard still has room.
+        let back = q
+            .try_admit(req(1, QosClass::Interactive, 1.0, 1.0, 10.0))
+            .expect_err("full");
+        assert_eq!(back.id, 1);
+        assert!(q
+            .try_admit(req(2, QosClass::Standard, 2.0, 1.0, 10.0))
+            .is_ok());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.class_depth(QosClass::Interactive), 1);
+        assert!(q.check_consistency().is_none());
+        let (max_total, max_class) = q.high_water();
+        assert_eq!(max_total, 2);
+        assert_eq!(max_class, [1, 1, 0]);
+    }
+
+    #[test]
+    fn shedding_evicts_slackless_requests_lowest_class_first() {
+        let q = AdmitQueue::new([4, 4, 4]);
+        // Interactive with no slack left, batch with no slack, standard healthy.
+        q.try_admit(req(0, QosClass::Interactive, 0.0, 5.0, 6.0))
+            .unwrap();
+        q.try_admit(req(1, QosClass::Batch, 0.0, 5.0, 6.0)).unwrap();
+        q.try_admit(req(2, QosClass::Standard, 0.0, 1.0, 100.0))
+            .unwrap();
+        q.try_admit(req(3, QosClass::Batch, 1.0, 5.0, 6.0)).unwrap();
+        let shed = q.shed_expired(4.0);
+        // slack(0) = 2 < 5, slack(1) = 2 < 5, slack(3) = 3 < 5; batch
+        // evicted before interactive, oldest first.
+        assert_eq!(shed.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 3, 0]);
+        assert_eq!(q.len(), 1);
+        assert!(q.check_consistency().is_none());
+        // Dispatch order is arrival order.
+        let batch = q.pop_batch(8);
+        assert_eq!(batch[0].id, 2);
+        assert!(q.is_empty());
+    }
+}

@@ -5,10 +5,17 @@
 //! task followed by the events in simulation-time order. This module is
 //! the trusted read path back: [`parse_event_log`] turns that text into
 //! typed [`EngineEvent`]s and [`TaskHeader`]s, rejecting malformed
-//! lines, unknown event kinds, and non-finite timestamps with a
-//! line-numbered [`ParseError`] instead of panicking or silently
-//! accepting garbage (an `f64` parse happily accepts `NaN` and `inf`
-//! tokens, which would poison every downstream time comparison).
+//! lines and non-finite timestamps with a line-numbered [`ParseError`]
+//! instead of panicking or silently accepting garbage (an `f64` parse
+//! happily accepts `NaN` and `inf` tokens, which would poison every
+//! downstream time comparison).
+//!
+//! Unknown event *kinds* and unknown lifecycle *stages* are the one
+//! deliberate exception: they parse as typed [`ParseWarning`]s on the
+//! returned [`ParsedLog`] rather than hard errors, so an old binary can
+//! still read a log written by a newer one that speaks more of the
+//! grammar (forward compatibility). Warnings are never silent — callers
+//! surface them alongside the parsed streams.
 //!
 //! The vendored serde has no JSON backend, so the parser is a small
 //! hand-rolled scanner for exactly the flat string/number objects the
@@ -63,22 +70,13 @@ pub enum ParseError {
         /// Field whose value is non-finite.
         field: String,
     },
-    /// The line's `event` field names a kind this parser does not know.
-    UnknownEvent {
-        /// 1-based line number.
-        line: usize,
-        /// The unrecognised kind.
-        kind: String,
-    },
 }
 
 impl ParseError {
     /// 1-based line number of the offending line.
     pub fn line(&self) -> usize {
         match self {
-            ParseError::Malformed { line, .. }
-            | ParseError::NonFinite { line, .. }
-            | ParseError::UnknownEvent { line, .. } => *line,
+            ParseError::Malformed { line, .. } | ParseError::NonFinite { line, .. } => *line,
         }
     }
 }
@@ -92,14 +90,64 @@ impl fmt::Display for ParseError {
             ParseError::NonFinite { line, field } => {
                 write!(f, "event log line {line}: field `{field}` is not finite")
             }
-            ParseError::UnknownEvent { line, kind } => {
-                write!(f, "event log line {line}: unknown event kind `{kind}`")
-            }
         }
     }
 }
 
 impl std::error::Error for ParseError {}
+
+/// A non-fatal, typed ingestion warning: the line was well-formed JSON
+/// but named an event kind or lifecycle stage this binary does not
+/// know. The line is skipped (its content is preserved in the warning)
+/// and parsing continues, so logs written by newer binaries with a
+/// richer grammar still load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseWarning {
+    /// The line's `event` field names a kind this parser does not know.
+    UnknownEvent {
+        /// The unrecognised kind.
+        kind: String,
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A `lifecycle` line's `stage` field names a stage this parser
+    /// does not know.
+    UnknownLifecycleStage {
+        /// The unrecognised stage tag.
+        stage: String,
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl ParseWarning {
+    /// 1-based line number of the skipped line.
+    pub fn line(&self) -> usize {
+        match self {
+            ParseWarning::UnknownEvent { line, .. }
+            | ParseWarning::UnknownLifecycleStage { line, .. } => *line,
+        }
+    }
+}
+
+impl fmt::Display for ParseWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseWarning::UnknownEvent { kind, line } => {
+                write!(
+                    f,
+                    "event log line {line}: unknown event kind `{kind}` (skipped)"
+                )
+            }
+            ParseWarning::UnknownLifecycleStage { stage, line } => {
+                write!(
+                    f,
+                    "event log line {line}: unknown lifecycle stage `{stage}` (skipped)"
+                )
+            }
+        }
+    }
+}
 
 /// One `task` header line: the task metadata the `--events` writer
 /// prefixes the log with so a log file is self-describing.
@@ -127,6 +175,10 @@ pub struct ParsedLog {
     /// order — the causal request history interleaved with the engine
     /// stream by the `--events` writers.
     pub lifecycle: Vec<LifecycleEvent>,
+    /// Typed forward-compatibility warnings for well-formed lines whose
+    /// event kind or lifecycle stage this binary does not know; the
+    /// lines were skipped, not rejected.
+    pub warnings: Vec<ParseWarning>,
 }
 
 impl ParsedLog {
@@ -343,8 +395,11 @@ impl Fields<'_> {
 /// # Errors
 ///
 /// Returns the first [`ParseError`] found, carrying the 1-based line
-/// number: malformed JSON, missing or mistyped fields, unknown event
-/// kinds, and non-finite numeric values are all rejected.
+/// number: malformed JSON, missing or mistyped fields, and non-finite
+/// numeric values are all rejected. Well-formed lines with an unknown
+/// event kind or lifecycle stage are *not* errors: they are skipped and
+/// reported as typed [`ParseWarning`]s on the returned log, so this
+/// binary can read logs written by newer ones.
 pub fn parse_event_log(text: &str) -> Result<ParsedLog, ParseError> {
     let mut log = ParsedLog::default();
     for (i, raw) in text.lines().enumerate() {
@@ -421,11 +476,18 @@ pub fn parse_event_log(text: &str) -> Result<ParsedLog, ParseError> {
                     "complete" => LifecycleStage::Complete {
                         latency_ms: f.time("latency_ms")?,
                     },
+                    "reject" => LifecycleStage::Reject {
+                        reason: f.str("reason")?.to_owned(),
+                    },
+                    "shed" => LifecycleStage::Shed {
+                        reason: f.str("reason")?.to_owned(),
+                    },
                     other => {
-                        return Err(ParseError::Malformed {
+                        log.warnings.push(ParseWarning::UnknownLifecycleStage {
+                            stage: other.to_owned(),
                             line,
-                            detail: format!("unknown lifecycle stage `{other}`"),
-                        })
+                        });
+                        continue;
                     }
                 };
                 log.lifecycle.push(LifecycleEvent {
@@ -452,10 +514,10 @@ pub fn parse_event_log(text: &str) -> Result<ParsedLog, ParseError> {
                 },
             }),
             other => {
-                return Err(ParseError::UnknownEvent {
-                    line,
+                log.warnings.push(ParseWarning::UnknownEvent {
                     kind: other.to_owned(),
-                })
+                    line,
+                });
             }
         }
     }
@@ -587,21 +649,38 @@ mod tests {
             9.5,
             LifecycleStage::Complete { latency_ms: 9.5 },
         );
+        lc.record(
+            t,
+            RequestId(2),
+            10.0,
+            LifecycleStage::Reject {
+                reason: "queue_full".into(),
+            },
+        );
+        lc.record(
+            t,
+            RequestId(3),
+            11.0,
+            LifecycleStage::Shed {
+                reason: "slack_below_solo".into(),
+            },
+        );
         let text: String = lc.json_lines().iter().map(|l| l.clone() + "\n").collect();
         let log = parse_event_log(&text).expect("parses");
         assert_eq!(log.lifecycle, lc.records());
+        assert!(log.warnings.is_empty());
         // Mixed with engine lines, both streams survive.
         let (engine_text, n_tasks, events) = logged_lines();
         let mixed = format!("{engine_text}{text}");
         let log = parse_event_log(&mixed).expect("parses mixed");
         assert_eq!(log.tasks.len(), n_tasks);
         assert_eq!(log.events, events);
-        assert_eq!(log.lifecycle.len(), 7);
+        assert_eq!(log.lifecycle.len(), 9);
         // Malformed lifecycle lines fail typed.
         for bad in [
             "{\"event\":\"lifecycle\",\"trace\":\"xyz\",\"request\":0,\"seq\":0,\"at_ms\":0,\"stage\":\"admit\"}",
-            "{\"event\":\"lifecycle\",\"trace\":\"0000000000000abc\",\"request\":0,\"seq\":0,\"at_ms\":0,\"stage\":\"nonsense\"}",
             "{\"event\":\"lifecycle\",\"trace\":\"0000000000000abc\",\"request\":0,\"seq\":0,\"at_ms\":0,\"stage\":\"window\"}",
+            "{\"event\":\"lifecycle\",\"trace\":\"0000000000000abc\",\"request\":0,\"seq\":0,\"at_ms\":0,\"stage\":\"reject\"}",
         ] {
             let err = parse_event_log(bad).expect_err(bad);
             assert!(matches!(err, ParseError::Malformed { .. }), "{bad}: {err}");
@@ -609,9 +688,42 @@ mod tests {
     }
 
     #[test]
-    fn rejects_unknown_event_kinds() {
-        let err = parse_event_log("{\"event\":\"frobnicate\",\"time_ms\":1}").expect_err("rejects");
-        assert!(matches!(err, ParseError::UnknownEvent { ref kind, .. } if kind == "frobnicate"));
+    fn unknown_kinds_and_stages_warn_instead_of_failing() {
+        // Forward compatibility: a log written by a newer binary with a
+        // richer grammar still loads — the unknown lines are skipped
+        // with typed warnings, the known streams survive intact.
+        let (engine_text, n_tasks, events) = logged_lines();
+        let future = format!(
+            "{engine_text}\
+             {{\"event\":\"frobnicate\",\"time_ms\":1}}\n\
+             {{\"event\":\"lifecycle\",\"trace\":\"0000000000000abc\",\"request\":0,\"seq\":0,\"at_ms\":0,\"stage\":\"admit\"}}\n\
+             {{\"event\":\"lifecycle\",\"trace\":\"0000000000000abc\",\"request\":0,\"seq\":1,\"at_ms\":0,\"stage\":\"hibernate\",\"depth\":3}}\n"
+        );
+        let n_engine_lines = engine_text.lines().count();
+        let log = parse_event_log(&future).expect("future log parses");
+        assert_eq!(log.tasks.len(), n_tasks);
+        assert_eq!(log.events, events);
+        assert_eq!(log.lifecycle.len(), 1);
+        assert_eq!(
+            log.warnings,
+            vec![
+                ParseWarning::UnknownEvent {
+                    kind: "frobnicate".into(),
+                    line: n_engine_lines + 1,
+                },
+                ParseWarning::UnknownLifecycleStage {
+                    stage: "hibernate".into(),
+                    line: n_engine_lines + 3,
+                },
+            ]
+        );
+        // Warnings render with their line numbers for operators.
+        assert!(log.warnings[0].to_string().contains("frobnicate"));
+        assert_eq!(log.warnings[1].line(), n_engine_lines + 3);
+        // Unknown-kind lines must still be well-formed JSON to warn;
+        // garbage stays a hard error.
+        let err = parse_event_log("{\"event\":\"frobnicate\",\"x\":").expect_err("garbage");
+        assert!(matches!(err, ParseError::Malformed { .. }));
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub mod timeline;
 pub use audit::{AuditReport, Violation};
 pub use engine::{EngineEvent, Simulation, TaskId, TaskSpec};
 pub use error::SimError;
-pub use eventlog::{parse_event_log, ParseError, ParsedLog};
+pub use eventlog::{parse_event_log, ParseError, ParseWarning, ParsedLog};
 pub use faults::{FaultInjector, FaultKind, FaultOutcome, FaultSpec};
 pub use processor::{ProcessorId, ProcessorKind, ProcessorSpec};
 pub use soc::SocSpec;

@@ -12,11 +12,19 @@
 //! ingest mixed streams.
 //!
 //! Validation ([`validate`]) checks the causal ordering per request:
-//! the first event must be an admission, nothing may follow a terminal
-//! completion/degradation, and a completion must be preceded by an
-//! execution or recovery on the same request. Duplicate admissions are
-//! allowed — a request re-admitted by a recovery round is still one
-//! request.
+//! the first event must be an admission (or a rejection at the door),
+//! nothing may follow a terminal completion/degradation/rejection/shed,
+//! duplicate completions are a typed violation, and a completion must
+//! be preceded by an execution or recovery on the same request.
+//! Duplicate admissions are allowed — a request re-admitted by a
+//! recovery round is still one request.
+//!
+//! The serving front-end (`h2p-serve`) extends the grammar with two
+//! backpressure terminals: `reject` (admission control turned the
+//! request away before it was ever admitted) and `shed` (an admitted,
+//! queued request was evicted because its remaining slack could no
+//! longer cover its solo critical path). Both carry a typed reason so
+//! no request ever leaves the system silently.
 
 use std::fmt;
 use std::sync::{Mutex, PoisonError};
@@ -139,6 +147,15 @@ pub enum LifecycleStage {
     /// Request finished; `latency_ms` is its end-to-end simulated
     /// latency.
     Complete { latency_ms: f64 },
+    /// Admission control turned the request away before it entered the
+    /// queue (queue full, deadline infeasible, or shedding pressure).
+    /// Terminal, and legal as a request's *first* event — a rejected
+    /// request is never admitted.
+    Reject { reason: String },
+    /// An admitted, queued request was evicted by deadline-aware load
+    /// shedding before it could execute. Terminal; requires a prior
+    /// admission.
+    Shed { reason: String },
 }
 
 impl LifecycleStage {
@@ -152,6 +169,8 @@ impl LifecycleStage {
             LifecycleStage::Recover { .. } => "recover",
             LifecycleStage::Degrade { .. } => "degrade",
             LifecycleStage::Complete { .. } => "complete",
+            LifecycleStage::Reject { .. } => "reject",
+            LifecycleStage::Shed { .. } => "shed",
         }
     }
 
@@ -159,7 +178,10 @@ impl LifecycleStage {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            LifecycleStage::Complete { .. } | LifecycleStage::Degrade { .. }
+            LifecycleStage::Complete { .. }
+                | LifecycleStage::Degrade { .. }
+                | LifecycleStage::Reject { .. }
+                | LifecycleStage::Shed { .. }
         )
     }
 }
@@ -191,7 +213,9 @@ impl LifecycleEvent {
             LifecycleStage::Recover { round } => {
                 extra = format!(",\"round\":{round}");
             }
-            LifecycleStage::Degrade { reason } => {
+            LifecycleStage::Degrade { reason }
+            | LifecycleStage::Reject { reason }
+            | LifecycleStage::Shed { reason } => {
                 extra = format!(",\"reason\":\"{}\"", json_escape(reason));
             }
             LifecycleStage::Complete { latency_ms } => {
@@ -221,6 +245,14 @@ pub enum LifecycleViolation {
     AfterTerminal { request: RequestId, seq: u64 },
     /// A completion with no prior execute/recover on the request.
     CompleteWithoutExecute { request: RequestId, seq: u64 },
+    /// A second `complete` after the request already completed — a
+    /// double-accounted request, reported as its own typed violation
+    /// rather than a generic after-terminal event.
+    DuplicateComplete { request: RequestId, seq: u64 },
+    /// A `reject` on a request that was already admitted: admission
+    /// control may only turn requests away at the door (an admitted
+    /// request that must be abandoned is shed or degraded instead).
+    RejectAfterAdmit { request: RequestId, seq: u64 },
 }
 
 impl fmt::Display for LifecycleViolation {
@@ -238,6 +270,15 @@ impl fmt::Display for LifecycleViolation {
                     "request {request}: complete at seq {seq} without execute"
                 )
             }
+            LifecycleViolation::DuplicateComplete { request, seq } => {
+                write!(f, "request {request}: duplicate complete at seq {seq}")
+            }
+            LifecycleViolation::RejectAfterAdmit { request, seq } => {
+                write!(
+                    f,
+                    "request {request}: reject at seq {seq} after the request was admitted"
+                )
+            }
         }
     }
 }
@@ -250,32 +291,55 @@ impl fmt::Display for LifecycleViolation {
 /// validated per batch rather than falsely cross-linked.
 pub fn validate(events: &[LifecycleEvent]) -> Vec<LifecycleViolation> {
     use std::collections::BTreeMap;
+    #[derive(Clone, Copy, PartialEq)]
+    enum Terminal {
+        Completed,
+        Other,
+    }
     #[derive(Default)]
     struct ReqState {
-        admitted: bool,
+        seen_any: bool,
+        /// True only on an *actual* admit event (not the implicit
+        /// admission assumed after a MissingAdmit), so RejectAfterAdmit
+        /// fires precisely when the log recorded a real admission.
+        seen_admit: bool,
         executed: bool,
-        terminal: bool,
+        terminal: Option<Terminal>,
     }
     let mut states: BTreeMap<(u64, usize), ReqState> = BTreeMap::new();
     let mut violations = Vec::new();
     for e in events {
         let st = states.entry((e.trace.0, e.request.0)).or_default();
-        if st.terminal {
-            violations.push(LifecycleViolation::AfterTerminal {
-                request: e.request,
-                seq: e.seq,
-            });
+        if let Some(kind) = st.terminal {
+            if kind == Terminal::Completed && matches!(e.stage, LifecycleStage::Complete { .. }) {
+                violations.push(LifecycleViolation::DuplicateComplete {
+                    request: e.request,
+                    seq: e.seq,
+                });
+            } else {
+                violations.push(LifecycleViolation::AfterTerminal {
+                    request: e.request,
+                    seq: e.seq,
+                });
+            }
             continue;
         }
-        if !st.admitted {
-            if !matches!(e.stage, LifecycleStage::Admit) {
+        if !st.seen_any {
+            st.seen_any = true;
+            // A request may open with an admission or with a rejection
+            // at the door; anything else (including a shed, which needs
+            // a prior admit) is out of order. Flag once and treat as
+            // implicitly admitted so one missing admit doesn't cascade
+            // into a violation per event.
+            if !matches!(
+                e.stage,
+                LifecycleStage::Admit | LifecycleStage::Reject { .. }
+            ) {
                 violations.push(LifecycleViolation::MissingAdmit { request: e.request });
             }
-            // Treat as implicitly admitted so one missing admit doesn't
-            // cascade into a violation per event.
-            st.admitted = true;
         }
         match &e.stage {
+            LifecycleStage::Admit => st.seen_admit = true,
             LifecycleStage::Execute | LifecycleStage::Recover { .. } => st.executed = true,
             LifecycleStage::Complete { .. } => {
                 if !st.executed {
@@ -284,10 +348,21 @@ pub fn validate(events: &[LifecycleEvent]) -> Vec<LifecycleViolation> {
                         seq: e.seq,
                     });
                 }
-                st.terminal = true;
+                st.terminal = Some(Terminal::Completed);
             }
-            LifecycleStage::Degrade { .. } => st.terminal = true,
-            LifecycleStage::Admit | LifecycleStage::Plan | LifecycleStage::Window { .. } => {}
+            LifecycleStage::Degrade { .. } | LifecycleStage::Shed { .. } => {
+                st.terminal = Some(Terminal::Other);
+            }
+            LifecycleStage::Reject { .. } => {
+                if st.seen_admit {
+                    violations.push(LifecycleViolation::RejectAfterAdmit {
+                        request: e.request,
+                        seq: e.seq,
+                    });
+                }
+                st.terminal = Some(Terminal::Other);
+            }
+            LifecycleStage::Plan | LifecycleStage::Window { .. } => {}
         }
     }
     violations
@@ -485,6 +560,145 @@ mod tests {
                 seq: 1
             }]
         );
+    }
+
+    #[test]
+    fn validate_flags_duplicate_complete() {
+        let t = TraceId(7);
+        let ev = |seq: u64, stage: LifecycleStage| LifecycleEvent {
+            trace: t,
+            request: RequestId(0),
+            seq,
+            at_ms: 0.0,
+            stage,
+        };
+        // A second complete on the same (trace, request) is its own
+        // typed violation, not a generic AfterTerminal.
+        let v = validate(&[
+            ev(0, LifecycleStage::Admit),
+            ev(1, LifecycleStage::Execute),
+            ev(2, LifecycleStage::Complete { latency_ms: 1.0 }),
+            ev(3, LifecycleStage::Complete { latency_ms: 1.0 }),
+        ]);
+        assert_eq!(
+            v,
+            vec![LifecycleViolation::DuplicateComplete {
+                request: RequestId(0),
+                seq: 3
+            }]
+        );
+        // A complete after a degrade stays the generic AfterTerminal.
+        let v = validate(&[
+            ev(0, LifecycleStage::Admit),
+            ev(1, LifecycleStage::Degrade { reason: "x".into() }),
+            ev(2, LifecycleStage::Complete { latency_ms: 1.0 }),
+        ]);
+        assert_eq!(
+            v,
+            vec![LifecycleViolation::AfterTerminal {
+                request: RequestId(0),
+                seq: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn validate_enforces_reject_and_shed_rules() {
+        let t = TraceId(9);
+        let ev = |request: usize, seq: u64, stage: LifecycleStage| LifecycleEvent {
+            trace: t,
+            request: RequestId(request),
+            seq,
+            at_ms: 0.0,
+            stage,
+        };
+        // Reject as the first (and only) event is legal: the request
+        // was turned away at the door, never admitted.
+        let v = validate(&[ev(
+            0,
+            0,
+            LifecycleStage::Reject {
+                reason: "queue_full".into(),
+            },
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+        // Reject after an actual admit is a typed violation.
+        let v = validate(&[
+            ev(1, 0, LifecycleStage::Admit),
+            ev(
+                1,
+                1,
+                LifecycleStage::Reject {
+                    reason: "shedding".into(),
+                },
+            ),
+        ]);
+        assert_eq!(
+            v,
+            vec![LifecycleViolation::RejectAfterAdmit {
+                request: RequestId(1),
+                seq: 1
+            }]
+        );
+        // Shed requires a prior admit: admit → shed is clean...
+        let v = validate(&[
+            ev(2, 0, LifecycleStage::Admit),
+            ev(
+                2,
+                1,
+                LifecycleStage::Shed {
+                    reason: "slack_below_solo".into(),
+                },
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+        // ...but shed as a request's first event is a MissingAdmit.
+        let v = validate(&[ev(3, 0, LifecycleStage::Shed { reason: "s".into() })]);
+        assert_eq!(
+            v,
+            vec![LifecycleViolation::MissingAdmit {
+                request: RequestId(3)
+            }]
+        );
+        // Both are terminal: nothing may follow a reject or a shed.
+        let v = validate(&[
+            ev(4, 0, LifecycleStage::Reject { reason: "q".into() }),
+            ev(4, 1, LifecycleStage::Plan),
+        ]);
+        assert_eq!(
+            v,
+            vec![LifecycleViolation::AfterTerminal {
+                request: RequestId(4),
+                seq: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn reject_and_shed_json_lines_carry_reasons() {
+        let log = LifecycleLog::new();
+        let t = TraceId(0x1);
+        log.record(
+            t,
+            RequestId(0),
+            2.0,
+            LifecycleStage::Reject {
+                reason: "queue_full".into(),
+            },
+        );
+        log.record(
+            t,
+            RequestId(1),
+            3.0,
+            LifecycleStage::Shed {
+                reason: "slack_below_solo".into(),
+            },
+        );
+        let lines = log.json_lines();
+        assert!(lines[0].contains("\"stage\":\"reject\",\"reason\":\"queue_full\""));
+        assert!(lines[1].contains("\"stage\":\"shed\",\"reason\":\"slack_below_solo\""));
+        assert!(LifecycleStage::Reject { reason: "x".into() }.is_terminal());
+        assert!(LifecycleStage::Shed { reason: "x".into() }.is_terminal());
     }
 
     #[test]

@@ -54,7 +54,7 @@ echo "== h2p modelcheck --exhaustive (schedule-space model checker)"
 # pass by omission.
 MODELCHECK_OUT=$(mktemp)
 $H2P modelcheck --exhaustive --min-schedules 1000 > "$MODELCHECK_OUT"
-for model in scratch_pool intra_request; do
+for model in scratch_pool intra_request serve_admit_shed; do
     grep -q "$model" "$MODELCHECK_OUT" || {
         echo "modelcheck report is missing the $model model" >&2
         rm -f "$MODELCHECK_OUT"; exit 1; }
@@ -159,6 +159,47 @@ $H2P trace --events "$REPORT_OUT" bert resnet50 > /dev/null 2>&1
 $H2P report --from "$REPORT_OUT" > /dev/null
 rm -f "$REPORT_OUT"
 
+echo "== h2p serve (overload robustness gate)"
+# Fixed-seed saturation sweep past 5x the measured capacity
+# (~1.5 served/s on Kirin 990): every swept point must satisfy the
+# overload invariants (exactly one typed terminal outcome per request,
+# bounded queue depth and retries, causally valid lifecycle) — any
+# violation exits nonzero — and typed backpressure must actually engage
+# somewhere in the range, or the admission layer is asleep.
+SERVE_A=$(mktemp)
+SERVE_B=$(mktemp)
+SERVE_LOG_A=$(mktemp)
+SERVE_LOG_B=$(mktemp)
+serve_cleanup() { rm -f "$SERVE_A" "$SERVE_B" "$SERVE_LOG_A" "$SERVE_LOG_B"; }
+$H2P serve --qps-sweep 1..10 --steps 3 --seed 7 --requests 32 --json \
+    --events "$SERVE_LOG_A" > "$SERVE_A"
+grep -q '"summary":true,"points":3,"violations":0' "$SERVE_A" || {
+    echo "serve sweep summary missing or reported invariant violations" >&2
+    serve_cleanup; exit 1; }
+if grep -q '"saturation_qps":null' "$SERVE_A"; then
+    echo "serve sweep never engaged backpressure at 5x+ overload" >&2
+    serve_cleanup; exit 1
+fi
+# Determinism: the identical invocation must be bit-identical, both the
+# per-point JSON and the emitted lifecycle event log (H2P011).
+$H2P serve --qps-sweep 1..10 --steps 3 --seed 7 --requests 32 --json \
+    --events "$SERVE_LOG_B" > "$SERVE_B"
+cmp -s "$SERVE_A" "$SERVE_B" || {
+    echo "serve sweep is not bit-identical at a fixed seed" >&2
+    serve_cleanup; exit 1; }
+cmp -s "$SERVE_LOG_A" "$SERVE_LOG_B" || {
+    echo "serve lifecycle log is not bit-identical at a fixed seed" >&2
+    serve_cleanup; exit 1; }
+# The emitted lifecycle log must round-trip through the hardened parser
+# and replay into a clean report (reject/shed stages included).
+$H2P events "$SERVE_LOG_A" > /dev/null
+$H2P report --from "$SERVE_LOG_A" --json > /dev/null
+# Chaos serving: seeded faults through the recovery machinery must still
+# leave every request with exactly one typed outcome (nonzero exit means
+# an invariant violation).
+$H2P serve --qps 3 --seed 11 --requests 24 --chaos --json > /dev/null
+serve_cleanup
+
 echo "== bench_check --diff (perf-regression sentinel self-test)"
 # Identical snapshots must pass; a 20% median regression must be caught
 # with a nonzero exit; an advisory stamp downgrades the verdict to
@@ -194,8 +235,19 @@ rm -f "$DIFF_OLD" "$DIFF_NEW" "$DIFF_ADV"
 echo "== planner bench (quick) + BENCH_planner.json gate"
 # Runs the perf-trajectory suite, validates the JSON schema, and gates
 # the incremental-replan win (>= 3x vs from-scratch windows — an
-# algorithmic ratio, valid on any host).
+# algorithmic ratio, valid on any host). The committed snapshot is saved
+# first so the perf-regression sentinel below can diff the fresh quick
+# run against it: a >20% median regression on any shared case fails,
+# unless either snapshot carries the advisory stamp (1-core hosts),
+# which downgrades the diff to report-only.
+BENCH_OLD=$(mktemp)
+cp BENCH_planner.json "$BENCH_OLD"
 scripts/bench.sh --quick
+
+echo "== bench_check --diff vs committed BENCH_planner.json"
+cargo run --release -q -p h2p-bench --bin bench_check -- \
+    --diff "$BENCH_OLD" BENCH_planner.json
+rm -f "$BENCH_OLD"
 
 echo "== bench-sanity gate"
 # On hosts that can actually run the benched 4 workers concurrently, the

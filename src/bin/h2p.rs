@@ -97,7 +97,7 @@ fn parse_scheme(name: &str) -> Option<Scheme> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--summary]\n            [--corrupt [CLASS]] [--events PATH|-] [--faults SPEC] MODEL...\n  h2p report [--soc NAME] [--scheme NAME] [--json] [--slo-budget F] MODEL...\n  h2p report --chaos-seed N [--soc NAME] [--json]\n  h2p report --faults SPEC [--soc NAME] [--json] MODEL...\n  h2p report --from PATH|- [--soc NAME] [--json]\n  h2p chaos [--soc NAME] --seeds N [--json]\n  h2p events PATH|-\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n  h2p lint  --source [--deny-warnings] [--json] [--mutant CLASS] [ROOT]\n  h2p modelcheck [--exhaustive] [--seeds N] [--min-schedules N]\n            [--inject CLASS] [--expect-violation]\n  h2p export [--soc NAME] [--scheme NAME] [--trace PATH|-]\n            [--metrics PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts,\n                  including the event-log replay reconciliation; exit\n                  nonzero on any violation\n  --summary       print the per-processor metrics snapshot table\n                  (busy/idle/bubble/stretch ms)\n  --corrupt [CLASS] deliberately corrupt the trace before auditing\n                  (demo); CLASS is overlap (default) or stretch — an\n                  in-envelope duration corruption only the replay\n                  reconciliation catches\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n  --faults SPEC   run under scripted faults with recovery (h2p scheme\n                  only); SPEC is comma-separated:\n                    drop:<PROC>@<t>                   processor dropout\n                    throttle:<PROC>@<from>..<until>x<f>  rate throttle\n                    flaky:<request>x<count>           transient failures\n                    mispredict:<scale>                cost misprediction\n\nreport flags:\n  Serving-grade observability: per-QoS-class latency quantiles\n  (p50/p95/p99), per-processor utilization and bubble timelines,\n  contention-window occupancy, and deadline/SLO burn-rate accounting.\n  Every number is cross-checked against the audit replay of the run's\n  event log — a reconciliation mismatch or a causally invalid request\n  lifecycle exits nonzero.\n  --chaos-seed N  report on chaos scenario N (same workload and faults\n                  as seed N of `h2p chaos`), through the recovery\n                  runner\n  --faults SPEC   report on a scripted-fault recovery run (spec syntax\n                  as under `h2p trace --faults`)\n  --from PATH     report from a saved `--events` JSON-lines log instead\n                  of a live run ('-' = stdin)\n  --slo-budget F  allowed deadline-miss fraction per class (default\n                  0.01, i.e. a 99% on-deadline objective)\n  --json          one `h2p-report/v1` JSON object instead of the tables\n\nchaos flags:\n  --seeds N       run N seeded random fault scenarios through the\n                  recovery runner; every scenario must end recovered\n                  with audit-clean rounds or in a typed degraded\n                  outcome — exit nonzero otherwise\n  --json          one JSON object per seed plus a summary object\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan\n  --source          lint workspace sources for determinism hazards\n                    (H2P010-H2P013) instead of linting a plan; ROOT\n                    defaults to '.'\n  --mutant CLASS    lint a seeded hazard snippet instead of the\n                    workspace (demo; must exit nonzero); CLASS is one\n                    of: hash-iteration, wall-clock, unordered-reduction,\n                    unseeded-rng\n\nmodelcheck flags:\n  --exhaustive      full DFS enumeration of the standard model suite\n                    (cursor partition/error-rule, tables cache, DP\n                    scratch pool, planner bit-identity, intra-request\n                    fan-out, recovery rounds)\n  --seeds N         PCT schedules for the randomized models (default 24)\n  --min-schedules N exit nonzero unless at least N distinct schedules\n                    were explored in total\n  --inject CLASS    seed a claim bug into the cursor path; CLASS is\n                    skip-claim (dropped claim) or split-claim (torn\n                    claim)\n  --expect-violation invert the exit code: succeed only if the injected\n                    bug was caught (self-test of the checker)\n\nexport flags:\n  --trace PATH    write the run as Chrome Trace Event JSON, loadable in\n                  chrome://tracing or ui.perfetto.dev ('-' = stdout)\n  --metrics PATH  write the metrics snapshot JSON ('-' = stdout)"
+        "usage:\n  h2p socs\n  h2p zoo\n  h2p plan  [--soc NAME] [--threads N] MODEL...\n  h2p run   [--soc NAME] [--scheme NAME] MODEL...\n  h2p gantt [--soc NAME] MODEL...\n  h2p trace [--soc NAME] [--scheme NAME] [--audit] [--summary]\n            [--corrupt [CLASS]] [--events PATH|-] [--faults SPEC] MODEL...\n  h2p report [--soc NAME] [--scheme NAME] [--json] [--slo-budget F] MODEL...\n  h2p report --chaos-seed N [--soc NAME] [--json]\n  h2p report --faults SPEC [--soc NAME] [--json] MODEL...\n  h2p report --from PATH|- [--soc NAME] [--json]\n  h2p chaos [--soc NAME] --seeds N [--json]\n  h2p serve [--soc NAME] [--qps F | --qps-sweep LO..HI] [--steps N]\n            [--seed N] [--requests N] [--window N] [--max-batch N]\n            [--chaos] [--json] [--events PATH|-]\n  h2p events PATH|-\n  h2p lint  [--soc NAME] [--scheme NAME] [--json] [--deny-warnings]\n            [--corrupt CLASS] MODEL...\n  h2p lint  --source [--deny-warnings] [--json] [--mutant CLASS] [ROOT]\n  h2p modelcheck [--exhaustive] [--seeds N] [--min-schedules N]\n            [--inject CLASS] [--expect-violation]\n  h2p export [--soc NAME] [--scheme NAME] [--trace PATH|-]\n            [--metrics PATH|-] MODEL...\n\nsocs: kirin990 (default), sd778g, sd870\nschemes: mnn, pipeit, band, noct, h2p (default)\n\nplan flags:\n  --threads N     planner worker threads; 0 or omitted = available\n                  parallelism (plans are identical for every N)\n\ntrace flags:\n  --scheme NAME   lower and trace the named scheme (default h2p)\n  --audit         validate the trace against the simulator contracts,\n                  including the event-log replay reconciliation; exit\n                  nonzero on any violation\n  --summary       print the per-processor metrics snapshot table\n                  (busy/idle/bubble/stretch ms)\n  --corrupt [CLASS] deliberately corrupt the trace before auditing\n                  (demo); CLASS is overlap (default) or stretch — an\n                  in-envelope duration corruption only the replay\n                  reconciliation catches\n  --events PATH   write the JSON-lines event log to PATH ('-' = stdout)\n  --faults SPEC   run under scripted faults with recovery (h2p scheme\n                  only); SPEC is comma-separated:\n                    drop:<PROC>@<t>                   processor dropout\n                    throttle:<PROC>@<from>..<until>x<f>  rate throttle\n                    flaky:<request>x<count>           transient failures\n                    mispredict:<scale>                cost misprediction\n\nreport flags:\n  Serving-grade observability: per-QoS-class latency quantiles\n  (p50/p95/p99), per-processor utilization and bubble timelines,\n  contention-window occupancy, and deadline/SLO burn-rate accounting.\n  Every number is cross-checked against the audit replay of the run's\n  event log — a reconciliation mismatch or a causally invalid request\n  lifecycle exits nonzero.\n  --chaos-seed N  report on chaos scenario N (same workload and faults\n                  as seed N of `h2p chaos`), through the recovery\n                  runner\n  --faults SPEC   report on a scripted-fault recovery run (spec syntax\n                  as under `h2p trace --faults`)\n  --from PATH     report from a saved `--events` JSON-lines log instead\n                  of a live run ('-' = stdin)\n  --slo-budget F  allowed deadline-miss fraction per class (default\n                  0.01, i.e. a 99% on-deadline objective)\n  --json          one `h2p-report/v1` JSON object instead of the tables\n\nchaos flags:\n  --seeds N       run N seeded random fault scenarios through the\n                  recovery runner; every scenario must end recovered\n                  with audit-clean rounds or in a typed degraded\n                  outcome — exit nonzero otherwise\n  --json          one JSON object per seed plus a summary object\n\nserve flags:\n  Overload-robust virtual-time serving loop: seeded open-loop arrivals\n  flow through admission control (per-class token buckets + queue depth\n  limits), deadline-aware load shedding, lightweight-model batching,\n  incremental window planning, and bounded retry. Every request ends in\n  exactly one typed outcome; any invariant violation exits nonzero.\n  --qps F         offered load for a single point (default 50)\n  --qps-sweep LO..HI  sweep offered load from LO to HI qps\n  --steps N       sweep points, linearly spaced (default 6)\n  --seed N        load-generator / chaos seed (default 42); a fixed\n                  seed makes the whole run bit-identical\n  --requests N    requests per sweep point (default 64)\n  --window N      dispatch window / batch drain quantum (default 4)\n  --max-batch N   batching cap for adjacent identical lightweight\n                  models (default 8)\n  --chaos         inject seeded faults; execution runs through the\n                  recovery machinery and failures degrade, typed\n  --events PATH   write the last point's lifecycle event log as JSON\n                  lines ('-' = stdout), ingestible by `h2p report\n                  --from` and `h2p events`\n  --json          one `h2p-serve/v1` JSON object per point plus a\n                  summary object\n\nlint flags:\n  --json            emit one JSON object per finding plus a summary line\n  --deny-warnings   exit nonzero on warnings, not just errors\n  --corrupt CLASS   corrupt the plan before linting (demo); CLASS is one\n                    of: drop-layer, duplicate-slot, bad-proc,\n                    inflate-makespan\n  --source          lint workspace sources for determinism hazards\n                    (H2P010-H2P013) instead of linting a plan; ROOT\n                    defaults to '.'\n  --mutant CLASS    lint a seeded hazard snippet instead of the\n                    workspace (demo; must exit nonzero); CLASS is one\n                    of: hash-iteration, wall-clock, unordered-reduction,\n                    unseeded-rng\n\nmodelcheck flags:\n  --exhaustive      full DFS enumeration of the standard model suite\n                    (cursor partition/error-rule, tables cache, DP\n                    scratch pool, planner bit-identity, intra-request\n                    fan-out, recovery rounds)\n  --seeds N         PCT schedules for the randomized models (default 24)\n  --min-schedules N exit nonzero unless at least N distinct schedules\n                    were explored in total\n  --inject CLASS    seed a claim bug into the cursor path; CLASS is\n                    skip-claim (dropped claim) or split-claim (torn\n                    claim)\n  --expect-violation invert the exit code: succeed only if the injected\n                    bug was caught (self-test of the checker)\n\nexport flags:\n  --trace PATH    write the run as Chrome Trace Event JSON, loadable in\n                  chrome://tracing or ui.perfetto.dev ('-' = stdout)\n  --metrics PATH  write the metrics snapshot JSON ('-' = stdout)"
     );
     std::process::exit(2);
 }
@@ -581,6 +581,9 @@ fn main() {
         "events" => {
             run_events(&argv[1..]);
         }
+        "serve" => {
+            run_serve(&argv[1..]);
+        }
         "lint" => {
             // `--source` switches to the workspace determinism lints,
             // which take no models — intercept before the common parser
@@ -925,27 +928,18 @@ fn run_chaos(rest: &[String]) {
 /// floats, so anything beyond rounding noise is a real discrepancy.
 const RECONCILE_EPS: f64 = 1e-6;
 
-/// QoS class a request serves, by model compute size: small models are
-/// interactive traffic, mid-size standard, heavyweights batch.
+/// QoS class a request serves, by model compute size. Delegates to the
+/// serving front-end's classifier so `h2p serve` and `h2p report`
+/// classify a model identically.
 fn qos_class(flops: f64) -> QosClass {
-    if flops < 2e9 {
-        QosClass::Interactive
-    } else if flops < 15e9 {
-        QosClass::Standard
-    } else {
-        QosClass::Batch
-    }
+    h2p_serve::qos_class(flops)
 }
 
 /// Deadline slack per class, as a multiple of the request's summed solo
-/// time (its zero-contention service time). Interactive requests get
-/// the tightest envelope, batch the loosest.
+/// time (its zero-contention service time). Shared with the serving
+/// front-end's admission policy.
 fn slo_multiplier(class: QosClass) -> f64 {
-    match class {
-        QosClass::Interactive => 2.0,
-        QosClass::Standard => 3.0,
-        QosClass::Batch => 5.0,
-    }
+    h2p_serve::slo_multiplier(class)
 }
 
 /// Per-request deadlines from a lowered task graph: each request's solo
@@ -1246,6 +1240,9 @@ fn report_from_log(soc: &SocSpec, path: &str) -> ReportData {
             std::process::exit(1);
         }
     };
+    for w in &log.warnings {
+        eprintln!("warning: {w}");
+    }
     let n_tasks = log.task_count();
     let mut headers: Vec<Option<&eventlog::TaskHeader>> = vec![None; n_tasks];
     for h in &log.tasks {
@@ -1309,65 +1306,75 @@ fn report_from_log(soc: &SocSpec, path: &str) -> ReportData {
             }
         }
     }
-    match audit::replay(n_tasks, &log.events) {
-        Ok(replayed) => {
-            let mut proc_of: Vec<usize> = headers
-                .iter()
-                .map(|h| h.map_or(0, |h| h.processor.index()))
-                .collect();
-            for e in &log.events {
-                if let EngineEvent::Start {
-                    task, processor, ..
-                } = e
-                {
-                    if let Some(slot) = proc_of.get_mut(*task) {
-                        *slot = processor.index();
-                    }
-                }
-            }
-            for (t, rs) in replayed.iter().enumerate() {
-                let Some(rs) = rs else { continue };
-                replay_done += 1;
-                replay_last_ms = replay_last_ms.max(rs.end_ms);
-                spans.push(ExecSpan {
-                    request: headers
-                        .get(t)
-                        .copied()
-                        .flatten()
-                        .and_then(|h| request_of_label(&h.label)),
-                    processor: proc_of.get(t).copied().unwrap_or(0),
-                    start_ms: rs.start_ms,
-                    end_ms: rs.end_ms,
-                });
-            }
-            let mut span_ends: Vec<Option<f64>> = vec![None; n];
-            fold_request_ends(&mut span_ends, &spans);
-            if log.lifecycle.is_empty() {
-                // Pre-lifecycle log: the replay envelopes are all there is.
-                latencies = span_ends;
-                notes.push("log has no lifecycle stream; completions from replay".to_owned());
-            } else {
-                for r in 0..n {
-                    match (latencies[r], span_ends[r]) {
-                        (Some(c), Some(e)) if (c - e).abs() > RECONCILE_EPS => {
-                            mismatches.push(format!(
-                                "request {r}: lifecycle completion {c:.6} ms != replayed \
-                                 last span end {e:.6} ms"
-                            ));
+    if log.tasks.is_empty() && log.events.is_empty() && !log.lifecycle.is_empty() {
+        // Lifecycle-only log (e.g. `h2p serve --events`): there is no
+        // engine stream to reconcile against, so the lifecycle
+        // completions stand on their own.
+        notes.push(
+            "lifecycle-only log (no engine stream); completions from the lifecycle stream"
+                .to_owned(),
+        );
+    } else {
+        match audit::replay(n_tasks, &log.events) {
+            Ok(replayed) => {
+                let mut proc_of: Vec<usize> = headers
+                    .iter()
+                    .map(|h| h.map_or(0, |h| h.processor.index()))
+                    .collect();
+                for e in &log.events {
+                    if let EngineEvent::Start {
+                        task, processor, ..
+                    } = e
+                    {
+                        if let Some(slot) = proc_of.get_mut(*task) {
+                            *slot = processor.index();
                         }
-                        (Some(c), None) => mismatches.push(format!(
-                            "request {r}: lifecycle completion {c:.6} ms but no replayed spans"
-                        )),
-                        _ => {}
+                    }
+                }
+                for (t, rs) in replayed.iter().enumerate() {
+                    let Some(rs) = rs else { continue };
+                    replay_done += 1;
+                    replay_last_ms = replay_last_ms.max(rs.end_ms);
+                    spans.push(ExecSpan {
+                        request: headers
+                            .get(t)
+                            .copied()
+                            .flatten()
+                            .and_then(|h| request_of_label(&h.label)),
+                        processor: proc_of.get(t).copied().unwrap_or(0),
+                        start_ms: rs.start_ms,
+                        end_ms: rs.end_ms,
+                    });
+                }
+                let mut span_ends: Vec<Option<f64>> = vec![None; n];
+                fold_request_ends(&mut span_ends, &spans);
+                if log.lifecycle.is_empty() {
+                    // Pre-lifecycle log: the replay envelopes are all there is.
+                    latencies = span_ends;
+                    notes.push("log has no lifecycle stream; completions from replay".to_owned());
+                } else {
+                    for r in 0..n {
+                        match (latencies[r], span_ends[r]) {
+                            (Some(c), Some(e)) if (c - e).abs() > RECONCILE_EPS => {
+                                mismatches.push(format!(
+                                    "request {r}: lifecycle completion {c:.6} ms != replayed \
+                                 last span end {e:.6} ms"
+                                ));
+                            }
+                            (Some(c), None) => mismatches.push(format!(
+                                "request {r}: lifecycle completion {c:.6} ms but no replayed spans"
+                            )),
+                            _ => {}
+                        }
                     }
                 }
             }
-        }
-        Err(e) => {
-            notes.push(format!(
-                "engine stream not replayable ({e}); utilization omitted, \
-                 completions from the lifecycle stream"
-            ));
+            Err(e) => {
+                notes.push(format!(
+                    "engine stream not replayable ({e}); utilization omitted, \
+                     completions from the lifecycle stream"
+                ));
+            }
         }
     }
 
@@ -2052,6 +2059,9 @@ fn run_events(rest: &[String]) {
             std::process::exit(1);
         }
     };
+    for w in &log.warnings {
+        eprintln!("warning: {w}");
+    }
     println!(
         "{} task header(s), {} event(s), {} task id(s), {} lifecycle event(s)",
         log.tasks.len(),
@@ -2078,6 +2088,269 @@ fn run_events(rest: &[String]) {
             );
         }
         Err(e) => println!("replay: not reconstructible ({e})"),
+    }
+}
+
+/// `h2p serve`: run the overload-robust serving front-end over a
+/// seeded arrival stream, optionally sweeping offered load, and print
+/// the saturation curve. Exits nonzero if any sweep point violates the
+/// robustness invariants.
+fn run_serve(rest: &[String]) {
+    let mut soc = SocSpec::kirin_990();
+    let mut lo = 50.0f64;
+    let mut hi = 50.0f64;
+    let mut steps = 1usize;
+    let mut steps_set = false;
+    let mut seed = 42u64;
+    let mut requests = 64usize;
+    let mut window = 4usize;
+    let mut max_batch = 8u32;
+    let mut chaos = false;
+    let mut json = false;
+    let mut events: Option<String> = None;
+    let mut i = 0;
+    let missing = |flag: &str| -> ! {
+        eprintln!("{flag} needs a value");
+        usage()
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--soc" => {
+                i += 1;
+                let name = rest.get(i).unwrap_or_else(|| missing("--soc"));
+                soc = parse_soc(name).unwrap_or_else(|| {
+                    eprintln!("unknown SoC {name}");
+                    usage()
+                });
+            }
+            "--qps" => {
+                i += 1;
+                let v: f64 = rest
+                    .get(i)
+                    .unwrap_or_else(|| missing("--qps"))
+                    .parse()
+                    .unwrap_or_else(|_| missing("--qps"));
+                lo = v;
+                hi = v;
+            }
+            "--qps-sweep" => {
+                i += 1;
+                let spec = rest.get(i).unwrap_or_else(|| missing("--qps-sweep"));
+                let Some((a, b)) = spec.split_once("..") else {
+                    eprintln!("--qps-sweep wants LO..HI, got {spec}");
+                    usage()
+                };
+                lo = a.parse().unwrap_or_else(|_| missing("--qps-sweep"));
+                hi = b.parse().unwrap_or_else(|_| missing("--qps-sweep"));
+                if !steps_set {
+                    steps = 6;
+                }
+            }
+            "--steps" => {
+                i += 1;
+                steps = rest
+                    .get(i)
+                    .unwrap_or_else(|| missing("--steps"))
+                    .parse()
+                    .unwrap_or_else(|_| missing("--steps"));
+                steps_set = true;
+            }
+            "--seed" => {
+                i += 1;
+                seed = rest
+                    .get(i)
+                    .unwrap_or_else(|| missing("--seed"))
+                    .parse()
+                    .unwrap_or_else(|_| missing("--seed"));
+            }
+            "--requests" => {
+                i += 1;
+                requests = rest
+                    .get(i)
+                    .unwrap_or_else(|| missing("--requests"))
+                    .parse()
+                    .unwrap_or_else(|_| missing("--requests"));
+            }
+            "--window" => {
+                i += 1;
+                window = rest
+                    .get(i)
+                    .unwrap_or_else(|| missing("--window"))
+                    .parse()
+                    .unwrap_or_else(|_| missing("--window"));
+            }
+            "--max-batch" => {
+                i += 1;
+                max_batch = rest
+                    .get(i)
+                    .unwrap_or_else(|| missing("--max-batch"))
+                    .parse()
+                    .unwrap_or_else(|_| missing("--max-batch"));
+            }
+            "--chaos" => chaos = true,
+            "--json" => json = true,
+            "--events" => {
+                i += 1;
+                events = Some(rest.get(i).unwrap_or_else(|| missing("--events")).clone());
+            }
+            other => {
+                eprintln!("unknown serve flag {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if !(lo > 0.0 && lo.is_finite() && hi >= lo && hi.is_finite()) || steps == 0 || requests == 0 {
+        eprintln!("serve wants 0 < LO <= HI, steps >= 1, requests >= 1");
+        usage()
+    }
+
+    let server = h2p_serve::Server::new(&soc, window).expect("planner");
+    let base = h2p_serve::ServeConfig {
+        qps: lo,
+        requests,
+        seed,
+        max_batch,
+        chaos,
+        policy: RecoveryPolicy::default(),
+        slo_budget: SloSummary::DEFAULT_BUDGET,
+    };
+    let points = h2p_serve::sweep(&server, &base, lo, hi, steps).expect("serve");
+
+    let mut total_violations = 0usize;
+    let mut all_violations: Vec<(f64, String)> = Vec::new();
+    let mut saturation_qps: Option<f64> = None;
+    for p in &points {
+        let v = p.report.verify_invariants();
+        total_violations += v.len();
+        for s in v {
+            all_violations.push((p.qps, s));
+        }
+        if saturation_qps.is_none() && p.report.counts.rejected() + p.report.counts.shed > 0 {
+            saturation_qps = Some(p.qps);
+        }
+    }
+
+    if json {
+        for p in &points {
+            let c = &p.report.counts;
+            let (p50, p99) = p
+                .report
+                .latency
+                .as_ref()
+                .map_or(("null".to_owned(), "null".to_owned()), |l| {
+                    (format!("{:.3}", l.p50_ms), format!("{:.3}", l.p99_ms))
+                });
+            println!(
+                "{{\"v\":\"h2p-serve/v1\",\"qps\":{:.3},\"seed\":{},\"chaos\":{},\"requests\":{},\
+                 \"complete\":{},\"timed_out\":{},\"degraded\":{},\
+                 \"rejected\":{{\"queue_full\":{},\"deadline_infeasible\":{},\"shedding\":{}}},\
+                 \"shed\":{},\"p50_ms\":{p50},\"p99_ms\":{p99},\
+                 \"deadline_miss_rate\":{:.4},\"rejection_rate\":{:.4},\
+                 \"served_per_sec\":{:.3},\"max_queue_depth\":{},\"queue_limits\":[{},{},{}],\
+                 \"max_dispatch_retries\":{},\"dispatches\":{},\"violations\":{}}}",
+                p.qps,
+                p.report.seed,
+                p.report.chaos,
+                p.report.records.len(),
+                c.complete,
+                c.timed_out,
+                c.degraded,
+                c.rejected_queue_full,
+                c.rejected_deadline_infeasible,
+                c.rejected_shedding,
+                c.shed,
+                c.deadline_miss_rate(),
+                c.rejection_rate(),
+                p.report.served_per_sec,
+                p.report.max_queue_depth,
+                p.report.queue_limits[0],
+                p.report.queue_limits[1],
+                p.report.queue_limits[2],
+                p.report.max_dispatch_retries,
+                p.report.dispatches,
+                p.report.verify_invariants().len(),
+            );
+        }
+        let sat = saturation_qps.map_or("null".to_owned(), |q| format!("{q:.3}"));
+        println!(
+            "{{\"v\":\"h2p-serve/v1\",\"summary\":true,\"points\":{},\"violations\":{},\
+             \"saturation_qps\":{sat}}}",
+            points.len(),
+            total_violations,
+        );
+    } else {
+        let limits = points.first().map_or([0, 0, 0], |p| p.report.queue_limits);
+        println!(
+            "serve on {} (window {window}, seed {seed}, {requests} request(s)/point{})",
+            soc.name,
+            if chaos { ", chaos" } else { "" }
+        );
+        println!("queue limits [interactive, standard, batch]: {limits:?}");
+        println!(
+            "{:>9} {:>6} {:>6} {:>6} {:>6} {:>5} {:>9} {:>9} {:>6} {:>6} {:>9} {:>5}",
+            "qps",
+            "ok",
+            "late",
+            "degr",
+            "rej",
+            "shed",
+            "p50 ms",
+            "p99 ms",
+            "miss%",
+            "rej%",
+            "served/s",
+            "depth"
+        );
+        for p in &points {
+            let c = &p.report.counts;
+            let (p50, p99) = p
+                .report
+                .latency
+                .as_ref()
+                .map_or(("-".to_owned(), "-".to_owned()), |l| {
+                    (format!("{:.1}", l.p50_ms), format!("{:.1}", l.p99_ms))
+                });
+            println!(
+                "{:>9.1} {:>6} {:>6} {:>6} {:>6} {:>5} {:>9} {:>9} {:>6.1} {:>6.1} {:>9.2} {:>5}",
+                p.qps,
+                c.complete,
+                c.timed_out,
+                c.degraded,
+                c.rejected(),
+                c.shed,
+                p50,
+                p99,
+                100.0 * c.deadline_miss_rate(),
+                100.0 * c.rejection_rate(),
+                p.report.served_per_sec,
+                p.report.max_queue_depth,
+            );
+        }
+        match saturation_qps {
+            Some(q) => println!("backpressure first engaged at {q:.1} qps"),
+            None => println!("backpressure never engaged over this range"),
+        }
+    }
+
+    if let Some(path) = events {
+        let Some(last) = points.last() else {
+            unreachable!("sweep returned no points despite steps >= 1")
+        };
+        let mut lines = String::new();
+        for line in last.report.json_event_lines() {
+            lines.push_str(&line);
+            lines.push('\n');
+        }
+        write_out(&path, lines.trim_end(), "serve event log");
+    }
+
+    if total_violations > 0 {
+        for (qps, v) in &all_violations {
+            eprintln!("invariant violation at {qps:.1} qps: {v}");
+        }
+        eprintln!("{total_violations} invariant violation(s)");
+        std::process::exit(1);
     }
 }
 
